@@ -1,0 +1,41 @@
+"""Shared helpers for the figure benchmarks.
+
+Every benchmark regenerates one paper artefact (figure/table) via
+:mod:`repro.bench.figures`, saves the rendered table under
+``benchmarks/results/`` (EXPERIMENTS.md is assembled from those files),
+and additionally benchmarks the artefact's *default-point* operation
+with pytest-benchmark so ``pytest benchmarks/ --benchmark-only`` yields
+comparable timing statistics.
+
+Scale selection: ``REPRO_BENCH_SCALE`` = ``tiny`` | ``bench`` (default)
+| ``paper``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.config import load_config
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config():
+    return load_config()
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, table) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(table.render() + "\n")
+        # Also echo to the terminal (visible with -s or on failure).
+        print()
+        print(table.render())
+
+    return _save

@@ -1,0 +1,25 @@
+"""Figure 5: indexing cost vs |Q| — Efficient-IQ index vs plain R-tree."""
+
+from repro.bench.figures import fig5_indexing_queries
+from repro.data.workloads import generate_queries
+from repro.index.rtree import RTree
+
+
+def test_fig5_sweep(benchmark, config, save_table):
+    table = benchmark.pedantic(
+        lambda: fig5_indexing_queries(config), rounds=1, iterations=1
+    )
+    save_table("fig05_indexing_queries", table)
+    # Paper shape: Efficient-IQ strictly more expensive than a bare
+    # R-tree in both time and space (the subdomain grouping is the
+    # extra work), on every sweep point.
+    assert all(o > 0 for o in table.column("time overhead (%)"))
+    assert all(o > 0 for o in table.column("size overhead (%)"))
+
+
+def test_fig5_rtree_bulk_load(benchmark, config):
+    queries = generate_queries(
+        "UN", config.num_queries, config.dimensions, seed=config.seed + 1, k_range=config.k_range
+    )
+    items = [(w, int(j)) for j, w in enumerate(queries.weights)]
+    benchmark(RTree.bulk_load, queries.dim, items, max_entries=16)

@@ -1,0 +1,12 @@
+"""Figure 6: indexing cost on the (simulated) VEHICLE and HOUSE datasets."""
+
+from repro.bench.figures import fig6_indexing_real
+
+
+def test_fig6_real_datasets(benchmark, config, save_table):
+    table = benchmark.pedantic(
+        lambda: fig6_indexing_real(config), rounds=1, iterations=1
+    )
+    save_table("fig06_indexing_real", table)
+    assert table.column("dataset") == ["VEHICLE", "HOUSE"]
+    assert all(t > 0 for t in table.column("EfficientIQ time (s)"))

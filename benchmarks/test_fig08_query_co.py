@@ -1,0 +1,15 @@
+"""Figure 8: IQ processing time and quality vs |D| on CO data."""
+
+import numpy as np
+
+from repro.bench.figures import fig7_to_9_query_processing_objects
+
+
+def test_fig8_sweep(benchmark, config, save_table):
+    table = benchmark.pedantic(
+        lambda: fig7_to_9_query_processing_objects("CO", config), rounds=1, iterations=1
+    )
+    save_table("fig08_query_co", table)
+    eff = np.asarray(table.column("Efficient-IQ time (ms)"))
+    rta = np.asarray(table.column("RTA-IQ time (ms)"))
+    assert np.all(eff < rta)

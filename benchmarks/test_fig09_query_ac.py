@@ -1,0 +1,15 @@
+"""Figure 9: IQ processing time and quality vs |D| on AC data."""
+
+import numpy as np
+
+from repro.bench.figures import fig7_to_9_query_processing_objects
+
+
+def test_fig9_sweep(benchmark, config, save_table):
+    table = benchmark.pedantic(
+        lambda: fig7_to_9_query_processing_objects("AC", config), rounds=1, iterations=1
+    )
+    save_table("fig09_query_ac", table)
+    eff = np.asarray(table.column("Efficient-IQ time (ms)"))
+    rta = np.asarray(table.column("RTA-IQ time (ms)"))
+    assert np.all(eff < rta)

@@ -1,0 +1,15 @@
+"""Figure 10: IQ processing time and quality vs |Q| on the UN workload."""
+
+import numpy as np
+
+from repro.bench.figures import fig10_to_11_query_processing_queries
+
+
+def test_fig10_sweep(benchmark, config, save_table):
+    table = benchmark.pedantic(
+        lambda: fig10_to_11_query_processing_queries("UN", config), rounds=1, iterations=1
+    )
+    save_table("fig10_query_un", table)
+    eff = np.asarray(table.column("Efficient-IQ time (ms)"))
+    rta = np.asarray(table.column("RTA-IQ time (ms)"))
+    assert np.all(eff < rta)

@@ -1,0 +1,16 @@
+"""Figure 12: IQ processing on the (simulated) VEHICLE and HOUSE datasets."""
+
+import numpy as np
+
+from repro.bench.figures import fig12_query_processing_real
+
+
+def test_fig12_real(benchmark, config, save_table):
+    table = benchmark.pedantic(
+        lambda: fig12_query_processing_real(config), rounds=1, iterations=1
+    )
+    save_table("fig12_query_real", table)
+    assert table.column("dataset") == ["VEHICLE", "HOUSE"]
+    eff = np.asarray(table.column("Efficient-IQ time (ms)"))
+    rta = np.asarray(table.column("RTA-IQ time (ms)"))
+    assert np.all(eff < rta)

@@ -1,0 +1,21 @@
+"""Figure 13: Efficient-IQ scalability with the number of variables."""
+
+import numpy as np
+
+from repro.bench.figures import fig13_dimensionality
+
+
+def test_fig13_sweep(benchmark, config, save_table):
+    table = benchmark.pedantic(
+        lambda: fig13_dimensionality(config), rounds=1, iterations=1
+    )
+    save_table("fig13_dimensionality", table)
+    times = np.asarray(table.column("time (ms)"))
+    dims = np.asarray(table.column("variables"), dtype=float)
+    assert np.all(times > 0)
+    # Paper shape: growth flattens as dimensionality rises.  The d=1
+    # point is degenerate (the 1-D arrangement is trivial), so anchor
+    # the growth check at the second point, with generous noise slack —
+    # each point averages only a handful of IQs at bench scale.
+    growth = times[-1] / max(times[1], 1e-9)
+    assert growth < (dims[-1] / dims[1]) * 4

@@ -1,0 +1,24 @@
+"""Ablation X1: exact search blows up; the heuristic stays near-optimal.
+
+Backs the paper's §6.3.2 remark that exhaustive search "takes more than
+4 hours to process a query in average" at experiment scale — here shown
+as exponential growth on instances still small enough to solve.
+"""
+
+import numpy as np
+
+from repro.bench.figures import x1_exhaustive_gap
+
+
+def test_x1_exact_vs_heuristic(benchmark, config, save_table):
+    table = benchmark.pedantic(lambda: x1_exhaustive_gap(config), rounds=1, iterations=1)
+    save_table("x1_exhaustive_gap", table)
+    exact = np.asarray(table.column("exact time (ms)"))
+    heuristic = np.asarray(table.column("heuristic time (ms)"))
+    ratios = np.asarray(table.column("cost ratio (heur/exact)"))
+    # Exact must be far slower than the heuristic at the largest m.
+    assert exact[-1] > heuristic[-1] * 3
+    # The heuristic can never beat the true optimum.
+    assert np.all(ratios >= 1 - 1e-6)
+    # ...and it should stay reasonably close on these instances.
+    assert np.all(ratios < 2.0)

@@ -1,0 +1,13 @@
+"""Ablation X2: ESE vs naive re-evaluation of every query (§4.1 claim)."""
+
+import numpy as np
+
+from repro.bench.figures import x2_ese_ablation
+
+
+def test_x2_ese_speedup(benchmark, config, save_table):
+    table = benchmark.pedantic(lambda: x2_ese_ablation(config), rounds=1, iterations=1)
+    save_table("x2_ese_ablation", table)
+    speedups = np.asarray(table.column("speedup (x)"))
+    # ESE must deliver a real speedup at every workload size.
+    assert np.all(speedups > 2)

@@ -1,0 +1,14 @@
+"""Ablation X3: incremental index maintenance vs full rebuild (§4.3)."""
+
+from repro.bench.figures import x3_updates_ablation
+
+
+def test_x3_updates(benchmark, config, save_table):
+    table = benchmark.pedantic(lambda: x3_updates_ablation(config), rounds=1, iterations=1)
+    save_table("x3_updates_ablation", table)
+    rows = {row[0]: row for row in table.rows}
+    assert set(rows) == {"add query", "remove query", "add object", "remove object"}
+    # All maintenance operations must complete; query-side operations
+    # should not cost more than a handful of rebuilds even at worst.
+    for name, row in rows.items():
+        assert row[1] > 0, name

@@ -1,0 +1,16 @@
+"""Ablation X4: exact vs 'relevant' hyperplane budget for the index."""
+
+from repro.bench.figures import x4_index_mode_ablation
+
+
+def test_x4_index_mode(benchmark, config, save_table):
+    table = benchmark.pedantic(
+        lambda: x4_index_mode_ablation(config), rounds=1, iterations=1
+    )
+    save_table("x4_index_mode", table)
+    assert all(flag == "yes" for flag in table.column("answers agree"))
+    exact = table.column("exact hyperplanes")
+    relevant = table.column("relevant hyperplanes")
+    assert all(r <= e for r, e in zip(relevant, exact))
+    # At the largest size the restriction must be a real saving.
+    assert relevant[-1] < exact[-1]

@@ -1,0 +1,108 @@
+"""Non-linear and heterogeneous utilities: the paper's car example.
+
+Section 5.2-5.3 of the paper: buyers score cars with *non-linear*
+utilities like
+
+    u(c) = sqrt(w1 * price) + w2 * capacity / mpg          (Eq. 19)
+    v(c) = mpg / (w1 * price) + w2 * capacity^2            (Eq. 26)
+
+Variable substitution turns each into a linear function over augmented
+attributes, and the *generic function* trick unifies both shapes into
+one function space so a single index serves the heterogeneous workload.
+(Here lower utility is better — both formulas grow with price for
+u-buyers / shrink with mpg for v-buyers' denominators, i.e. they score
+"cost-like" quantities.)
+
+Run:  python examples/car_market_nonlinear.py
+"""
+
+import numpy as np
+
+from repro import Dataset, GenericSpace, ImprovementQueryEngine, UtilityFamily
+from repro.core.linearize import function_term, monomial
+from repro.core.queries import QuerySet
+
+rng = np.random.default_rng(7)
+
+# -- the car dataset of Table 1, extended to a small market ------------
+#    attributes: price ($), mpg, capacity (seats)
+cars = np.array(
+    [
+        [15000.0, 30.0, 4.0],
+        [20000.0, 28.0, 6.0],
+        [8000.0, 35.0, 2.0],
+        [12500.0, 33.0, 4.0],
+        [28000.0, 22.0, 7.0],
+        [17500.0, 26.0, 5.0],
+        [9900.0, 38.0, 4.0],
+        [23000.0, 25.0, 6.0],
+    ]
+)
+CAR_NAMES = ["price", "mpg", "capacity"]
+
+# -- family u (Eq. 19): sqrt(w1*price) + w2*capacity/mpg ----------------
+#    sqrt(w1*price) = sqrt(w1)*sqrt(price): weight_map absorbs the sqrt.
+family_u = UtilityFamily(
+    [
+        function_term("sqrt(price)", lambda p: np.sqrt(p[:, 0]), weight_map=np.sqrt),
+        monomial({2: 1.0, 1: -1.0}, name="capacity/mpg"),
+    ],
+    name="u",
+)
+
+# -- family v (Eq. 26): mpg/(w1*price) + w2*capacity^2 ------------------
+#    mpg/(w1*price) = (1/w1) * (mpg/price): weight_map is 1/w.
+family_v = UtilityFamily(
+    [
+        monomial({1: 1.0, 0: -1.0}, name="mpg/price", weight_map=lambda w: 1.0 / w),
+        monomial({2: 2.0}, name="capacity^2"),
+    ],
+    name="v",
+)
+
+# -- sanity: the linearized families reproduce the formulas -------------
+w1, w2 = 0.3, 0.7
+direct_u = np.sqrt(w1 * cars[:, 0]) + w2 * cars[:, 2] / cars[:, 1]
+assert np.allclose(family_u.score(cars, [w1, w2]), direct_u)
+direct_v = cars[:, 1] / (w1 * cars[:, 0]) + w2 * cars[:, 2] ** 2
+assert np.allclose(family_v.score(cars, [w1, w2]), direct_v)
+print("linearization check passed: u and v reproduced exactly")
+
+# -- unify both shapes into one generic function space (§5.3) -----------
+generic = GenericSpace([family_u, family_v])
+print(f"generic function space has {generic.total_terms} terms "
+      f"({family_u.num_terms} from u, {family_v.num_terms} from v)")
+
+# -- a heterogeneous workload: 20 u-buyers, 15 v-buyers, top-2 ----------
+workload = []
+for __ in range(20):
+    workload.append((0, rng.uniform(0.05, 1.0, size=2), 2))
+for __ in range(15):
+    workload.append((1, rng.uniform(0.05, 1.0, size=2), 2))
+queries: QuerySet = generic.query_set(workload)
+
+dataset = generic.augmented_dataset(cars)  # lower score is better here
+engine = ImprovementQueryEngine(dataset, queries)
+
+print("\ncurrent buyer coverage per car:")
+for c in range(len(cars)):
+    print(f"  car {c} (price={cars[c, 0]:>7.0f}, mpg={cars[c, 1]:>2.0f}, "
+          f"seats={cars[c, 2]:.0f}): {engine.hits(c):2d} of 35 buyers")
+
+TARGET = 4  # the expensive 7-seater
+result = engine.min_cost(TARGET, tau=10)
+print(f"\nMin-Cost IQ on car {TARGET} (reach 10 buyers):")
+print(f"  augmented-space strategy: {np.round(result.strategy.vector, 4)}")
+print(f"  cost {result.total_cost:.4f} -> {result.hits_after} buyers "
+      f"(goal met: {result.satisfied})")
+
+# The augmented coordinates are derived quantities; the first family's
+# terms are not jointly invertible (sqrt(price) and capacity/mpg share
+# attributes with v's terms), so the tool reports the augmented-space
+# move — exactly the representation the paper's §5.2 stores and
+# evaluates on the fly.
+labels = [t.name for f in generic.families for t in f.terms]
+print("  moves by augmented term:")
+for label, delta in zip(labels, result.strategy.vector):
+    if abs(delta) > 1e-6:
+        print(f"    {label:<14} {delta:+.4f}")

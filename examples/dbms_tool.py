@@ -1,0 +1,75 @@
+"""The analytic tool as a DBMS extension (paper §6.1).
+
+The paper integrates improvement queries with a DBMS: "users can select
+target objects manually from the object dataset or via an SQL select
+statement" and specify adjustable attributes, ranges, and cost
+functions.  This example drives the bundled mini DBMS end to end with
+plain SQL plus the IMPROVE extension.
+
+Run:  python examples/dbms_tool.py
+"""
+
+from repro.dbms import Database
+
+db = Database()
+
+print("-- loading the camera catalog and customer preferences --")
+db.run_script(
+    """
+    CREATE TABLE cameras (model TEXT, resolution FLOAT, storage FLOAT, price FLOAT);
+    INSERT INTO cameras VALUES
+        ('A100', 10, 2, 250),
+        ('B200', 12, 4, 340),
+        ('C300',  8, 8, 199),
+        ('D400', 14, 6, 410),
+        ('E500',  9, 3, 150),
+        ('F600', 11, 5, 289);
+
+    CREATE TABLE prefs (w_res FLOAT, w_sto FLOAT, w_pri FLOAT, k INT);
+    INSERT INTO prefs VALUES
+        (5.0, 3.5, -0.05, 1),
+        (2.5, 7.0, -0.08, 1),
+        (1.0, 1.0, -0.01, 2),
+        (4.0, 1.0, -0.02, 2),
+        (0.5, 6.0, -0.04, 1),
+        (3.0, 3.0, -0.03, 2);
+    """
+)
+
+print(db.execute("SELECT rowid, model, resolution, storage, price FROM cameras").pretty())
+
+print("\n-- building the improvement index (higher utility wins) --")
+db.execute(
+    "CREATE IMPROVEMENT INDEX camera_idx ON cameras (resolution, storage, price) "
+    "USING QUERIES prefs (w_res, w_sto, w_pri, k) SENSE MAX"
+)
+
+print("\n-- Min-Cost IQ: cheapest redesign of A100 reaching 3 customers,")
+print("--   resolution may move at most +/-6, price at most -80, storage frozen --")
+result = db.execute(
+    "IMPROVE cameras TARGET WHERE model = 'A100' USING camera_idx REACH 3 COST L2 "
+    "ADJUST resolution BETWEEN -6 AND 6, price BETWEEN -80 AND 0"
+)
+print(result.pretty())
+
+print("\n-- Max-Hit IQ with an L1 budget, applied back to the catalog --")
+result = db.execute(
+    "IMPROVE cameras TARGET WHERE model = 'A100' USING camera_idx BUDGET 8 COST L1 APPLY"
+)
+print(result.pretty())
+
+print("\n-- the catalog after APPLY --")
+print(db.execute("SELECT model, resolution, storage, price FROM cameras").pretty())
+
+print("\n-- improving a whole product segment (every camera under $300) --")
+result = db.execute(
+    "IMPROVE cameras TARGET WHERE price < 300 USING camera_idx REACH 5"
+)
+print(result.pretty())
+
+print("\n-- ordinary SQL keeps working alongside --")
+print(
+    db.execute(
+        "SELECT model, price FROM cameras WHERE resolution >= 10 ORDER BY price LIMIT 3"
+    ).pretty()
+)

@@ -1,0 +1,70 @@
+"""repro — reproduction of "Querying Improvement Strategies" (EDBT 2017).
+
+Given a dataset of objects and a workload of top-k preference queries,
+an *improvement strategy* adjusts a target object's attributes so that
+it appears in more query results.  This library implements the paper's
+two Improvement Queries — Min-Cost (cheapest strategy reaching a hit
+goal) and Max-Hit (most hits within a budget) — together with the
+subdomain index, Efficient Strategy Evaluation, the published
+baselines, every substrate (R-tree, dominant graph, LP solver, ...),
+data generators, a mini DBMS integration, and a benchmark harness that
+regenerates each figure of the paper's evaluation.
+
+Quick start::
+
+    import numpy as np
+    from repro import Dataset, QuerySet, ImprovementQueryEngine
+
+    objects = Dataset(np.random.rand(50, 3))
+    queries = QuerySet(np.random.rand(200, 3), ks=5)
+    engine = ImprovementQueryEngine(objects, queries)
+    result = engine.min_cost(target=7, tau=20)
+    print(result.strategy.vector, result.total_cost, result.hits_after)
+"""
+
+from repro.core import (
+    AsymmetricLinearCost,
+    CallableCost,
+    CostFunction,
+    Dataset,
+    GenericSpace,
+    ImprovementQueryEngine,
+    IQResult,
+    L1Cost,
+    L2Cost,
+    LInfCost,
+    QuerySet,
+    Strategy,
+    StrategySpace,
+    SubdomainIndex,
+    UtilityFamily,
+    distance_family,
+    euclidean_cost,
+    polynomial_family,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "QuerySet",
+    "ImprovementQueryEngine",
+    "IQResult",
+    "Strategy",
+    "StrategySpace",
+    "SubdomainIndex",
+    "CostFunction",
+    "L1Cost",
+    "L2Cost",
+    "LInfCost",
+    "AsymmetricLinearCost",
+    "CallableCost",
+    "euclidean_cost",
+    "UtilityFamily",
+    "GenericSpace",
+    "polynomial_family",
+    "distance_family",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,150 @@
+"""The "Greedy" baseline scheme (paper §6.1).
+
+Always hit the query that is cheapest to hit next, ignoring how many
+other queries the move would bring along — i.e. Algorithm 3/4 with the
+cost-per-hit ratio replaced by raw candidate cost.  Cheap to run, but
+the found strategies waste budget compared with Efficient-IQ because a
+slightly dearer candidate often drags several extra queries into the
+hit set for free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cost import CostFunction
+from repro.core.ese import StrategyEvaluator
+from repro.core.results import IQResult, IterationRecord
+from repro.core.strategy import Strategy, StrategySpace
+from repro.errors import InfeasibleError, ValidationError
+from repro.optimize.hit_cost import DEFAULT_MARGIN, min_cost_to_hit
+
+__all__ = ["greedy_min_cost_iq", "greedy_max_hit_iq"]
+
+
+def _cheapest_candidate(evaluator, target, position, mask, cost, space, margin):
+    """The unhit query with the smallest single-hit cost, or ``None``."""
+    weights = evaluator.index.queries.weights
+    __, theta = evaluator.thresholds(target)
+    best = None
+    for j in np.flatnonzero(~mask):
+        gap = float(theta[j] - weights[j] @ position)
+        try:
+            candidate = min_cost_to_hit(cost, weights[j], gap, space=space, margin=margin)
+        except InfeasibleError:
+            continue
+        if best is None or candidate.cost < best[1].cost:
+            best = (int(j), candidate)
+    return best
+
+
+def greedy_min_cost_iq(
+    evaluator: StrategyEvaluator,
+    target: int,
+    tau: int,
+    cost: CostFunction,
+    space: StrategySpace | None = None,
+    margin: float = DEFAULT_MARGIN,
+    max_iterations: int | None = None,
+) -> IQResult:
+    """Hit the cheapest query, repeat until ``tau`` queries are hit."""
+    index = evaluator.index
+    if not 1 <= tau <= index.queries.m:
+        raise ValidationError(f"tau must be in [1, {index.queries.m}], got {tau}")
+    space = space or StrategySpace.unconstrained(index.dataset.dim)
+    max_iterations = max_iterations if max_iterations is not None else 2 * tau + 16
+
+    base = index.dataset.matrix[target].copy()
+    applied = np.zeros(index.dataset.dim)
+    spent = 0.0
+    mask = evaluator.hits_mask(target)
+    hits_before = int(mask.sum())
+    records: list[IterationRecord] = []
+    stalls = 0
+
+    while int(mask.sum()) < tau and len(records) < max_iterations:
+        best = _cheapest_candidate(
+            evaluator, target, base + applied, mask, cost, space.shifted(applied), margin
+        )
+        if best is None:
+            break
+        j, candidate = best
+        before = int(mask.sum())
+        applied = applied + candidate.vector
+        spent += candidate.cost
+        mask = evaluator.hits_mask(target, base + applied)
+        records.append(
+            IterationRecord(
+                query_id=j, cost=candidate.cost, hits_after=int(mask.sum()), candidates=1
+            )
+        )
+        stalls = stalls + 1 if int(mask.sum()) <= before else 0
+        if stalls >= 2:
+            break
+
+    hits_after = int(mask.sum())
+    return IQResult(
+        target=target,
+        strategy=Strategy(applied, cost=spent),
+        hits_before=hits_before,
+        hits_after=hits_after,
+        total_cost=spent,
+        satisfied=hits_after >= tau,
+        iterations=records,
+    )
+
+
+def greedy_max_hit_iq(
+    evaluator: StrategyEvaluator,
+    target: int,
+    budget: float,
+    cost: CostFunction,
+    space: StrategySpace | None = None,
+    margin: float = DEFAULT_MARGIN,
+    max_iterations: int | None = None,
+) -> IQResult:
+    """Hit cheapest queries until the budget is exhausted."""
+    index = evaluator.index
+    if budget < 0:
+        raise ValidationError(f"budget must be non-negative, got {budget}")
+    space = space or StrategySpace.unconstrained(index.dataset.dim)
+    max_iterations = max_iterations if max_iterations is not None else 2 * index.queries.m + 16
+
+    base = index.dataset.matrix[target].copy()
+    applied = np.zeros(index.dataset.dim)
+    spent = 0.0
+    mask = evaluator.hits_mask(target)
+    hits_before = int(mask.sum())
+    records: list[IterationRecord] = []
+    stalls = 0
+
+    while spent < budget and len(records) < max_iterations:
+        best = _cheapest_candidate(
+            evaluator, target, base + applied, mask, cost, space.shifted(applied), margin
+        )
+        if best is None or spent + best[1].cost > budget:
+            break
+        j, candidate = best
+        before = int(mask.sum())
+        applied = applied + candidate.vector
+        spent += candidate.cost
+        mask = evaluator.hits_mask(target, base + applied)
+        records.append(
+            IterationRecord(
+                query_id=j, cost=candidate.cost, hits_after=int(mask.sum()), candidates=1
+            )
+        )
+        stalls = stalls + 1 if int(mask.sum()) <= before else 0
+        if stalls >= 2:
+            break
+
+    hits_after = int(mask.sum())
+    return IQResult(
+        target=target,
+        strategy=Strategy(applied, cost=spent),
+        hits_before=hits_before,
+        hits_after=hits_after,
+        total_cost=spent,
+        satisfied=spent <= budget + 1e-9,
+        iterations=records,
+    )

@@ -1,0 +1,135 @@
+"""The "Random" baseline scheme (paper §6.1).
+
+Randomly generates improvement strategies until one satisfies the goal
+(hits at least ``tau`` queries for Min-Cost; costs at most ``beta`` for
+Max-Hit) and returns it.  Fast but with the worst strategy quality —
+the reference floor in Figures 7-12.
+
+Sampling: directions are uniform on the sphere; magnitudes are swept
+over a geometric ladder so that both tiny and sweeping adjustments get
+tried.  All samples respect the strategy box (rejection by clipping).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cost import CostFunction
+from repro.core.ese import StrategyEvaluator
+from repro.core.results import IQResult, IterationRecord
+from repro.core.strategy import Strategy, StrategySpace
+from repro.errors import ValidationError
+
+__all__ = ["random_min_cost_iq", "random_max_hit_iq"]
+
+_DEFAULT_ATTEMPTS = 512
+_MAGNITUDES = (0.05, 0.2, 0.5, 1.0, 2.0, 5.0)
+
+
+def _sample(rng, dim, space) -> np.ndarray:
+    direction = rng.normal(size=dim)
+    norm = float(np.linalg.norm(direction))
+    if norm == 0:
+        return np.zeros(dim)
+    direction /= norm
+    magnitude = float(rng.choice(_MAGNITUDES)) * float(rng.random() + 0.5)
+    return space.clip(direction * magnitude)
+
+
+def random_min_cost_iq(
+    evaluator: StrategyEvaluator,
+    target: int,
+    tau: int,
+    cost: CostFunction,
+    space: StrategySpace | None = None,
+    attempts: int = _DEFAULT_ATTEMPTS,
+    seed: int | None = 0,
+) -> IQResult:
+    """First random strategy achieving ``H >= tau`` (best found otherwise)."""
+    index = evaluator.index
+    if not 1 <= tau <= index.queries.m:
+        raise ValidationError(f"tau must be in [1, {index.queries.m}], got {tau}")
+    space = space or StrategySpace.unconstrained(index.dataset.dim)
+    rng = np.random.default_rng(seed)
+    hits_before = evaluator.hits(target)
+
+    best_vector = np.zeros(index.dataset.dim)
+    best_hits = hits_before
+    best_cost = 0.0
+    used = 0
+    for used in range(1, attempts + 1):
+        vector = _sample(rng, index.dataset.dim, space)
+        hits = evaluator.evaluate(target, vector)
+        value = cost(vector)
+        if hits >= tau:
+            best_vector, best_hits, best_cost = vector, hits, value
+            break
+        if hits > best_hits or (hits == best_hits and value < best_cost):
+            best_vector, best_hits, best_cost = vector, hits, value
+
+    return IQResult(
+        target=target,
+        strategy=Strategy(best_vector, cost=best_cost),
+        hits_before=hits_before,
+        hits_after=best_hits,
+        total_cost=best_cost,
+        satisfied=best_hits >= tau,
+        iterations=[
+            IterationRecord(query_id=-1, cost=best_cost, hits_after=best_hits, candidates=used)
+        ],
+        evaluations=used,
+    )
+
+
+def random_max_hit_iq(
+    evaluator: StrategyEvaluator,
+    target: int,
+    budget: float,
+    cost: CostFunction,
+    space: StrategySpace | None = None,
+    attempts: int = _DEFAULT_ATTEMPTS,
+    seed: int | None = 0,
+) -> IQResult:
+    """First random strategy whose cost fits the budget (paper-literal).
+
+    §6.1: the Random scheme "randomly generates improvement strategies
+    until it finds an improvement strategy that satisfies the
+    improvement goal (... total cost less than the budget), and returns
+    it" — no quality criterion beyond fitting the budget, which is why
+    its strategies are the worst in Figures 7-12.  The improved object
+    is kept only if it does not *lose* hits (a free sanity floor: the
+    zero strategy always fits).
+    """
+    index = evaluator.index
+    if budget < 0:
+        raise ValidationError(f"budget must be non-negative, got {budget}")
+    space = space or StrategySpace.unconstrained(index.dataset.dim)
+    rng = np.random.default_rng(seed)
+    hits_before = evaluator.hits(target)
+
+    vector = np.zeros(index.dataset.dim)
+    value = 0.0
+    hits = hits_before
+    used = 0
+    for used in range(1, attempts + 1):
+        candidate = _sample(rng, index.dataset.dim, space)
+        candidate_cost = cost(candidate)
+        if candidate_cost > budget:
+            continue  # outside the budget: not a valid answer
+        candidate_hits = evaluator.evaluate(target, candidate)
+        if candidate_hits >= hits_before:
+            vector, value, hits = candidate, candidate_cost, candidate_hits
+            break
+
+    return IQResult(
+        target=target,
+        strategy=Strategy(vector, cost=value),
+        hits_before=hits_before,
+        hits_after=hits,
+        total_cost=value,
+        satisfied=True,
+        iterations=[
+            IterationRecord(query_id=-1, cost=value, hits_after=hits, candidates=used)
+        ],
+        evaluations=used,
+    )

@@ -1,0 +1,13 @@
+"""Benchmark harness: configuration, timers, and per-figure runners."""
+
+from repro.bench.config import SCALES, BenchConfig, load_config
+from repro.bench.harness import Stopwatch, TableResult, time_call
+
+__all__ = [
+    "BenchConfig",
+    "load_config",
+    "SCALES",
+    "TableResult",
+    "Stopwatch",
+    "time_call",
+]

@@ -1,0 +1,93 @@
+"""Benchmark configuration (paper Table 2, scaled for pure Python).
+
+The paper's defaults (|D| = 100,000, |Q| = 10,000, tau = 250,
+beta = 50, 3 dimensions) assume a C++ engine on a Xeon server.  The
+reproduction is pure Python, so the default *bench* scale shrinks every
+axis while preserving the ratios that drive the comparisons; set
+``REPRO_BENCH_SCALE=paper`` to run the original sizes (expect hours) or
+``REPRO_BENCH_SCALE=tiny`` for CI smoke runs.
+
+Each figure's sweep is expressed relative to these defaults exactly as
+in Table 2 (ranges 0.5x-2x around the default for |D|, 0.5x-1.5x for
+|Q|, and so on).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+__all__ = ["BenchConfig", "load_config", "SCALES"]
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """One benchmark scale: Table 2 with concrete numbers."""
+
+    name: str
+    num_objects: int  #: |D| default
+    object_sweep: tuple  #: Figure 4 / 7-9 x-axis
+    num_queries: int  #: |Q| default
+    query_sweep: tuple  #: Figure 5 / 10-11 x-axis
+    tau: int  #: Min-Cost goal
+    budget: float  #: Max-Hit budget (Euclidean cost units on [0,1]^d)
+    dimensions: int = 3
+    dim_sweep: tuple = (1, 2, 3, 4, 5)  #: Figure 13 x-axis
+    k_range: tuple = (1, 10)
+    iq_repeats: int = 3  #: IQs averaged per measurement point (paper: 100)
+    index_mode: str = "relevant"  #: subdomain index mode for engine benches
+    seed: int = 20170321
+    real_sizes: dict = field(
+        default_factory=lambda: {"VEHICLE": 800, "HOUSE": 1000}
+    )  #: rows for the simulated real datasets (paper: 37,051 / 100,000)
+    real_query_fraction: float = 1 / 3  #: paper: |Q| = |D| / 3 for real data
+
+
+SCALES = {
+    "tiny": BenchConfig(
+        name="tiny",
+        num_objects=120,
+        object_sweep=(60, 120, 240),
+        num_queries=60,
+        query_sweep=(30, 60, 90),
+        tau=5,
+        budget=0.5,
+        k_range=(1, 5),
+        iq_repeats=1,
+        real_sizes={"VEHICLE": 100, "HOUSE": 120},
+    ),
+    "bench": BenchConfig(
+        name="bench",
+        num_objects=600,
+        object_sweep=(300, 600, 900, 1200),
+        num_queries=200,
+        query_sweep=(100, 200, 300),
+        tau=10,
+        budget=1.0,
+        iq_repeats=3,
+        real_sizes={"VEHICLE": 800, "HOUSE": 1000},
+    ),
+    "paper": BenchConfig(
+        name="paper",
+        num_objects=100_000,
+        object_sweep=(50_000, 100_000, 150_000, 200_000),
+        num_queries=10_000,
+        query_sweep=(5_000, 10_000, 15_000),
+        tau=250,
+        budget=50.0,
+        k_range=(1, 50),
+        iq_repeats=100,
+        real_sizes={"VEHICLE": 37_051, "HOUSE": 100_000},
+    ),
+}
+
+
+def load_config(scale: str | None = None) -> BenchConfig:
+    """Resolve the benchmark scale (arg > REPRO_BENCH_SCALE env > bench)."""
+    name = scale or os.environ.get("REPRO_BENCH_SCALE", "bench")
+    config = SCALES.get(name)
+    if config is None:
+        raise ValidationError(f"unknown bench scale {name!r}; choose from {sorted(SCALES)}")
+    return config

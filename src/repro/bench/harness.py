@@ -1,0 +1,91 @@
+"""Timing and reporting utilities shared by every benchmark."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "TableResult", "time_call"]
+
+
+class Stopwatch:
+    """Accumulating wall-clock timer (perf_counter based)."""
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self._started = None
+
+    def __enter__(self):
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.elapsed += time.perf_counter() - self._started
+        self._started = None
+        return False
+
+
+def time_call(fn, *args, **kwargs):
+    """``(result, seconds)`` of one call."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+@dataclass
+class TableResult:
+    """A paper-style results table: title, column headers, data rows.
+
+    ``notes`` carries the comparison the figure is supposed to show
+    (who should win, what the trend should be) so EXPERIMENTS.md can be
+    assembled straight from the benchmark output.
+    """
+
+    title: str
+    columns: list
+    rows: list = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, *values) -> None:
+        """Append one data row."""
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list:
+        """Values of one column across all rows."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        """Fixed-width text rendering of the table."""
+        widths = [len(str(c)) for c in self.columns]
+        formatted = []
+        for row in self.rows:
+            cells = [_fmt(v) for v in row]
+            formatted.append(cells)
+            for i, cell in enumerate(cells):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(str(c).rjust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for cells in formatted:
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(cells, widths)))
+        if self.notes:
+            lines.append("")
+            lines.append(f"expected shape: {self.notes}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the rendered table to stdout."""
+        print()
+        print(self.render())
+        print()
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,231 @@
+"""Command-line analytic tool (``python -m repro``).
+
+The paper ships its techniques as "an analytic tool integrated with the
+DBMS" driven by a GUI (Fig. 3): pick target objects, choose which
+attributes may be adjusted and in what range, pick a cost function, and
+run a Min-Cost or Max-Hit improvement query.  This module is that tool
+as a CLI over CSV files.
+
+Subcommands
+-----------
+``improve``   run an IQ against object/query CSVs::
+
+    python -m repro improve objects.csv queries.csv --target 3 \\
+        --reach 25 --cost L2 --sense max --adjust "price:-80:0" \\
+        --freeze storage
+
+``hits``      report H(target) and the reverse top-k for each object.
+``demo``      a self-contained run on generated data (no files needed).
+``sql``       start the interactive mini-DBMS shell.
+
+Object CSVs have one numeric column per attribute.  Query CSVs have the
+matching weight columns plus a final ``k`` column.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.cost import L1Cost, L2Cost, LInfCost
+from repro.core.engine import ImprovementQueryEngine
+from repro.core.queries import QuerySet
+from repro.core.strategy import StrategySpace
+from repro.data.realworld import load_csv
+from repro.errors import ReproError, ValidationError
+
+__all__ = ["main", "build_parser"]
+
+_COSTS = {"L1": L1Cost, "L2": L2Cost, "LINF": LInfCost}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command-line interface of the analytic tool."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Improvement queries over top-k preference workloads (EDBT'17).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    improve = sub.add_parser("improve", help="run a Min-Cost or Max-Hit IQ")
+    improve.add_argument("objects", help="object CSV (numeric attribute columns)")
+    improve.add_argument("queries", help="query CSV (weight columns + final k column)")
+    improve.add_argument("--target", type=int, required=True, action="append",
+                         help="object row id to improve (repeatable)")
+    goal = improve.add_mutually_exclusive_group(required=True)
+    goal.add_argument("--reach", type=int, help="Min-Cost goal tau")
+    goal.add_argument("--budget", type=float, help="Max-Hit budget beta")
+    improve.add_argument("--cost", default="L2", choices=sorted(_COSTS))
+    improve.add_argument("--sense", default="min", choices=["min", "max"])
+    improve.add_argument("--method", default="efficient",
+                         choices=["efficient", "rta", "greedy", "random", "exhaustive"])
+    improve.add_argument("--adjust", action="append", default=[],
+                         metavar="COL:LO:HI",
+                         help="bound a column's adjustment, e.g. price:-80:0")
+    improve.add_argument("--freeze", action="append", default=[], metavar="COL",
+                         help="forbid adjusting a column")
+
+    hits = sub.add_parser("hits", help="report current hits per object")
+    hits.add_argument("objects")
+    hits.add_argument("queries")
+    hits.add_argument("--sense", default="min", choices=["min", "max"])
+    hits.add_argument("--top", type=int, default=10, help="rows to print")
+
+    demo = sub.add_parser("demo", help="self-contained demo on generated data")
+    demo.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("sql", help="interactive mini-DBMS shell")
+    return parser
+
+
+def _load(objects_path, queries_path, sense):
+    dataset = load_csv(objects_path, normalized=False, sense=sense)
+    raw = load_csv(queries_path, normalized=False)
+    weights_and_k = raw.points
+    queries = QuerySet(
+        weights_and_k[:, :-1], weights_and_k[:, -1].astype(int), normalized=False
+    )
+    if queries.dim != dataset.dim:
+        raise ValidationError(
+            f"query file has {queries.dim} weight columns but objects have "
+            f"{dataset.dim} attributes"
+        )
+    return dataset, queries
+
+
+def _space(args, dataset) -> StrategySpace | None:
+    if not args.adjust and not args.freeze:
+        return None
+    names = dataset.names or [f"col{j}" for j in range(dataset.dim)]
+    lower = np.full(dataset.dim, -np.inf)
+    upper = np.full(dataset.dim, np.inf)
+    mentioned = set()
+
+    def column_index(name):
+        if name not in names:
+            raise ValidationError(f"unknown column {name!r}; columns: {names}")
+        return names.index(name)
+
+    for spec in args.adjust:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ValidationError(f"--adjust expects COL:LO:HI, got {spec!r}")
+        idx = column_index(parts[0])
+        lower[idx], upper[idx] = float(parts[1]), float(parts[2])
+        mentioned.add(idx)
+    for name in args.freeze:
+        idx = column_index(name)
+        lower[idx] = upper[idx] = 0.0
+        mentioned.add(idx)
+    # Paper semantics: listing ADJUST constraints freezes everything else.
+    if args.adjust:
+        for idx in range(dataset.dim):
+            if idx not in mentioned:
+                lower[idx] = upper[idx] = 0.0
+    return StrategySpace(dataset.dim, lower=lower, upper=upper)
+
+
+def _cmd_improve(args, out) -> int:
+    dataset, queries = _load(args.objects, args.queries, args.sense)
+    engine = ImprovementQueryEngine(dataset, queries, mode="relevant")
+    cost = _COSTS[args.cost](dataset.dim)
+    space = _space(args, dataset)
+    names = dataset.names or [f"col{j}" for j in range(dataset.dim)]
+
+    def report(target, result):
+        goal = f"reach {args.reach}" if args.reach is not None else f"budget {args.budget}"
+        print(f"target {target} ({goal}, cost {args.cost}, method {args.method}):", file=out)
+        for name, delta in zip(names, result.strategy.vector):
+            if abs(delta) > 1e-9:
+                print(f"  adjust {name:<16} {delta:+.6g}", file=out)
+        print(
+            f"  cost {result.total_cost:.6g}  hits {result.hits_before} -> "
+            f"{result.hits_after}  satisfied {result.satisfied}",
+            file=out,
+        )
+
+    targets = args.target
+    if len(targets) == 1:
+        target = targets[0]
+        if args.reach is not None:
+            result = engine.min_cost(target, args.reach, cost=cost, space=space, method=args.method)
+        else:
+            result = engine.max_hit(target, args.budget, cost=cost, space=space, method=args.method)
+        report(target, result)
+        return 0 if result.satisfied else 2
+    if args.method != "efficient":
+        raise ValidationError("multi-target improve supports --method efficient only")
+    if args.reach is not None:
+        multi = engine.min_cost_multi(targets, args.reach, costs=cost, spaces=space)
+    else:
+        multi = engine.max_hit_multi(targets, args.budget, costs=cost, spaces=space)
+    print(
+        f"targets {targets}: joint hits {multi.hits_before} -> {multi.hits_after}, "
+        f"total cost {multi.total_cost:.6g}, satisfied {multi.satisfied}",
+        file=out,
+    )
+    for target in targets:
+        strategy = multi.strategies[target]
+        moves = ", ".join(
+            f"{name} {delta:+.4g}"
+            for name, delta in zip(names, strategy.vector)
+            if abs(delta) > 1e-9
+        )
+        print(f"  target {target}: cost {strategy.cost:.6g}  [{moves or 'no change'}]", file=out)
+    return 0 if multi.satisfied else 2
+
+
+def _cmd_hits(args, out) -> int:
+    dataset, queries = _load(args.objects, args.queries, args.sense)
+    engine = ImprovementQueryEngine(dataset, queries, mode="relevant")
+    counts = [(engine.hits(t), t) for t in range(dataset.n)]
+    counts.sort(reverse=True)
+    print(f"{'object':>8}  {'hits':>5}  of {queries.m} queries", file=out)
+    for hits, target in counts[: args.top]:
+        print(f"{target:>8}  {hits:>5}", file=out)
+    return 0
+
+
+def _cmd_demo(args, out) -> int:
+    from repro.data.synthetic import independent
+    from repro.data.workloads import uniform_queries
+    from repro.core.objects import Dataset
+
+    dataset = Dataset(independent(60, 3, seed=args.seed))
+    queries = uniform_queries(40, 3, seed=args.seed + 1, k_range=(1, 5))
+    engine = ImprovementQueryEngine(dataset, queries, mode="relevant")
+    target = min(range(dataset.n), key=engine.hits)
+    print(f"demo: 60 objects, 40 top-k queries; improving object {target} "
+          f"(currently {engine.hits(target)} hits)", file=out)
+    result = engine.min_cost(target, tau=10)
+    print(f"min-cost to 10 hits: cost {result.total_cost:.4f}, "
+          f"hits {result.hits_after}, strategy {np.round(result.strategy.vector, 4)}",
+          file=out)
+    result = engine.max_hit(target, budget=0.5)
+    print(f"max-hit with budget 0.5: spent {result.total_cost:.4f}, "
+          f"hits {result.hits_after}", file=out)
+    return 0
+
+
+def main(argv=None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "improve":
+            return _cmd_improve(args, out)
+        if args.command == "hits":
+            return _cmd_hits(args, out)
+        if args.command == "demo":
+            return _cmd_demo(args, out)
+        if args.command == "sql":
+            from repro.dbms.__main__ import run_repl
+
+            return run_repl(stdout=out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0  # pragma: no cover - argparse enforces a command

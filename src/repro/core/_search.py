@@ -1,0 +1,156 @@
+"""Shared machinery of the greedy improvement-strategy searches.
+
+Both Algorithm 3 (Min-Cost) and Algorithm 4 (Max-Hit) repeat the same
+inner step: for every not-yet-hit query, solve the single-constraint
+subproblem "cheapest strategy that hits exactly this query" (Eq. 13-14),
+score each candidate's total hit count with ESE, and pick the candidate
+with the best cost-per-hit ratio.  This module implements that step once.
+
+Everything here operates in the *internal* (min-convention) attribute
+space; the engine converts costs, bounds, and result strategies at the
+API boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cost import CostFunction, L2Cost
+from repro.core.ese import StrategyEvaluator
+from repro.core.strategy import StrategySpace
+from repro.errors import InfeasibleError
+from repro.optimize.hit_cost import DEFAULT_MARGIN, min_cost_to_hit
+
+__all__ = ["CandidateBatch", "generate_candidates", "SearchState"]
+
+
+@dataclass
+class CandidateBatch:
+    """Candidate strategies of one greedy iteration.
+
+    All arrays are aligned: candidate ``i`` targets ``query_ids[i]``,
+    moves the target by ``vectors[i]``, costs ``costs[i]``, and yields
+    ``hits[i]`` total hit queries.
+    """
+
+    query_ids: np.ndarray  #: (c,) workload ids
+    vectors: np.ndarray  #: (c, d) internal strategy increments
+    costs: np.ndarray  #: (c,) incremental costs
+    hits: np.ndarray  #: (c,) H(p' + s) per candidate
+
+    @property
+    def size(self) -> int:
+        return int(self.query_ids.shape[0])
+
+    def best_ratio(self) -> int:
+        """Index of the candidate minimizing cost per hit query.
+
+        Candidates that hit nothing are ignored; ties prefer the
+        cheaper candidate, then the lower query id (determinism).
+        """
+        ratios = np.where(self.hits > 0, self.costs / np.maximum(self.hits, 1), np.inf)
+        order = np.lexsort((self.query_ids, self.costs, ratios))
+        return int(order[0])
+
+
+@dataclass
+class SearchState:
+    """Mutable state threaded through a greedy search."""
+
+    target: int
+    base: np.ndarray  #: original internal position of the target
+    applied: np.ndarray  #: accumulated internal strategy
+    spent: float  #: accumulated cost (greedy accounting)
+    mask: np.ndarray  #: current hit mask
+
+    @property
+    def position(self) -> np.ndarray:
+        return self.base + self.applied
+
+    @property
+    def hits(self) -> int:
+        return int(self.mask.sum())
+
+
+def generate_candidates(
+    evaluator: StrategyEvaluator,
+    state: SearchState,
+    cost: CostFunction,
+    space: StrategySpace,
+    margin: float = DEFAULT_MARGIN,
+    max_cost: float | None = None,
+) -> CandidateBatch:
+    """One candidate per unhit query, scored with ESE.
+
+    ``space`` is the *remaining* strategy box (already shifted by the
+    accumulated strategy).  ``max_cost`` drops candidates costlier than
+    the remaining budget before the (comparatively expensive) batch hit
+    evaluation — the filter of §5.1 step 2.
+    """
+    index = evaluator.index
+    weights = index.queries.weights
+    __, theta = evaluator.thresholds(state.target)
+    unhit = np.flatnonzero(~state.mask)
+    position = state.position
+
+    picked_ids: list[int] = []
+    vectors: list[np.ndarray] = []
+    costs: list[float] = []
+
+    unbounded = not (np.isfinite(space.lower).any() or np.isfinite(space.upper).any())
+    plain_l2 = isinstance(cost, L2Cost) and np.all(cost.weights == 1.0)
+    if unbounded and plain_l2 and unhit.size:
+        # Vectorized closed form: s_j = b_j * q_j / ||q_j||^2 for every
+        # unhit query at once (the common benchmark configuration).
+        q = weights[unhit]
+        gaps = theta[unhit] - q @ position
+        bounds = gaps - margin
+        norms = np.einsum("ij,ij->i", q, q)
+        feasible = norms > 0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scale = np.where(feasible, bounds / np.maximum(norms, 1e-300), 0.0)
+        vectors_all = scale[:, None] * q
+        vectors_all[bounds >= 0] = 0.0  # already hitting: free candidate
+        for row, j in enumerate(unhit):
+            if not feasible[row]:
+                continue
+            picked_ids.append(int(j))
+            vectors.append(vectors_all[row])
+            costs.append(float(np.linalg.norm(vectors_all[row])))
+    else:
+        for j in unhit:
+            gap = float(theta[j] - weights[j] @ position)
+            try:
+                candidate = min_cost_to_hit(cost, weights[j], gap, space=space, margin=margin)
+            except InfeasibleError:
+                continue
+            picked_ids.append(int(j))
+            vectors.append(candidate.vector)
+            costs.append(candidate.cost)
+
+    if not picked_ids:
+        empty = np.empty((0, index.dataset.dim))
+        return CandidateBatch(
+            query_ids=np.empty(0, dtype=np.intp),
+            vectors=empty,
+            costs=np.empty(0),
+            hits=np.empty(0, dtype=np.intp),
+        )
+
+    query_ids = np.asarray(picked_ids, dtype=np.intp)
+    matrix = np.vstack(vectors)
+    cost_arr = np.asarray(costs)
+    if max_cost is not None:
+        keep = cost_arr <= max_cost + 1e-12
+        query_ids, matrix, cost_arr = query_ids[keep], matrix[keep], cost_arr[keep]
+        if query_ids.size == 0:
+            return CandidateBatch(
+                query_ids=query_ids,
+                vectors=matrix,
+                costs=cost_arr,
+                hits=np.empty(0, dtype=np.intp),
+            )
+    hits = evaluator.evaluate_many(state.target, position + matrix)
+    return CandidateBatch(query_ids=query_ids, vectors=matrix, costs=cost_arr, hits=hits)

@@ -1,0 +1,268 @@
+"""The Improvement Query engine — the library's main entry point.
+
+Ties the subdomain index, ESE, the greedy searches, the baselines, and
+the maintenance operations behind one object::
+
+    engine = ImprovementQueryEngine(dataset, queries)
+    result = engine.min_cost(target=3, tau=25)          # Min-Cost IQ
+    result = engine.max_hit(target=3, budget=2.0)       # Max-Hit IQ
+
+Everything user-facing is expressed in the dataset's own attribute
+convention (``sense="min"`` or ``"max"``); the engine converts costs,
+strategy bounds, and result strategies to/from the internal
+min-convention at this boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.greedy import greedy_max_hit_iq, greedy_min_cost_iq
+from repro.baselines.random_search import random_max_hit_iq, random_min_cost_iq
+from repro.baselines.rta import RTAEvaluator
+from repro.core import updates
+from repro.core.combinatorial import (
+    MultiTargetResult,
+    combinatorial_max_hit,
+    combinatorial_min_cost,
+)
+from repro.core.cost import (
+    AsymmetricLinearCost,
+    CallableCost,
+    CostFunction,
+    euclidean_cost,
+)
+from repro.core.ese import StrategyEvaluator
+from repro.core.exhaustive import exhaustive_max_hit, exhaustive_min_cost
+from repro.core.maxhit import max_hit_iq
+from repro.core.mincost import min_cost_iq
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.core.results import IQResult
+from repro.core.strategy import Strategy, StrategySpace
+from repro.core.subdomain import SubdomainIndex
+from repro.errors import ValidationError
+
+__all__ = ["ImprovementQueryEngine"]
+
+_METHODS = ("efficient", "rta", "greedy", "random", "exhaustive")
+
+
+class ImprovementQueryEngine:
+    """Improvement queries over a dataset and a top-k workload.
+
+    Parameters
+    ----------
+    dataset:
+        The object set (its ``sense`` fixes the ranking convention).
+    queries:
+        The top-k workload.
+    mode, margin:
+        Subdomain-index construction options (see
+        :class:`~repro.core.subdomain.SubdomainIndex`).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        queries: QuerySet,
+        mode: str = "exact",
+        margin: int = 2,
+    ):
+        self.index = SubdomainIndex(dataset, queries, mode=mode, margin=margin)
+        self.evaluator = StrategyEvaluator(self.index)
+        self._rta_evaluator: RTAEvaluator | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def dataset(self) -> Dataset:
+        return self.index.dataset
+
+    @property
+    def queries(self) -> QuerySet:
+        return self.index.queries
+
+    # ------------------------------------------------------------------
+    # Read-side queries
+    # ------------------------------------------------------------------
+    def hits(self, target: int) -> int:
+        """``H(target)``: how many workload queries the object hits now."""
+        return self.evaluator.hits(target)
+
+    def reverse_top_k(self, target: int) -> np.ndarray:
+        """Ids of the queries currently hit (a reverse top-k query [21])."""
+        return np.flatnonzero(self.evaluator.hits_mask(target))
+
+    # ------------------------------------------------------------------
+    # Improvement queries
+    # ------------------------------------------------------------------
+    def min_cost(
+        self,
+        target: int,
+        tau: int,
+        cost: CostFunction | None = None,
+        space: StrategySpace | None = None,
+        method: str = "efficient",
+        **kwargs,
+    ) -> IQResult:
+        """Min-Cost IQ: cheapest strategy with ``H(target + s) >= tau``.
+
+        ``method`` selects the processing scheme of §6.1:
+        ``"efficient"`` (Efficient-IQ, the paper's contribution),
+        ``"rta"``, ``"greedy"``, ``"random"``, or ``"exhaustive"``
+        (exact, tiny workloads only).
+        """
+        cost_int, space_int = self._internalize(cost, space)
+        if method == "efficient":
+            result = min_cost_iq(self.evaluator, target, tau, cost_int, space_int, **kwargs)
+        elif method == "rta":
+            result = min_cost_iq(self._rta(), target, tau, cost_int, space_int, **kwargs)
+        elif method == "greedy":
+            result = greedy_min_cost_iq(self.evaluator, target, tau, cost_int, space_int, **kwargs)
+        elif method == "random":
+            result = random_min_cost_iq(self.evaluator, target, tau, cost_int, space_int, **kwargs)
+        elif method == "exhaustive":
+            result = exhaustive_min_cost(self.evaluator, target, tau, cost_int, space_int, **kwargs)
+        else:
+            raise ValidationError(f"method must be one of {_METHODS}, got {method!r}")
+        return self._externalize(result)
+
+    def max_hit(
+        self,
+        target: int,
+        budget: float,
+        cost: CostFunction | None = None,
+        space: StrategySpace | None = None,
+        method: str = "efficient",
+        **kwargs,
+    ) -> IQResult:
+        """Max-Hit IQ: maximize ``H(target + s)`` with ``Cost(s) <= budget``."""
+        cost_int, space_int = self._internalize(cost, space)
+        if method == "efficient":
+            result = max_hit_iq(self.evaluator, target, budget, cost_int, space_int, **kwargs)
+        elif method == "rta":
+            result = max_hit_iq(self._rta(), target, budget, cost_int, space_int, **kwargs)
+        elif method == "greedy":
+            result = greedy_max_hit_iq(self.evaluator, target, budget, cost_int, space_int, **kwargs)
+        elif method == "random":
+            result = random_max_hit_iq(self.evaluator, target, budget, cost_int, space_int, **kwargs)
+        elif method == "exhaustive":
+            result = exhaustive_max_hit(self.evaluator, target, budget, cost_int, space_int, **kwargs)
+        else:
+            raise ValidationError(f"method must be one of {_METHODS}, got {method!r}")
+        return self._externalize(result)
+
+    # ------------------------------------------------------------------
+    # Combinatorial (multi-target) improvement (§5.1)
+    # ------------------------------------------------------------------
+    def min_cost_multi(self, targets, tau, costs=None, spaces=None, **kwargs) -> MultiTargetResult:
+        """Combinatorial Min-Cost IQ over several targets (Def. 5)."""
+        costs_int, spaces_int = self._internalize_multi(targets, costs, spaces)
+        result = combinatorial_min_cost(self.index, list(targets), tau, costs_int, spaces_int, **kwargs)
+        return self._externalize_multi(result)
+
+    def max_hit_multi(self, targets, budget, costs=None, spaces=None, **kwargs) -> MultiTargetResult:
+        """Combinatorial Max-Hit IQ over several targets (Def. 6)."""
+        costs_int, spaces_int = self._internalize_multi(targets, costs, spaces)
+        result = combinatorial_max_hit(self.index, list(targets), budget, costs_int, spaces_int, **kwargs)
+        return self._externalize_multi(result)
+
+    # ------------------------------------------------------------------
+    # Workload / dataset maintenance (§4.3)
+    # ------------------------------------------------------------------
+    def add_query(self, weights, k: int) -> int:
+        """Add a top-k query to the workload (§4.3); returns its id."""
+        query_id = updates.add_query(self.index, np.asarray(weights, dtype=float), k)
+        self._invalidate()
+        return query_id
+
+    def remove_query(self, query_id: int) -> None:
+        """Remove a query (§4.3); ids above it shift down."""
+        updates.remove_query(self.index, query_id)
+        self._invalidate()
+
+    def add_object(self, attributes) -> int:
+        """Add an object (§4.3); returns its id."""
+        object_id = updates.add_object(self.index, np.asarray(attributes, dtype=float))
+        self._invalidate()
+        return object_id
+
+    def remove_object(self, object_id: int) -> None:
+        """Remove an object (§4.3); ids above it shift down."""
+        updates.remove_object(self.index, object_id)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self.evaluator.invalidate()
+        self._rta_evaluator = None
+
+    # ------------------------------------------------------------------
+    # Convention conversion
+    # ------------------------------------------------------------------
+    def _rta(self) -> RTAEvaluator:
+        if self._rta_evaluator is None:
+            self._rta_evaluator = RTAEvaluator(self.index)
+        return self._rta_evaluator
+
+    def _internalize(self, cost, space):
+        dataset = self.dataset
+        cost = cost or euclidean_cost(dataset.dim)
+        if cost.dim != dataset.dim:
+            raise ValidationError(f"cost dim {cost.dim} != dataset dim {dataset.dim}")
+        if dataset.sense == "min":
+            return cost, space
+        return _flip_cost(cost), _flip_space(space)
+
+    def _internalize_multi(self, targets, costs, spaces):
+        dataset = self.dataset
+        costs = costs or euclidean_cost(dataset.dim)
+        if dataset.sense == "min":
+            return costs, spaces
+        if isinstance(costs, dict):
+            costs = {t: _flip_cost(c) for t, c in costs.items()}
+        else:
+            costs = _flip_cost(costs)
+        if isinstance(spaces, dict):
+            spaces = {t: _flip_space(s) for t, s in spaces.items()}
+        else:
+            spaces = _flip_space(spaces)
+        return costs, spaces
+
+    def _externalize(self, result: IQResult) -> IQResult:
+        if self.dataset.sense == "min":
+            return result
+        internal = result.strategy
+        result.strategy = Strategy(
+            self.dataset.to_external_strategy(internal.vector), cost=internal.cost
+        )
+        return result
+
+    def _externalize_multi(self, result: MultiTargetResult) -> MultiTargetResult:
+        if self.dataset.sense == "min":
+            return result
+        result.strategies = {
+            t: Strategy(self.dataset.to_external_strategy(s.vector), cost=s.cost)
+            for t, s in result.strategies.items()
+        }
+        return result
+
+
+def _flip_cost(cost: CostFunction) -> CostFunction:
+    """Internal-space equivalent of a cost defined on max-sense strategies.
+
+    The internal strategy is the negation of the external one, so
+    symmetric costs are unchanged, the asymmetric cost swaps its up/down
+    prices, and callables are wrapped to negate their argument.
+    """
+    if isinstance(cost, AsymmetricLinearCost):
+        return AsymmetricLinearCost(cost.dim, up=cost.down, down=cost.up)
+    if isinstance(cost, CallableCost):
+        return CallableCost(cost.dim, lambda s: cost.fn(-np.asarray(s, dtype=float)))
+    return cost  # L1 / L2 / LInf are symmetric in s -> -s
+
+
+def _flip_space(space: StrategySpace | None) -> StrategySpace | None:
+    """Internal-space strategy box for a max-sense box (negated interval)."""
+    if space is None:
+        return None
+    return StrategySpace(space.dim, lower=-space.upper, upper=-space.lower)

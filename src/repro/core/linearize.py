@@ -1,0 +1,262 @@
+"""Complex and heterogeneous utility functions (paper §5.2-§5.3).
+
+Non-linear utilities are handled by *variable substitution*: each
+non-linear component becomes an augmented attribute whose value is
+computed from the original attributes, after which the utility is
+linear in the augmented space and the whole §4 machinery applies.
+
+Example (paper Eq. 20-21)::
+
+    u(p)  = w1 (p1)^3 + w2 (p2 p3) + w3 (p4)^2
+    u*(p) = w1 p5     + w2 p6     + w3 p7,   p5=(p1)^3, p6=p2 p3, p7=(p4)^2
+
+A :class:`Term` is one augmented attribute; a :class:`UtilityFamily`
+is an ordered list of terms plus the per-term mapping from user-facing
+query parameters to linear weights (the mapping absorbs tricks like
+``sqrt(w1 * price) = sqrt(w1) * sqrt(price)`` from the paper's car
+example, Eq. 19).
+
+Heterogeneous workloads (§5.3) — users supplying utilities of entirely
+different shapes — are unified by the *generic function*: concatenate
+every family's term list; a query from family ``f`` gets zero weight on
+all other families' terms.  :class:`GenericSpace` builds that unified
+space so each object is still interpreted as a single function.
+
+Improvement strategies and augmentation
+---------------------------------------
+Strategies found in the augmented space move augmented coordinates; the
+paper stores augmentation formulas and computes values on the fly but
+does not spell out the inverse mapping.  We provide
+:meth:`UtilityFamily.invert_move` which recovers an original-space
+adjustment exactly when every term is an invertible univariate monomial
+(each original attribute appearing in at most one term), and raises
+otherwise — callers can then treat the augmented coordinates as the
+decision variables directly (define the cost on them), which is the
+interpretation the paper's experiments imply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.errors import ValidationError
+
+__all__ = [
+    "Term",
+    "monomial",
+    "function_term",
+    "UtilityFamily",
+    "GenericSpace",
+    "polynomial_family",
+    "distance_family",
+]
+
+
+@dataclass(frozen=True)
+class Term:
+    """One augmented attribute of a linearized utility.
+
+    ``evaluate`` maps the ``(n, d)`` original attribute matrix to the
+    ``(n,)`` augmented column; ``weight_map`` maps the user's parameter
+    for this term to the linear weight (identity by default);
+    ``exponents`` is set for monomial terms and enables exact
+    invertibility checks.
+    """
+
+    name: str
+    evaluate: callable = field(compare=False)
+    weight_map: callable = field(default=None, compare=False)
+    exponents: tuple = None  #: ((attr, power), ...) for monomials, else None
+
+    def mapped_weight(self, w: float) -> float:
+        """The linear weight this term contributes for user parameter ``w``."""
+        return float(w) if self.weight_map is None else float(self.weight_map(w))
+
+
+def monomial(exponents: dict[int, float], name: str | None = None, weight_map=None) -> Term:
+    """A product term ``prod_j attr_j ^ e_j`` (paper Eq. 20 components)."""
+    if not exponents:
+        raise ValidationError("a monomial needs at least one attribute")
+    items = tuple(sorted((int(a), float(e)) for a, e in exponents.items()))
+    if name is None:
+        name = "*".join(f"x{a}^{e:g}" if e != 1 else f"x{a}" for a, e in items)
+
+    def evaluate(points: np.ndarray) -> np.ndarray:
+        out = np.ones(points.shape[0])
+        for attr, power in items:
+            out = out * np.power(points[:, attr], power)
+        return out
+
+    return Term(name=name, evaluate=evaluate, weight_map=weight_map, exponents=items)
+
+
+def function_term(name: str, fn, weight_map=None) -> Term:
+    """An arbitrary substitution ``fn(points) -> column`` (not invertible)."""
+    return Term(name=name, evaluate=fn, weight_map=weight_map, exponents=None)
+
+
+class UtilityFamily:
+    """An ordered list of terms defining one utility-function shape."""
+
+    def __init__(self, terms, name: str = "family"):
+        terms = list(terms)
+        if not terms:
+            raise ValidationError("a utility family needs at least one term")
+        self.terms = terms
+        self.name = name
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.terms)
+
+    def augment(self, points: np.ndarray) -> np.ndarray:
+        """Original ``(n, d)`` attributes -> augmented ``(n, t)`` matrix."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        columns = [term.evaluate(points) for term in self.terms]
+        out = np.column_stack(columns)
+        if not np.isfinite(out).all():
+            raise ValidationError(
+                f"family {self.name!r} produced non-finite augmented values"
+            )
+        return out
+
+    def map_weights(self, params) -> np.ndarray:
+        """User parameters (one per term) -> linear weights."""
+        params = np.atleast_1d(np.asarray(params, dtype=float))
+        if params.shape != (self.num_terms,):
+            raise ValidationError(
+                f"family {self.name!r} expects {self.num_terms} parameters, got {params.shape}"
+            )
+        return np.asarray([t.mapped_weight(w) for t, w in zip(self.terms, params)])
+
+    def score(self, points: np.ndarray, params) -> np.ndarray:
+        """Utility scores — linear in the augmented space by construction."""
+        return self.augment(points) @ self.map_weights(params)
+
+    # ------------------------------------------------------------------
+    def is_invertible(self) -> bool:
+        """True when every term is a univariate monomial and no original
+        attribute appears in more than one term."""
+        seen: set[int] = set()
+        for term in self.terms:
+            if term.exponents is None or len(term.exponents) != 1:
+                return False
+            attr, power = term.exponents[0]
+            if attr in seen or power == 0:
+                return False
+            seen.add(attr)
+        return True
+
+    def invert_move(self, point: np.ndarray, augmented_delta: np.ndarray) -> np.ndarray:
+        """Original-space strategy realizing an augmented-space move.
+
+        Only valid for invertible families (see :meth:`is_invertible`);
+        each augmented coordinate ``v' = (x_a)^e + delta`` is inverted
+        as ``x_a' = (v')^(1/e)`` (attributes must stay non-negative).
+        """
+        if not self.is_invertible():
+            raise ValidationError(
+                f"family {self.name!r} is not invertible; define the cost on the "
+                "augmented coordinates instead"
+            )
+        point = np.asarray(point, dtype=float)
+        augmented_delta = np.asarray(augmented_delta, dtype=float)
+        if augmented_delta.shape != (self.num_terms,):
+            raise ValidationError(
+                f"augmented delta shape {augmented_delta.shape} != ({self.num_terms},)"
+            )
+        move = np.zeros_like(point)
+        current = self.augment(point[None, :])[0]
+        for i, term in enumerate(self.terms):
+            attr, power = term.exponents[0]
+            target_value = current[i] + augmented_delta[i]
+            if target_value < 0 and power != int(power):
+                raise ValidationError(
+                    f"term {term.name!r}: target value {target_value} not representable"
+                )
+            if target_value < 0 and int(power) % 2 == 0:
+                raise ValidationError(
+                    f"term {term.name!r}: even power cannot produce negative value"
+                )
+            new_attr = float(np.sign(target_value) * np.abs(target_value) ** (1.0 / power))
+            move[attr] = new_attr - point[attr]
+        return move
+
+
+class GenericSpace:
+    """The §5.3 generic function unifying heterogeneous families.
+
+    The augmented dimension is the total number of terms across all
+    families; a family-``f`` query occupies only its own slice.
+    """
+
+    def __init__(self, families):
+        families = list(families)
+        if not families:
+            raise ValidationError("need at least one utility family")
+        self.families = families
+        self.offsets = []
+        total = 0
+        for family in families:
+            self.offsets.append(total)
+            total += family.num_terms
+        self.total_terms = total
+
+    def augment(self, points: np.ndarray) -> np.ndarray:
+        """Original attributes -> the unified ``(n, T)`` function space."""
+        blocks = [family.augment(points) for family in self.families]
+        return np.hstack(blocks)
+
+    def augmented_dataset(self, points: np.ndarray, sense: str = "min") -> Dataset:
+        """A :class:`Dataset` over the unified space, ready for indexing."""
+        return Dataset(self.augment(points), sense=sense)
+
+    def query_weights(self, family_index: int, params) -> np.ndarray:
+        """Full-width weight vector for one family's query (zeros elsewhere)."""
+        if not 0 <= family_index < len(self.families):
+            raise ValidationError(f"family index {family_index} out of range")
+        family = self.families[family_index]
+        out = np.zeros(self.total_terms)
+        start = self.offsets[family_index]
+        out[start : start + family.num_terms] = family.map_weights(params)
+        return out
+
+    def query_set(self, queries, normalized: bool = False) -> QuerySet:
+        """Build a :class:`QuerySet` from ``(family_index, params, k)`` triples."""
+        rows = []
+        ks = []
+        for family_index, params, k in queries:
+            rows.append(self.query_weights(family_index, params))
+            ks.append(int(k))
+        if not rows:
+            raise ValidationError("empty query list")
+        return QuerySet(np.vstack(rows), np.asarray(ks), normalized=normalized)
+
+
+def polynomial_family(term_exponents, name: str = "polynomial") -> UtilityFamily:
+    """Family from monomial exponent dicts, e.g. Eq. 20:
+    ``polynomial_family([{0: 3}, {1: 1, 2: 1}, {3: 2}])``."""
+    return UtilityFamily([monomial(e) for e in term_exponents], name=name)
+
+
+def distance_family(dim: int, name: str = "euclidean") -> UtilityFamily:
+    """The paper's Euclidean-distance conversion (Eq. 22-25).
+
+    ``u(p) = sqrt(sum (w_j - p_j)^2)`` ranks identically to its square
+    ``sum w_j^2 - 2 sum w_j p_j + sum p_j^2``; the query-only constant
+    drops, leaving ``d`` linear terms (weight map ``w -> -2w``) plus one
+    squared-norm term with constant weight 1.
+    """
+    terms = [
+        monomial({j: 1.0}, name=f"x{j}", weight_map=lambda w: -2.0 * w) for j in range(dim)
+    ]
+
+    def sq_norm(points: np.ndarray) -> np.ndarray:
+        return np.einsum("ij,ij->i", points, points)
+
+    terms.append(function_term("||x||^2", sq_norm, weight_map=lambda w: 1.0))
+    return UtilityFamily(terms, name=name)

@@ -1,0 +1,108 @@
+"""Top-k query workloads.
+
+Each query (paper §3.1) carries a normalized weight vector in
+``[0, 1]^d`` — the input point for the object functions — and its own
+``k``.  :class:`QuerySet` stores a whole workload column-wise so every
+engine operation can stay vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["QuerySet"]
+
+
+class QuerySet:
+    """A workload of ``m`` top-k queries over a ``d``-dimensional domain.
+
+    Parameters
+    ----------
+    weights:
+        ``(m, d)`` array of query weight vectors.  The paper normalizes
+        weights to ``[0, 1]``; pass ``normalized=False`` to skip the
+        range check for unnormalized workloads (everything still works,
+        only the default domain box in the subdomain index changes).
+    ks:
+        Per-query ``k``; a scalar broadcasts to every query.
+    """
+
+    def __init__(self, weights: np.ndarray, ks, normalized: bool = True):
+        weights = np.array(weights, dtype=float)
+        if weights.ndim != 2:
+            raise ValidationError(f"weights must be 2-D, got shape {weights.shape}")
+        if not np.isfinite(weights).all():
+            raise ValidationError("weights contain non-finite values")
+        if normalized and (weights.min(initial=0.0) < 0 or weights.max(initial=0.0) > 1):
+            raise ValidationError(
+                "weights outside [0, 1]; pass normalized=False for unnormalized workloads"
+            )
+        ks = np.broadcast_to(np.asarray(ks, dtype=int), (weights.shape[0],)).copy()
+        if weights.shape[0] and ks.min() < 1:
+            raise ValidationError("every k must be >= 1")
+        self._weights = weights
+        self._ks = ks
+        self.normalized = normalized
+
+    @property
+    def m(self) -> int:
+        return self._weights.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self._weights.shape[1]
+
+    def __len__(self) -> int:
+        return self.m
+
+    @property
+    def weights(self) -> np.ndarray:
+        view = self._weights.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def ks(self) -> np.ndarray:
+        view = self._ks.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def max_k(self) -> int:
+        return int(self._ks.max()) if self.m else 0
+
+    def query(self, query_id: int) -> tuple[np.ndarray, int]:
+        """The ``(weights, k)`` pair of one query."""
+        self._check_id(query_id)
+        return self._weights[query_id].copy(), int(self._ks[query_id])
+
+    # -- mutation (returns new sets; ids above a removal shift down) ------
+    def with_query(self, weights: np.ndarray, k: int) -> tuple["QuerySet", int]:
+        """A new workload with one query appended; returns (set, id)."""
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (self.dim,):
+            raise ValidationError(f"query shape {weights.shape} != ({self.dim},)")
+        stacked = np.vstack([self._weights, weights[None, :]])
+        ks = np.concatenate([self._ks, [int(k)]])
+        return QuerySet(stacked, ks, normalized=self.normalized), self.m
+
+    def without_query(self, query_id: int) -> "QuerySet":
+        """A new workload with one query removed (ids above shift down)."""
+        self._check_id(query_id)
+        mask = np.ones(self.m, dtype=bool)
+        mask[query_id] = False
+        return QuerySet(self._weights[mask], self._ks[mask], normalized=self.normalized)
+
+    def subset(self, query_ids) -> "QuerySet":
+        """A new workload restricted to the given query ids (in order)."""
+        query_ids = np.asarray(query_ids, dtype=np.intp)
+        return QuerySet(self._weights[query_ids], self._ks[query_ids], normalized=self.normalized)
+
+    def _check_id(self, query_id: int) -> None:
+        if not 0 <= query_id < self.m:
+            raise ValidationError(f"query id {query_id} out of range [0, {self.m})")
+
+    def __repr__(self) -> str:
+        return f"QuerySet(m={self.m}, dim={self.dim}, max_k={self.max_k})"

@@ -1,0 +1,421 @@
+"""The subdomain index (paper §4.1, Algorithm 1).
+
+Pairwise object-function intersections are hyperplanes that partition
+the query domain into *subdomains*; within one subdomain the complete
+ranking of the objects is the same for every query point (paper §3.2).
+The index
+
+* groups the workload's query points by subdomain,
+* stores one lazily-evaluated *representative ranking prefix* per
+  subdomain (the "at most one query evaluated per subdomain" sharing
+  that Efficient Strategy Evaluation relies on),
+* keeps the query points in an R-tree for affected-subspace retrieval
+  and kNN-based insertion (§4.3), and
+* registers subdomain boundaries in a counting bloom filter so that
+  object removal can quickly find the subdomains to merge (§4.3).
+
+Two construction paths produce the identical partition:
+
+* :func:`find_subdomains` — the literal Algorithm 1 binary space
+  partitioning loop (kept as the executable specification and used by
+  the tests as a cross-check);
+* the vectorized signature fast path used by
+  :class:`SubdomainIndex` — group query points by the sign vector of
+  ``Q . (p_a - p_b)`` over the hyperplane set.
+
+Hyperplane budget (``mode``)
+----------------------------
+``"exact"`` uses all ``C(n, 2)`` intersections, which is what the
+paper describes and what guarantees that rankings are constant within a
+cell.  ``"relevant"`` restricts to intersections among objects that
+appear in some query's top-``(k + margin)`` prefix: only those objects
+can influence top-k membership at the indexed query points, so the
+partition (and the shared prefixes, up to the margin depth) remains
+correct for top-k purposes while the hyperplane count drops from
+``O(n^2)`` to roughly ``O(t^2)`` for the much smaller set of
+top-ranked objects ``t``.  Rankings *below* the margin depth are not
+trusted in this mode; consumers that need deeper prefixes fall back to
+direct evaluation.
+
+Ties: queries lying exactly on a hyperplane count as *above* it (paper
+§4.1); exact score ties between distinct objects are broken by object
+id.  Both are measure-zero events for continuous data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.errors import ValidationError
+from repro.geometry.arrangement import group_by_signature, signature_matrix
+from repro.geometry.hyperplane import EPS
+from repro.index.bloom import CountingBloomFilter
+from repro.index.rtree import RTree
+
+__all__ = ["Subdomain", "SubdomainIndex", "find_subdomains", "relevant_pairs"]
+
+_MODES = ("exact", "relevant")
+
+
+@dataclass
+class Subdomain:
+    """One populated cell of the intersection arrangement."""
+
+    sid: int  #: dense subdomain id
+    signature: bytes  #: side vector over the index's hyperplane columns
+    query_ids: np.ndarray  #: workload queries falling in this cell
+    representative: int  #: query id whose evaluation is shared
+    prefix: np.ndarray | None = None  #: ranking prefix (lazy)
+    boundaries: frozenset = field(default_factory=frozenset)  #: boundary column indices
+
+    @property
+    def size(self) -> int:
+        return int(self.query_ids.shape[0])
+
+
+def relevant_pairs(dataset: Dataset, queries: QuerySet, margin: int = 2):
+    """Object pairs whose intersections can affect indexed top-k results.
+
+    Returns the sorted list of ``(a, b)`` pairs (``a < b``) among the
+    union of every query's top-``(k + margin)`` objects.
+    """
+    if margin < 0:
+        raise ValidationError(f"margin must be non-negative, got {margin}")
+    matrix = dataset.matrix
+    weights = queries.weights
+    ks = queries.ks
+    contenders: set[int] = set()
+    scores = weights @ matrix.T  # (m, n)
+    for j in range(queries.m):
+        depth = min(dataset.n, int(ks[j]) + margin)
+        part = np.argpartition(scores[j], depth - 1)[:depth]
+        contenders.update(int(i) for i in part)
+    ordered = sorted(contenders)
+    return [(a, b) for i, a in enumerate(ordered) for b in ordered[i + 1 :]]
+
+
+def find_subdomains(normals: np.ndarray, points: np.ndarray) -> dict[bytes, list[int]]:
+    """Literal Algorithm 1: BSP over one intersection at a time.
+
+    Parameters
+    ----------
+    normals:
+        ``(h, d)`` hyperplane normals (the intersection set ``I``).
+    points:
+        ``(m, d)`` query points.
+
+    Returns
+    -------
+    Mapping from the cell's side-signature bytes to the list of query
+    indices it contains.  Only non-empty cells are kept, exactly as
+    Algorithm 1 discards subdomains that contain no query point.
+    """
+    normals = np.atleast_2d(np.asarray(normals, dtype=float))
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    h = normals.shape[0]
+    # Start with a single subdomain holding every query (lines 1-5).
+    groups: list[tuple[list[int], list[int]]] = [(list(range(points.shape[0])), [])]
+    # Each group carries (query indices, side history) where the side
+    # history is the signature accumulated over processed hyperplanes.
+    for col in range(h):  # line 6: for all I_i in I
+        normal = normals[col]
+        next_groups: list[tuple[list[int], list[int]]] = []
+        for members, history in groups:  # line 7: subdomains overlapping I_i
+            above: list[int] = []
+            below: list[int] = []
+            for q in members:  # lines 12-18
+                if float(points[q] @ normal) <= EPS:
+                    above.append(q)
+                else:
+                    below.append(q)
+            if above:  # line 19-21: keep only populated children
+                next_groups.append((above, history + [1]))
+            if below:  # line 22-24
+                next_groups.append((below, history + [-1]))
+        groups = next_groups
+    return {
+        np.asarray(history, dtype=np.int8).tobytes(): members for members, history in groups
+    }
+
+
+class SubdomainIndex:
+    """Query-point index grouped by subdomain (the Efficient-IQ index).
+
+    Parameters
+    ----------
+    dataset, queries:
+        The object set and the top-k workload.
+    mode:
+        ``"exact"`` (all pairwise intersections) or ``"relevant"``
+        (top-ranked contenders only; see module docstring).
+    margin:
+        Extra ranking depth kept trustworthy in ``"relevant"`` mode.
+    rtree_max_entries:
+        Node capacity of the query-point R-tree.
+    rtree_cls:
+        Spatial index class for the query points — :class:`RTree`
+        (default) or :class:`~repro.index.xtree.XTree`, the paper's two
+        named options (§4.1).  Must provide the :class:`RTree` API.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        queries: QuerySet,
+        mode: str = "exact",
+        margin: int = 2,
+        rtree_max_entries: int = 16,
+        rtree_cls: type = RTree,
+    ):
+        if mode not in _MODES:
+            raise ValidationError(f"mode must be one of {_MODES}, got {mode!r}")
+        if dataset.dim != queries.dim:
+            raise ValidationError(
+                f"dataset dim {dataset.dim} != query dim {queries.dim}"
+            )
+        self.dataset = dataset
+        self.queries = queries
+        self.mode = mode
+        self.margin = margin
+        self.representative_evaluations = 0  #: full rankings computed so far
+
+        matrix = dataset.matrix
+        if mode == "exact":
+            pairs = [(a, b) for a in range(dataset.n) for b in range(a + 1, dataset.n)]
+        else:
+            pairs = relevant_pairs(dataset, queries, margin)
+        self.pairs: list[tuple[int, int]] = []
+        rows = []
+        for a, b in pairs:
+            normal = matrix[a] - matrix[b]
+            if np.abs(normal).max(initial=0.0) <= EPS:
+                continue  # identical objects never switch rank
+            self.pairs.append((a, b))
+            rows.append(normal)
+        self.normals = (
+            np.vstack(rows) if rows else np.empty((0, dataset.dim), dtype=float)
+        )
+        self.pair_column = {pair: col for col, pair in enumerate(self.pairs)}
+
+        self._rtree_cls = rtree_cls
+        self._build_partition()
+        self._build_rtree(rtree_max_entries)
+        self._boundaries_ready = False
+        self.bloom: CountingBloomFilter | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_partition(self) -> None:
+        # The full per-query signature matrix exists only while
+        # grouping; the index at rest stores one signature per *cell*
+        # plus a subdomain id per query — the paper's observation that
+        # per-query storage is unnecessary ("mark this on the root-node
+        # of the sub-tree instead of storing the same information for
+        # each query point").
+        signatures = signature_matrix(self.queries.weights, self.normals)
+        groups = group_by_signature(signatures)
+        self.subdomains: list[Subdomain] = []
+        self.subdomain_of = np.empty(self.queries.m, dtype=np.intp)
+        for signature_key in sorted(groups):  # deterministic order
+            members = groups[signature_key]
+            sid = len(self.subdomains)
+            self.subdomains.append(
+                Subdomain(
+                    sid=sid,
+                    signature=signature_key,
+                    query_ids=members,
+                    representative=int(members[0]),
+                )
+            )
+            self.subdomain_of[members] = sid
+
+    def _build_rtree(self, max_entries: int) -> None:
+        items = [(w, int(j)) for j, w in enumerate(self.queries.weights)]
+        if self._rtree_cls is RTree:
+            self.rtree = RTree.bulk_load(self.queries.dim, items, max_entries=max_entries)
+        else:
+            # Alternative spatial indexes (e.g. the X-tree) build
+            # incrementally so their overflow policy takes effect.
+            self.rtree = self._rtree_cls(self.queries.dim, max_entries=max_entries)
+            for weights, payload in items:
+                self.rtree.insert_point(weights, payload)
+
+    def ensure_boundaries(self) -> None:
+        """Mark which hyperplane columns bound which subdomains (lazy).
+
+        A column is a *boundary* of a cell when masking it merges the
+        cell with another populated cell — i.e. the hyperplane actually
+        separates two populated subdomains, which is the only case the
+        merge-on-removal maintenance cares about.  Registrations go to
+        a counting bloom filter keyed ``(sid, column)`` (§4.3).
+        """
+        if self._boundaries_ready:
+            return
+        self._boundaries_ready = True
+        for sub in self.subdomains:
+            sub.boundaries = frozenset()
+        self.bloom = CountingBloomFilter(
+            expected_items=max(64, len(self.subdomains) * max(1, self.num_hyperplanes) // 4),
+            false_positive_rate=0.01,
+        )
+        if not self.subdomains:
+            return
+        signatures = np.frombuffer(
+            b"".join(sub.signature for sub in self.subdomains), dtype=np.int8
+        ).reshape(len(self.subdomains), self.num_hyperplanes)
+        for col in range(self.num_hyperplanes):
+            masked = signatures.copy()
+            masked[:, col] = 0
+            seen: dict[bytes, list[int]] = {}
+            for sid, row in enumerate(masked):
+                seen.setdefault(row.tobytes(), []).append(sid)
+            for sids in seen.values():
+                if len(sids) > 1:
+                    for sid in sids:
+                        self.bloom.add((sid, col))
+                        sub = self.subdomains[sid]
+                        sub.boundaries = sub.boundaries | {col}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_hyperplanes(self) -> int:
+        return self.normals.shape[0]
+
+    @property
+    def num_subdomains(self) -> int:
+        return len(self.subdomains)
+
+    def is_boundary(self, sid: int, column: int) -> bool:
+        """Bloom-filter pre-check, then exact confirmation."""
+        self.ensure_boundaries()
+        if (sid, column) not in self.bloom:
+            return False  # bloom has no false negatives
+        return column in self.subdomains[sid].boundaries
+
+    def mark_boundaries_dirty(self) -> None:
+        """Invalidate the boundary registration after a mutation."""
+        self._boundaries_ready = False
+
+    def memory_estimate(self) -> int:
+        """Approximate index size in bytes (Figures 4-6 metric).
+
+        One signature per populated cell, one subdomain id per query,
+        the lazily-evaluated ranking prefixes, and the query R-tree.
+        """
+        signature_bytes = self.num_subdomains * self.num_hyperplanes
+        prefix_bytes = sum(
+            sub.prefix.size * 8 for sub in self.subdomains if sub.prefix is not None
+        )
+        structure = len(self.subdomains) * 96 + self.queries.m * 8
+        return self.rtree.memory_estimate() + signature_bytes + prefix_bytes + structure
+
+    # ------------------------------------------------------------------
+    # Representative rankings
+    # ------------------------------------------------------------------
+    def _prefix_depth(self, sub: Subdomain) -> int:
+        needed = int(self.queries.ks[sub.query_ids].max()) + 1
+        if self.mode == "relevant":
+            needed += self.margin
+        return min(self.dataset.n, needed)
+
+    def prefix(self, sid: int) -> np.ndarray:
+        """Ranking prefix (object ids, best first) shared by the cell.
+
+        Evaluated lazily from the cell's representative query — the "at
+        most one query evaluated per subdomain" rule of ESE.
+        """
+        sub = self.subdomains[sid]
+        depth = self._prefix_depth(sub)
+        if sub.prefix is None or sub.prefix.shape[0] < depth:
+            weights, __ = self.queries.query(sub.representative)
+            scores = self.dataset.matrix @ weights
+            order = np.argsort(scores, kind="stable")
+            sub.prefix = order[:depth].astype(np.intp)
+            self.representative_evaluations += 1
+        return sub.prefix
+
+    def kth_other(self, target: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-query threshold object against a target (Eq. 6).
+
+        Returns ``(kth_ids, theta)`` where ``kth_ids[j]`` is the id of
+        the k-th ranked object of query ``j`` among ``D \\ {target}``
+        and ``theta[j]`` its score at ``j`` (``+inf`` when fewer than
+        ``k`` other objects exist).  The improved target hits query
+        ``j`` iff its score is below ``theta[j]`` (ties by id).
+        """
+        self.dataset._check_id(target)
+        m = self.queries.m
+        kth_ids = np.full(m, -1, dtype=np.intp)
+        theta = np.full(m, np.inf)
+        weights = self.queries.weights
+        ks = self.queries.ks
+        matrix = self.dataset.matrix
+        for sub in self.subdomains:
+            prefix = self.prefix(sub.sid)
+            others = prefix[prefix != target]
+            for j in sub.query_ids:
+                k = int(ks[j])
+                if k <= others.shape[0]:
+                    kth = int(others[k - 1])
+                    kth_ids[j] = kth
+                    theta[j] = float(weights[j] @ matrix[kth])
+                elif self.dataset.n - 1 >= k:
+                    # Prefix too shallow (can only happen in relevant
+                    # mode); fall back to a direct evaluation.
+                    scores = matrix @ weights[j]
+                    order = np.argsort(scores, kind="stable")
+                    other_order = order[order != target]
+                    kth = int(other_order[k - 1])
+                    kth_ids[j] = kth
+                    theta[j] = float(scores[kth])
+        return kth_ids, theta
+
+    def hits_mask(self, target: int) -> np.ndarray:
+        """Boolean mask over queries currently hit by ``target``."""
+        kth_ids, theta = self.kth_other(target)
+        scores = self.queries.weights @ self.dataset.matrix[target]
+        return _beats(scores, theta, target, kth_ids)
+
+    def hits(self, target: int) -> int:
+        """``H(target)`` — the number of queries the object hits."""
+        return int(self.hits_mask(target).sum())
+
+    def validate(self) -> None:
+        """Check partition invariants (used by tests and after updates)."""
+        seen = np.zeros(self.queries.m, dtype=int)
+        for sub in self.subdomains:
+            seen[sub.query_ids] += 1
+            if not np.all(self.subdomain_of[sub.query_ids] == sub.sid):
+                raise ValidationError("subdomain_of disagrees with membership lists")
+        if not np.all(seen == 1):
+            raise ValidationError("subdomains do not partition the workload")
+        self.rtree.validate()
+        if len(self.rtree) != self.queries.m:
+            raise ValidationError("R-tree size disagrees with workload size")
+
+
+#: Scores within this relative band count as tied (resolved by object
+#: id).  Needed because the evaluator's batched matrix products and the
+#: threshold dot products may round the *same* exact value differently.
+_TIE_TOL = 1e-12
+
+
+def _beats(scores: np.ndarray, theta: np.ndarray, target: int, kth_ids: np.ndarray) -> np.ndarray:
+    """Vectorized Eq. 6 with id tie-break: does the target make top-k?
+
+    An infinite threshold means fewer than k other objects exist, so the
+    target is always in the top-k.
+    """
+    always = np.isinf(theta)
+    finite_theta = np.where(always, 0.0, theta)
+    band = _TIE_TOL * np.maximum(1.0, np.abs(finite_theta))
+    strict = scores < finite_theta - band
+    tie = (np.abs(scores - finite_theta) <= band) & (target < kth_ids)
+    return always | strict | tie

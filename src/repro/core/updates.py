@@ -1,0 +1,294 @@
+"""Incremental maintenance of the subdomain index (paper §4.3).
+
+Four operations, mirroring the paper:
+
+* **add_query** — insert the point into the R-tree, then locate its
+  subdomain.  Following the paper's observation, the subdomains of the
+  new point's nearest neighbours are tried first (checking only their
+  boundary intersections); the full signature classification runs only
+  when no candidate matches.
+* **remove_query** — delete from the R-tree and from its subdomain;
+  empty subdomains are discarded.
+* **add_object** — create the intersections of the new function with
+  every existing one and split the subdomains that the new hyperplanes
+  cut through.  New hyperplanes can only *split* cells, so the work is
+  per-cell: classify each cell's members on the new columns only.
+  Representative rankings are invalidated (the new object may appear
+  anywhere in them).
+* **remove_object** — drop every intersection involving the object.
+  Dropped hyperplanes can only *merge* cells.  The counting bloom
+  filter of boundary registrations gives a fast pre-check: if no
+  populated subdomain uses any dropped intersection as a boundary, the
+  partition is untouched; otherwise cells whose reduced signatures
+  collide merge — exactly the above/below merge the paper describes.
+
+The index stores one signature per populated cell (not per query), so
+all maintenance works on cell signatures; per-query side vectors are
+recomputed from the workload weights only where needed.
+
+Object ids and query ids are *dense*: removing id ``x`` shifts every id
+above ``x`` down by one, in the dataset/queryset and in the index
+alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.subdomain import Subdomain, SubdomainIndex
+from repro.errors import ValidationError
+from repro.geometry.arrangement import signature_matrix
+from repro.geometry.hyperplane import EPS
+
+__all__ = ["add_query", "remove_query", "add_object", "remove_object"]
+
+#: How many nearest neighbours donate candidate subdomains on insert.
+_KNN_CANDIDATES = 3
+
+
+def add_query(index: SubdomainIndex, weights: np.ndarray, k: int) -> int:
+    """Insert a top-k query; returns its id (= new m - 1)."""
+    weights = np.asarray(weights, dtype=float)
+    new_queries, query_id = index.queries.with_query(weights, k)
+    index.queries = new_queries
+    index.rtree.insert_point(weights, query_id)
+
+    signature_row = signature_matrix(weights[None, :], index.normals)[0]
+    sid = _locate_with_knn_candidates(index, weights, signature_row)
+    if sid is None:
+        sid = _classify_full(index, signature_row)
+    sub = index.subdomains[sid]
+    sub.query_ids = np.append(sub.query_ids, query_id)
+    if sub.representative < 0:
+        sub.representative = query_id  # freshly created cell
+    if sub.prefix is not None and k + 1 > sub.prefix.shape[0] and sub.prefix.shape[0] < index.dataset.n:
+        sub.prefix = None  # deeper ranking now needed; re-evaluate lazily
+    index.subdomain_of = np.append(index.subdomain_of, sid)
+    index.mark_boundaries_dirty()
+    return query_id
+
+
+def _locate_with_knn_candidates(index, weights, signature_row):
+    """§4.3: try the subdomains of the point's nearest neighbours first.
+
+    A candidate is accepted by checking sides only against its
+    *boundary* intersections (cheap), then confirmed with the full
+    signature (exactness guard, since tracked boundary sets need not be
+    tight descriptions of the cell).
+    """
+    if index.queries.m <= 1 or index.num_subdomains == 0:
+        return None
+    index.ensure_boundaries()
+    neighbour_ids = index.rtree.nearest(weights, k=_KNN_CANDIDATES + 1)
+    tried: set[int] = set()
+    for neighbour in neighbour_ids:
+        if neighbour >= index.subdomain_of.shape[0]:
+            continue  # the freshly inserted point itself
+        sid = int(index.subdomain_of[neighbour])
+        if sid in tried:
+            continue
+        tried.add(sid)
+        sub = index.subdomains[sid]
+        cell_signature = np.frombuffer(sub.signature, dtype=np.int8)
+        boundary_cols = list(sub.boundaries)
+        if any(signature_row[c] != cell_signature[c] for c in boundary_cols):
+            continue  # fails a boundary side test: not this cell
+        if np.array_equal(signature_row, cell_signature):
+            return sid
+    return None
+
+
+def _classify_full(index, signature_row) -> int:
+    key = signature_row.tobytes()
+    for sub in index.subdomains:
+        if sub.signature == key:
+            return sub.sid
+    sid = len(index.subdomains)
+    index.subdomains.append(
+        Subdomain(
+            sid=sid,
+            signature=key,
+            query_ids=np.empty(0, dtype=np.intp),
+            representative=-1,  # patched by the caller appending the query
+        )
+    )
+    return sid
+
+
+def remove_query(index: SubdomainIndex, query_id: int) -> None:
+    """Delete a query; ids above it shift down by one."""
+    weights, __ = index.queries.query(query_id)
+    if not index.rtree.delete(weights, query_id):
+        raise ValidationError(f"query {query_id} missing from the R-tree (corrupt index?)")
+    index.queries = index.queries.without_query(query_id)
+
+    mask = np.ones(index.subdomain_of.shape[0], dtype=bool)
+    mask[query_id] = False
+    index.subdomain_of = index.subdomain_of[mask]
+
+    survivors: list[Subdomain] = []
+    for sub in index.subdomains:
+        ids = sub.query_ids[sub.query_ids != query_id]
+        ids = np.where(ids > query_id, ids - 1, ids)
+        if ids.size == 0:
+            continue  # Algorithm 1 keeps only populated subdomains
+        sub.query_ids = ids
+        if sub.representative == query_id or sub.representative > query_id:
+            sub.representative = int(ids[0])
+            # The cached prefix is still valid: any member is an equally
+            # good representative within the same subdomain.
+        survivors.append(sub)
+    _renumber(index, survivors)
+    # R-tree payloads above the removed id must shift as well.
+    _shift_rtree_payloads(index, query_id)
+    index.mark_boundaries_dirty()
+
+
+def _shift_rtree_payloads(index, removed_id: int) -> None:
+    """Rebuild the R-tree with payloads > removed_id decremented."""
+    items = []
+    for rect, payload in index.rtree.items():
+        items.append((rect, payload - 1 if payload > removed_id else payload))
+    index.rtree = type(index.rtree).bulk_load(
+        index.queries.dim, items, max_entries=index.rtree.max_entries
+    )
+
+
+def add_object(index: SubdomainIndex, attributes: np.ndarray) -> int:
+    """Insert an object; its function's intersections split subdomains."""
+    new_dataset, object_id = index.dataset.with_object(attributes)
+    index.dataset = new_dataset
+    matrix = new_dataset.matrix
+
+    if index.mode == "exact":
+        counterparts = list(range(object_id))
+    else:
+        # Relevant mode: pair the newcomer with the objects already
+        # participating in the arrangement (the contender set).
+        counterparts = sorted({i for pair in index.pairs for i in pair})
+    new_pairs = []
+    rows = []
+    for b in counterparts:
+        normal = matrix[b] - matrix[object_id]  # pair (b, new), b < new
+        if np.abs(normal).max(initial=0.0) <= EPS:
+            continue
+        new_pairs.append((b, object_id))
+        rows.append(normal)
+    if rows:
+        new_normals = np.vstack(rows)
+        index.normals = (
+            np.vstack([index.normals, new_normals]) if index.normals.size else new_normals
+        )
+        for pair in new_pairs:
+            index.pair_column[pair] = len(index.pairs)
+            index.pairs.append(pair)
+        _split_cells_on_new_columns(index, new_normals)
+    _invalidate_prefixes(index)  # the new object changes every ranking
+    index.mark_boundaries_dirty()
+    return object_id
+
+
+def _split_cells_on_new_columns(index: SubdomainIndex, new_normals: np.ndarray) -> None:
+    """New hyperplanes only split cells: reclassify members per cell."""
+    weights = index.queries.weights
+    survivors: list[Subdomain] = []
+    for sub in index.subdomains:
+        member_rows = signature_matrix(weights[sub.query_ids], new_normals)
+        patterns: dict[bytes, list[int]] = {}
+        for local, row in enumerate(member_rows):
+            patterns.setdefault(row.tobytes(), []).append(local)
+        for pattern_key in sorted(patterns):
+            locals_ = patterns[pattern_key]
+            members = sub.query_ids[np.asarray(locals_, dtype=np.intp)]
+            survivors.append(
+                Subdomain(
+                    sid=-1,  # renumbered below
+                    signature=sub.signature + pattern_key,
+                    query_ids=members,
+                    representative=int(members[0]),
+                )
+            )
+    _renumber(index, survivors)
+
+
+def remove_object(index: SubdomainIndex, object_id: int) -> None:
+    """Remove an object; subdomains split only by its intersections merge."""
+    index.dataset._check_id(object_id)
+    involved = [col for col, (a, b) in enumerate(index.pairs) if object_id in (a, b)]
+
+    # Bloom-filter fast path (§4.3): if no populated subdomain uses any
+    # involved intersection as a boundary, the partition is unchanged
+    # and only the ranking caches need refreshing.
+    partition_touched = False
+    if involved:
+        index.ensure_boundaries()
+        for sub in index.subdomains:
+            if any(index.is_boundary(sub.sid, col) for col in involved):
+                partition_touched = True
+                break
+
+    index.dataset = index.dataset.without_object(object_id)
+    involved_set = set(involved)
+    keep = [col for col in range(len(index.pairs)) if col not in involved_set]
+    index.normals = index.normals[keep] if index.normals.size else index.normals
+    remapped = []
+    for col in keep:
+        a, b = index.pairs[col]
+        a = a - 1 if a > object_id else a
+        b = b - 1 if b > object_id else b
+        remapped.append((a, b))
+    index.pairs = remapped
+    index.pair_column = {pair: col for col, pair in enumerate(remapped)}
+
+    keep_idx = np.asarray(keep, dtype=np.intp)
+    reduced: dict[int, bytes] = {}
+    for sub in index.subdomains:
+        cell_signature = np.frombuffer(sub.signature, dtype=np.int8)
+        reduced[sub.sid] = cell_signature[keep_idx].tobytes()
+
+    if not partition_touched:
+        # Cells that differed only in several dropped columns collide
+        # now even though no single column registered as a boundary;
+        # detect the (rare) collision and fall back to a full merge.
+        partition_touched = len(set(reduced.values())) != len(index.subdomains)
+
+    if partition_touched:
+        _merge_cells(index, reduced)  # above/below merge of §4.3
+    else:
+        for sub in index.subdomains:
+            sub.signature = reduced[sub.sid]
+    index.mark_boundaries_dirty()
+    _invalidate_prefixes(index)
+
+
+def _merge_cells(index: SubdomainIndex, reduced: dict[int, bytes]) -> None:
+    """Merge cells whose signatures collide after dropping columns."""
+    groups: dict[bytes, list[Subdomain]] = {}
+    for sub in index.subdomains:
+        groups.setdefault(reduced[sub.sid], []).append(sub)
+    survivors: list[Subdomain] = []
+    for signature_key in sorted(groups):
+        cells = groups[signature_key]
+        members = np.sort(np.concatenate([c.query_ids for c in cells]))
+        survivors.append(
+            Subdomain(
+                sid=-1,  # renumbered below
+                signature=signature_key,
+                query_ids=members,
+                representative=int(members[0]),
+            )
+        )
+    _renumber(index, survivors)
+
+
+def _renumber(index: SubdomainIndex, survivors: list[Subdomain]) -> None:
+    index.subdomains = []
+    for sid, sub in enumerate(survivors):
+        sub.sid = sid
+        index.subdomains.append(sub)
+        index.subdomain_of[sub.query_ids] = sid
+
+
+def _invalidate_prefixes(index: SubdomainIndex) -> None:
+    for sub in index.subdomains:
+        sub.prefix = None

@@ -1,0 +1,34 @@
+"""Data generators: synthetic objects, query workloads, real-data substitutes."""
+
+from repro.data.realworld import (
+    HOUSE_ATTRIBUTES,
+    VEHICLE_ATTRIBUTES,
+    load_csv,
+    normalize,
+    simulate_house,
+    simulate_vehicle,
+)
+from repro.data.synthetic import anticorrelated, correlated, generate, independent
+from repro.data.workloads import (
+    clustered_queries,
+    generate_queries,
+    polynomial_workload,
+    uniform_queries,
+)
+
+__all__ = [
+    "independent",
+    "correlated",
+    "anticorrelated",
+    "generate",
+    "uniform_queries",
+    "clustered_queries",
+    "generate_queries",
+    "polynomial_workload",
+    "simulate_vehicle",
+    "simulate_house",
+    "load_csv",
+    "normalize",
+    "VEHICLE_ATTRIBUTES",
+    "HOUSE_ATTRIBUTES",
+]

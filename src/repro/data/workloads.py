@@ -1,0 +1,109 @@
+"""Top-k query workloads: UN / CL (paper §6.2).
+
+Following Vlachou et al.'s reverse top-k methodology (the paper's
+reference for query generation):
+
+* **UN** — weight vectors uniform and independent on [0, 1]^d.
+* **CL** — weights clustered: a few Gaussian preference clusters, each
+  query drawn around a random cluster centroid (users share tastes).
+
+Each query's ``k`` is drawn uniformly from [1, 50] (paper default); the
+polynomial-utility experiments additionally draw a degree in [1, 5] per
+term (§6.2), which :func:`polynomial_workload` provides via the
+linearization machinery of §5.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.linearize import UtilityFamily, monomial
+from repro.core.queries import QuerySet
+from repro.errors import ValidationError
+
+__all__ = [
+    "uniform_queries",
+    "clustered_queries",
+    "generate_queries",
+    "polynomial_workload",
+    "WORKLOAD_KINDS",
+    "DEFAULT_K_RANGE",
+]
+
+WORKLOAD_KINDS = ("UN", "CL")
+DEFAULT_K_RANGE = (1, 50)  #: paper §6.2: k uniform in [1, 50]
+
+
+def _draw_ks(rng, m: int, k_range) -> np.ndarray:
+    lo, hi = k_range
+    if not 1 <= lo <= hi:
+        raise ValidationError(f"invalid k range {k_range}")
+    return rng.integers(lo, hi + 1, size=m)
+
+
+def uniform_queries(m: int, d: int, seed=None, k_range=DEFAULT_K_RANGE) -> QuerySet:
+    """UN: weights i.i.d. uniform on [0, 1]."""
+    if m <= 0 or d <= 0:
+        raise ValidationError(f"m and d must be positive, got m={m}, d={d}")
+    rng = np.random.default_rng(seed)
+    return QuerySet(rng.random((m, d)), _draw_ks(rng, m, k_range))
+
+
+def clustered_queries(
+    m: int,
+    d: int,
+    seed=None,
+    k_range=DEFAULT_K_RANGE,
+    clusters: int = 5,
+    spread: float = 0.08,
+) -> QuerySet:
+    """CL: weights drawn around ``clusters`` random preference centroids."""
+    if m <= 0 or d <= 0:
+        raise ValidationError(f"m and d must be positive, got m={m}, d={d}")
+    if clusters <= 0:
+        raise ValidationError(f"clusters must be positive, got {clusters}")
+    rng = np.random.default_rng(seed)
+    centroids = rng.random((clusters, d))
+    assignment = rng.integers(0, clusters, size=m)
+    weights = centroids[assignment] + rng.normal(0.0, spread, size=(m, d))
+    return QuerySet(np.clip(weights, 0.0, 1.0), _draw_ks(rng, m, k_range))
+
+
+def generate_queries(kind: str, m: int, d: int, seed=None, k_range=DEFAULT_K_RANGE) -> QuerySet:
+    """Dispatch by the paper's workload code (``"UN"``/``"CL"``)."""
+    kind = kind.upper()
+    if kind == "UN":
+        return uniform_queries(m, d, seed, k_range)
+    if kind == "CL":
+        return clustered_queries(m, d, seed, k_range)
+    raise ValidationError(f"kind must be one of {WORKLOAD_KINDS}, got {kind!r}")
+
+
+def polynomial_workload(
+    kind: str,
+    m: int,
+    d: int,
+    seed=None,
+    k_range=DEFAULT_K_RANGE,
+    degree_range=(1, 5),
+):
+    """A §6.2-style polynomial workload plus its linearizing family.
+
+    One monomial term per original attribute, each with a random degree
+    in ``degree_range`` (paper: [1, 5]).  Returns ``(family, queries)``
+    where ``queries`` is a :class:`QuerySet` over the augmented term
+    space — feed ``family.augment(points)`` to the same engine.
+    """
+    lo, hi = degree_range
+    if not 1 <= lo <= hi:
+        raise ValidationError(f"invalid degree range {degree_range}")
+    rng = np.random.default_rng(seed)
+    degrees = rng.integers(lo, hi + 1, size=d)
+    family = UtilityFamily(
+        [monomial({j: float(degrees[j])}) for j in range(d)],
+        name=f"poly-deg{lo}-{hi}",
+    )
+    base = generate_queries(kind, m, d, seed=rng.integers(0, 2**31), k_range=k_range)
+    # Weights stay in [0, 1]; the augmented attributes (powers of values
+    # in [0, 1]) stay in [0, 1] as well, so the domain box is unchanged.
+    return family, QuerySet(base.weights.copy(), base.ks.copy())

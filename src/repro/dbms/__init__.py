@@ -1,0 +1,6 @@
+"""Mini in-memory DBMS with the IMPROVE statement extension (§6.1)."""
+
+from repro.dbms.executor import Database, ResultSet
+from repro.dbms.parser import parse, parse_script
+
+__all__ = ["Database", "ResultSet", "parse", "parse_script"]

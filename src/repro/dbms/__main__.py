@@ -1,0 +1,83 @@
+"""Interactive SQL shell for the mini DBMS (``python -m repro.dbms``).
+
+A small REPL mirroring the paper's analytic-tool workflow: load data
+with ordinary SQL, build improvement indexes, and issue IMPROVE
+statements interactively.  Statements may span lines and end with ';'.
+
+Meta commands: ``.help``, ``.tables``, ``.quit``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.dbms.executor import Database
+from repro.errors import ReproError
+
+BANNER = """repro mini-DBMS — improvement queries from SQL
+Type .help for help, .quit to exit. Statements end with ';'."""
+
+HELP = """Statements:
+  CREATE TABLE t (col INT|FLOAT|TEXT, ...);
+  INSERT INTO t VALUES (...), (...);
+  SELECT cols|* FROM t [WHERE ...] [ORDER BY col [DESC]] [LIMIT n];
+  UPDATE t SET col = expr [WHERE ...];   DELETE FROM t [WHERE ...];
+  SHOW TABLES;   DESCRIBE t;   DROP TABLE t;
+  CREATE IMPROVEMENT INDEX idx ON objects (a, b)
+      USING QUERIES q (wa, wb, k) [SENSE MIN|MAX];
+  IMPROVE objects TARGET WHERE ... USING idx
+      REACH n | BUDGET x [COST L1|L2|LINF]
+      [ADJUST col BETWEEN a AND b | col FROZEN, ...]
+      [METHOD efficient|rta|greedy|random] [APPLY];
+Meta: .help  .tables  .quit"""
+
+
+def run_repl(stdin=None, stdout=None) -> int:
+    """Run the REPL; returns the process exit code."""
+    stdin = stdin or sys.stdin
+    stdout = stdout or sys.stdout
+    db = Database()
+    print(BANNER, file=stdout)
+    buffer = ""
+    while True:
+        try:
+            prompt = "sql> " if not buffer else "...> "
+            print(prompt, end="", file=stdout, flush=True)
+            line = stdin.readline()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            print(file=stdout)
+            buffer = ""
+            continue
+        if not line:
+            print(file=stdout)
+            return 0
+        stripped = line.strip()
+        if not buffer and stripped.startswith("."):
+            if stripped in (".quit", ".exit"):
+                return 0
+            if stripped == ".help":
+                print(HELP, file=stdout)
+            elif stripped == ".tables":
+                for name in db.catalog.names():
+                    print(name, file=stdout)
+            else:
+                print(f"unknown meta command {stripped!r}", file=stdout)
+            continue
+        buffer += line
+        if ";" not in buffer:
+            continue
+        script, buffer = buffer.rsplit(";", 1)
+        if not buffer.strip():
+            buffer = ""
+        try:
+            for result in db.run_script(script + ";"):
+                if result.columns:
+                    print(result.pretty(), file=stdout)
+                else:
+                    print(result.status, file=stdout)
+        except ReproError as exc:
+            print(f"error: {exc}", file=stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(run_repl())

@@ -1,0 +1,252 @@
+"""Statement execution for the mini DBMS.
+
+:class:`Database` is the user-facing object: ``db.execute(sql)`` parses
+and runs one statement and returns a :class:`ResultSet` (columns +
+rows).  The improvement-query statements (CREATE IMPROVEMENT INDEX /
+IMPROVE) are delegated to :mod:`repro.dbms.improve`.
+
+Expression evaluation uses SQL-ish three-valued-light semantics: any
+comparison with NULL is false, arithmetic with NULL raises.  A pseudo
+column ``rowid`` (insertion order, 0-based) is always available, which
+is how IMPROVE targets are usually selected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dbms import ast_nodes as ast
+from repro.dbms.catalog import Catalog, Column, Table
+from repro.dbms.improve import ImprovementService
+from repro.dbms.parser import parse_script
+from repro.errors import SQLExecutionError
+
+__all__ = ["Database", "ResultSet"]
+
+
+@dataclass
+class ResultSet:
+    """Uniform statement result: header + rows (+ a short status line)."""
+
+    columns: list
+    rows: list
+    status: str = "OK"
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> list:
+        """Values of one result column across all rows."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise SQLExecutionError(f"result has no column {name!r}")
+        return [row[idx] for row in self.rows]
+
+    def pretty(self) -> str:
+        """A fixed-width text rendering (for the examples/CLI)."""
+        if not self.columns:
+            return self.status
+        widths = [len(str(c)) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(_fmt(cell)))
+        header = " | ".join(str(c).ljust(w) for c, w in zip(self.columns, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [header, rule]
+        for row in self.rows:
+            lines.append(" | ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if cell is None:
+        return "NULL"
+    if isinstance(cell, float):
+        return f"{cell:.6g}"
+    return str(cell)
+
+
+class Database:
+    """An in-memory SQL database with improvement-query support."""
+
+    def __init__(self):
+        self.catalog = Catalog()
+        self.improvements = ImprovementService(self.catalog)
+
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> ResultSet:
+        """Execute one statement; multi-statement scripts use :meth:`run_script`."""
+        results = self.run_script(sql)
+        if len(results) != 1:
+            raise SQLExecutionError(f"expected one statement, got {len(results)}")
+        return results[0]
+
+    def run_script(self, sql: str) -> list[ResultSet]:
+        """Execute a ';'-separated script; one ResultSet per statement."""
+        return [self._dispatch(stmt) for stmt in parse_script(sql)]
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, stmt) -> ResultSet:
+        if isinstance(stmt, ast.CreateTable):
+            self.catalog.create(stmt.name, [Column(n, t) for n, t in stmt.columns])
+            return ResultSet([], [], status=f"CREATE TABLE {stmt.name}")
+        if isinstance(stmt, ast.DropTable):
+            self.catalog.drop(stmt.name)
+            self.improvements.forget_table(stmt.name)
+            return ResultSet([], [], status=f"DROP TABLE {stmt.name}")
+        if isinstance(stmt, ast.Insert):
+            return self._insert(stmt)
+        if isinstance(stmt, ast.Select):
+            return self._select(stmt)
+        if isinstance(stmt, ast.Update):
+            return self._update(stmt)
+        if isinstance(stmt, ast.Delete):
+            return self._delete(stmt)
+        if isinstance(stmt, ast.ShowTables):
+            return ResultSet(["table"], [[n] for n in self.catalog.names()])
+        if isinstance(stmt, ast.Describe):
+            table = self.catalog.get(stmt.name)
+            return ResultSet(
+                ["column", "type"], [[c.name, c.type_name] for c in table.columns]
+            )
+        if isinstance(stmt, ast.CreateImprovementIndex):
+            self.improvements.create_index(stmt)
+            return ResultSet([], [], status=f"CREATE IMPROVEMENT INDEX {stmt.name}")
+        if isinstance(stmt, ast.Improve):
+            return self.improvements.improve(stmt, self._matching_row_ids)
+        raise SQLExecutionError(f"unsupported statement {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    def _insert(self, stmt: ast.Insert) -> ResultSet:
+        table = self.catalog.get(stmt.table)
+        for row in stmt.rows:
+            values = [self._eval(expr, table, None) for expr in row]
+            table.insert(values)
+        return ResultSet([], [], status=f"INSERT {len(stmt.rows)}")
+
+    def _select(self, stmt: ast.Select) -> ResultSet:
+        table = self.catalog.get(stmt.table)
+        columns = stmt.columns if stmt.columns is not None else table.column_names
+        indices = [self._output_index(table, c) for c in columns]
+        row_ids = self._matching_row_ids(table, stmt.where)
+        rows = [
+            [table.rows[i][j] if j >= 0 else i for j in indices] for i in row_ids
+        ]
+        if stmt.order_by is not None:
+            column, ascending = stmt.order_by
+            key_idx = self._output_index(table, column)
+            paired = list(zip(rows, row_ids))
+            paired.sort(
+                key=lambda pair: (
+                    pair[0][indices.index(key_idx)]
+                    if key_idx in indices
+                    else (pair[1] if key_idx < 0 else table.rows[pair[1]][key_idx])
+                ),
+                reverse=not ascending,
+            )
+            rows = [row for row, __ in paired]
+        if stmt.limit is not None:
+            rows = rows[: stmt.limit]
+        return ResultSet(list(columns), rows)
+
+    def _update(self, stmt: ast.Update) -> ResultSet:
+        table = self.catalog.get(stmt.table)
+        row_ids = self._matching_row_ids(table, stmt.where)
+        for row_id in row_ids:
+            for column, expr in stmt.assignments:
+                value = self._eval(expr, table, row_id)
+                table.update_cell(row_id, column, value)
+        return ResultSet([], [], status=f"UPDATE {len(row_ids)}")
+
+    def _delete(self, stmt: ast.Delete) -> ResultSet:
+        table = self.catalog.get(stmt.table)
+        row_ids = self._matching_row_ids(table, stmt.where)
+        removed = table.delete_rows(row_ids)
+        return ResultSet([], [], status=f"DELETE {removed}")
+
+    # ------------------------------------------------------------------
+    def _matching_row_ids(self, table: Table, where) -> list[int]:
+        if where is None:
+            return list(range(len(table.rows)))
+        out = []
+        for row_id in range(len(table.rows)):
+            if _truthy(self._eval(where, table, row_id)):
+                out.append(row_id)
+        return out
+
+    @staticmethod
+    def _output_index(table: Table, column: str) -> int:
+        """Column index; -1 is the rowid pseudo column."""
+        if column.lower() == "rowid":
+            return -1
+        return table.column_index(column)
+
+    def _eval(self, expr, table: Table, row_id: int | None):
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.ColumnRef):
+            if row_id is None:
+                raise SQLExecutionError(f"column {expr.name!r} not allowed here")
+            if expr.name.lower() == "rowid":
+                return row_id
+            return table.rows[row_id][table.column_index(expr.name)]
+        if isinstance(expr, ast.Unary):
+            value = self._eval(expr.operand, table, row_id)
+            if expr.op == "-":
+                _require_number(value)
+                return -value
+            return not _truthy(value)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr, table, row_id)
+        raise SQLExecutionError(f"cannot evaluate {expr!r}")
+
+    def _binary(self, expr: ast.Binary, table, row_id):
+        if expr.op == "AND":
+            return _truthy(self._eval(expr.left, table, row_id)) and _truthy(
+                self._eval(expr.right, table, row_id)
+            )
+        if expr.op == "OR":
+            return _truthy(self._eval(expr.left, table, row_id)) or _truthy(
+                self._eval(expr.right, table, row_id)
+            )
+        left = self._eval(expr.left, table, row_id)
+        right = self._eval(expr.right, table, row_id)
+        if expr.op in ("=", "<>", "!="):
+            equal = left == right
+            return equal if expr.op == "=" else not equal
+        if expr.op in ("<", ">", "<=", ">="):
+            if left is None or right is None:
+                return False
+            try:
+                if expr.op == "<":
+                    return left < right
+                if expr.op == ">":
+                    return left > right
+                if expr.op == "<=":
+                    return left <= right
+                return left >= right
+            except TypeError:
+                raise SQLExecutionError(f"cannot compare {left!r} and {right!r}")
+        _require_number(left)
+        _require_number(right)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            if right == 0:
+                raise SQLExecutionError("division by zero")
+            return left / right
+        raise SQLExecutionError(f"unknown operator {expr.op!r}")
+
+
+def _truthy(value) -> bool:
+    return bool(value) and value is not None
+
+
+def _require_number(value) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SQLExecutionError(f"expected a number, got {value!r}")

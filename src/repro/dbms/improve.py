@@ -1,0 +1,227 @@
+"""The IMPROVE extension: improvement queries from SQL.
+
+Mirrors the paper's analytic tool (§6.1): the user selects target
+objects via SQL, specifies which attributes may be adjusted and in what
+range, picks a cost function, and issues a Min-Cost (``REACH n``) or
+Max-Hit (``BUDGET x``) improvement query.
+
+Index lifecycle: ``CREATE IMPROVEMENT INDEX`` records the object-table
+attribute columns, the query-table weight/k columns, and the ranking
+sense.  The engine is built lazily and rebuilt automatically when
+either table's version counter moved (INSERT/UPDATE/DELETE bump it), so
+IMPROVE always runs against current data.
+
+Result shape: one row per target with the per-attribute deltas, the
+total cost, hits before/after, and whether the goal was met.  With
+``APPLY`` the deltas are also written back to the object table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cost import L1Cost, L2Cost, LInfCost
+from repro.core.engine import ImprovementQueryEngine
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.core.strategy import StrategySpace
+from repro.dbms import ast_nodes as ast
+from repro.dbms.catalog import Catalog
+from repro.errors import SQLCatalogError, SQLExecutionError
+
+__all__ = ["ImprovementService", "IndexDefinition"]
+
+_COSTS = {"L1": L1Cost, "L2": L2Cost, "LINF": LInfCost}
+
+
+@dataclass
+class IndexDefinition:
+    """Schema-level description of one improvement index."""
+
+    name: str
+    object_table: str
+    attribute_columns: list
+    query_table: str
+    weight_columns: list
+    k_column: str
+    sense: str
+    engine: ImprovementQueryEngine | None = None
+    object_version: int = -1
+    query_version: int = -1
+
+
+class ImprovementService:
+    """Owns improvement indexes and executes IMPROVE statements."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self._indexes: dict[str, IndexDefinition] = {}
+
+    # ------------------------------------------------------------------
+    def create_index(self, stmt: ast.CreateImprovementIndex) -> None:
+        """Register an improvement index (engine built lazily)."""
+        if stmt.name in self._indexes:
+            raise SQLCatalogError(f"improvement index {stmt.name!r} already exists")
+        objects = self.catalog.get(stmt.object_table)
+        queries = self.catalog.get(stmt.query_table)
+        for column in stmt.attribute_columns:
+            objects.column_index(column)
+        for column in list(stmt.weight_columns) + [stmt.k_column]:
+            queries.column_index(column)
+        self._indexes[stmt.name] = IndexDefinition(
+            name=stmt.name,
+            object_table=stmt.object_table,
+            attribute_columns=list(stmt.attribute_columns),
+            query_table=stmt.query_table,
+            weight_columns=list(stmt.weight_columns),
+            k_column=stmt.k_column,
+            sense=stmt.sense,
+        )
+
+    def forget_table(self, table_name: str) -> None:
+        """Drop indexes referring to a dropped table."""
+        doomed = [
+            name
+            for name, definition in self._indexes.items()
+            if table_name in (definition.object_table, definition.query_table)
+        ]
+        for name in doomed:
+            del self._indexes[name]
+
+    # ------------------------------------------------------------------
+    def _engine(self, definition: IndexDefinition) -> ImprovementQueryEngine:
+        objects = self.catalog.get(definition.object_table)
+        queries = self.catalog.get(definition.query_table)
+        stale = (
+            definition.engine is None
+            or definition.object_version != objects.version
+            or definition.query_version != queries.version
+        )
+        if stale:
+            matrix = np.asarray(objects.numeric_matrix(definition.attribute_columns))
+            if matrix.shape[0] == 0:
+                raise SQLExecutionError(f"table {objects.name} is empty")
+            weights_and_k = np.asarray(
+                queries.numeric_matrix(definition.weight_columns + [definition.k_column])
+            )
+            if weights_and_k.shape[0] == 0:
+                raise SQLExecutionError(f"table {queries.name} is empty")
+            dataset = Dataset(
+                matrix, names=definition.attribute_columns, sense=definition.sense
+            )
+            query_set = QuerySet(
+                weights_and_k[:, :-1],
+                weights_and_k[:, -1].astype(int),
+                normalized=False,
+            )
+            definition.engine = ImprovementQueryEngine(dataset, query_set)
+            definition.object_version = objects.version
+            definition.query_version = queries.version
+        return definition.engine
+
+    # ------------------------------------------------------------------
+    def improve(self, stmt: ast.Improve, matching_row_ids):
+        """Execute an IMPROVE statement; returns its ResultSet."""
+        from repro.dbms.executor import ResultSet  # local import to avoid a cycle
+
+        definition = self._indexes.get(stmt.index)
+        if definition is None:
+            raise SQLCatalogError(f"no improvement index {stmt.index!r}")
+        if stmt.table != definition.object_table:
+            raise SQLExecutionError(
+                f"index {stmt.index!r} indexes table {definition.object_table!r}, "
+                f"not {stmt.table!r}"
+            )
+        table = self.catalog.get(stmt.table)
+        targets = matching_row_ids(table, stmt.where)
+        if not targets:
+            raise SQLExecutionError("TARGET WHERE matched no rows")
+        engine = self._engine(definition)
+
+        cost_cls = _COSTS.get(stmt.cost)
+        if cost_cls is None:
+            raise SQLExecutionError(
+                f"COST must be one of {sorted(_COSTS)}, got {stmt.cost!r}"
+            )
+        dim = len(definition.attribute_columns)
+        cost = cost_cls(dim)
+        space = self._space(stmt.adjust, definition, dim)
+
+        columns = (
+            ["rowid"]
+            + [f"delta_{c}" for c in definition.attribute_columns]
+            + ["cost", "hits_before", "hits_after", "satisfied"]
+        )
+        rows = []
+        if len(targets) == 1:
+            target = targets[0]
+            if stmt.reach is not None:
+                result = engine.min_cost(
+                    target, stmt.reach, cost=cost, space=space, method=stmt.method
+                )
+            else:
+                result = engine.max_hit(
+                    target, stmt.budget, cost=cost, space=space, method=stmt.method
+                )
+            rows.append(
+                [target]
+                + [float(v) for v in result.strategy.vector]
+                + [result.total_cost, result.hits_before, result.hits_after,
+                   int(result.satisfied)]
+            )
+            strategies = {target: result.strategy}
+        else:
+            if stmt.method not in ("efficient",):
+                raise SQLExecutionError(
+                    "multi-target IMPROVE supports METHOD efficient only"
+                )
+            if stmt.reach is not None:
+                result = engine.min_cost_multi(targets, stmt.reach, costs=cost, spaces=space)
+            else:
+                result = engine.max_hit_multi(targets, stmt.budget, costs=cost, spaces=space)
+            for target in targets:
+                strategy = result.strategies[target]
+                rows.append(
+                    [target]
+                    + [float(v) for v in strategy.vector]
+                    + [strategy.cost, result.hits_before, result.hits_after,
+                       int(result.satisfied)]
+                )
+            strategies = result.strategies
+
+        if stmt.apply:
+            for target, strategy in strategies.items():
+                for column, delta in zip(definition.attribute_columns, strategy.vector):
+                    if abs(float(delta)) > 0:
+                        current = table.rows[target][table.column_index(column)]
+                        table.update_cell(target, column, float(current) + float(delta))
+        return ResultSet(columns, rows, status=f"IMPROVE {len(targets)}")
+
+    @staticmethod
+    def _space(adjust_clauses, definition: IndexDefinition, dim: int):
+        if not adjust_clauses:
+            return None
+        lower = np.full(dim, -np.inf)
+        upper = np.full(dim, np.inf)
+        mentioned = []
+        for clause in adjust_clauses:
+            try:
+                idx = definition.attribute_columns.index(clause.column)
+            except ValueError:
+                raise SQLExecutionError(
+                    f"ADJUST column {clause.column!r} is not an indexed attribute"
+                )
+            mentioned.append(idx)
+            if clause.frozen:
+                lower[idx] = upper[idx] = 0.0
+            else:
+                lower[idx] = clause.lower
+                upper[idx] = clause.upper
+        # Paper semantics: the user lists which attributes may change;
+        # unmentioned attributes stay frozen when any ADJUST is given.
+        for idx in range(dim):
+            if idx not in mentioned:
+                lower[idx] = upper[idx] = 0.0
+        return StrategySpace(dim, lower=lower, upper=upper)

@@ -1,0 +1,394 @@
+"""Recursive-descent parser for the mini-DBMS SQL dialect.
+
+Grammar (informal)::
+
+    statement   := create_table | drop | insert | select | update
+                 | delete | show | describe | create_iq_index | improve
+    expr        := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | comparison
+    comparison  := additive (CMP additive)?
+    additive    := term (('+'|'-') term)*
+    term        := factor (('*'|'/') factor)*
+    factor      := '-' factor | NUMBER | STRING | NULL | IDENT | '(' expr ')'
+
+Statements end at ';' or EOF; ``parse_script`` handles multi-statement
+input.
+"""
+
+from __future__ import annotations
+
+from repro.dbms import ast_nodes as ast
+from repro.dbms.lexer import Token, tokenize
+from repro.errors import SQLSyntaxError
+
+__all__ = ["parse", "parse_script"]
+
+
+def parse(sql: str):
+    """Parse a single statement (a trailing ';' is allowed)."""
+    statements = parse_script(sql)
+    if len(statements) != 1:
+        raise SQLSyntaxError(f"expected exactly one statement, got {len(statements)}")
+    return statements[0]
+
+
+def parse_script(sql: str) -> list:
+    """Parse a ';'-separated script into a list of statements."""
+    parser = _Parser(tokenize(sql))
+    statements = []
+    while not parser.at("EOF"):
+        statements.append(parser.statement())
+        while parser.accept_punct(";"):
+            pass
+    return statements
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def at(self, kind: str, value: str | None = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (value is None or token.value == value)
+
+    def at_keyword(self, *words: str) -> bool:
+        return self.peek().kind == "KEYWORD" and self.peek().value in words
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.at_keyword(word):
+            raise SQLSyntaxError(f"expected {word}, got {self.peek().value!r}")
+        return self.advance()
+
+    def expect_punct(self, value: str) -> Token:
+        if not self.at("PUNCT", value):
+            raise SQLSyntaxError(f"expected {value!r}, got {self.peek().value!r}")
+        return self.advance()
+
+    def accept_punct(self, value: str) -> bool:
+        if self.at("PUNCT", value):
+            self.advance()
+            return True
+        return False
+
+    def accept_keyword(self, *words: str) -> Token | None:
+        if self.at_keyword(*words):
+            return self.advance()
+        return None
+
+    def identifier(self) -> str:
+        token = self.peek()
+        if token.kind == "IDENT":
+            return self.advance().value
+        # Allow non-reserved-ish keywords as identifiers where harmless.
+        raise SQLSyntaxError(f"expected identifier, got {token.value!r}")
+
+    def number(self) -> float:
+        token = self.peek()
+        sign = 1.0
+        if self.at("PUNCT", "-"):
+            self.advance()
+            sign = -1.0
+            token = self.peek()
+        if token.kind != "NUMBER":
+            raise SQLSyntaxError(f"expected number, got {token.value!r}")
+        return sign * float(self.advance().value)
+
+    # -- statements -------------------------------------------------------
+    def statement(self):
+        if self.at_keyword("CREATE"):
+            return self.create()
+        if self.at_keyword("DROP"):
+            return self.drop()
+        if self.at_keyword("INSERT"):
+            return self.insert()
+        if self.at_keyword("SELECT"):
+            return self.select()
+        if self.at_keyword("UPDATE"):
+            return self.update()
+        if self.at_keyword("DELETE"):
+            return self.delete()
+        if self.at_keyword("SHOW"):
+            self.advance()
+            self.expect_keyword("TABLES")
+            return ast.ShowTables()
+        if self.at_keyword("DESCRIBE"):
+            self.advance()
+            return ast.Describe(self.identifier())
+        if self.at_keyword("IMPROVE"):
+            return self.improve()
+        raise SQLSyntaxError(f"unexpected token {self.peek().value!r}")
+
+    def create(self):
+        self.expect_keyword("CREATE")
+        if self.at_keyword("TABLE"):
+            self.advance()
+            name = self.identifier()
+            self.expect_punct("(")
+            columns = []
+            while True:
+                col = self.identifier()
+                type_token = self.accept_keyword("INT", "INTEGER", "FLOAT", "REAL", "TEXT")
+                if type_token is None:
+                    raise SQLSyntaxError(f"expected column type, got {self.peek().value!r}")
+                columns.append((col, type_token.value))
+                if not self.accept_punct(","):
+                    break
+            self.expect_punct(")")
+            return ast.CreateTable(name=name, columns=columns)
+        if self.at_keyword("IMPROVEMENT"):
+            return self.create_improvement_index()
+        raise SQLSyntaxError("CREATE must be followed by TABLE or IMPROVEMENT INDEX")
+
+    def drop(self):
+        self.expect_keyword("DROP")
+        self.expect_keyword("TABLE")
+        return ast.DropTable(self.identifier())
+
+    def insert(self):
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.identifier()
+        self.expect_keyword("VALUES")
+        rows = []
+        while True:
+            self.expect_punct("(")
+            values = [self.expression()]
+            while self.accept_punct(","):
+                values.append(self.expression())
+            self.expect_punct(")")
+            rows.append(values)
+            if not self.accept_punct(","):
+                break
+        return ast.Insert(table=table, rows=rows)
+
+    def select(self):
+        self.expect_keyword("SELECT")
+        if self.accept_punct("*"):
+            columns = None
+        else:
+            columns = [self.identifier()]
+            while self.accept_punct(","):
+                columns.append(self.identifier())
+        self.expect_keyword("FROM")
+        table = self.identifier()
+        where = self.optional_where()
+        order_by = None
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            column = self.identifier()
+            ascending = True
+            if self.accept_keyword("DESC"):
+                ascending = False
+            else:
+                self.accept_keyword("ASC")
+            order_by = (column, ascending)
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            limit = int(self.number())
+        return ast.Select(table=table, columns=columns, where=where, order_by=order_by, limit=limit)
+
+    def update(self):
+        self.expect_keyword("UPDATE")
+        table = self.identifier()
+        self.expect_keyword("SET")
+        assignments = []
+        while True:
+            column = self.identifier()
+            if not (self.at("OP", "=")):
+                raise SQLSyntaxError(f"expected '=', got {self.peek().value!r}")
+            self.advance()
+            assignments.append((column, self.expression()))
+            if not self.accept_punct(","):
+                break
+        return ast.Update(table=table, assignments=assignments, where=self.optional_where())
+
+    def delete(self):
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.identifier()
+        return ast.Delete(table=table, where=self.optional_where())
+
+    def optional_where(self):
+        if self.accept_keyword("WHERE"):
+            return self.expression()
+        return None
+
+    # -- improvement extension ---------------------------------------------
+    def create_improvement_index(self):
+        self.expect_keyword("IMPROVEMENT")
+        self.expect_keyword("INDEX")
+        name = self.identifier()
+        self.expect_keyword("ON")
+        object_table = self.identifier()
+        attribute_columns = self.column_list()
+        self.expect_keyword("USING")
+        self.expect_keyword("QUERIES")
+        query_table = self.identifier()
+        query_columns = self.column_list()
+        if len(query_columns) != len(attribute_columns) + 1:
+            raise SQLSyntaxError(
+                "the query column list must supply one weight per attribute plus the k column"
+            )
+        sense = "min"
+        if self.accept_keyword("SENSE"):
+            token = self.accept_keyword("MIN", "MAX")
+            if token is None:
+                raise SQLSyntaxError("SENSE must be MIN or MAX")
+            sense = token.value.lower()
+        return ast.CreateImprovementIndex(
+            name=name,
+            object_table=object_table,
+            attribute_columns=attribute_columns,
+            query_table=query_table,
+            weight_columns=query_columns[:-1],
+            k_column=query_columns[-1],
+            sense=sense,
+        )
+
+    def column_list(self) -> list[str]:
+        self.expect_punct("(")
+        columns = [self.identifier()]
+        while self.accept_punct(","):
+            columns.append(self.identifier())
+        self.expect_punct(")")
+        return columns
+
+    def improve(self):
+        self.expect_keyword("IMPROVE")
+        table = self.identifier()
+        self.expect_keyword("TARGET")
+        self.expect_keyword("WHERE")
+        where = self.expression()
+        self.expect_keyword("USING")
+        index = self.identifier()
+        reach = None
+        budget = None
+        cost = "L2"
+        adjust = []
+        method = "efficient"
+        apply = False
+        while True:
+            if self.accept_keyword("REACH"):
+                reach = int(self.number())
+            elif self.accept_keyword("BUDGET"):
+                budget = self.number()
+            elif self.accept_keyword("COST"):
+                cost = self.identifier().upper()
+            elif self.accept_keyword("METHOD"):
+                method = self.identifier().lower()
+            elif self.accept_keyword("APPLY"):
+                apply = True
+            elif self.accept_keyword("ADJUST"):
+                adjust.extend(self.adjust_items())
+            else:
+                break
+        if (reach is None) == (budget is None):
+            raise SQLSyntaxError("IMPROVE needs exactly one of REACH <n> or BUDGET <x>")
+        return ast.Improve(
+            table=table,
+            where=where,
+            index=index,
+            reach=reach,
+            budget=budget,
+            cost=cost,
+            adjust=adjust,
+            method=method,
+            apply=apply,
+        )
+
+    def adjust_items(self) -> list[ast.AdjustClause]:
+        items = []
+        while True:
+            column = self.identifier()
+            if self.accept_keyword("FROZEN"):
+                items.append(ast.AdjustClause(column=column, frozen=True))
+            elif self.accept_keyword("BETWEEN"):
+                lower = self.number()
+                self.expect_keyword("AND")
+                upper = self.number()
+                items.append(ast.AdjustClause(column=column, lower=lower, upper=upper))
+            else:
+                raise SQLSyntaxError("ADJUST item must be '<col> FROZEN' or '<col> BETWEEN a AND b'")
+            if not self.accept_punct(","):
+                break
+        return items
+
+    # -- expressions --------------------------------------------------------
+    def expression(self):
+        return self.or_expr()
+
+    def or_expr(self):
+        left = self.and_expr()
+        while self.accept_keyword("OR"):
+            left = ast.Binary("OR", left, self.and_expr())
+        return left
+
+    def and_expr(self):
+        left = self.not_expr()
+        while self.accept_keyword("AND"):
+            left = ast.Binary("AND", left, self.not_expr())
+        return left
+
+    def not_expr(self):
+        if self.accept_keyword("NOT"):
+            return ast.Unary("NOT", self.not_expr())
+        return self.comparison()
+
+    def comparison(self):
+        left = self.additive()
+        if self.peek().kind == "OP":
+            op = self.advance().value
+            return ast.Binary(op, left, self.additive())
+        return left
+
+    def additive(self):
+        left = self.term()
+        while self.at("PUNCT", "+") or self.at("PUNCT", "-"):
+            op = self.advance().value
+            left = ast.Binary(op, left, self.term())
+        return left
+
+    def term(self):
+        left = self.factor()
+        while self.at("PUNCT", "*") or self.at("PUNCT", "/"):
+            op = self.advance().value
+            left = ast.Binary(op, left, self.factor())
+        return left
+
+    def factor(self):
+        if self.accept_punct("-"):
+            return ast.Unary("-", self.factor())
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            value = float(token.value)
+            if value.is_integer() and "." not in token.value and "e" not in token.value.lower():
+                return ast.Literal(int(value))
+            return ast.Literal(value)
+        if token.kind == "STRING":
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == "KEYWORD" and token.value == "NULL":
+            self.advance()
+            return ast.Literal(None)
+        if token.kind == "IDENT":
+            self.advance()
+            return ast.ColumnRef(token.value)
+        if self.accept_punct("("):
+            inner = self.expression()
+            self.expect_punct(")")
+            return inner
+        raise SQLSyntaxError(f"unexpected token {token.value!r} in expression")

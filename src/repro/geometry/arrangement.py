@@ -1,0 +1,93 @@
+"""Signature-based bookkeeping for hyperplane arrangements.
+
+Algorithm 1 of the paper partitions the indexed query points with one
+intersection hyperplane at a time (binary space partitioning).  The
+partition it produces is fully determined by the *sign vector* of every
+query point over the hyperplane set: two points share a (non-empty)
+subdomain iff they lie on the same side of every hyperplane.  This
+module provides the vectorized signature machinery that both the literal
+Algorithm 1 implementation and the fast path in
+:mod:`repro.core.subdomain` are built on, plus standalone helpers for
+counting/validating arrangement cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.geometry.hyperplane import EPS
+
+__all__ = [
+    "signature_matrix",
+    "group_by_signature",
+    "cells_touched",
+    "max_cells_bound",
+]
+
+
+def signature_matrix(points: np.ndarray, normals: np.ndarray, tol: float = EPS) -> np.ndarray:
+    """Side of every point w.r.t. every hyperplane.
+
+    Parameters
+    ----------
+    points:
+        ``(m, d)`` query points.
+    normals:
+        ``(h, d)`` hyperplane normals.
+
+    Returns
+    -------
+    ``(m, h)`` ``int8`` matrix with entries ``+1`` (*above*:
+    ``q . n <= 0``) or ``-1`` (*below*), matching the paper's convention
+    that boundary points count as above.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    normals = np.atleast_2d(np.asarray(normals, dtype=float))
+    if normals.size == 0:
+        return np.empty((points.shape[0], 0), dtype=np.int8)
+    if points.shape[1] != normals.shape[1]:
+        raise ValidationError(
+            f"dimension mismatch: points are {points.shape[1]}-D, normals {normals.shape[1]}-D"
+        )
+    values = points @ normals.T
+    return np.where(values <= tol, 1, -1).astype(np.int8)
+
+
+def group_by_signature(signatures: np.ndarray) -> dict[bytes, np.ndarray]:
+    """Group row indices by identical signature rows.
+
+    Returns a dict mapping the signature's byte representation to the
+    sorted array of row indices sharing it.  The byte key is stable and
+    hashable, which is what the subdomain index stores.
+    """
+    signatures = np.atleast_2d(np.asarray(signatures, dtype=np.int8))
+    groups: dict[bytes, list[int]] = {}
+    for idx, row in enumerate(signatures):
+        groups.setdefault(row.tobytes(), []).append(idx)
+    return {key: np.asarray(rows, dtype=np.intp) for key, rows in groups.items()}
+
+
+def cells_touched(points: np.ndarray, normals: np.ndarray) -> int:
+    """Number of distinct arrangement cells containing at least one point."""
+    return len(group_by_signature(signature_matrix(points, normals)))
+
+
+def max_cells_bound(num_hyperplanes: int, dim: int) -> int:
+    """Upper bound on the number of cells of a hyperplane arrangement.
+
+    The classical bound (cited by the paper via Schlaefli) for ``h``
+    hyperplanes in general position in ``R^d``:
+    ``C(h,0) + C(h,1) + ... + C(h,d)``.  Our hyperplanes all pass
+    through the origin, so within the positive orthant the true count is
+    lower; this bound is used for sanity checks and capacity planning
+    only.
+    """
+    if num_hyperplanes < 0 or dim < 0:
+        raise ValidationError("counts must be non-negative")
+    total = 0
+    term = 1
+    for i in range(min(dim, num_hyperplanes) + 1):
+        total += term
+        term = term * (num_hyperplanes - i) // (i + 1)
+    return total

@@ -1,0 +1,149 @@
+"""Halfspace systems over the query domain.
+
+A subdomain (paper §3.2) is an intersection of halfspaces of the form
+``q . normal <= 0`` (above) or ``q . normal > 0`` (below), clipped to the
+query-domain box (weights normalized to ``[0, 1]^d``).  This module
+answers the geometric questions the index needs:
+
+* is a halfspace system empty inside the domain box?
+* find a witness (interior point) of a non-empty system;
+* does a hyperplane actually cut through a region (needed to decide
+  whether a subdomain must be split in Algorithm 1)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InfeasibleError, UnboundedError, ValidationError
+from repro.geometry.hyperplane import Hyperplane
+from repro.optimize.simplex import linprog
+
+__all__ = ["HalfspaceRegion", "region_is_empty", "chebyshev_center"]
+
+#: Strict inequalities are realized as ``<= -MARGIN`` in LP feasibility
+#: tests; the query domain is scaled to the unit box so an absolute
+#: margin is meaningful.
+STRICT_MARGIN = 1e-6
+
+
+@dataclass
+class HalfspaceRegion:
+    """A conjunction of closed/open halfspaces inside a domain box.
+
+    Each constraint is ``(normal, side)`` with ``side=+1`` meaning
+    ``q . normal <= 0`` (*above* the hyperplane, paper convention) and
+    ``side=-1`` meaning ``q . normal > 0`` (*below*).
+    """
+
+    dim: int
+    lower: np.ndarray = field(default=None)
+    upper: np.ndarray = field(default=None)
+    constraints: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.dim <= 0:
+            raise ValidationError(f"dimension must be positive, got {self.dim}")
+        self.lower = np.zeros(self.dim) if self.lower is None else np.asarray(self.lower, float)
+        self.upper = np.ones(self.dim) if self.upper is None else np.asarray(self.upper, float)
+        if self.lower.shape != (self.dim,) or self.upper.shape != (self.dim,):
+            raise ValidationError("domain box bounds must match the dimension")
+
+    def copy(self) -> "HalfspaceRegion":
+        """An independent copy (constraint list is duplicated)."""
+        clone = HalfspaceRegion(self.dim, self.lower.copy(), self.upper.copy())
+        clone.constraints = list(self.constraints)
+        return clone
+
+    def add(self, hyperplane: Hyperplane, side: int) -> "HalfspaceRegion":
+        """Return a new region additionally constrained to ``side`` of ``hyperplane``."""
+        if side not in (1, -1):
+            raise ValidationError(f"side must be +1 or -1, got {side}")
+        clone = self.copy()
+        clone.constraints.append((hyperplane, side))
+        return clone
+
+    def contains(self, q: np.ndarray, tol: float = 1e-12) -> bool:
+        """Membership test for a single point (box and all halfspaces)."""
+        q = np.asarray(q, dtype=float)
+        if np.any(q < self.lower - tol) or np.any(q > self.upper + tol):
+            return False
+        for hyperplane, side in self.constraints:
+            value = float(q @ hyperplane.normal)
+            if side == 1 and value > tol:
+                return False
+            if side == -1 and value <= tol:
+                return False
+        return True
+
+    def is_empty(self) -> bool:
+        """LP feasibility: does any point of the box satisfy all halfspaces?"""
+        return region_is_empty(self)
+
+    def witness(self) -> np.ndarray | None:
+        """An interior point of the region, or ``None`` when empty."""
+        try:
+            center, radius = chebyshev_center(self)
+        except InfeasibleError:
+            return None
+        if radius < 0:
+            return None
+        return center
+
+
+def _inequality_system(region: HalfspaceRegion):
+    """Stack the region's halfspaces as ``A q <= b`` rows (strict -> margin)."""
+    rows, rhs = [], []
+    for hyperplane, side in region.constraints:
+        if side == 1:  # q . n <= 0
+            rows.append(hyperplane.normal)
+            rhs.append(0.0)
+        else:  # q . n > 0  ->  -q . n <= -margin
+            rows.append(-hyperplane.normal)
+            rhs.append(-STRICT_MARGIN)
+    if not rows:
+        return np.empty((0, region.dim)), np.empty(0)
+    return np.vstack(rows), np.asarray(rhs)
+
+
+def region_is_empty(region: HalfspaceRegion) -> bool:
+    """True iff the region contains no point of its domain box."""
+    a, b = _inequality_system(region)
+    bounds = list(zip(region.lower, region.upper))
+    try:
+        linprog(np.zeros(region.dim), a_ub=a, b_ub=b, bounds=bounds)
+    except InfeasibleError:
+        return True
+    return False
+
+
+def chebyshev_center(region: HalfspaceRegion) -> tuple[np.ndarray, float]:
+    """Center and radius of the largest ball inscribed in the region.
+
+    Solves ``max r`` s.t. ``a_i . q + ||a_i|| r <= b_i`` plus the box.
+    Raises :class:`InfeasibleError` when the region is empty.  A radius
+    of (near) zero means the region is a lower-dimensional sliver.
+    """
+    a, b = _inequality_system(region)
+    d = region.dim
+    rows = [np.concatenate([a[i], [float(np.linalg.norm(a[i]))]]) for i in range(a.shape[0])]
+    rhs = list(b)
+    for j in range(d):  # box faces: q_j <= upper, -q_j <= -lower
+        upper_row = np.zeros(d + 1)
+        upper_row[j], upper_row[d] = 1.0, 1.0
+        rows.append(upper_row)
+        rhs.append(region.upper[j])
+        lower_row = np.zeros(d + 1)
+        lower_row[j], lower_row[d] = -1.0, 1.0
+        rows.append(lower_row)
+        rhs.append(-region.lower[j])
+    c = np.zeros(d + 1)
+    c[d] = -1.0  # maximize r
+    bounds = [(None, None)] * d + [(0.0, None)]
+    try:
+        result = linprog(c, a_ub=np.vstack(rows), b_ub=np.asarray(rhs), bounds=bounds)
+    except UnboundedError:  # pragma: no cover - box always bounds r
+        raise InfeasibleError("degenerate region (unbounded center problem)")
+    return result.x[:d], float(result.x[d])

@@ -1,0 +1,153 @@
+"""Hyperplanes in the query-domain space.
+
+The reproduction's central geometric object: the intersection of two
+object functions ``f_a(q) = q . p_a`` and ``f_b(q) = q . p_b`` is the set
+``{q : q . (p_a - p_b) = 0}`` — a homogeneous hyperplane through the
+origin of the d-dimensional weight space (paper Eq. 2).  Applying an
+improvement strategy ``s`` to ``p_a`` tilts it to
+``{q : q . (p_a + s - p_b) = 0}`` (Eq. 3).
+
+Side convention (paper §4.1): a query point ``q`` is *above* the
+intersection of ``f_a`` and ``f_b`` iff ``f_a(q) - f_b(q) <= 0``, i.e.
+``q . normal <= 0`` with ``normal = p_a - p_b``.  Points exactly on the
+hyperplane count as above.  With the paper's "lower score is better"
+ranking, *above* means ``p_a`` ranks at least as well as ``p_b`` at
+``q``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["Hyperplane", "side_of", "sides_of", "pairwise_normals"]
+
+#: Comparisons against zero use this tolerance so that floating-point
+#: noise on a boundary does not flip a side test.
+EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Hyperplane:
+    """The homogeneous hyperplane ``{q : q . normal = 0}``.
+
+    Stores the identities of the two objects whose function intersection
+    it represents, so index maintenance (§4.3) can find all hyperplanes
+    involving a given object.
+    """
+
+    normal: np.ndarray
+    a: int = -1  #: id of the first object (f_a), -1 if anonymous
+    b: int = -1  #: id of the second object (f_b), -1 if anonymous
+    _key: tuple = field(init=False, repr=False)
+
+    def __post_init__(self):
+        normal = np.asarray(self.normal, dtype=float)
+        if normal.ndim != 1:
+            raise ValidationError(f"hyperplane normal must be 1-D, got shape {normal.shape}")
+        if not np.isfinite(normal).all():
+            raise ValidationError("hyperplane normal contains non-finite values")
+        object.__setattr__(self, "normal", normal)
+        object.__setattr__(self, "_key", (self.a, self.b, normal.tobytes()))
+
+    @classmethod
+    def between(cls, p_a: np.ndarray, p_b: np.ndarray, a: int = -1, b: int = -1) -> "Hyperplane":
+        """Intersection hyperplane of the functions of objects ``p_a``, ``p_b``."""
+        p_a = np.asarray(p_a, dtype=float)
+        p_b = np.asarray(p_b, dtype=float)
+        if p_a.shape != p_b.shape:
+            raise ValidationError(f"object shapes differ: {p_a.shape} vs {p_b.shape}")
+        return cls(p_a - p_b, a=a, b=b)
+
+    @property
+    def dim(self) -> int:
+        return self.normal.shape[0]
+
+    def involves(self, object_id: int) -> bool:
+        """True if this hyperplane is an intersection involving ``object_id``."""
+        return object_id in (self.a, self.b)
+
+    def is_degenerate(self, tol: float = EPS) -> bool:
+        """A zero normal: the two functions coincide and never separate."""
+        return bool(np.abs(self.normal).max(initial=0.0) <= tol)
+
+    def side(self, q: np.ndarray) -> int:
+        """Side of a single query point: +1 above (f_a <= f_b), -1 below."""
+        return side_of(self.normal, q)
+
+    def sides(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`side` over an ``(m, d)`` array of points."""
+        return sides_of(self.normal, points)
+
+    def tilt(self, s: np.ndarray) -> "Hyperplane":
+        """The hyperplane after applying strategy ``s`` to object ``a`` (Eq. 3)."""
+        s = np.asarray(s, dtype=float)
+        if s.shape != self.normal.shape:
+            raise ValidationError(f"strategy shape {s.shape} != dim {self.normal.shape}")
+        return Hyperplane(self.normal + s, a=self.a, b=self.b)
+
+    def __hash__(self):
+        return hash(self._key)
+
+    def __eq__(self, other):
+        if not isinstance(other, Hyperplane):
+            return NotImplemented
+        return self._key == other._key
+
+
+def side_of(normal: np.ndarray, q: np.ndarray, tol: float = EPS) -> int:
+    """Side of point ``q`` w.r.t. the hyperplane with the given normal.
+
+    Returns ``+1`` when ``q . normal <= tol`` (*above*: ``f_a`` ranks at
+    least as well as ``f_b``) and ``-1`` otherwise (*below*).
+    """
+    value = float(np.dot(np.asarray(q, dtype=float), normal))
+    return 1 if value <= tol else -1
+
+
+def sides_of(normal: np.ndarray, points: np.ndarray, tol: float = EPS) -> np.ndarray:
+    """Vectorized side test: ``(m, d)`` points -> ``(m,)`` array of +/-1."""
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    values = points @ normal
+    return np.where(values <= tol, 1, -1)
+
+
+def pairwise_normals(objects: np.ndarray, pairs=None) -> tuple[np.ndarray, list[tuple[int, int]]]:
+    """Normals of all pairwise intersection hyperplanes of ``objects``.
+
+    Parameters
+    ----------
+    objects:
+        ``(n, d)`` array of object attribute vectors.
+    pairs:
+        Optional iterable of ``(a, b)`` index pairs; defaults to all
+        ``a < b`` pairs.
+
+    Returns
+    -------
+    ``(P, pairs)`` where ``P`` is a ``(len(pairs), d)`` array with row
+    ``p_a - p_b`` and ``pairs`` the corresponding index pairs.
+    Degenerate (duplicate-object) pairs are skipped.
+    """
+    objects = np.asarray(objects, dtype=float)
+    if objects.ndim != 2:
+        raise ValidationError(f"objects must be a 2-D array, got shape {objects.shape}")
+    n = objects.shape[0]
+    if pairs is None:
+        pairs = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    else:
+        pairs = list(pairs)
+    kept_pairs: list[tuple[int, int]] = []
+    rows = []
+    for a, b in pairs:
+        normal = objects[a] - objects[b]
+        if np.abs(normal).max(initial=0.0) <= EPS:
+            continue  # identical objects never switch rank
+        rows.append(normal)
+        kept_pairs.append((a, b))
+    if not rows:
+        return np.empty((0, objects.shape[1])), []
+    return np.vstack(rows), kept_pairs

@@ -1,0 +1,210 @@
+"""Plane-sweep segment intersection (Bentley-Ottmann).
+
+The paper (§4.1) points to plane-sweep algorithms [Nievergelt &
+Preparata] for discovering function intersections.  For two-variable
+utility domains, the restriction of the intersection hyperplanes to the
+domain box is a set of line segments, and their crossings are exactly
+the points where the subdomain structure changes incidence.  This module
+implements the classical sweep, plus a quadratic brute-force reference
+used by the tests and as a fallback for degenerate inputs.
+
+The sweep assumes *general position* (no vertical segments, no three
+segments through one point, distinct endpoints); ``find_intersections``
+detects violations and transparently falls back to the brute-force
+routine so callers always get a correct answer.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["Segment", "find_intersections", "brute_force_intersections", "segment_intersection"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A 2-D closed line segment, stored with its left endpoint first."""
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    def __post_init__(self):
+        if (self.x1, self.y1) == (self.x2, self.y2):
+            raise ValidationError("degenerate segment (both endpoints equal)")
+        if (self.x2, self.y2) < (self.x1, self.y1):
+            left = (self.x2, self.y2)
+            right = (self.x1, self.y1)
+            object.__setattr__(self, "x1", left[0])
+            object.__setattr__(self, "y1", left[1])
+            object.__setattr__(self, "x2", right[0])
+            object.__setattr__(self, "y2", right[1])
+
+    @classmethod
+    def make(cls, p1, p2) -> "Segment":
+        """Build a segment from two points, normalizing endpoint order."""
+        a = (float(p1[0]), float(p1[1]))
+        b = (float(p2[0]), float(p2[1]))
+        if a == b:
+            raise ValidationError("degenerate segment (both endpoints equal)")
+        left, right = (a, b) if a <= b else (b, a)
+        return cls(left[0], left[1], right[0], right[1])
+
+    @property
+    def left(self):
+        return (self.x1, self.y1)
+
+    @property
+    def right(self):
+        return (self.x2, self.y2)
+
+    def is_vertical(self) -> bool:
+        """True when both endpoints share an x coordinate."""
+        return abs(self.x2 - self.x1) <= _EPS
+
+    def y_at(self, x: float) -> float:
+        """Height of the (non-vertical) segment's supporting line at ``x``."""
+        if self.is_vertical():
+            raise ValidationError("y_at is undefined for vertical segments")
+        t = (x - self.x1) / (self.x2 - self.x1)
+        return self.y1 + t * (self.y2 - self.y1)
+
+
+def segment_intersection(s: Segment, t: Segment, tol: float = _EPS):
+    """Proper intersection point of two segments, or ``None``.
+
+    Returns the crossing point when the interiors (or an endpoint lying
+    on the other segment) intersect in exactly one point; collinear
+    overlaps return ``None`` (reported separately by callers that care).
+    """
+    d1x, d1y = s.x2 - s.x1, s.y2 - s.y1
+    d2x, d2y = t.x2 - t.x1, t.y2 - t.y1
+    denom = d1x * d2y - d1y * d2x
+    if abs(denom) <= tol:
+        return None  # parallel or collinear
+    qpx, qpy = t.x1 - s.x1, t.y1 - s.y1
+    u = (qpx * d2y - qpy * d2x) / denom
+    v = (qpx * d1y - qpy * d1x) / denom
+    if -tol <= u <= 1 + tol and -tol <= v <= 1 + tol:
+        return (s.x1 + u * d1x, s.y1 + u * d1y)
+    return None
+
+
+def brute_force_intersections(segments) -> list[tuple[float, float, int, int]]:
+    """All pairwise proper intersections as ``(x, y, i, j)`` with ``i < j``."""
+    segments = list(segments)
+    out = []
+    for i in range(len(segments)):
+        for j in range(i + 1, len(segments)):
+            point = segment_intersection(segments[i], segments[j])
+            if point is not None:
+                out.append((point[0], point[1], i, j))
+    return out
+
+
+# Event kinds, ordered so that at equal x we process LEFT endpoints
+# before CROSS events before RIGHT endpoints.
+_LEFT, _CROSS, _RIGHT = 0, 1, 2
+
+
+def find_intersections(segments) -> list[tuple[float, float, int, int]]:
+    """Bentley-Ottmann sweep over ``segments``.
+
+    Returns ``(x, y, i, j)`` tuples like
+    :func:`brute_force_intersections` (same set, possibly different
+    order).  Falls back to brute force when the input violates the
+    general-position assumptions the sweep relies on.
+    """
+    segments = list(segments)
+    if len(segments) < 2:
+        return []
+    if any(s.is_vertical() for s in segments):
+        return brute_force_intersections(segments)
+    endpoints = [s.left for s in segments] + [s.right for s in segments]
+    if len(set(endpoints)) != len(endpoints):  # shared endpoints
+        return brute_force_intersections(segments)
+    try:
+        return _sweep(segments)
+    except _GeneralPositionViolation:
+        return brute_force_intersections(segments)
+
+
+class _GeneralPositionViolation(Exception):
+    """Raised internally when the sweep detects a degeneracy."""
+
+
+def _sweep(segments):
+    events: list[tuple[float, int, float, int, int]] = []
+    for i, s in enumerate(segments):
+        heapq.heappush(events, (s.x1, _LEFT, s.y1, i, -1))
+        heapq.heappush(events, (s.x2, _RIGHT, s.y2, i, -1))
+
+    status: list[int] = []  # segment ids ordered bottom-to-top at sweep x
+    found: dict[tuple[int, int], tuple[float, float]] = {}
+
+    def order_key(seg_id: int, x: float) -> float:
+        return segments[seg_id].y_at(x)
+
+    def check(lower_pos: int, x: float):
+        """Schedule the crossing of status[lower_pos] and its upper neighbour."""
+        if lower_pos < 0 or lower_pos + 1 >= len(status):
+            return
+        i, j = status[lower_pos], status[lower_pos + 1]
+        pair = (min(i, j), max(i, j))
+        if pair in found:
+            return
+        point = segment_intersection(segments[i], segments[j])
+        if point is not None and point[0] > x - _EPS:
+            found[pair] = point
+            heapq.heappush(events, (point[0], _CROSS, point[1], pair[0], pair[1]))
+
+    emitted: set[tuple[int, int]] = set()
+    out = []
+    while events:
+        x, kind, y, i, j = heapq.heappop(events)
+        if kind == _LEFT:
+            key = order_key(i, x)
+            pos = 0
+            while pos < len(status):
+                other = order_key(status[pos], x)
+                if abs(other - key) <= 1e-10:
+                    raise _GeneralPositionViolation
+                if other > key:
+                    break
+                pos += 1
+            status.insert(pos, i)
+            check(pos - 1, x)
+            check(pos, x)
+        elif kind == _RIGHT:
+            try:
+                pos = status.index(i)
+            except ValueError:  # pragma: no cover - defensive
+                raise _GeneralPositionViolation
+            status.pop(pos)
+            check(pos - 1, x)
+        else:  # _CROSS
+            pair = (i, j)
+            if pair in emitted:
+                continue
+            emitted.add(pair)
+            point = found[pair]
+            out.append((point[0], point[1], i, j))
+            try:
+                pos_i, pos_j = status.index(i), status.index(j)
+            except ValueError:  # pragma: no cover - defensive
+                raise _GeneralPositionViolation
+            if abs(pos_i - pos_j) != 1:
+                raise _GeneralPositionViolation
+            status[pos_i], status[pos_j] = status[pos_j], status[pos_i]
+            lower = min(pos_i, pos_j)
+            check(lower - 1, point[0] + _EPS)
+            check(lower + 1, point[0] + _EPS)
+    return out

@@ -1,0 +1,26 @@
+"""Index substrates: R-tree, bloom filters, skyline, dominant graph."""
+
+from repro.index.bloom import BloomFilter, CountingBloomFilter, optimal_parameters
+from repro.index.dominant_graph import DominantGraph
+from repro.index.rtree import Rect, RTree
+from repro.index.skyline import (
+    block_nested_loop_skyline,
+    dominates,
+    skyline,
+    skyline_layers,
+)
+from repro.index.xtree import XTree
+
+__all__ = [
+    "RTree",
+    "Rect",
+    "XTree",
+    "BloomFilter",
+    "CountingBloomFilter",
+    "optimal_parameters",
+    "DominantGraph",
+    "dominates",
+    "skyline",
+    "skyline_layers",
+    "block_nested_loop_skyline",
+]

@@ -1,0 +1,107 @@
+"""A counting Bloom filter.
+
+The paper (§4.3) indexes subdomains by their boundary intersections with
+a bloom filter so that, when an object is removed, the subdomains whose
+boundary involves one of its intersections can be found quickly.  We use
+a *counting* variant so boundary registrations can also be withdrawn
+when subdomains are merged or rebuilt.
+
+Hashing: double hashing over two independent 64-bit mixes of the item's
+``repr`` bytes (Kirsch-Mitzenmacher), which gives ``k`` well-spread
+index functions from two base hashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["BloomFilter", "CountingBloomFilter", "optimal_parameters"]
+
+
+def optimal_parameters(expected_items: int, false_positive_rate: float) -> tuple[int, int]:
+    """Classical optimal ``(num_bits, num_hashes)`` for the target rate."""
+    if expected_items <= 0:
+        raise ValidationError(f"expected_items must be positive, got {expected_items}")
+    if not 0 < false_positive_rate < 1:
+        raise ValidationError(f"false_positive_rate must be in (0, 1), got {false_positive_rate}")
+    num_bits = int(math.ceil(-expected_items * math.log(false_positive_rate) / (math.log(2) ** 2)))
+    num_hashes = max(1, int(round(num_bits / expected_items * math.log(2))))
+    return max(8, num_bits), num_hashes
+
+
+def _base_hashes(item) -> tuple[int, int]:
+    data = repr(item).encode("utf-8")
+    digest = hashlib.blake2b(data, digest_size=16).digest()
+    return int.from_bytes(digest[:8], "little"), int.from_bytes(digest[8:], "little")
+
+
+class BloomFilter:
+    """Standard (non-counting) Bloom filter over hashable items."""
+
+    def __init__(self, expected_items: int = 1024, false_positive_rate: float = 0.01):
+        self.num_bits, self.num_hashes = optimal_parameters(expected_items, false_positive_rate)
+        self._bits = np.zeros(self.num_bits, dtype=bool)
+        self._count = 0
+
+    def _indices(self, item) -> np.ndarray:
+        h1, h2 = _base_hashes(item)
+        return (h1 + np.arange(self.num_hashes, dtype=np.uint64) * np.uint64(h2)) % np.uint64(
+            self.num_bits
+        )
+
+    def add(self, item) -> None:
+        """Register an item."""
+        self._bits[self._indices(item).astype(np.intp)] = True
+        self._count += 1
+
+    def __contains__(self, item) -> bool:
+        return bool(self._bits[self._indices(item).astype(np.intp)].all())
+
+    def __len__(self) -> int:
+        """Number of ``add`` calls (not distinct items)."""
+        return self._count
+
+    def estimated_false_positive_rate(self) -> float:
+        """Rate predicted from the current fill factor."""
+        fill = float(self._bits.mean())
+        return fill**self.num_hashes
+
+
+class CountingBloomFilter(BloomFilter):
+    """Bloom filter with 16-bit counters supporting removal."""
+
+    def __init__(self, expected_items: int = 1024, false_positive_rate: float = 0.01):
+        super().__init__(expected_items, false_positive_rate)
+        self._counters = np.zeros(self.num_bits, dtype=np.uint16)
+        del self._bits  # counters replace the bit array
+
+    def add(self, item) -> None:
+        """Register an item (counters saturate rather than overflow)."""
+        idx = self._indices(item).astype(np.intp)
+        # saturate rather than overflow
+        self._counters[idx] = np.minimum(
+            self._counters[idx].astype(np.uint32) + 1, np.iinfo(np.uint16).max
+        ).astype(np.uint16)
+        self._count += 1
+
+    def remove(self, item) -> bool:
+        """Withdraw one registration; False when the item (probably) absent."""
+        idx = self._indices(item).astype(np.intp)
+        if not (self._counters[idx] > 0).all():
+            return False
+        self._counters[idx] -= 1
+        self._count -= 1
+        return True
+
+    def __contains__(self, item) -> bool:
+        idx = self._indices(item).astype(np.intp)
+        return bool((self._counters[idx] > 0).all())
+
+    def estimated_false_positive_rate(self) -> float:
+        fill = float((self._counters > 0).mean())
+        return fill**self.num_hashes

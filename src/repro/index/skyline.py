@@ -1,0 +1,117 @@
+"""Skyline (dominance) operators.
+
+Substrate for the Dominant Graph index [Zou & Chen, ICDE'08] that the
+paper benchmarks against in Figure 4, and for the related-work
+discussion of object upgrading onto skylines [Lu & Jensen, ICDE'12].
+
+Convention: the library ranks by **lower score is better** with
+non-negative query weights, so object ``p`` *dominates* ``r`` iff
+``p[j] <= r[j]`` in every dimension and ``p[j] < r[j]`` in at least one.
+A dominated object can never out-rank its dominator under any
+non-negative linear utility — the property both the skyline and the
+dominant graph exploit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["dominates", "skyline", "skyline_layers", "block_nested_loop_skyline"]
+
+
+def dominates(p: np.ndarray, r: np.ndarray, tol: float = 0.0) -> bool:
+    """True iff ``p`` dominates ``r`` under the min-score convention."""
+    p = np.asarray(p, dtype=float)
+    r = np.asarray(r, dtype=float)
+    if p.shape != r.shape:
+        raise ValidationError(f"shape mismatch: {p.shape} vs {r.shape}")
+    return bool(np.all(p <= r + tol) and np.any(p < r - tol))
+
+
+def block_nested_loop_skyline(objects: np.ndarray) -> np.ndarray:
+    """Indices of the skyline via the classic BNL algorithm [5].
+
+    Quadratic worst case but with the window trick that keeps the
+    candidate set small on typical data.
+    """
+    objects = np.asarray(objects, dtype=float)
+    if objects.ndim != 2:
+        raise ValidationError(f"objects must be 2-D, got shape {objects.shape}")
+    window: list[int] = []
+    for idx in range(objects.shape[0]):
+        candidate = objects[idx]
+        dominated = False
+        survivors = []
+        for kept in window:
+            if dominates(objects[kept], candidate):
+                dominated = True
+                survivors.append(kept)
+            elif not dominates(candidate, objects[kept]):
+                survivors.append(kept)
+        if not dominated:
+            survivors.append(idx)
+        window = survivors
+    return np.asarray(sorted(window), dtype=np.intp)
+
+
+def skyline(objects: np.ndarray) -> np.ndarray:
+    """Indices of the skyline, sort-first-skyline (SFS) variant.
+
+    Pre-sorting by the attribute sum guarantees no later object can
+    dominate an earlier one, so a single filtering pass suffices.
+    """
+    objects = np.asarray(objects, dtype=float)
+    if objects.ndim != 2:
+        raise ValidationError(f"objects must be 2-D, got shape {objects.shape}")
+    n = objects.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    order = np.argsort(objects.sum(axis=1), kind="stable")
+    result: list[int] = []
+    window = np.empty((0, objects.shape[1]))
+    for idx in order:
+        candidate = objects[idx]
+        if window.shape[0]:
+            dominated = np.all(window <= candidate, axis=1) & np.any(
+                window < candidate, axis=1
+            )
+            if bool(dominated.any()):
+                continue
+            # In exact arithmetic the sum-order guarantees no later point
+            # dominates an earlier one; with floating-point-tied sums it
+            # can happen, so evict window members the candidate dominates.
+            beats = np.all(candidate <= window, axis=1) & np.any(
+                candidate < window, axis=1
+            )
+            if bool(beats.any()):
+                keep = ~beats
+                window = window[keep]
+                result = [r for r, kept in zip(result, keep) if kept]
+        result.append(int(idx))
+        window = np.vstack([window, candidate[None, :]])
+    return np.asarray(sorted(result), dtype=np.intp)
+
+
+def skyline_layers(objects: np.ndarray) -> list[np.ndarray]:
+    """Iterative skyline peeling: layer 0 is the skyline of all objects,
+    layer 1 the skyline of the rest, and so on.
+
+    Every object appears in exactly one layer; an object in layer ``i``
+    is dominated by at least one object of layer ``i - 1``.  This is the
+    layer structure the dominant graph is built on.
+    """
+    objects = np.asarray(objects, dtype=float)
+    if objects.ndim != 2:
+        raise ValidationError(f"objects must be 2-D, got shape {objects.shape}")
+    remaining = np.arange(objects.shape[0], dtype=np.intp)
+    layers: list[np.ndarray] = []
+    while remaining.size:
+        local = skyline(objects[remaining])
+        layer = remaining[local]
+        layers.append(layer)
+        mask = np.ones(remaining.size, dtype=bool)
+        mask[local] = False
+        remaining = remaining[mask]
+    return layers

@@ -1,0 +1,134 @@
+"""X-tree: an R-tree variant with supernodes (paper §4.1, ref. [3]).
+
+The paper indexes query points "using multidimensional data structures
+such as R-tree or X-tree".  The X-tree [Berchtold, Keim & Kriegel]
+addresses the R-tree's high-dimensional degradation: when a node split
+would produce heavily *overlapping* halves (which makes every later
+search descend both), the X-tree refuses to split and instead extends
+the node into a **supernode** with enlarged capacity, trading fanout
+for overlap-free directories.
+
+Implementation: :class:`XTree` subclasses :class:`~repro.index.rtree.RTree`
+and intercepts the overflow handler — if Guttman's quadratic split of an
+*internal* node yields group rectangles whose overlap exceeds
+``max_overlap`` of the smaller group's area, the node's private capacity
+doubles instead.  Leaf splits always proceed (leaf overlap does not
+multiply search paths the same way, matching the original design's
+emphasis on directory nodes).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.index.rtree import Rect, RTree, _Node
+
+__all__ = ["XTree"]
+
+
+def _overlap_area(a: Rect, b: Rect) -> float:
+    out = 1.0
+    for lo_a, hi_a, lo_b, hi_b in zip(a.mins, a.maxs, b.mins, b.maxs):
+        span = min(hi_a, hi_b) - max(lo_a, lo_b)
+        if span <= 0:
+            return 0.0
+        out *= span
+    return out
+
+
+class XTree(RTree):
+    """R-tree with supernodes for overlap-heavy directory splits.
+
+    Parameters
+    ----------
+    max_overlap:
+        Split-rejection threshold: an internal split whose group MBRs
+        overlap by more than this fraction of the smaller group's area
+        is replaced by a supernode extension.
+    """
+
+    def __init__(self, dim: int, max_entries: int = 8, min_entries: int | None = None,
+                 max_overlap: float = 0.2):
+        super().__init__(dim, max_entries=max_entries, min_entries=min_entries)
+        if not 0 <= max_overlap <= 1:
+            raise ValidationError(f"max_overlap must be in [0, 1], got {max_overlap}")
+        self.max_overlap = max_overlap
+        self._capacity: dict[int, int] = {}  # id(node) -> private capacity
+
+    def _node_capacity(self, node: _Node) -> int:
+        return self._capacity.get(id(node), self.max_entries)
+
+    def supernode_count(self) -> int:
+        """How many directory nodes have extended capacity."""
+        return len(self._capacity)
+
+    # ------------------------------------------------------------------
+    def _split_upward(self, node: _Node) -> None:
+        while len(node.entries) > self._node_capacity(node):
+            if not node.leaf and self._should_extend(node):
+                # Supernode: double this node's private capacity and stop.
+                self._capacity[id(node)] = 2 * self._node_capacity(node)
+                break
+            sibling = self._quadratic_split(node)
+            parent = node.parent
+            if parent is None:
+                new_root = _Node(leaf=False)
+                new_root.entries = [(node.rect(), node), (sibling.rect(), sibling)]
+                node.parent = sibling.parent = new_root
+                self._root = new_root
+                return
+            self._refresh_entry(parent, node)
+            parent.entries.append((sibling.rect(), sibling))
+            sibling.parent = parent
+            node = parent
+        self._adjust_rects(node)
+
+    def _should_extend(self, node: _Node) -> bool:
+        """Would Guttman's split of this node overlap too much?"""
+        probe = _Node(leaf=node.leaf)
+        probe.entries = list(node.entries)
+        sibling = self._quadratic_split(probe)
+        rect_a, rect_b = probe.rect(), sibling.rect()
+        # Re-attach children to the original node (the probe split moved
+        # parents around for internal nodes).
+        if not node.leaf:
+            for __, child in node.entries:
+                child.parent = node
+        overlap = _overlap_area(rect_a, rect_b)
+        smaller = min(rect_a.area(), rect_b.area())
+        if smaller <= 0:
+            return overlap > 0
+        return overlap / smaller > self.max_overlap
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """R-tree invariants, with supernode capacities honoured."""
+        from repro.errors import IndexCorruptionError
+
+        leaf_depths: set[int] = set()
+        counted = 0
+        stack = [(self._root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            capacity = self._node_capacity(node)
+            if len(node.entries) > capacity:
+                raise IndexCorruptionError(
+                    f"node holds {len(node.entries)} entries, capacity {capacity}"
+                )
+            if node is not self._root and len(node.entries) < self.min_entries:
+                raise IndexCorruptionError(
+                    f"node fill {len(node.entries)} below minimum {self.min_entries}"
+                )
+            if node.leaf:
+                leaf_depths.add(depth)
+                counted += len(node.entries)
+            else:
+                for rect, child in node.entries:
+                    if child.parent is not node:
+                        raise IndexCorruptionError("broken parent pointer")
+                    if child.entries and not rect.contains(child.rect()):
+                        raise IndexCorruptionError("parent rect does not cover child")
+                    stack.append((child, depth + 1))
+        if len(leaf_depths) > 1:
+            raise IndexCorruptionError(f"leaves at different depths: {sorted(leaf_depths)}")
+        if counted != self._size:
+            raise IndexCorruptionError(f"size mismatch: counted {counted}, recorded {self._size}")

@@ -1,0 +1,6 @@
+"""Optimization substrates: the simplex LP solver and hit-cost solvers."""
+
+from repro.optimize.hit_cost import DEFAULT_MARGIN, HitSubproblem, min_cost_to_hit
+from repro.optimize.simplex import LinprogResult, linprog
+
+__all__ = ["linprog", "LinprogResult", "min_cost_to_hit", "HitSubproblem", "DEFAULT_MARGIN"]

@@ -1,0 +1,379 @@
+"""Cheapest strategy that makes the target hit one query (Eq. 13-14).
+
+Every iteration of the greedy IQ searches (Algorithms 3 and 4) solves,
+for each not-yet-hit query ``q``::
+
+    minimize  Cost(s)   subject to   q . (p + s) < theta_q,
+                                      s in StrategySpace box
+
+where ``theta_q`` is the score of the k-th ranked *other* object at
+``q`` (the threshold of Eq. 6).  Writing ``gap = theta_q - q . p``, the
+constraint is ``q . s < gap``; the strict inequality is realized as
+``q . s <= gap - margin``.
+
+Solvers by cost type
+--------------------
+* :class:`~repro.core.cost.L2Cost` — Lagrangian closed form; with box
+  bounds, monotone bisection on the multiplier.
+* :class:`~repro.core.cost.L1Cost` /
+  :class:`~repro.core.cost.AsymmetricLinearCost` — exact LP via the
+  in-house simplex (:mod:`repro.optimize.simplex`).
+* :class:`~repro.core.cost.LInfCost` — scaling closed form with box
+  bisection.
+* anything else — projected-subgradient numeric fallback (assumes a
+  convex cost; always returns a *feasible* strategy).
+
+Infeasibility (the query cannot be hit inside the box) raises
+:class:`repro.errors.InfeasibleError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cost import AsymmetricLinearCost, CostFunction, L1Cost, L2Cost, LInfCost
+from repro.core.strategy import Strategy, StrategySpace
+from repro.errors import InfeasibleError, ValidationError
+from repro.optimize.simplex import linprog
+
+__all__ = ["min_cost_to_hit", "min_cost_to_hit_set", "HitSubproblem"]
+
+#: Default slack turning the strict constraint into a closed one.  The
+#: query domain is normalized, so an absolute margin is meaningful.
+DEFAULT_MARGIN = 1e-7
+
+
+@dataclass(frozen=True)
+class HitSubproblem:
+    """One "hit query q" subproblem: ``q . s <= bound`` within a box."""
+
+    weights: np.ndarray  #: the query's weight vector (function input q)
+    bound: float  #: gap minus margin; the constraint is q . s <= bound
+
+    def satisfied_by(self, s: np.ndarray, tol: float = 1e-9) -> bool:
+        """Does strategy ``s`` satisfy the constraint (within ``tol``)?"""
+        return float(self.weights @ s) <= self.bound + tol
+
+
+def min_cost_to_hit(
+    cost: CostFunction,
+    weights: np.ndarray,
+    gap: float,
+    space: StrategySpace | None = None,
+    margin: float = DEFAULT_MARGIN,
+) -> Strategy:
+    """Solve Eq. 13-14 for one query.
+
+    Parameters
+    ----------
+    cost:
+        The issuer's cost function.
+    weights:
+        The query's weight vector ``q``.
+    gap:
+        ``theta_q - q . p``; positive means the target already hits.
+    space:
+        Valid-strategy box; defaults to unconstrained.
+    margin:
+        Strictness slack: the solver enforces ``q . s <= gap - margin``.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.shape != (cost.dim,):
+        raise ValidationError(f"weights shape {weights.shape} != ({cost.dim},)")
+    space = space or StrategySpace.unconstrained(cost.dim)
+    if space.dim != cost.dim:
+        raise ValidationError(f"space dim {space.dim} != cost dim {cost.dim}")
+
+    if gap > margin:
+        return Strategy.zero(cost.dim)  # already hits, strictly
+    problem = HitSubproblem(weights=weights, bound=float(gap) - margin)
+
+    if isinstance(cost, L2Cost):
+        vector = _solve_l2(cost, problem, space)
+    elif isinstance(cost, (L1Cost, AsymmetricLinearCost)):
+        vector = _solve_linear_lp(cost, problem, space)
+    elif isinstance(cost, LInfCost):
+        vector = _solve_linf(cost, problem, space)
+    else:
+        vector = _solve_numeric(cost, problem, space)
+    vector = space.clip(vector)
+    if not problem.satisfied_by(vector):
+        raise InfeasibleError("query cannot be hit within the strategy bounds")
+    return Strategy(vector, cost=cost(vector))
+
+
+# ----------------------------------------------------------------------
+# Weighted L2: minimize sqrt(sum w_i s_i^2) s.t. q.s <= b, box
+# ----------------------------------------------------------------------
+def _solve_l2(cost: L2Cost, problem: HitSubproblem, space: StrategySpace) -> np.ndarray:
+    q, b, w = problem.weights, problem.bound, cost.weights
+    unbounded = not (np.isfinite(space.lower).any() or np.isfinite(space.upper).any())
+    denom = float(np.sum(q * q / w))
+    if denom <= 0:
+        raise InfeasibleError("query weights are all zero; no strategy changes its score")
+    if unbounded:
+        # Lagrangian solution on the boundary q.s = b (b < 0 here).
+        return b * (q / w) / denom
+
+    # Box case: s_i(lam) = clip(-lam * q_i / w_i, lo_i, hi_i); the
+    # constraint value q . s(lam) decreases monotonically in lam >= 0.
+    def value(lam: float) -> float:
+        s = np.clip(-lam * q / w, space.lower, space.upper)
+        return float(q @ s)
+
+    lo_lam, hi_lam = 0.0, 1.0
+    if value(0.0) <= b:
+        return np.zeros(cost.dim)
+    while value(hi_lam) > b:
+        hi_lam *= 2.0
+        if hi_lam > 1e18:
+            raise InfeasibleError("query cannot be hit within the strategy bounds")
+    for __ in range(200):  # ~60 bits of precision
+        mid = 0.5 * (lo_lam + hi_lam)
+        if value(mid) > b:
+            lo_lam = mid
+        else:
+            hi_lam = mid
+    return np.clip(-hi_lam * q / w, space.lower, space.upper)
+
+
+# ----------------------------------------------------------------------
+# Weighted L1 / asymmetric linear: exact LP with split variables
+# ----------------------------------------------------------------------
+def _solve_linear_lp(cost, problem: HitSubproblem, space: StrategySpace) -> np.ndarray:
+    q, b = problem.weights, problem.bound
+    d = cost.dim
+    if isinstance(cost, AsymmetricLinearCost):
+        up_price, down_price = cost.up, cost.down
+    else:
+        up_price = down_price = cost.weights
+    # Variables: u (increase part), v (decrease part); s = u - v.
+    c = np.concatenate([up_price, down_price])
+    a_ub = np.concatenate([q, -q])[None, :]
+    b_ub = np.asarray([b])
+    bounds = []
+    for i in range(d):
+        bounds.append((0.0, space.upper[i] if np.isfinite(space.upper[i]) else None))
+    for i in range(d):
+        bounds.append((0.0, -space.lower[i] if np.isfinite(space.lower[i]) else None))
+    result = linprog(c, a_ub=a_ub, b_ub=b_ub, bounds=bounds)
+    return result.x[:d] - result.x[d:]
+
+
+# ----------------------------------------------------------------------
+# Weighted L-infinity: s_i = -t * sign-aligned extreme direction
+# ----------------------------------------------------------------------
+def _solve_linf(cost: LInfCost, problem: HitSubproblem, space: StrategySpace) -> np.ndarray:
+    q, b, w = problem.weights, problem.bound, cost.weights
+
+    # At budget t, the most negative reachable q.s uses s_i = -sign(q_i) * t / w_i
+    # clipped to the box; bisect on t.
+    def direction(t: float) -> np.ndarray:
+        raw = -np.sign(q) * t / w
+        return np.clip(raw, space.lower, space.upper)
+
+    def value(t: float) -> float:
+        return float(q @ direction(t))
+
+    if value(0.0) <= b:
+        return np.zeros(cost.dim)
+    lo_t, hi_t = 0.0, 1.0
+    while value(hi_t) > b:
+        hi_t *= 2.0
+        if hi_t > 1e18:
+            raise InfeasibleError("query cannot be hit within the strategy bounds")
+    for __ in range(200):
+        mid = 0.5 * (lo_t + hi_t)
+        if value(mid) > b:
+            lo_t = mid
+        else:
+            hi_t = mid
+    return direction(hi_t)
+
+
+# ----------------------------------------------------------------------
+# Generic convex cost: projected subgradient from the L2 warm start
+# ----------------------------------------------------------------------
+def _solve_numeric(
+    cost: CostFunction,
+    problem: HitSubproblem,
+    space: StrategySpace,
+    iterations: int = 400,
+) -> np.ndarray:
+    q, b = problem.weights, problem.bound
+    d = cost.dim
+
+    def project(s: np.ndarray) -> np.ndarray:
+        """Projection onto the box intersected with ``q . s <= b``."""
+        s = np.clip(s, space.lower, space.upper)
+        violation = float(q @ s) - b
+        if violation <= 0:
+            return s
+        # Alternate halfspace projection and box clipping (Dykstra-lite);
+        # both sets are convex so this converges to a feasible point.
+        qq = float(q @ q)
+        if qq <= 0:
+            raise InfeasibleError("query weights are all zero; no strategy changes its score")
+        for __ in range(100):
+            s = s - (max(float(q @ s) - b, 0.0) / qq) * q
+            s = np.clip(s, space.lower, space.upper)
+            if float(q @ s) <= b + 1e-12:
+                return s
+        raise InfeasibleError("query cannot be hit within the strategy bounds")
+
+    warm = _solve_l2(L2Cost(d), problem, space)
+    best = project(warm)
+    best_cost = cost(best)
+    current = best.copy()
+    step0 = max(1.0, float(np.linalg.norm(best)))
+    for t in range(1, iterations + 1):
+        grad = _numeric_gradient(cost, current)
+        norm = float(np.linalg.norm(grad))
+        if norm <= 1e-12:
+            break
+        current = project(current - (step0 / (norm * np.sqrt(t))) * grad)
+        value = cost(current)
+        if value < best_cost:
+            best, best_cost = current.copy(), value
+    return best
+
+
+def min_cost_to_hit_set(
+    cost: CostFunction,
+    weights: np.ndarray,
+    gaps: np.ndarray,
+    space: StrategySpace | None = None,
+    margin: float = DEFAULT_MARGIN,
+) -> Strategy:
+    """Cheapest single strategy hitting a whole *set* of queries.
+
+    Solves ``min Cost(s)`` s.t. ``W s <= gaps - margin`` (row-wise) plus
+    the strategy box — the multi-constraint generalization used by the
+    exact (exhaustive) IQ search, where a candidate query subset must be
+    hit simultaneously.
+
+    Solvers: L1/asymmetric -> exact LP; L2 (weighted) -> Dykstra's
+    alternating projections (minimum-norm point of a polyhedron);
+    anything else -> projected subgradient with cyclic projections.
+    """
+    weights = np.atleast_2d(np.asarray(weights, dtype=float))
+    gaps = np.atleast_1d(np.asarray(gaps, dtype=float))
+    if weights.shape != (gaps.shape[0], cost.dim):
+        raise ValidationError(
+            f"weights shape {weights.shape} incompatible with gaps {gaps.shape} / dim {cost.dim}"
+        )
+    space = space or StrategySpace.unconstrained(cost.dim)
+    bounds = gaps - margin
+    rows = np.flatnonzero(bounds < 0)  # satisfied-at-zero rows stay as guards
+    if rows.size == 0:
+        return Strategy.zero(cost.dim)
+
+    if isinstance(cost, (L1Cost, AsymmetricLinearCost)):
+        vector = _set_linear_lp(cost, weights, bounds, space)
+    elif isinstance(cost, L2Cost):
+        vector = _set_l2_dykstra(cost, weights, bounds, space)
+    else:
+        vector = _set_numeric(cost, weights, bounds, space)
+    vector = space.clip(vector)
+    if np.any(weights @ vector > bounds + 1e-6):
+        raise InfeasibleError("query set cannot be hit jointly within the strategy bounds")
+    return Strategy(vector, cost=cost(vector))
+
+
+def _set_linear_lp(cost, weights, bounds, space) -> np.ndarray:
+    d = cost.dim
+    if isinstance(cost, AsymmetricLinearCost):
+        up_price, down_price = cost.up, cost.down
+    else:
+        up_price = down_price = cost.weights
+    c = np.concatenate([up_price, down_price])
+    a_ub = np.hstack([weights, -weights])
+    lp_bounds = []
+    for i in range(d):
+        lp_bounds.append((0.0, space.upper[i] if np.isfinite(space.upper[i]) else None))
+    for i in range(d):
+        lp_bounds.append((0.0, -space.lower[i] if np.isfinite(space.lower[i]) else None))
+    result = linprog(c, a_ub=a_ub, b_ub=bounds, bounds=lp_bounds)
+    return result.x[:d] - result.x[d:]
+
+
+def _set_l2_dykstra(cost: L2Cost, weights, bounds, space, iterations: int = 2000) -> np.ndarray:
+    """Minimum weighted-norm point of the polyhedron via Dykstra.
+
+    In the metric ``||s||_w = sqrt(sum w_i s_i^2)``, projecting the
+    origin onto the intersection of the halfspaces and the box yields
+    the optimum.  Work in scaled coordinates ``u = sqrt(w) * s`` where
+    the metric is Euclidean; each constraint row rescales accordingly.
+    """
+    scale = np.sqrt(cost.weights)
+    a = weights / scale  # constraint rows in u-space
+    lo = space.lower * scale
+    hi = space.upper * scale
+    sets = [("half", i) for i in range(a.shape[0])] + [("box", None)]
+    u = np.zeros(cost.dim)
+    corrections = {key: np.zeros(cost.dim) for key in sets}
+    row_norms = np.einsum("ij,ij->i", a, a)
+    if np.any(row_norms <= 0):
+        raise InfeasibleError("a query with all-zero weights cannot be hit")
+    for __ in range(iterations):
+        shift = 0.0
+        for key in sets:
+            kind, i = key
+            y = u + corrections[key]
+            if kind == "half":
+                violation = float(a[i] @ y) - bounds[i]
+                projected = y - (max(violation, 0.0) / row_norms[i]) * a[i] if violation > 0 else y
+            else:
+                projected = np.clip(y, lo, hi)
+            corrections[key] = y - projected
+            shift = max(shift, float(np.abs(projected - u).max(initial=0.0)))
+            u = projected
+        if shift < 1e-12:
+            break
+    if np.any(a @ u > bounds + 1e-6):
+        raise InfeasibleError("query set cannot be hit jointly within the strategy bounds")
+    return u / scale
+
+
+def _set_numeric(cost, weights, bounds, space, iterations: int = 500) -> np.ndarray:
+    """Projected subgradient with cyclic feasibility projections."""
+
+    def project(s: np.ndarray) -> np.ndarray:
+        row_norms = np.einsum("ij,ij->i", weights, weights)
+        if np.any(row_norms <= 0):
+            raise InfeasibleError("a query with all-zero weights cannot be hit")
+        for __ in range(500):
+            s = np.clip(s, space.lower, space.upper)
+            violations = weights @ s - bounds
+            worst = int(np.argmax(violations))
+            if violations[worst] <= 1e-12:
+                return s
+            s = s - (violations[worst] / row_norms[worst]) * weights[worst]
+        raise InfeasibleError("query set cannot be hit jointly within the strategy bounds")
+
+    warm = _set_l2_dykstra(L2Cost(cost.dim), weights, bounds, space)
+    best = project(warm)
+    best_cost = cost(best)
+    current = best.copy()
+    step0 = max(1.0, float(np.linalg.norm(best)))
+    for t in range(1, iterations + 1):
+        grad = _numeric_gradient(cost, current)
+        norm = float(np.linalg.norm(grad))
+        if norm <= 1e-12:
+            break
+        current = project(current - (step0 / (norm * np.sqrt(t))) * grad)
+        value = cost(current)
+        if value < best_cost:
+            best, best_cost = current.copy(), value
+    return best
+
+
+def _numeric_gradient(cost: CostFunction, s: np.ndarray, h: float = 1e-6) -> np.ndarray:
+    grad = np.empty_like(s)
+    for i in range(s.shape[0]):
+        bump = np.zeros_like(s)
+        bump[i] = h
+        grad[i] = (cost(s + bump) - cost(s - bump)) / (2 * h)
+    return grad

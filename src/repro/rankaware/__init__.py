@@ -1,0 +1,5 @@
+"""Rank-aware companion queries: reverse k-ranks and maximum rank (§2)."""
+
+from repro.rankaware.queries import MaxRankResult, max_rank, reverse_k_ranks
+
+__all__ = ["reverse_k_ranks", "max_rank", "MaxRankResult"]

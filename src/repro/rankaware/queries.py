@@ -1,0 +1,185 @@
+"""Rank-aware companion queries from the paper's related work (§2).
+
+The paper positions Improvement Queries against three existing
+rank-aware queries; all three are implemented here so the library can
+answer the full "how competitive is my object?" question family:
+
+* **reverse top-k** [Vlachou et al.] — which workload queries contain
+  the object in their result?  (already used throughout the engine;
+  re-exported here for completeness);
+* **reverse k-ranks** [Zhang et al., VLDB'14] — the ``k`` queries where
+  the object ranks *best*, useful for unpopular objects that hit no
+  top-k at all;
+* **maximum rank query** [Mouratidis et al., VLDB'15] — the best rank
+  the object can achieve under *any* linear utility in the domain, i.e.
+  over all possible users rather than the indexed workload.  As the
+  paper stresses, this explores utility space rather than changing the
+  object — the complementary question to an IQ.
+
+The maximum-rank search is exact: the rank of object ``p`` at query
+point ``q`` is the number of objects ``l`` with ``q . (p_l - p) < 0``,
+so minimizing rank means choosing sides of the ``n - 1`` hyperplanes
+``q . (p_l - p) = 0`` to make as few as possible negative while the
+side choice stays geometrically feasible — a branch-and-bound over
+halfspace-feasibility checks (LP).  A sampling front end seeds the
+incumbent so the exponential worst case rarely bites at library scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.errors import ValidationError
+from repro.geometry.halfspace import HalfspaceRegion
+from repro.geometry.hyperplane import Hyperplane
+
+__all__ = ["reverse_k_ranks", "max_rank", "MaxRankResult"]
+
+
+def reverse_k_ranks(dataset: Dataset, queries: QuerySet, target: int, k: int) -> list[int]:
+    """The ``k`` workload queries where ``target`` ranks best.
+
+    Ties in rank are broken by query id (deterministic).  This is the
+    reverse k-ranks query of [25]: useful when the object appears in no
+    top-k result at all, because it still identifies the most promising
+    users.
+    """
+    dataset._check_id(target)
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    if queries.dim != dataset.dim:
+        raise ValidationError(f"query dim {queries.dim} != dataset dim {dataset.dim}")
+    matrix = dataset.matrix
+    weights = queries.weights
+    scores = weights @ matrix.T  # (m, n)
+    mine = scores[:, target][:, None]
+    ids = np.arange(dataset.n)[None, :]
+    better = (scores < mine).sum(axis=1)
+    ties = ((scores == mine) & (ids < target)).sum(axis=1)
+    ranks = better + ties + 1  # 1-based rank of the target per query
+    order = np.lexsort((np.arange(queries.m), ranks))
+    return [int(j) for j in order[: min(k, queries.m)]]
+
+
+@dataclass(frozen=True)
+class MaxRankResult:
+    """Outcome of a maximum rank query."""
+
+    rank: int  #: best achievable 1-based rank
+    witness: np.ndarray  #: a query point achieving it
+    exact: bool  #: False when the branch-and-bound hit its node budget
+
+
+def max_rank(
+    dataset: Dataset,
+    target: int,
+    domain_lower=None,
+    domain_upper=None,
+    samples: int = 256,
+    node_budget: int = 20_000,
+    seed: int | None = 0,
+) -> MaxRankResult:
+    """Best rank ``target`` can achieve under any linear utility [14].
+
+    Parameters
+    ----------
+    domain_lower, domain_upper:
+        The utility-weight domain box (defaults to ``[0, 1]^d``).
+    samples:
+        Random query points used to seed the incumbent.
+    node_budget:
+        Cap on branch-and-bound nodes; when exceeded the best incumbent
+        is returned with ``exact=False``.
+
+    Notes
+    -----
+    Query points lying *exactly on* an intersection hyperplane are
+    scored conservatively (the tie counts as beaten), so "exact" means
+    exact over the domain's generic points.  In particular the all-zero
+    query — where every object ties and ranks collapse to id order — is
+    not exploited; it encodes "no preference at all" and rank there is
+    not meaningful.
+    """
+    dataset._check_id(target)
+    matrix = dataset.matrix
+    d = dataset.dim
+    lower = np.zeros(d) if domain_lower is None else np.asarray(domain_lower, float)
+    upper = np.ones(d) if domain_upper is None else np.asarray(domain_upper, float)
+
+    others = [l for l in range(dataset.n) if l != target]
+    # Hyperplanes q . (p_l - p_target) = 0; the target is *beaten* by l
+    # at q iff q . (p_l - p_target) < 0 (l's score is smaller), which is
+    # the "below" side under the library convention for the normal
+    # p_l - p_target... beaten <=> side == -1 of Hyperplane(p_l - p).
+    hyperplanes = []
+    always_beaten = 0
+    for l in others:
+        normal = matrix[l] - matrix[target]
+        h = Hyperplane(normal, a=l, b=target)
+        if h.is_degenerate():
+            # Identical objects: the tie falls to the lower id everywhere.
+            always_beaten += int(l < target)
+            continue
+        hyperplanes.append(h)
+
+    def rank_at(q: np.ndarray) -> int:
+        scores = matrix @ q
+        mine = scores[target]
+        better = int(np.sum(scores < mine))
+        ties = int(np.sum((scores == mine)[:target]))
+        return better + ties + 1
+
+    rng = np.random.default_rng(seed)
+    best_point = lower + (upper - lower) * 0.5
+    best_rank = rank_at(best_point)
+    for __ in range(samples):
+        q = lower + (upper - lower) * rng.random(d)
+        r = rank_at(q)
+        if r < best_rank:
+            best_rank, best_point = r, q
+        if best_rank == 1 + always_beaten:
+            break
+
+    # Branch and bound over side choices.  Order hyperplanes so the
+    # "easy wins" (hyperplanes whose non-beaten side contains the
+    # incumbent) come first.
+    incumbent_sides = [h.side(best_point) for h in hyperplanes]
+    order = np.argsort([0 if s == 1 else 1 for s in incumbent_sides], kind="stable")
+    ordered = [hyperplanes[int(i)] for i in order]
+
+    nodes = 0
+    exact = True
+
+    def search(pos: int, region: HalfspaceRegion, beaten: int) -> None:
+        nonlocal best_rank, best_point, nodes, exact
+        if nodes >= node_budget:
+            exact = False
+            return
+        nodes += 1
+        if beaten + 1 >= best_rank:
+            return  # cannot improve the incumbent
+        if pos == len(ordered):
+            witness = region.witness()
+            if witness is not None:
+                achieved = rank_at(witness)  # exact at the witness point
+                if achieved < best_rank:
+                    best_rank, best_point = achieved, witness
+            return
+        h = ordered[pos]
+        # side == -1 ('below', q . n > 0): l scores higher, target NOT
+        # beaten.  side == +1 ('above', q . n <= 0): target beaten on
+        # the open side; the boundary tie is counted as beaten too —
+        # conservative by a measure-zero set (optima exactly on a
+        # hyperplane with a favourable id tie may be missed).
+        for side, add in ((-1, 0), (1, 1)):
+            child = region.add(h, side)
+            if not child.is_empty():
+                search(pos + 1, child, beaten + add)
+
+    base = HalfspaceRegion(d, lower=lower, upper=upper)
+    search(0, base, always_beaten)
+    return MaxRankResult(rank=best_rank, witness=np.asarray(best_point), exact=exact)

@@ -1,0 +1,28 @@
+"""Top-k evaluation substrates: direct, heap, Fagin's TA, views, onion."""
+
+from repro.topk.evaluate import (
+    kth_score,
+    rank_of,
+    ranking_prefix,
+    scores,
+    top_k,
+    top_k_heap,
+)
+from repro.topk.onion import OnionIndex, convex_hull_2d
+from repro.topk.threshold import SortedListsIndex, TAResult
+from repro.topk.views import ViewAnswer, ViewIndex
+
+__all__ = [
+    "scores",
+    "top_k",
+    "top_k_heap",
+    "ranking_prefix",
+    "rank_of",
+    "kth_score",
+    "SortedListsIndex",
+    "TAResult",
+    "ViewIndex",
+    "ViewAnswer",
+    "OnionIndex",
+    "convex_hull_2d",
+]

@@ -1,0 +1,116 @@
+"""The Onion technique: convex-hull layers for linear top-k (§2, [6]).
+
+Chang et al.'s layer-based index: peel the dataset into convex-hull
+layers; for any *linear* utility, the best object lies on the outermost
+hull, and more generally the i-th ranked object lies within the first
+``i`` layers.  A top-k query therefore only evaluates the objects of
+the first ``k`` layers.
+
+This implementation covers the 2-D case with Andrew's monotone-chain
+hull (the substrate the paper's related-work comparison needs); higher
+dimensions fall back to a single layer containing everything, which is
+correct (just not selective) and keeps the API total.
+
+Unlike the dominance-based structures, hull layers support arbitrary
+weight signs — minimization over a polytope attains its optimum at a
+vertex regardless of the objective's direction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.topk.evaluate import top_k as brute_top_k
+
+__all__ = ["convex_hull_2d", "OnionIndex"]
+
+
+def convex_hull_2d(points: np.ndarray) -> np.ndarray:
+    """Indices of the convex hull of 2-D points (monotone chain).
+
+    Returns hull vertex indices in counter-clockwise order; collinear
+    boundary points are *included* (they can win ties under some
+    utility, so layer peeling must not bury them).
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValidationError(f"points must be (n, 2), got {points.shape}")
+    n = points.shape[0]
+    if n <= 2:
+        return np.arange(n, dtype=np.intp)
+    order = np.lexsort((points[:, 1], points[:, 0]))
+
+    def cross(o, a, b) -> float:
+        return (points[a, 0] - points[o, 0]) * (points[b, 1] - points[o, 1]) - (
+            points[a, 1] - points[o, 1]
+        ) * (points[b, 0] - points[o, 0])
+
+    def chain(indices):
+        out: list[int] = []
+        for idx in indices:
+            # Keep collinear points: pop only on strict right turns.
+            while len(out) >= 2 and cross(out[-2], out[-1], idx) < 0:
+                out.pop()
+            out.append(int(idx))
+        return out
+
+    lower = chain(order)
+    upper = chain(order[::-1])
+    hull = lower[:-1] + upper[:-1]
+    if not hull:  # all points identical
+        hull = [int(order[0])]
+    return np.asarray(sorted(set(hull)), dtype=np.intp)
+
+
+class OnionIndex:
+    """Convex-hull layer index answering linear top-k queries."""
+
+    def __init__(self, objects: np.ndarray):
+        objects = np.asarray(objects, dtype=float)
+        if objects.ndim != 2 or objects.shape[0] == 0:
+            raise ValidationError(f"objects must be non-empty 2-D, got {objects.shape}")
+        self.objects = objects
+        self.layers: list[np.ndarray] = []
+        if objects.shape[1] == 2:
+            remaining = np.arange(objects.shape[0], dtype=np.intp)
+            while remaining.size:
+                local = convex_hull_2d(objects[remaining])
+                self.layers.append(remaining[local])
+                mask = np.ones(remaining.size, dtype=bool)
+                mask[local] = False
+                remaining = remaining[mask]
+        else:
+            # Higher dimensions: one all-encompassing layer (correct,
+            # unselective); a d-dimensional hull is out of scope.
+            self.layers.append(np.arange(objects.shape[0], dtype=np.intp))
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def candidates(self, k: int) -> np.ndarray:
+        """Objects of the first ``k`` layers (the top-k candidate set)."""
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        chosen = self.layers[: min(k, len(self.layers))]
+        return np.sort(np.concatenate(chosen))
+
+    def top_k(self, weights: np.ndarray, k: int) -> list[int]:
+        """Exact linear top-k (ties by id); weights may have any sign."""
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (self.objects.shape[1],):
+            raise ValidationError(
+                f"weights shape {weights.shape} != ({self.objects.shape[1]},)"
+            )
+        candidate_ids = self.candidates(k)
+        local = brute_top_k(self.objects[candidate_ids], weights, min(k, candidate_ids.size))
+        return [int(candidate_ids[i]) for i in local]
+
+    def validate(self) -> None:
+        """Layers partition the objects; each layer is hull of the rest."""
+        seen = np.zeros(self.objects.shape[0], dtype=int)
+        for layer in self.layers:
+            seen[layer] += 1
+        if not np.all(seen == 1):
+            raise ValidationError("onion layers do not partition the object set")

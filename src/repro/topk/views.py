@@ -1,0 +1,128 @@
+"""View-based top-k processing (PREFER-style, paper §2 related work).
+
+PREFER [Hristidis et al., SIGMOD'01] materializes the object ranking
+under a handful of *view* preference vectors; an incoming query is
+answered by scanning the best-matching view's ranking in order and
+stopping once a watermark guarantees the query's true top-k has been
+seen.  This module implements the technique for non-negative linear
+scores under the library's min-convention.
+
+Watermark.  For non-negative attribute values, any query ``q`` and view
+``v`` with positive weights satisfy::
+
+    f_q(p) = sum_j q_j p_j >= (min_j q_j / v_j) * f_v(p)
+
+so once ``f_v(p) * min_ratio`` exceeds the current k-th best query
+score, no later object in the view order can enter the top-k — a sound
+early-termination bound (the scan degrades to a full pass when a query
+weight is zero on a dimension the view weights, making ``min_ratio``
+zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["ViewIndex", "ViewAnswer"]
+
+
+@dataclass
+class ViewAnswer:
+    """A view-answered top-k with its scan statistics."""
+
+    ids: list[int]  #: top-k object ids, best first (ties by id)
+    view: int  #: which materialized view served the query
+    scanned: int  #: objects read from the view ranking
+
+
+class ViewIndex:
+    """Materialized-view top-k index over non-negative data.
+
+    Parameters
+    ----------
+    objects:
+        ``(n, d)`` matrix with non-negative entries (min-convention:
+        lower score wins).
+    views:
+        ``(v, d)`` strictly positive view preference vectors.  Defaults
+        to the uniform view plus one axis-leaning view per dimension.
+    """
+
+    def __init__(self, objects: np.ndarray, views: np.ndarray | None = None):
+        objects = np.asarray(objects, dtype=float)
+        if objects.ndim != 2 or objects.shape[0] == 0:
+            raise ValidationError(f"objects must be non-empty 2-D, got {objects.shape}")
+        if objects.min(initial=0.0) < 0:
+            raise ValidationError("view-based processing requires non-negative values")
+        self.objects = objects
+        d = objects.shape[1]
+        if views is None:
+            views = [np.ones(d)]
+            for j in range(d):
+                lean = np.full(d, 0.25)
+                lean[j] = 1.0
+                views.append(lean)
+            views = np.vstack(views)
+        views = np.atleast_2d(np.asarray(views, dtype=float))
+        if views.shape[1] != d:
+            raise ValidationError(f"views must be (v, {d}), got {views.shape}")
+        if views.min(initial=1.0) <= 0:
+            raise ValidationError("view weights must be strictly positive")
+        self.views = views
+        # Materialize: object ids ordered ascending by each view score.
+        self.rankings = [
+            np.argsort(objects @ view, kind="stable") for view in views
+        ]
+
+    # ------------------------------------------------------------------
+    def best_view(self, weights: np.ndarray) -> int:
+        """The view maximizing the watermark ratio ``min_j q_j / v_j``.
+
+        A larger ratio means a tighter bound and an earlier stop.
+        """
+        ratios = (weights[None, :] / self.views).min(axis=1)
+        return int(np.argmax(ratios))
+
+    def top_k(self, weights: np.ndarray, k: int) -> ViewAnswer:
+        """Exact top-k (ties by id) by scanning one materialized view."""
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (self.objects.shape[1],):
+            raise ValidationError(
+                f"weights shape {weights.shape} != ({self.objects.shape[1]},)"
+            )
+        if np.any(weights < 0):
+            raise ValidationError("view-based processing requires non-negative weights")
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        n = self.objects.shape[0]
+        k = min(k, n)
+        view_id = self.best_view(weights)
+        order = self.rankings[view_id]
+        view_scores = self.objects @ self.views[view_id]
+        min_ratio = float((weights / self.views[view_id]).min())
+
+        best: list[tuple[float, int]] = []  # (query score, id), size <= k
+        scanned = 0
+        for obj in order:
+            obj = int(obj)
+            scanned += 1
+            score = float(self.objects[obj] @ weights)
+            best.append((score, obj))
+            best.sort()
+            del best[k:]
+            if len(best) == k and min_ratio > 0:
+                # Watermark: everything later in the view order has
+                # f_v >= this object's, hence f_q >= min_ratio * f_v.
+                if min_ratio * float(view_scores[obj]) > best[-1][0]:
+                    break
+        return ViewAnswer(
+            ids=[obj for __, obj in best], view=view_id, scanned=scanned
+        )
+
+    def memory_estimate(self) -> int:
+        """Bytes spent on the materialized rankings."""
+        return sum(r.size * 8 for r in self.rankings) + self.views.size * 8

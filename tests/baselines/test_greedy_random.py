@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+
+from repro.baselines.greedy import greedy_max_hit_iq, greedy_min_cost_iq
+from repro.baselines.random_search import random_max_hit_iq, random_min_cost_iq
+from repro.core.cost import euclidean_cost
+from repro.core.ese import StrategyEvaluator
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.core.strategy import StrategySpace
+from repro.core.subdomain import SubdomainIndex
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def evaluator(rng):
+    dataset = Dataset(rng.random((15, 3)))
+    queries = QuerySet(rng.random((25, 3)), ks=rng.integers(1, 4, 25))
+    return StrategyEvaluator(SubdomainIndex(dataset, queries))
+
+
+class TestGreedy:
+    def test_min_cost_reaches_goal(self, evaluator):
+        result = greedy_min_cost_iq(evaluator, 0, 10, euclidean_cost(3))
+        assert result.satisfied
+        assert result.hits_after >= 10
+        assert result.hits_after == evaluator.evaluate(0, result.strategy.vector)
+
+    def test_max_hit_within_budget(self, evaluator):
+        result = greedy_max_hit_iq(evaluator, 0, 0.4, euclidean_cost(3))
+        assert result.total_cost <= 0.4 + 1e-9
+
+    def test_each_iteration_is_single_candidate(self, evaluator):
+        result = greedy_min_cost_iq(evaluator, 2, 8, euclidean_cost(3))
+        assert all(r.candidates == 1 for r in result.iterations)
+
+    def test_validation(self, evaluator):
+        with pytest.raises(ValidationError):
+            greedy_min_cost_iq(evaluator, 0, 0, euclidean_cost(3))
+        with pytest.raises(ValidationError):
+            greedy_max_hit_iq(evaluator, 0, -1.0, euclidean_cost(3))
+
+
+class TestRandom:
+    def test_min_cost_goal(self, evaluator):
+        result = random_min_cost_iq(evaluator, 0, 5, euclidean_cost(3), seed=42)
+        # Random search usually reaches modest goals on this data.
+        assert result.hits_after >= result.hits_before
+        assert result.hits_after == evaluator.evaluate(0, result.strategy.vector)
+
+    def test_max_hit_budget(self, evaluator):
+        result = random_max_hit_iq(evaluator, 0, 0.5, euclidean_cost(3), seed=42)
+        assert result.total_cost <= 0.5 + 1e-9
+        assert result.hits_after >= result.hits_before
+
+    def test_deterministic_given_seed(self, evaluator):
+        a = random_min_cost_iq(evaluator, 1, 5, euclidean_cost(3), seed=7)
+        b = random_min_cost_iq(evaluator, 1, 5, euclidean_cost(3), seed=7)
+        assert np.array_equal(a.strategy.vector, b.strategy.vector)
+
+    def test_respects_space(self, evaluator):
+        space = StrategySpace(3, lower=np.full(3, -0.2), upper=np.full(3, 0.2))
+        result = random_min_cost_iq(evaluator, 0, 10, euclidean_cost(3), space=space, seed=3)
+        assert space.contains(result.strategy.vector)
+
+    def test_attempts_bounded(self, evaluator):
+        result = random_min_cost_iq(
+            evaluator, 0, 25, euclidean_cost(3), attempts=10, seed=0
+        )
+        assert result.evaluations <= 10
+
+    def test_validation(self, evaluator):
+        with pytest.raises(ValidationError):
+            random_min_cost_iq(evaluator, 0, 0, euclidean_cost(3))
+        with pytest.raises(ValidationError):
+            random_max_hit_iq(evaluator, 0, -0.1, euclidean_cost(3))

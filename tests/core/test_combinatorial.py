@@ -1,0 +1,131 @@
+import numpy as np
+import pytest
+
+from repro.core.combinatorial import combinatorial_max_hit, combinatorial_min_cost
+from repro.core.cost import L1Cost, euclidean_cost
+from repro.core.ese import StrategyEvaluator
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.core.strategy import StrategySpace
+from repro.core.subdomain import SubdomainIndex
+from repro.errors import ValidationError
+from repro.topk.evaluate import top_k
+
+
+@pytest.fixture
+def world(rng):
+    dataset = Dataset(rng.random((15, 3)))
+    queries = QuerySet(rng.random((25, 3)), ks=rng.integers(1, 4, 25))
+    index = SubdomainIndex(dataset, queries)
+    return dataset, queries, index
+
+
+def joint_hits(matrix, queries, targets, strategies=None):
+    """Ground-truth union hit count after applying the strategies."""
+    matrix = matrix.copy()
+    if strategies:
+        for t, s in strategies.items():
+            matrix[t] = matrix[t] + s.vector
+    count = 0
+    for j in range(queries.m):
+        weights, k = queries.query(j)
+        result = set(top_k(matrix, weights, k))
+        if result & set(targets):
+            count += 1
+    return count
+
+
+class TestMinCostMulti:
+    def test_reaches_tau_with_exact_accounting(self, world):
+        dataset, queries, index = world
+        targets = [0, 7]
+        result = combinatorial_min_cost(index, targets, tau=12, costs=euclidean_cost(3))
+        assert result.satisfied
+        assert result.hits_after >= 12
+        # Reported joint hits must match brute force on the improved data.
+        assert result.hits_after == joint_hits(
+            dataset.matrix, queries, targets, result.strategies
+        )
+
+    def test_union_counts_each_query_once(self, world):
+        dataset, queries, index = world
+        targets = [0, 1]
+        result = combinatorial_min_cost(index, targets, tau=5, costs=euclidean_cost(3))
+        assert result.hits_after <= queries.m
+
+    def test_single_target_reduces_to_basic(self, world):
+        """One target: the combinatorial variant solves the same problem."""
+        dataset, queries, index = world
+        evaluator = StrategyEvaluator(index)
+        result = combinatorial_min_cost(index, [4], tau=8, costs=euclidean_cost(3))
+        assert result.satisfied
+        assert result.hits_after == evaluator.evaluate(4, result.strategies[4].vector)
+
+    def test_per_target_costs(self, world):
+        __, __, index = world
+        costs = {0: euclidean_cost(3), 7: L1Cost(3)}
+        result = combinatorial_min_cost(index, [0, 7], tau=8, costs=costs)
+        assert result.satisfied
+
+    def test_missing_cost_raises(self, world):
+        __, __, index = world
+        with pytest.raises(ValidationError):
+            combinatorial_min_cost(index, [0, 7], tau=5, costs={0: euclidean_cost(3)})
+
+    def test_duplicate_targets_raise(self, world):
+        __, __, index = world
+        with pytest.raises(ValidationError):
+            combinatorial_min_cost(index, [0, 0], tau=5, costs=euclidean_cost(3))
+
+    def test_bad_tau(self, world):
+        __, __, index = world
+        with pytest.raises(ValidationError):
+            combinatorial_min_cost(index, [0], tau=0, costs=euclidean_cost(3))
+        with pytest.raises(ValidationError):
+            combinatorial_min_cost(index, [0], tau=26, costs=euclidean_cost(3))
+
+    def test_cheaper_than_single_target(self, world):
+        """Splitting the work across two targets can only help: the
+        single-target solution is feasible for the pair."""
+        dataset, queries, index = world
+        single = combinatorial_min_cost(index, [2], tau=10, costs=euclidean_cost(3))
+        pair = combinatorial_min_cost(index, [2, 11], tau=10, costs=euclidean_cost(3))
+        if single.satisfied and pair.satisfied:
+            assert pair.total_cost <= single.total_cost * 1.25 + 1e-9
+
+
+class TestMaxHitMulti:
+    def test_budget_respected(self, world):
+        dataset, queries, index = world
+        targets = [0, 5]
+        for budget in (0.1, 0.5, 1.5):
+            result = combinatorial_max_hit(index, targets, budget, costs=euclidean_cost(3))
+            assert result.total_cost <= budget + 1e-9
+            assert result.satisfied
+            assert result.hits_after == joint_hits(
+                dataset.matrix, queries, targets, result.strategies
+            )
+
+    def test_hits_monotone_in_budget(self, world):
+        __, __, index = world
+        hits = [
+            combinatorial_max_hit(index, [3, 9], b, costs=euclidean_cost(3)).hits_after
+            for b in (0.05, 0.3, 1.0)
+        ]
+        assert all(a <= b for a, b in zip(hits, hits[1:]))
+
+    def test_spaces_respected(self, world):
+        __, __, index = world
+        spaces = {
+            1: StrategySpace(3, lower=np.full(3, -0.05), upper=np.full(3, 0.05)),
+            8: StrategySpace.unconstrained(3),
+        }
+        result = combinatorial_max_hit(
+            index, [1, 8], budget=2.0, costs=euclidean_cost(3), spaces=spaces
+        )
+        assert spaces[1].contains(result.strategies[1].vector)
+
+    def test_negative_budget_raises(self, world):
+        __, __, index = world
+        with pytest.raises(ValidationError):
+            combinatorial_max_hit(index, [0], -1.0, costs=euclidean_cost(3))

@@ -1,0 +1,100 @@
+import numpy as np
+import pytest
+
+from repro.core.cost import (
+    AsymmetricLinearCost,
+    CallableCost,
+    L1Cost,
+    L2Cost,
+    LInfCost,
+    euclidean_cost,
+)
+from repro.errors import ValidationError
+
+
+class TestL2Cost:
+    def test_paper_eq_30(self):
+        cost = euclidean_cost(3)
+        assert cost(np.array([3.0, 4.0, 0.0])) == pytest.approx(5.0)
+
+    def test_zero_is_free(self):
+        assert L2Cost(4)(np.zeros(4)) == 0.0
+
+    def test_weights_scale(self):
+        cost = L2Cost(2, weights=[4.0, 1.0])
+        assert cost(np.array([1.0, 0.0])) == pytest.approx(2.0)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValidationError):
+            L2Cost(2, weights=[1.0, 0.0])
+        with pytest.raises(ValidationError):
+            L2Cost(2, weights=[1.0])
+
+    def test_shape_check(self):
+        with pytest.raises(ValidationError):
+            L2Cost(2)(np.zeros(3))
+
+
+class TestL1Cost:
+    def test_absolute_sum(self):
+        assert L1Cost(3)(np.array([1.0, -2.0, 3.0])) == pytest.approx(6.0)
+
+    def test_weighted(self):
+        cost = L1Cost(2, weights=[10.0, 1.0])
+        assert cost(np.array([0.5, -0.5])) == pytest.approx(5.5)
+
+
+class TestLInfCost:
+    def test_max_component(self):
+        assert LInfCost(3)(np.array([1.0, -5.0, 2.0])) == pytest.approx(5.0)
+
+
+class TestAsymmetricCost:
+    def test_direction_pricing(self):
+        cost = AsymmetricLinearCost(2, up=[10.0, 1.0], down=[1.0, 10.0])
+        assert cost(np.array([1.0, 0.0])) == pytest.approx(10.0)  # raising dim 0
+        assert cost(np.array([-1.0, 0.0])) == pytest.approx(1.0)  # lowering dim 0
+        assert cost(np.array([0.0, -1.0])) == pytest.approx(10.0)
+
+    def test_mixed_strategy(self):
+        cost = AsymmetricLinearCost(2, up=[2.0, 3.0], down=[5.0, 7.0])
+        assert cost(np.array([1.0, -1.0])) == pytest.approx(2.0 + 7.0)
+
+
+class TestCallableCost:
+    def test_wraps_function(self):
+        cost = CallableCost(2, lambda s: float(np.sum(s**4)))
+        assert cost(np.array([1.0, 2.0])) == pytest.approx(17.0)
+
+    def test_requires_zero_at_origin(self):
+        with pytest.raises(ValidationError):
+            CallableCost(2, lambda s: 1.0 + float(np.sum(np.abs(s))))
+
+    def test_rejects_invalid_values(self):
+        cost = CallableCost(1, lambda s: float(s[0]))  # negative for s<0
+        with pytest.raises(ValidationError):
+            cost(np.array([-5.0]))
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(ValidationError):
+            CallableCost(2, "not callable")
+
+
+class TestConvexityProperties:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: L2Cost(3),
+            lambda: L1Cost(3),
+            lambda: LInfCost(3),
+            lambda: AsymmetricLinearCost(3, up=[1.0, 2.0, 3.0], down=[3.0, 2.0, 1.0]),
+        ],
+    )
+    def test_midpoint_convexity_and_nonnegativity(self, make, rng):
+        cost = make()
+        for __ in range(25):
+            a = rng.normal(size=3)
+            b = rng.normal(size=3)
+            mid = 0.5 * (a + b)
+            assert cost(mid) <= 0.5 * cost(a) + 0.5 * cost(b) + 1e-9
+            assert cost(a) >= 0

@@ -1,0 +1,135 @@
+"""Edge cases and failure injection across the core modules."""
+
+import numpy as np
+import pytest
+
+import repro.core.ese as ese_module
+from repro.core.cost import euclidean_cost
+from repro.core.engine import ImprovementQueryEngine
+from repro.core.ese import StrategyEvaluator
+from repro.core.mincost import min_cost_iq
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.core.subdomain import SubdomainIndex, relevant_pairs
+from repro.errors import IndexCorruptionError, ValidationError
+
+
+class TestChunkedEvaluation:
+    def test_tiny_chunk_budget_same_results(self, rng, monkeypatch):
+        """Chunking the candidate batch must not change any count."""
+        dataset = Dataset(rng.random((12, 3)))
+        queries = QuerySet(rng.random((25, 3)), ks=2)
+        evaluator = StrategyEvaluator(SubdomainIndex(dataset, queries))
+        positions = dataset.matrix[0] + rng.normal(scale=0.2, size=(9, 3))
+        expected = evaluator.evaluate_many(0, positions).tolist()
+        monkeypatch.setattr(ese_module, "_CHUNK_BUDGET", 10)  # force many chunks
+        fresh = StrategyEvaluator(SubdomainIndex(dataset, queries))
+        assert fresh.evaluate_many(0, positions).tolist() == expected
+
+
+class TestRelevantPairs:
+    def test_margin_zero_minimal_set(self, rng):
+        dataset = Dataset(rng.random((30, 2)))
+        queries = QuerySet(rng.random((10, 2)), ks=1)
+        tight = relevant_pairs(dataset, queries, margin=0)
+        loose = relevant_pairs(dataset, queries, margin=5)
+        assert set(tight) <= set(loose)
+
+    def test_negative_margin_rejected(self, rng):
+        dataset = Dataset(rng.random((5, 2)))
+        queries = QuerySet(rng.random((3, 2)), ks=1)
+        with pytest.raises(ValidationError):
+            relevant_pairs(dataset, queries, margin=-1)
+
+
+class TestDegenerateWorkloads:
+    def test_single_object(self, rng):
+        """One object hits every query trivially (k >= 1)."""
+        dataset = Dataset(rng.random((1, 2)))
+        queries = QuerySet(rng.random((5, 2)), ks=1)
+        index = SubdomainIndex(dataset, queries)
+        assert index.num_hyperplanes == 0
+        assert index.hits(0) == 5
+
+    def test_single_query(self, rng):
+        dataset = Dataset(rng.random((10, 2)))
+        queries = QuerySet(rng.random((1, 2)), ks=3)
+        evaluator = StrategyEvaluator(SubdomainIndex(dataset, queries))
+        result = min_cost_iq(evaluator, 0, 1, euclidean_cost(2))
+        assert result.satisfied
+
+    def test_all_identical_objects(self, rng):
+        """Every object ties everywhere: ranks resolve by id."""
+        dataset = Dataset(np.tile(rng.random(2), (6, 1)))
+        queries = QuerySet(rng.random((8, 2)), ks=2)
+        index = SubdomainIndex(dataset, queries)
+        assert index.num_hyperplanes == 0
+        assert index.hits(0) == 8 and index.hits(1) == 8
+        assert index.hits(2) == 0  # ids 0 and 1 take the two slots
+
+    def test_zero_weight_query(self, rng):
+        """An all-zero query scores everything 0; ids break the tie and
+        no strategy can change its result."""
+        dataset = Dataset(rng.random((5, 2)))
+        queries = QuerySet(np.zeros((1, 2)), ks=1)
+        evaluator = StrategyEvaluator(SubdomainIndex(dataset, queries))
+        assert evaluator.hits(0) == 1  # id 0 wins the tie
+        assert evaluator.hits(3) == 0
+        result = min_cost_iq(evaluator, 3, 1, euclidean_cost(2))
+        assert not result.satisfied  # provably unreachable
+
+    def test_k_larger_than_n(self, rng):
+        dataset = Dataset(rng.random((3, 2)))
+        queries = QuerySet(rng.random((4, 2)), ks=10)
+        index = SubdomainIndex(dataset, queries)
+        for t in range(3):
+            assert index.hits(t) == 4
+
+
+class TestFailureInjection:
+    def test_rtree_corruption_detected(self, rng):
+        index = SubdomainIndex(
+            Dataset(rng.random((5, 2))), QuerySet(rng.random((10, 2)), ks=1)
+        )
+        # Sabotage: drop an R-tree entry behind the index's back.
+        rect, payload = index.rtree.items()[0]
+        index.rtree.delete(rect, payload)
+        with pytest.raises(ValidationError):
+            index.validate()
+
+    def test_partition_corruption_detected(self, rng):
+        index = SubdomainIndex(
+            Dataset(rng.random((5, 2))), QuerySet(rng.random((10, 2)), ks=1)
+        )
+        # Sabotage: drop one query from a membership list so the cells
+        # no longer partition the workload.
+        victim = index.subdomains[0]
+        victim.query_ids = victim.query_ids[:-1]
+        with pytest.raises(ValidationError):
+            index.validate()
+
+    def test_parent_pointer_corruption_detected(self, rng):
+        from repro.index.rtree import RTree
+
+        tree = RTree(dim=2, max_entries=4)
+        for i, p in enumerate(rng.random((50, 2))):
+            tree.insert_point(p, i)
+        # Break a parent pointer in the first internal child.
+        root = tree._root
+        if not root.leaf:
+            root.entries[0][1].parent = None
+            with pytest.raises(IndexCorruptionError):
+                tree.validate()
+
+
+class TestEngineExhaustiveDispatch:
+    def test_exhaustive_method_through_engine(self, rng):
+        dataset = Dataset(rng.random((8, 2)))
+        queries = QuerySet(rng.random((6, 2)), ks=2)
+        engine = ImprovementQueryEngine(dataset, queries)
+        exact = engine.min_cost(0, tau=3, method="exhaustive")
+        heuristic = engine.min_cost(0, tau=3)
+        assert exact.satisfied
+        assert exact.total_cost <= heuristic.total_cost + 1e-6
+        exact_mh = engine.max_hit(0, budget=0.4, method="exhaustive")
+        assert exact_mh.total_cost <= 0.4 + 1e-9

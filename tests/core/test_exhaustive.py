@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+
+from repro.core.cost import L1Cost, euclidean_cost
+from repro.core.ese import StrategyEvaluator
+from repro.core.exhaustive import exhaustive_max_hit, exhaustive_min_cost
+from repro.core.maxhit import max_hit_iq
+from repro.core.mincost import min_cost_iq
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.core.strategy import StrategySpace
+from repro.core.subdomain import SubdomainIndex
+from repro.errors import ValidationError
+
+
+def world(rng, n=10, m=8, d=2, k=2):
+    dataset = Dataset(rng.random((n, d)))
+    queries = QuerySet(rng.random((m, d)), ks=k)
+    return StrategyEvaluator(SubdomainIndex(dataset, queries))
+
+
+class TestMinCostExact:
+    def test_optimal_never_worse_than_heuristic(self, rng):
+        for trial in range(5):
+            evaluator = world(rng)
+            cost = euclidean_cost(2)
+            for tau in (2, 4):
+                exact = exhaustive_min_cost(evaluator, 0, tau, cost)
+                heuristic = min_cost_iq(evaluator, 0, tau, cost)
+                assert exact.satisfied
+                assert exact.hits_after >= tau
+                if heuristic.satisfied:
+                    assert exact.total_cost <= heuristic.total_cost + 1e-6, f"trial {trial}"
+
+    def test_verifies_with_true_hits(self, rng):
+        evaluator = world(rng)
+        exact = exhaustive_min_cost(evaluator, 1, 3, euclidean_cost(2))
+        assert exact.hits_after == evaluator.evaluate(1, exact.strategy.vector)
+
+    def test_l1_cost_exact_lp(self, rng):
+        evaluator = world(rng)
+        exact = exhaustive_min_cost(evaluator, 0, 3, L1Cost(2))
+        heuristic = min_cost_iq(evaluator, 0, 3, L1Cost(2))
+        assert exact.satisfied
+        if heuristic.satisfied:
+            assert exact.total_cost <= heuristic.total_cost + 1e-6
+
+    def test_infeasible_goal_unsatisfied(self, rng):
+        evaluator = world(rng)
+        tiny = StrategySpace(2, lower=np.full(2, -1e-6), upper=np.full(2, 1e-6))
+        result = exhaustive_min_cost(evaluator, 0, 8, euclidean_cost(2), space=tiny)
+        # Either the target trivially hits everything already or the box
+        # makes the goal unreachable.
+        if evaluator.hits(0) < 8:
+            assert not result.satisfied
+
+    def test_size_cap_enforced(self, rng):
+        dataset = Dataset(rng.random((5, 2)))
+        queries = QuerySet(rng.random((30, 2)), ks=2)
+        evaluator = StrategyEvaluator(SubdomainIndex(dataset, queries))
+        with pytest.raises(ValidationError):
+            exhaustive_min_cost(evaluator, 0, 5, euclidean_cost(2))
+
+
+class TestMaxHitExact:
+    def test_optimal_never_worse_than_heuristic(self, rng):
+        for __ in range(5):
+            evaluator = world(rng)
+            cost = euclidean_cost(2)
+            for budget in (0.2, 0.6):
+                exact = exhaustive_max_hit(evaluator, 0, budget, cost)
+                heuristic = max_hit_iq(evaluator, 0, budget, cost)
+                assert exact.total_cost <= budget + 1e-9
+                assert exact.hits_after >= heuristic.hits_after
+
+    def test_zero_budget(self, rng):
+        evaluator = world(rng)
+        result = exhaustive_max_hit(evaluator, 0, 0.0, euclidean_cost(2))
+        assert result.hits_after == result.hits_before
+        assert result.total_cost == 0.0
+
+    def test_negative_budget_raises(self, rng):
+        evaluator = world(rng)
+        with pytest.raises(ValidationError):
+            exhaustive_max_hit(evaluator, 0, -0.5, euclidean_cost(2))
+
+
+class TestSetCoverStructure:
+    def test_np_hardness_instance(self):
+        """The reduction instance of §4.2.1: hitting a query = covering an
+        element; the optimum picks the fewest 'subsets'."""
+        # Universe u1..u3, subsets S1={u1,u2}, S2={u2,u3}, S3={u3}.
+        # Queries weight the subset-attributes; target starts at 0.
+        weights = np.array(
+            [
+                [1.0, 0.0, 0.0],  # u1 covered by S1
+                [1.0, 1.0, 0.0],  # u2 covered by S1, S2
+                [0.0, 1.0, 1.0],  # u3 covered by S2, S3
+            ]
+        )
+        competitor = np.full(3, 1.0 / 4)  # scores 1/4 .. strictly positive
+        objects = np.vstack([np.ones(3), competitor])  # target=0 scores high
+        dataset = Dataset(objects)
+        queries = QuerySet(weights, ks=1)
+        evaluator = StrategyEvaluator(SubdomainIndex(dataset, queries))
+        assert evaluator.hits(0) == 0
+        # Hitting all three top-1 queries needs the target's score below
+        # the competitor's on each: x1 < 0.25, x1+x2 < 0.5, x2+x3 < 0.5.
+        # The cheapest L1 move is s = (-0.75, -0.75, -0.75), cost 2.25.
+        result = exhaustive_min_cost(evaluator, 0, 3, L1Cost(3))
+        assert result.satisfied
+        assert result.total_cost == pytest.approx(2.25, rel=1e-3)

@@ -1,0 +1,189 @@
+import numpy as np
+import pytest
+
+from repro.core.linearize import (
+    GenericSpace,
+    UtilityFamily,
+    distance_family,
+    function_term,
+    monomial,
+    polynomial_family,
+)
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.core.subdomain import SubdomainIndex
+from repro.errors import ValidationError
+from repro.topk.evaluate import top_k
+
+
+class TestMonomial:
+    def test_evaluation(self, rng):
+        term = monomial({0: 3.0})
+        points = rng.random((5, 2))
+        assert np.allclose(term.evaluate(points), points[:, 0] ** 3)
+
+    def test_product_term(self, rng):
+        term = monomial({1: 1.0, 2: 1.0})
+        points = rng.random((5, 4))
+        assert np.allclose(term.evaluate(points), points[:, 1] * points[:, 2])
+
+    def test_auto_name(self):
+        assert monomial({0: 3.0}).name == "x0^3"
+        assert monomial({1: 1.0}).name == "x1"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            monomial({})
+
+
+class TestPolynomialFamily:
+    """Paper Eq. 20-21: the cubic/product/square example."""
+
+    @pytest.fixture
+    def family(self):
+        return polynomial_family([{0: 3.0}, {1: 1.0, 2: 1.0}, {3: 2.0}])
+
+    def test_linearization_preserves_scores(self, family, rng):
+        points = rng.random((10, 4))
+        params = rng.random(3)
+
+        def direct(p):
+            return params[0] * p[0] ** 3 + params[1] * (p[1] * p[2]) + params[2] * p[3] ** 2
+
+        linear = family.score(points, params)
+        expected = [direct(p) for p in points]
+        assert np.allclose(linear, expected)
+
+    def test_linearized_topk_matches_direct(self, family, rng):
+        """The whole point of §5.2: index the augmented space, get the
+        same rankings as the non-linear utility."""
+        points = rng.random((20, 4))
+        augmented = family.augment(points)
+        for __ in range(10):
+            params = rng.random(3)
+            weights = family.map_weights(params)
+            direct_scores = family.score(points, params)
+            direct_rank = np.argsort(direct_scores, kind="stable")[:5].tolist()
+            assert top_k(augmented, weights, 5) == direct_rank
+
+    def test_subdomain_index_over_augmented_space(self, family, rng):
+        points = rng.random((10, 4))
+        dataset = Dataset(family.augment(points))
+        queries = QuerySet(
+            np.vstack([family.map_weights(rng.random(3)) for __ in range(12)]),
+            ks=2,
+            normalized=False,
+        )
+        index = SubdomainIndex(dataset, queries)
+        index.validate()
+        assert index.hits(0) >= 0  # full pipeline runs on augmented data
+
+    def test_invertibility_detection(self, family):
+        assert not family.is_invertible()  # x1*x2 is bivariate
+        univariate = polynomial_family([{0: 3.0}, {1: 2.0}])
+        assert univariate.is_invertible()
+
+    def test_invert_move_roundtrip(self, rng):
+        family = polynomial_family([{0: 3.0}, {1: 2.0}])
+        point = rng.random(2) + 0.5
+        delta = rng.normal(scale=0.1, size=2)
+        move = family.invert_move(point, delta)
+        new_augmented = family.augment((point + move)[None, :])[0]
+        old_augmented = family.augment(point[None, :])[0]
+        assert np.allclose(new_augmented - old_augmented, delta, atol=1e-9)
+
+    def test_invert_move_rejected_for_products(self, family, rng):
+        with pytest.raises(ValidationError):
+            family.invert_move(rng.random(4), rng.random(3))
+
+
+class TestSqrtWeightTrick:
+    """Paper Eq. 19: sqrt(w1 * price) = sqrt(w1) * sqrt(price)."""
+
+    def test_car_utility(self, rng):
+        # u(c) = sqrt(w1 * price) + w2 * capacity / mpg
+        sqrt_price = function_term(
+            "sqrt(price)", lambda p: np.sqrt(p[:, 0]), weight_map=np.sqrt
+        )
+        cap_over_mpg = monomial({2: 1.0, 1: -1.0}, name="capacity/mpg")
+        family = UtilityFamily([sqrt_price, cap_over_mpg], name="car-u")
+        cars = np.array(
+            [[15000.0, 30.0, 4.0], [20000.0, 28.0, 6.0], [8000.0, 35.0, 2.0]]
+        )
+        for __ in range(5):
+            w1, w2 = rng.random(2)
+            direct = np.sqrt(w1 * cars[:, 0]) + w2 * cars[:, 2] / cars[:, 1]
+            assert np.allclose(family.score(cars, [w1, w2]), direct)
+
+
+class TestDistanceFamily:
+    def test_ranking_matches_euclidean_distance(self, rng):
+        """Eq. 22-25: the squared-distance linearization ranks like the
+        true distance (the query-only constant cancels)."""
+        family = distance_family(2)
+        points = rng.random((15, 2))
+        augmented = family.augment(points)
+        for __ in range(10):
+            location = rng.random(2)
+            weights = family.map_weights(np.append(location, 0.0))
+            distances = np.linalg.norm(points - location, axis=1)
+            expected = np.argsort(distances, kind="stable")[:4].tolist()
+            # Linear scores differ from squared distances by the constant
+            # ||location||^2, which cannot change the order.
+            assert top_k(augmented, weights, 4) == expected
+
+
+class TestGenericSpace:
+    """§5.3: heterogeneous utilities unified into one function space."""
+
+    @pytest.fixture
+    def generic(self):
+        family_u = polynomial_family([{0: 1.0}, {1: 2.0}], name="u")
+        family_v = polynomial_family([{1: 1.0}, {2: 1.0}], name="v")
+        return GenericSpace([family_u, family_v])
+
+    def test_total_terms_and_offsets(self, generic):
+        assert generic.total_terms == 4
+        assert generic.offsets == [0, 2]
+
+    def test_query_weights_zero_other_family(self, generic):
+        weights = generic.query_weights(1, [0.3, 0.7])
+        assert weights.tolist() == [0.0, 0.0, 0.3, 0.7]
+
+    def test_scores_match_per_family(self, generic, rng):
+        points = rng.random((8, 3))
+        augmented = generic.augment(points)
+        params = rng.random(2)
+        via_generic = augmented @ generic.query_weights(0, params)
+        direct = generic.families[0].score(points, params)
+        assert np.allclose(via_generic, direct)
+
+    def test_query_set_builder(self, generic, rng):
+        qs = generic.query_set(
+            [(0, rng.random(2), 3), (1, rng.random(2), 1), (0, rng.random(2), 2)]
+        )
+        assert qs.m == 3 and qs.dim == 4
+        assert qs.ks.tolist() == [3, 1, 2]
+
+    def test_full_pipeline_heterogeneous(self, generic, rng):
+        """End-to-end: heterogeneous workload -> index -> hits."""
+        points = rng.random((12, 3))
+        dataset = generic.augmented_dataset(points)
+        qs = generic.query_set(
+            [(i % 2, rng.random(2), int(rng.integers(1, 4))) for i in range(10)]
+        )
+        index = SubdomainIndex(dataset, qs)
+        index.validate()
+        total = sum(index.hits(t) for t in range(12))
+        expected_total = sum(int(qs.ks[j]) for j in range(10))
+        assert total == expected_total  # every query hits exactly k objects
+
+    def test_bad_family_index(self, generic):
+        with pytest.raises(ValidationError):
+            generic.query_weights(5, [0.1, 0.2])
+
+    def test_empty_families_raise(self):
+        with pytest.raises(ValidationError):
+            GenericSpace([])
+        with pytest.raises(ValidationError):
+            UtilityFamily([])

@@ -1,0 +1,105 @@
+import numpy as np
+import pytest
+
+from repro.core.cost import euclidean_cost
+from repro.core.ese import StrategyEvaluator
+from repro.core.maxhit import max_hit_iq
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.core.strategy import StrategySpace
+from repro.core.subdomain import SubdomainIndex
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def world(rng):
+    dataset = Dataset(rng.random((20, 3)))
+    queries = QuerySet(rng.random((40, 3)), ks=rng.integers(1, 5, 40))
+    index = SubdomainIndex(dataset, queries)
+    return dataset, queries, StrategyEvaluator(index)
+
+
+class TestBudgetRespected:
+    def test_total_cost_within_budget(self, world):
+        __, __, evaluator = world
+        for budget in (0.1, 0.5, 2.0):
+            result = max_hit_iq(evaluator, target=0, budget=budget, cost=euclidean_cost(3))
+            assert result.total_cost <= budget + 1e-9
+            assert result.satisfied
+
+    def test_zero_budget_zero_strategy(self, world):
+        __, __, evaluator = world
+        result = max_hit_iq(evaluator, target=0, budget=0.0, cost=euclidean_cost(3))
+        assert result.strategy.is_zero()
+        assert result.hits_after == result.hits_before
+
+    def test_reported_hits_match_reevaluation(self, world):
+        __, __, evaluator = world
+        result = max_hit_iq(evaluator, target=4, budget=1.0, cost=euclidean_cost(3))
+        assert result.hits_after == evaluator.evaluate(4, result.strategy.vector)
+
+    def test_hits_monotone_in_budget(self, world):
+        __, __, evaluator = world
+        cost = euclidean_cost(3)
+        hits = [
+            max_hit_iq(evaluator, target=1, budget=b, cost=cost).hits_after
+            for b in (0.05, 0.2, 0.8, 3.0)
+        ]
+        assert all(a <= b for a, b in zip(hits, hits[1:])), hits
+
+    def test_big_budget_hits_everything(self, world):
+        __, queries, evaluator = world
+        result = max_hit_iq(evaluator, target=2, budget=1e6, cost=euclidean_cost(3))
+        assert result.hits_after == queries.m
+
+    def test_hits_never_decrease(self, world):
+        __, __, evaluator = world
+        for target in range(0, 20, 4):
+            result = max_hit_iq(evaluator, target=target, budget=0.7, cost=euclidean_cost(3))
+            assert result.hits_after >= result.hits_before
+
+
+class TestFillPass:
+    def test_budget_boundary_uses_fill(self, world):
+        """A budget slightly below the next candidate's cost should still
+        squeeze in any cheaper candidates (paper lines 13-17)."""
+        __, __, evaluator = world
+        cost = euclidean_cost(3)
+        # Budget small enough that the best-ratio candidate often does
+        # not fit, exercising the fill branch.
+        result = max_hit_iq(evaluator, target=6, budget=0.02, cost=cost)
+        assert result.total_cost <= 0.02 + 1e-9
+
+
+class TestConstraints:
+    def test_space_respected(self, world):
+        __, __, evaluator = world
+        space = StrategySpace(3, lower=np.full(3, -0.1), upper=np.full(3, 0.1))
+        result = max_hit_iq(evaluator, target=0, budget=5.0, cost=euclidean_cost(3), space=space)
+        assert space.contains(result.strategy.vector)
+
+    def test_negative_budget_raises(self, world):
+        __, __, evaluator = world
+        with pytest.raises(ValidationError):
+            max_hit_iq(evaluator, target=0, budget=-1.0, cost=euclidean_cost(3))
+
+    def test_bad_cost_dim(self, world):
+        __, __, evaluator = world
+        with pytest.raises(ValidationError):
+            max_hit_iq(evaluator, target=0, budget=1.0, cost=euclidean_cost(2))
+
+
+class TestDualityWithMinCost:
+    def test_binary_search_reduction(self, world):
+        """The paper's reduction (§4.2.2): binary searching the budget of
+        Max-Hit brackets the Min-Cost optimum for the same tau."""
+        from repro.core.mincost import min_cost_iq
+
+        __, __, evaluator = world
+        cost = euclidean_cost(3)
+        tau = 15
+        mc = min_cost_iq(evaluator, target=3, tau=tau, cost=cost)
+        assert mc.satisfied
+        # Max-hit with that budget must reach at least tau hits.
+        mh = max_hit_iq(evaluator, target=3, budget=mc.total_cost + 1e-6, cost=cost)
+        assert mh.hits_after >= tau

@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+
+from repro.core.objects import Dataset
+from repro.errors import ValidationError
+
+
+class TestConstruction:
+    def test_basic(self, rng):
+        data = Dataset(rng.random((10, 3)), names=["a", "b", "c"])
+        assert data.n == 10 and data.dim == 3 and len(data) == 10
+        assert data.names == ["a", "b", "c"]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Dataset(np.ones(3))
+        with pytest.raises(ValidationError):
+            Dataset(np.array([[np.nan]]))
+        with pytest.raises(ValidationError):
+            Dataset(np.ones((2, 2)), names=["only-one"])
+        with pytest.raises(ValidationError):
+            Dataset(np.ones((2, 2)), sense="upside-down")
+
+    def test_views_read_only(self, rng):
+        data = Dataset(rng.random((5, 2)))
+        with pytest.raises(ValueError):
+            data.points[0, 0] = 9.0
+        with pytest.raises(ValueError):
+            data.matrix[0, 0] = 9.0
+
+
+class TestSense:
+    def test_min_sense_matrix_equals_points(self, rng):
+        raw = rng.random((5, 2))
+        data = Dataset(raw)
+        assert np.array_equal(data.matrix, raw)
+
+    def test_max_sense_negates(self, rng):
+        raw = rng.random((5, 2))
+        data = Dataset(raw, sense="max")
+        assert np.array_equal(data.matrix, -raw)
+        assert np.array_equal(data.points, raw)
+
+    def test_strategy_conversion_roundtrip(self, rng):
+        data = Dataset(rng.random((3, 4)), sense="max")
+        s = rng.normal(size=4)
+        assert np.allclose(data.to_external_strategy(data.to_internal_strategy(s)), s)
+
+    def test_max_sense_ranking(self):
+        # Higher utility must rank first under sense=max.
+        data = Dataset(np.array([[1.0], [5.0]]), sense="max")
+        scores = data.evaluate(np.array([1.0]))
+        assert scores[1] < scores[0]  # object 1 wins in min-convention
+
+
+class TestMutation:
+    def test_with_object(self, rng):
+        data = Dataset(rng.random((4, 2)))
+        bigger, new_id = data.with_object(np.array([0.5, 0.5]))
+        assert new_id == 4 and bigger.n == 5
+        assert data.n == 4  # original untouched
+        assert np.allclose(bigger.point(4), [0.5, 0.5])
+
+    def test_without_object_shifts_ids(self, rng):
+        raw = rng.random((4, 2))
+        data = Dataset(raw)
+        smaller = data.without_object(1)
+        assert smaller.n == 3
+        assert np.allclose(smaller.point(1), raw[2])
+
+    def test_improved_applies_strategy(self):
+        data = Dataset(np.array([[10.0, 2.0, 250.0]]))
+        improved = data.improved(0, np.array([5.0, 2.0, -50.0]))
+        assert improved.point(0).tolist() == [15.0, 4.0, 200.0]
+
+    def test_bad_ids(self, rng):
+        data = Dataset(rng.random((3, 2)))
+        with pytest.raises(ValidationError):
+            data.point(7)
+        with pytest.raises(ValidationError):
+            data.without_object(-1)
+        with pytest.raises(ValidationError):
+            data.with_object(np.ones(5))

@@ -1,0 +1,63 @@
+import pytest
+
+from repro.core.cost import euclidean_cost
+from repro.core.ese import StrategyEvaluator
+from repro.core.exhaustive import exhaustive_max_hit, exhaustive_min_cost
+from repro.core.mincost import min_cost_iq
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.core.reduction import min_cost_via_max_hit
+from repro.core.subdomain import SubdomainIndex
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def world(rng):
+    dataset = Dataset(rng.random((15, 3)))
+    queries = QuerySet(rng.random((20, 3)), ks=rng.integers(1, 4, 20))
+    return StrategyEvaluator(SubdomainIndex(dataset, queries))
+
+
+class TestReduction:
+    def test_reaches_tau(self, world):
+        cost = euclidean_cost(3)
+        for tau in (5, 10, 15):
+            result = min_cost_via_max_hit(world, 0, tau, cost)
+            assert result.satisfied
+            assert result.hits_after >= tau
+
+    def test_comparable_to_direct_min_cost(self, world):
+        """The reduction over the greedy oracle lands in the same cost
+        ballpark as the direct greedy Min-Cost search."""
+        cost = euclidean_cost(3)
+        direct = min_cost_iq(world, 2, 8, cost)
+        reduced = min_cost_via_max_hit(world, 2, 8, cost)
+        assert reduced.satisfied and direct.satisfied
+        assert reduced.total_cost <= direct.total_cost * 2 + 1e-9
+        assert direct.total_cost <= reduced.total_cost * 2 + 1e-9
+
+    def test_exact_reduction_matches_exact_min_cost(self, rng):
+        """§4.2.2's proof: with an *exact* Max-Hit oracle, the binary
+        search converges to the exact Min-Cost optimum."""
+        dataset = Dataset(rng.random((8, 2)))
+        queries = QuerySet(rng.random((6, 2)), ks=2)
+        evaluator = StrategyEvaluator(SubdomainIndex(dataset, queries))
+        cost = euclidean_cost(2)
+        tau = 3
+        exact = exhaustive_min_cost(evaluator, 0, tau, cost)
+        reduced = min_cost_via_max_hit(
+            evaluator, 0, tau, cost, oracle=exhaustive_max_hit, iterations=30
+        )
+        assert reduced.satisfied
+        assert reduced.total_cost == pytest.approx(exact.total_cost, rel=1e-3, abs=1e-6)
+
+    def test_budget_hint_respected(self, world):
+        cost = euclidean_cost(3)
+        result = min_cost_via_max_hit(world, 1, 6, cost, budget_hint=0.01)
+        assert result.satisfied  # hint too small: bracketing must grow it
+
+    def test_invalid_tau(self, world):
+        with pytest.raises(ValidationError):
+            min_cost_via_max_hit(world, 0, 0, euclidean_cost(3))
+        with pytest.raises(ValidationError):
+            min_cost_via_max_hit(world, 0, 99, euclidean_cost(3))

@@ -1,0 +1,44 @@
+import numpy as np
+import pytest
+
+from repro.core.results import IQResult, IterationRecord
+from repro.core.strategy import Strategy
+
+
+def make_result(**overrides):
+    defaults = dict(
+        target=3,
+        strategy=Strategy(np.array([1.0, -2.0]), cost=2.5),
+        hits_before=4,
+        hits_after=10,
+        total_cost=2.5,
+        satisfied=True,
+    )
+    defaults.update(overrides)
+    return IQResult(**defaults)
+
+
+class TestIQResult:
+    def test_hits_gained(self):
+        assert make_result().hits_gained == 6
+
+    def test_cost_per_hit(self):
+        assert make_result().cost_per_hit == pytest.approx(0.25)
+
+    def test_cost_per_hit_zero_hits(self):
+        result = make_result(hits_after=0, total_cost=1.0)
+        assert result.cost_per_hit == float("inf")
+
+    def test_cost_per_hit_free_noop(self):
+        result = make_result(hits_after=0, total_cost=0.0)
+        assert result.cost_per_hit == 0.0
+
+    def test_improved_point(self):
+        result = make_result()
+        assert result.improved_point(np.array([10.0, 20.0])).tolist() == [11.0, 18.0]
+
+    def test_iteration_records(self):
+        record = IterationRecord(query_id=5, cost=0.7, hits_after=8, candidates=12)
+        result = make_result(iterations=[record])
+        assert result.iterations[0].query_id == 5
+        assert result.iterations[0].candidates == 12

@@ -1,0 +1,165 @@
+import numpy as np
+import pytest
+
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.core.subdomain import SubdomainIndex, find_subdomains, relevant_pairs
+from repro.errors import ValidationError
+from repro.topk.evaluate import kth_score, top_k
+
+
+def build(rng, n=15, m=25, d=3, k_max=4, mode="exact"):
+    dataset = Dataset(rng.random((n, d)))
+    queries = QuerySet(rng.random((m, d)), ks=rng.integers(1, k_max + 1, m))
+    return dataset, queries, SubdomainIndex(dataset, queries, mode=mode)
+
+
+class TestConstruction:
+    def test_partition_covers_all_queries(self, rng):
+        __, queries, index = build(rng)
+        index.validate()
+        total = sum(sub.size for sub in index.subdomains)
+        assert total == queries.m
+
+    def test_exact_mode_hyperplane_count(self, rng):
+        dataset, __, index = build(rng, n=8)
+        assert index.num_hyperplanes == 8 * 7 // 2
+
+    def test_dim_mismatch_raises(self, rng):
+        with pytest.raises(ValidationError):
+            SubdomainIndex(Dataset(rng.random((3, 2))), QuerySet(rng.random((3, 3)), ks=1))
+
+    def test_invalid_mode(self, rng):
+        with pytest.raises(ValidationError):
+            SubdomainIndex(Dataset(rng.random((3, 2))), QuerySet(rng.random((3, 2)), ks=1), mode="bogus")
+
+    def test_duplicate_objects_skip_degenerate_hyperplanes(self, rng):
+        raw = rng.random((5, 2))
+        raw[3] = raw[1]  # duplicate
+        dataset = Dataset(raw)
+        queries = QuerySet(rng.random((5, 2)), ks=1)
+        index = SubdomainIndex(dataset, queries)
+        assert index.num_hyperplanes == 5 * 4 // 2 - 1
+
+
+class TestAgainstLiteralAlgorithm1:
+    def test_fast_path_matches_bsp(self, rng):
+        for __ in range(5):
+            dataset, queries, index = build(rng, n=8, m=30, d=2)
+            literal = find_subdomains(index.normals, queries.weights)
+            fast = {sub.signature: sorted(sub.query_ids.tolist()) for sub in index.subdomains}
+            literal = {key: sorted(val) for key, val in literal.items()}
+            assert fast == literal
+
+    def test_bsp_discards_empty_cells(self, rng):
+        normals = rng.normal(size=(4, 2))
+        points = rng.random((10, 2))
+        cells = find_subdomains(normals, points)
+        assert sum(len(v) for v in cells.values()) == 10
+        assert all(v for v in cells.values())
+
+
+class TestRankingInvariance:
+    """The index's core claim: rankings are constant within a subdomain."""
+
+    def test_same_subdomain_same_ranking(self, rng):
+        dataset, queries, index = build(rng, n=12, m=40, d=2)
+        for sub in index.subdomains:
+            if sub.size < 2:
+                continue
+            rankings = set()
+            for qid in sub.query_ids:
+                weights, __ = queries.query(int(qid))
+                rankings.add(tuple(top_k(dataset.matrix, weights, dataset.n)))
+            assert len(rankings) == 1, "subdomain members must share the full ranking"
+
+    def test_prefix_matches_direct_topk(self, rng):
+        dataset, queries, index = build(rng, n=10, m=30)
+        for sub in index.subdomains:
+            prefix = index.prefix(sub.sid)
+            weights, __ = queries.query(sub.representative)
+            expected = top_k(dataset.matrix, weights, len(prefix))
+            assert prefix.tolist() == expected
+
+    def test_prefix_lazy_and_counted(self, rng):
+        __, __, index = build(rng, n=8, m=20)
+        assert index.representative_evaluations == 0
+        index.prefix(0)
+        index.prefix(0)  # cached
+        assert index.representative_evaluations == 1
+
+
+class TestKthOther:
+    def test_matches_brute_force(self, rng):
+        dataset, queries, index = build(rng, n=12, m=30)
+        for target in (0, 5, 11):
+            kth_ids, theta = index.kth_other(target)
+            for j in range(queries.m):
+                weights, k = queries.query(j)
+                expected_score, expected_id = kth_score(
+                    dataset.matrix, weights, k, exclude=target
+                )
+                assert kth_ids[j] == expected_id
+                assert theta[j] == pytest.approx(expected_score)
+
+    def test_hits_matches_brute_force(self, rng):
+        dataset, queries, index = build(rng, n=12, m=30)
+        for target in range(dataset.n):
+            expected = 0
+            for j in range(queries.m):
+                weights, k = queries.query(j)
+                if target in top_k(dataset.matrix, weights, k):
+                    expected += 1
+            assert index.hits(target) == expected
+
+    def test_small_dataset_always_hit(self, rng):
+        # With n=2 and k=5 > n-1, any object is in every top-5.
+        dataset = Dataset(rng.random((2, 2)))
+        queries = QuerySet(rng.random((6, 2)), ks=5)
+        index = SubdomainIndex(dataset, queries)
+        assert index.hits(0) == 6
+        assert index.hits(1) == 6
+
+
+class TestRelevantMode:
+    def test_relevant_pairs_subset_of_all(self, rng):
+        dataset, queries, __ = build(rng, n=20, m=15)
+        pairs = relevant_pairs(dataset, queries, margin=2)
+        assert len(pairs) <= 20 * 19 // 2
+        assert all(a < b for a, b in pairs)
+
+    def test_relevant_mode_hits_match_exact(self, rng):
+        dataset = Dataset(rng.random((25, 3)))
+        queries = QuerySet(rng.random((30, 3)), ks=rng.integers(1, 4, 30))
+        exact = SubdomainIndex(dataset, queries, mode="exact")
+        relevant = SubdomainIndex(dataset, queries, mode="relevant", margin=3)
+        assert relevant.num_hyperplanes <= exact.num_hyperplanes
+        for target in range(0, 25, 5):
+            assert relevant.hits(target) == exact.hits(target)
+
+    def test_relevant_mode_fewer_hyperplanes_on_big_data(self, rng):
+        dataset = Dataset(rng.random((60, 3)))
+        queries = QuerySet(rng.random((20, 3)), ks=2)
+        relevant = SubdomainIndex(dataset, queries, mode="relevant")
+        assert relevant.num_hyperplanes < 60 * 59 // 2
+
+
+class TestBoundaries:
+    def test_boundary_columns_registered(self, rng):
+        __, __, index = build(rng, n=6, m=40, d=2)
+        index.ensure_boundaries()
+        # At least one subdomain pair must be separated by some column
+        # (with 40 queries and 15 hyperplanes there are several cells).
+        if index.num_subdomains > 1:
+            assert any(sub.boundaries for sub in index.subdomains)
+
+    def test_is_boundary_consistent(self, rng):
+        __, __, index = build(rng, n=6, m=40, d=2)
+        index.ensure_boundaries()
+        for sub in index.subdomains:
+            for col in range(index.num_hyperplanes):
+                assert index.is_boundary(sub.sid, col) == (col in sub.boundaries)
+
+    def test_memory_estimate_positive(self, rng):
+        __, __, index = build(rng)
+        assert index.memory_estimate() > 0

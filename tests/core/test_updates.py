@@ -1,0 +1,147 @@
+import numpy as np
+import pytest
+
+from repro.core import updates
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.core.subdomain import SubdomainIndex
+from repro.errors import ValidationError
+
+
+def build(rng, n=10, m=20, d=2):
+    dataset = Dataset(rng.random((n, d)))
+    queries = QuerySet(rng.random((m, d)), ks=rng.integers(1, 4, m))
+    return SubdomainIndex(dataset, queries)
+
+
+def rebuilt(index):
+    """A from-scratch index over the same data, the ground truth."""
+    return SubdomainIndex(index.dataset, index.queries, mode=index.mode, margin=index.margin)
+
+
+def assert_equivalent(index, reference):
+    """Same partition (as sets of query-id groups) and same hit counts."""
+    ours = sorted(tuple(sorted(s.query_ids.tolist())) for s in index.subdomains)
+    theirs = sorted(tuple(sorted(s.query_ids.tolist())) for s in reference.subdomains)
+    assert ours == theirs
+    for target in range(index.dataset.n):
+        assert index.hits(target) == reference.hits(target)
+
+
+class TestAddQuery:
+    def test_add_matches_rebuild(self, rng):
+        index = build(rng)
+        for __ in range(5):
+            qid = updates.add_query(index, rng.random(2), int(rng.integers(1, 4)))
+            assert qid == index.queries.m - 1
+        index.validate()
+        assert_equivalent(index, rebuilt(index))
+
+    def test_add_into_existing_subdomain_via_knn(self, rng):
+        index = build(rng)
+        # Insert a point nearly identical to an existing one: it must
+        # land in the same subdomain.
+        existing, __ = index.queries.query(3)
+        before = index.num_subdomains
+        updates.add_query(index, existing + 1e-9, 2)
+        assert index.num_subdomains == before
+        assert index.subdomain_of[-1] == index.subdomain_of[3]
+
+    def test_add_creates_new_subdomain_when_needed(self, rng):
+        dataset = Dataset(rng.random((6, 2)))
+        queries = QuerySet(np.full((2, 2), 0.5), ks=1)  # one tight cluster
+        index = SubdomainIndex(dataset, queries)
+        before = index.num_subdomains
+        # Far-away corner point very likely lands in a new cell.
+        updates.add_query(index, np.array([0.999, 0.001]), 1)
+        index.validate()
+        assert index.num_subdomains >= before
+
+
+class TestRemoveQuery:
+    def test_remove_matches_rebuild(self, rng):
+        index = build(rng)
+        for qid in (15, 7, 0):
+            updates.remove_query(index, qid)
+            index.validate()
+        assert_equivalent(index, rebuilt(index))
+
+    def test_remove_last_member_drops_subdomain(self, rng):
+        index = build(rng, m=5)
+        # Remove queries until one subdomain disappears.
+        while index.queries.m > 0:
+            sizes_before = index.num_subdomains
+            updates.remove_query(index, 0)
+            index.validate()
+            assert index.num_subdomains <= sizes_before
+        assert index.num_subdomains == 0
+
+    def test_roundtrip_add_remove(self, rng):
+        index = build(rng)
+        reference = rebuilt(index)
+        qid = updates.add_query(index, rng.random(2), 2)
+        updates.remove_query(index, qid)
+        index.validate()
+        assert_equivalent(index, reference)
+
+
+class TestAddObject:
+    def test_add_matches_rebuild(self, rng):
+        index = build(rng)
+        updates.add_object(index, rng.random(2))
+        index.validate()
+        assert index.dataset.n == 11
+        assert_equivalent(index, rebuilt(index))
+
+    def test_dominating_object_changes_hits(self, rng):
+        index = build(rng)
+        old_hits = [index.hits(t) for t in range(index.dataset.n)]
+        # An object at the origin scores 0 everywhere: it enters every
+        # top-k and can only push others out.
+        oid = updates.add_object(index, np.zeros(2))
+        assert index.hits(oid) == index.queries.m
+        new_hits = [index.hits(t) for t in range(index.dataset.n - 1)]
+        assert all(n <= o for n, o in zip(new_hits, old_hits))
+
+
+class TestRemoveObject:
+    def test_remove_matches_rebuild(self, rng):
+        index = build(rng)
+        updates.remove_object(index, 4)
+        index.validate()
+        assert index.dataset.n == 9
+        assert_equivalent(index, rebuilt(index))
+
+    def test_remove_merges_subdomains(self, rng):
+        # Removing an object drops its hyperplanes; cells separated only
+        # by them must merge (num_subdomains can only shrink or stay).
+        index = build(rng, n=6, m=30)
+        before = index.num_subdomains
+        updates.remove_object(index, 2)
+        index.validate()
+        assert index.num_subdomains <= before
+
+    def test_remove_invalid_id(self, rng):
+        index = build(rng)
+        with pytest.raises(ValidationError):
+            updates.remove_object(index, 99)
+
+    def test_object_roundtrip(self, rng):
+        index = build(rng)
+        reference = rebuilt(index)
+        oid = updates.add_object(index, rng.random(2))
+        updates.remove_object(index, oid)
+        index.validate()
+        assert_equivalent(index, reference)
+
+
+class TestInterleaved:
+    def test_mixed_update_sequence(self, rng):
+        index = build(rng)
+        updates.add_query(index, rng.random(2), 3)
+        updates.add_object(index, rng.random(2))
+        updates.remove_query(index, 5)
+        updates.remove_object(index, 1)
+        updates.add_query(index, rng.random(2), 1)
+        index.validate()
+        assert_equivalent(index, rebuilt(index))

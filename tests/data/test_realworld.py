@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+
+from repro.data.realworld import (
+    HOUSE_ATTRIBUTES,
+    VEHICLE_ATTRIBUTES,
+    load_csv,
+    normalize,
+    simulate_house,
+    simulate_vehicle,
+)
+from repro.errors import ValidationError
+
+
+class TestNormalize:
+    def test_unit_range(self, rng):
+        data = normalize(rng.normal(size=(100, 3)) * 50 + 7)
+        assert data.min() == pytest.approx(0.0)
+        assert data.max() == pytest.approx(1.0)
+
+    def test_constant_column_safe(self):
+        data = normalize(np.array([[1.0, 5.0], [1.0, 9.0]]))
+        assert np.all(np.isfinite(data))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            normalize(np.array([[1.0, 2.0]]))
+
+
+class TestVehicle:
+    def test_schema(self):
+        data = simulate_vehicle(n=500, seed=1)
+        assert data.names == VEHICLE_ATTRIBUTES
+        assert data.n == 500 and data.dim == 5
+        assert data.points.min() >= 0 and data.points.max() <= 1
+
+    def test_correlation_structure(self):
+        data = simulate_vehicle(n=5000, seed=2, normalized=False).points
+        weight, horse_power, mpg = data[:, 1], data[:, 2], data[:, 3]
+        assert np.corrcoef(weight, horse_power)[0, 1] > 0.5  # heavier => stronger
+        assert np.corrcoef(weight, mpg)[0, 1] < -0.5  # heavier => thirstier
+        annual_cost = data[:, 4]
+        assert np.corrcoef(mpg, annual_cost)[0, 1] < -0.6  # efficient => cheaper
+
+    def test_plausible_raw_ranges(self):
+        data = simulate_vehicle(n=2000, seed=3, normalized=False).points
+        assert data[:, 0].min() >= 1984 and data[:, 0].max() <= 2016
+        assert data[:, 3].min() >= 8 and data[:, 3].max() <= 60  # MPG
+
+    def test_reproducible(self):
+        a = simulate_vehicle(n=50, seed=9).points
+        b = simulate_vehicle(n=50, seed=9).points
+        assert np.array_equal(a, b)
+
+
+class TestHouse:
+    def test_schema(self):
+        data = simulate_house(n=500, seed=1)
+        assert data.names == HOUSE_ATTRIBUTES
+        assert data.n == 500 and data.dim == 4
+
+    def test_value_income_link(self):
+        data = simulate_house(n=5000, seed=2, normalized=False).points
+        house_value, income = data[:, 0], data[:, 1]
+        assert np.corrcoef(np.log(house_value), np.log(income))[0, 1] > 0.5
+
+    def test_mortgage_tracks_value(self):
+        data = simulate_house(n=5000, seed=3, normalized=False).points
+        assert np.corrcoef(data[:, 0], data[:, 3])[0, 1] > 0.7
+
+    def test_income_right_skewed(self):
+        income = simulate_house(n=5000, seed=4, normalized=False).points[:, 1]
+        assert float(np.mean(income)) > float(np.median(income))  # log-normal skew
+
+
+class TestLoadCsv(object):
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "cars.csv"
+        path.write_text("year,mpg\n2000,30\n2010,35\nbad,row\n2005,28\n")
+        data = load_csv(path, normalized=False)
+        assert data.n == 3 and data.dim == 2
+        assert data.names == ["year", "mpg"]
+
+    def test_column_selection(self, tmp_path):
+        path = tmp_path / "cars.csv"
+        path.write_text("year,mpg,name\n2000,30,a\n2010,35,b\n")
+        data = load_csv(path, columns=["mpg"], normalized=False)
+        assert data.dim == 1
+        assert data.points[:, 0].tolist() == [30.0, 35.0]
+
+    def test_missing_column(self, tmp_path):
+        path = tmp_path / "cars.csv"
+        path.write_text("year\n2000\n2010\n")
+        with pytest.raises(ValidationError):
+            load_csv(path, columns=["mpg"])
+
+    def test_too_few_rows(self, tmp_path):
+        path = tmp_path / "cars.csv"
+        path.write_text("year\n2000\n")
+        with pytest.raises(ValidationError):
+            load_csv(path)
+
+    def test_engine_runs_on_simulated_vehicle(self):
+        """Figure 6/12 path: simulated real data drives the engine."""
+        from repro.core.engine import ImprovementQueryEngine
+        from repro.data.workloads import uniform_queries
+
+        data = simulate_vehicle(n=40, seed=5)
+        queries = uniform_queries(30, 5, seed=5, k_range=(1, 4))
+        engine = ImprovementQueryEngine(data, queries, mode="relevant")
+        result = engine.min_cost(0, tau=8)
+        assert result.hits_after >= 8 or not result.satisfied

@@ -1,0 +1,73 @@
+import numpy as np
+import pytest
+
+from repro.data.synthetic import anticorrelated, correlated, generate, independent
+from repro.errors import ValidationError
+
+
+def corrcoef_mean(data):
+    """Mean pairwise attribute correlation."""
+    corr = np.corrcoef(data.T)
+    off_diag = corr[~np.eye(corr.shape[0], dtype=bool)]
+    return float(off_diag.mean())
+
+
+class TestIndependent:
+    def test_shape_and_range(self):
+        data = independent(500, 4, seed=1)
+        assert data.shape == (500, 4)
+        assert data.min() >= 0 and data.max() <= 1
+
+    def test_near_zero_correlation(self):
+        data = independent(4000, 3, seed=2)
+        assert abs(corrcoef_mean(data)) < 0.07
+
+    def test_reproducible(self):
+        assert np.array_equal(independent(10, 2, seed=5), independent(10, 2, seed=5))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            independent(0, 3)
+        with pytest.raises(ValidationError):
+            independent(5, 0)
+
+
+class TestCorrelated:
+    def test_positive_correlation(self):
+        data = correlated(4000, 3, seed=3)
+        assert corrcoef_mean(data) > 0.5
+
+    def test_range(self):
+        data = correlated(1000, 5, seed=4)
+        assert data.min() >= 0 and data.max() <= 1
+
+
+class TestAnticorrelated:
+    def test_negative_correlation(self):
+        data = anticorrelated(4000, 2, seed=5)
+        assert corrcoef_mean(data) < -0.3
+
+    def test_sums_concentrate(self):
+        d = 3
+        data = anticorrelated(4000, d, seed=6)
+        sums = data.sum(axis=1)
+        assert abs(float(sums.mean()) - d / 2) < 0.1
+        assert float(sums.std()) < 0.45  # much tighter than uniform's ~0.5
+
+    def test_larger_skyline_than_correlated(self):
+        """The defining property: AC data has far more skyline points."""
+        from repro.index.skyline import skyline
+
+        ac = anticorrelated(300, 2, seed=7)
+        co = correlated(300, 2, seed=7)
+        assert len(skyline(ac)) > len(skyline(co))
+
+
+class TestDispatch:
+    def test_generate_kinds(self):
+        for kind in ("IN", "CO", "AC", "in", "co", "ac"):
+            assert generate(kind, 10, 2, seed=0).shape == (10, 2)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValidationError):
+            generate("XX", 10, 2)

@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+
+from repro.data.workloads import (
+    clustered_queries,
+    generate_queries,
+    polynomial_workload,
+    uniform_queries,
+)
+from repro.errors import ValidationError
+
+
+class TestUniform:
+    def test_shape_and_k_range(self):
+        qs = uniform_queries(200, 3, seed=1)
+        assert qs.m == 200 and qs.dim == 3
+        assert qs.ks.min() >= 1 and qs.ks.max() <= 50
+
+    def test_custom_k_range(self):
+        qs = uniform_queries(50, 2, seed=2, k_range=(3, 3))
+        assert set(qs.ks.tolist()) == {3}
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            uniform_queries(0, 3)
+        with pytest.raises(ValidationError):
+            uniform_queries(10, 3, k_range=(0, 5))
+        with pytest.raises(ValidationError):
+            uniform_queries(10, 3, k_range=(5, 2))
+
+
+class TestClustered:
+    def test_weights_cluster(self):
+        """CL weights must be much lumpier than UN: compare the average
+        distance to the nearest other query."""
+        un = uniform_queries(300, 3, seed=3).weights
+        cl = clustered_queries(300, 3, seed=3, clusters=4, spread=0.03).weights
+
+        def mean_nn_distance(w):
+            dists = np.linalg.norm(w[:, None, :] - w[None, :, :], axis=2)
+            np.fill_diagonal(dists, np.inf)
+            return float(dists.min(axis=1).mean())
+
+        assert mean_nn_distance(cl) < mean_nn_distance(un)
+
+    def test_range_clipped(self):
+        qs = clustered_queries(500, 4, seed=4, spread=0.5)
+        assert qs.weights.min() >= 0 and qs.weights.max() <= 1
+
+    def test_invalid_clusters(self):
+        with pytest.raises(ValidationError):
+            clustered_queries(10, 2, clusters=0)
+
+
+class TestDispatch:
+    def test_kinds(self):
+        for kind in ("UN", "CL", "un", "cl"):
+            assert generate_queries(kind, 20, 2, seed=0).m == 20
+
+    def test_unknown(self):
+        with pytest.raises(ValidationError):
+            generate_queries("ZZ", 10, 2)
+
+
+class TestPolynomialWorkload:
+    def test_family_and_queries_align(self):
+        family, qs = polynomial_workload("UN", 30, 4, seed=5)
+        assert family.num_terms == 4
+        assert qs.dim == 4 and qs.m == 30
+
+    def test_degrees_in_range(self):
+        family, __ = polynomial_workload("UN", 5, 6, seed=6, degree_range=(2, 3))
+        for term in family.terms:
+            ((__, power),) = term.exponents
+            assert 2 <= power <= 3
+
+    def test_augmented_values_stay_in_unit_box(self, rng):
+        family, __ = polynomial_workload("CL", 5, 3, seed=7)
+        augmented = family.augment(rng.random((50, 3)))
+        assert augmented.min() >= 0 and augmented.max() <= 1
+
+    def test_invalid_degree_range(self):
+        with pytest.raises(ValidationError):
+            polynomial_workload("UN", 5, 2, degree_range=(0, 2))
+
+    def test_end_to_end_with_engine(self, rng):
+        """Polynomial workload drives the full IQ pipeline (Fig. 13 path)."""
+        from repro.core.engine import ImprovementQueryEngine
+        from repro.core.objects import Dataset
+
+        family, qs = polynomial_workload("UN", 15, 3, seed=8, k_range=(1, 3))
+        points = rng.random((12, 3))
+        engine = ImprovementQueryEngine(Dataset(family.augment(points)), qs)
+        result = engine.min_cost(0, tau=5)
+        assert result.hits_after >= 5 or not result.satisfied

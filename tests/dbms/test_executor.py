@@ -1,0 +1,122 @@
+import pytest
+
+from repro.dbms.executor import Database
+from repro.errors import SQLCatalogError, SQLExecutionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (a INT, b FLOAT, name TEXT)")
+    database.execute(
+        "INSERT INTO t VALUES (1, 1.5, 'one'), (2, 2.5, 'two'), (3, 3.5, 'three')"
+    )
+    return database
+
+
+class TestDDL:
+    def test_show_tables(self, db):
+        db.execute("CREATE TABLE z (x INT)")
+        assert db.execute("SHOW TABLES").column("table") == ["t", "z"]
+
+    def test_describe(self, db):
+        result = db.execute("DESCRIBE t")
+        assert result.rows == [["a", "INT"], ["b", "FLOAT"], ["name", "TEXT"]]
+
+    def test_duplicate_table(self, db):
+        with pytest.raises(SQLCatalogError):
+            db.execute("CREATE TABLE t (x INT)")
+
+    def test_drop(self, db):
+        db.execute("DROP TABLE t")
+        with pytest.raises(SQLCatalogError):
+            db.execute("SELECT * FROM t")
+
+
+class TestInsertTypes:
+    def test_int_column_rejects_fraction(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("INSERT INTO t VALUES (1.5, 1.0, 'x')")
+
+    def test_text_column_rejects_number(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("INSERT INTO t VALUES (1, 1.0, 42)")
+
+    def test_arity_checked(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("INSERT INTO t VALUES (1, 2.0)")
+
+    def test_null_allowed(self, db):
+        db.execute("INSERT INTO t VALUES (NULL, NULL, NULL)")
+        assert len(db.execute("SELECT * FROM t")) == 4
+
+
+class TestSelect:
+    def test_where_filters(self, db):
+        result = db.execute("SELECT name FROM t WHERE a >= 2")
+        assert result.column("name") == ["two", "three"]
+
+    def test_arithmetic_in_where(self, db):
+        result = db.execute("SELECT a FROM t WHERE a * 2 + 1 = 5")
+        assert result.column("a") == [2]
+
+    def test_order_and_limit(self, db):
+        result = db.execute("SELECT a FROM t ORDER BY a DESC LIMIT 2")
+        assert result.column("a") == [3, 2]
+
+    def test_rowid_pseudo_column(self, db):
+        result = db.execute("SELECT rowid, a FROM t WHERE rowid = 1")
+        assert result.rows == [[1, 2]]
+
+    def test_string_comparison(self, db):
+        result = db.execute("SELECT a FROM t WHERE name = 'two'")
+        assert result.column("a") == [2]
+
+    def test_and_or_not(self, db):
+        result = db.execute("SELECT a FROM t WHERE a = 1 OR NOT (a < 3)")
+        assert result.column("a") == [1, 3]
+
+    def test_null_comparisons_false(self, db):
+        db.execute("INSERT INTO t VALUES (NULL, 9.0, 'n')")
+        assert db.execute("SELECT a FROM t WHERE a < 100").column("a") == [1, 2, 3]
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SQLCatalogError):
+            db.execute("SELECT nope FROM t")
+
+    def test_pretty_renders(self, db):
+        text = db.execute("SELECT a, name FROM t").pretty()
+        assert "name" in text and "three" in text
+
+
+class TestUpdateDelete:
+    def test_update_with_expression(self, db):
+        db.execute("UPDATE t SET b = b * 10 WHERE a = 2")
+        assert db.execute("SELECT b FROM t WHERE a = 2").column("b") == [25.0]
+
+    def test_update_all_rows(self, db):
+        db.execute("UPDATE t SET a = a + 100")
+        assert db.execute("SELECT a FROM t").column("a") == [101, 102, 103]
+
+    def test_delete_where(self, db):
+        result = db.execute("DELETE FROM t WHERE a = 2")
+        assert result.status == "DELETE 1"
+        assert db.execute("SELECT a FROM t").column("a") == [1, 3]
+
+    def test_division_by_zero(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("SELECT a FROM t WHERE a / 0 = 1")
+
+    def test_type_error_in_arithmetic(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("SELECT a FROM t WHERE name + 1 = 2")
+
+
+class TestScript:
+    def test_run_script(self):
+        db = Database()
+        results = db.run_script(
+            "CREATE TABLE s (x INT); INSERT INTO s VALUES (1), (2); SELECT x FROM s"
+        )
+        assert len(results) == 3
+        assert results[2].column("x") == [1, 2]

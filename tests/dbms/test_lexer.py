@@ -1,0 +1,67 @@
+import pytest
+
+from repro.dbms.lexer import Token, tokenize
+from repro.errors import SQLSyntaxError
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql) if t.kind != "EOF"]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Where") == [
+            ("KEYWORD", "SELECT"),
+            ("KEYWORD", "FROM"),
+            ("KEYWORD", "WHERE"),
+        ]
+
+    def test_identifiers_keep_case(self):
+        assert kinds("myTable _col2") == [("IDENT", "myTable"), ("IDENT", "_col2")]
+
+    def test_numbers(self):
+        assert kinds("1 2.5 .5 1e3 2.5E-2") == [
+            ("NUMBER", "1"),
+            ("NUMBER", "2.5"),
+            ("NUMBER", ".5"),
+            ("NUMBER", "1e3"),
+            ("NUMBER", "2.5E-2"),
+        ]
+
+    def test_strings_with_escape(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0] == Token("STRING", "it's", 0)
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        assert kinds("a <= b <> c != d") == [
+            ("IDENT", "a"),
+            ("OP", "<="),
+            ("IDENT", "b"),
+            ("OP", "<>"),
+            ("IDENT", "c"),
+            ("OP", "!="),
+            ("IDENT", "d"),
+        ]
+
+    def test_comments_skipped(self):
+        assert kinds("SELECT -- this is a comment\n1") == [
+            ("KEYWORD", "SELECT"),
+            ("NUMBER", "1"),
+        ]
+
+    def test_bad_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @")
+
+    def test_improvement_keywords(self):
+        assert kinds("IMPROVE TARGET REACH BUDGET ADJUST FROZEN APPLY") == [
+            ("KEYWORD", w)
+            for w in ["IMPROVE", "TARGET", "REACH", "BUDGET", "ADJUST", "FROZEN", "APPLY"]
+        ]
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == "EOF"

@@ -1,0 +1,54 @@
+import io
+
+from repro.dbms.__main__ import run_repl
+
+
+def run_session(script: str) -> str:
+    stdin = io.StringIO(script)
+    stdout = io.StringIO()
+    code = run_repl(stdin=stdin, stdout=stdout)
+    assert code == 0
+    return stdout.getvalue()
+
+
+class TestRepl:
+    def test_basic_session(self):
+        out = run_session(
+            "CREATE TABLE t (a INT);\n"
+            "INSERT INTO t VALUES (1), (2);\n"
+            "SELECT a FROM t;\n"
+            ".quit\n"
+        )
+        assert "CREATE TABLE t" in out
+        assert "INSERT 2" in out
+        assert "a" in out and "2" in out
+
+    def test_multiline_statement(self):
+        out = run_session(
+            "CREATE TABLE t\n(a INT);\nINSERT INTO t\nVALUES (7);\nSELECT a FROM t;\n"
+        )
+        assert "7" in out
+
+    def test_error_recovery(self):
+        out = run_session("SELECT * FROM missing;\nCREATE TABLE t (a INT);\n.quit\n")
+        assert "error:" in out
+        assert "CREATE TABLE t" in out  # session continues after an error
+
+    def test_meta_commands(self):
+        out = run_session("CREATE TABLE z (x INT);\n.tables\n.help\n.bogus\n.quit\n")
+        assert "z" in out
+        assert "IMPROVE" in out  # help text
+        assert "unknown meta command" in out
+
+    def test_improve_through_repl(self):
+        out = run_session(
+            "CREATE TABLE o (a FLOAT, b FLOAT);\n"
+            "INSERT INTO o VALUES (0.9, 0.9), (0.1, 0.1);\n"
+            "CREATE TABLE q (wa FLOAT, wb FLOAT, k INT);\n"
+            "INSERT INTO q VALUES (0.5, 0.5, 1);\n"
+            "CREATE IMPROVEMENT INDEX ix ON o (a, b) USING QUERIES q (wa, wb, k);\n"
+            "IMPROVE o TARGET WHERE rowid = 0 USING ix REACH 1;\n"
+            ".quit\n"
+        )
+        assert "hits_after" in out
+        assert "error" not in out

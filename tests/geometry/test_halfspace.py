@@ -1,0 +1,94 @@
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.geometry.halfspace import HalfspaceRegion, chebyshev_center
+from repro.geometry.hyperplane import Hyperplane
+
+
+def region_2d():
+    return HalfspaceRegion(dim=2)
+
+
+class TestHalfspaceRegion:
+    def test_whole_box_not_empty(self):
+        region = region_2d()
+        assert not region.is_empty()
+        witness = region.witness()
+        assert witness is not None
+        assert region.contains(witness)
+
+    def test_single_halfspace(self):
+        # q . (1, 1) <= 0 within [0,1]^2: only the origin qualifies.
+        region = region_2d().add(Hyperplane(np.array([1.0, 1.0])), side=1)
+        assert not region.is_empty()  # the origin is in the box
+        # Below side: q . (1,1) > 0 — most of the box.
+        below = region_2d().add(Hyperplane(np.array([1.0, 1.0])), side=-1)
+        assert not below.is_empty()
+        assert below.contains([0.5, 0.5])
+        assert not below.contains([0.0, 0.0])
+
+    def test_contradictory_halfspaces_empty(self):
+        h = Hyperplane(np.array([1.0, -1.0]))
+        region = region_2d().add(h, side=1).add(h, side=-1)
+        assert region.is_empty()
+        assert region.witness() is None
+
+    def test_empty_by_accumulation(self):
+        # q1 - q2 > 0 and q2 - q1 > 0 cannot hold together.
+        region = (
+            region_2d()
+            .add(Hyperplane(np.array([1.0, -1.0])), side=-1)
+            .add(Hyperplane(np.array([-1.0, 1.0])), side=-1)
+        )
+        assert region.is_empty()
+
+    def test_add_does_not_mutate_original(self):
+        region = region_2d()
+        child = region.add(Hyperplane(np.array([1.0, 0.0])), side=1)
+        assert len(region.constraints) == 0
+        assert len(child.constraints) == 1
+
+    def test_invalid_side_raises(self):
+        with pytest.raises(ValidationError):
+            region_2d().add(Hyperplane(np.array([1.0, 0.0])), side=0)
+
+    def test_invalid_dim_raises(self):
+        with pytest.raises(ValidationError):
+            HalfspaceRegion(dim=0)
+
+    def test_contains_respects_box(self):
+        region = region_2d()
+        assert region.contains([0.5, 0.5])
+        assert not region.contains([1.5, 0.5])
+        assert not region.contains([-0.1, 0.5])
+
+    def test_boundary_point_counts_as_above(self):
+        h = Hyperplane(np.array([1.0, -1.0]))
+        above = region_2d().add(h, side=1)
+        assert above.contains([0.5, 0.5])  # exactly on the hyperplane
+
+    def test_custom_box(self):
+        region = HalfspaceRegion(dim=1, lower=np.array([2.0]), upper=np.array([3.0]))
+        assert region.contains([2.5])
+        assert not region.contains([1.0])
+
+
+class TestChebyshevCenter:
+    def test_center_of_unit_box(self):
+        center, radius = chebyshev_center(region_2d())
+        assert center == pytest.approx([0.5, 0.5])
+        assert radius == pytest.approx(0.5)
+
+    def test_center_inside_constrained_region(self, rng):
+        # Random wedge regions: the center must satisfy every constraint.
+        for __ in range(10):
+            region = HalfspaceRegion(dim=3)
+            point = rng.random(3)  # ensure non-emptiness through this point
+            for __ in range(4):
+                normal = rng.normal(size=3)
+                side = 1 if float(point @ normal) <= 0 else -1
+                region = region.add(Hyperplane(normal), side)
+            center, radius = chebyshev_center(region)
+            assert radius >= 0
+            assert region.contains(center, tol=1e-6)

@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.geometry.hyperplane import Hyperplane, pairwise_normals, side_of, sides_of
+
+
+class TestHyperplane:
+    def test_between_is_difference_of_objects(self):
+        h = Hyperplane.between([4.0, 3.0], [1.0, -2.0], a=0, b=1)
+        assert np.allclose(h.normal, [3.0, 5.0])
+        assert h.a == 0 and h.b == 1
+
+    def test_between_shape_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            Hyperplane.between([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_non_finite_normal_raises(self):
+        with pytest.raises(ValidationError):
+            Hyperplane(np.array([np.nan, 1.0]))
+
+    def test_side_above_means_first_object_ranks_no_worse(self):
+        # f_a(q) = 4q1 + 3q2, f_b(q) = q1 - 2q2 (Figure 2 of the paper)
+        h = Hyperplane.between([4.0, 3.0], [1.0, -2.0])
+        # At q = (0, 0.0) both are 0 -> boundary counts as above.
+        assert h.side(np.array([0.0, 0.0])) == 1
+        # f_a < f_b requires 3q1 + 5q2 < 0: impossible for positive q,
+        # so any positive query is 'below' (f_a > f_b).
+        assert h.side(np.array([0.5, 0.5])) == -1
+
+    def test_sides_vectorized_matches_scalar(self, rng):
+        normal = rng.normal(size=4)
+        points = rng.normal(size=(25, 4))
+        vec = sides_of(normal, points)
+        scalar = np.array([side_of(normal, p) for p in points])
+        assert np.array_equal(vec, scalar)
+
+    def test_tilt_adds_strategy_to_normal(self):
+        h = Hyperplane.between([4.0, 3.0], [1.0, -2.0], a=7, b=9)
+        tilted = h.tilt(np.array([1.0, 0.0]))
+        assert np.allclose(tilted.normal, [4.0, 5.0])
+        assert tilted.a == 7 and tilted.b == 9
+
+    def test_involves(self):
+        h = Hyperplane.between([1.0], [0.0], a=3, b=5)
+        assert h.involves(3) and h.involves(5) and not h.involves(4)
+
+    def test_degenerate_detection(self):
+        assert Hyperplane.between([1.0, 1.0], [1.0, 1.0]).is_degenerate()
+        assert not Hyperplane.between([1.0, 1.0], [1.0, 0.5]).is_degenerate()
+
+    def test_hash_and_equality(self):
+        h1 = Hyperplane(np.array([1.0, 2.0]), a=0, b=1)
+        h2 = Hyperplane(np.array([1.0, 2.0]), a=0, b=1)
+        h3 = Hyperplane(np.array([1.0, 2.0]), a=0, b=2)
+        assert h1 == h2 and hash(h1) == hash(h2)
+        assert h1 != h3
+        assert len({h1, h2, h3}) == 2
+
+
+class TestPairwiseNormals:
+    def test_all_pairs_count(self, rng):
+        objects = rng.random((6, 3))
+        normals, pairs = pairwise_normals(objects)
+        assert normals.shape == (15, 3)
+        assert len(pairs) == 15
+        for row, (a, b) in zip(normals, pairs):
+            assert np.allclose(row, objects[a] - objects[b])
+
+    def test_duplicate_objects_skipped(self):
+        objects = np.array([[1.0, 2.0], [1.0, 2.0], [0.0, 0.0]])
+        normals, pairs = pairwise_normals(objects)
+        assert (0, 1) not in pairs
+        assert len(pairs) == 2
+
+    def test_explicit_pairs(self, rng):
+        objects = rng.random((5, 2))
+        normals, pairs = pairwise_normals(objects, pairs=[(0, 3), (2, 4)])
+        assert pairs == [(0, 3), (2, 4)]
+        assert np.allclose(normals[0], objects[0] - objects[3])
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValidationError):
+            pairwise_normals(np.array([1.0, 2.0]))
+
+    def test_empty_result_shape(self):
+        objects = np.array([[1.0, 1.0], [1.0, 1.0]])
+        normals, pairs = pairwise_normals(objects)
+        assert normals.shape == (0, 2) and pairs == []

@@ -1,0 +1,118 @@
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.geometry.plane_sweep import (
+    Segment,
+    brute_force_intersections,
+    find_intersections,
+    segment_intersection,
+)
+
+
+class TestSegment:
+    def test_endpoint_normalization(self):
+        s = Segment.make((1.0, 1.0), (0.0, 0.0))
+        assert s.left == (0.0, 0.0) and s.right == (1.0, 1.0)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValidationError):
+            Segment.make((1.0, 1.0), (1.0, 1.0))
+
+    def test_y_at(self):
+        s = Segment.make((0.0, 0.0), (2.0, 4.0))
+        assert s.y_at(1.0) == pytest.approx(2.0)
+
+    def test_vertical_detection(self):
+        assert Segment.make((1.0, 0.0), (1.0, 5.0)).is_vertical()
+        with pytest.raises(ValidationError):
+            Segment.make((1.0, 0.0), (1.0, 5.0)).y_at(1.0)
+
+
+class TestSegmentIntersection:
+    def test_crossing(self):
+        s = Segment.make((0.0, 0.0), (1.0, 1.0))
+        t = Segment.make((0.0, 1.0), (1.0, 0.0))
+        point = segment_intersection(s, t)
+        assert point == pytest.approx((0.5, 0.5))
+
+    def test_parallel_none(self):
+        s = Segment.make((0.0, 0.0), (1.0, 1.0))
+        t = Segment.make((0.0, 0.5), (1.0, 1.5))
+        assert segment_intersection(s, t) is None
+
+    def test_non_overlapping_lines_cross_outside(self):
+        s = Segment.make((0.0, 0.0), (1.0, 1.0))
+        t = Segment.make((2.0, 3.0), (3.0, 2.0))
+        assert segment_intersection(s, t) is None
+
+
+class TestSweepAgainstBruteForce:
+    @staticmethod
+    def _normalize(results):
+        return sorted((round(x, 9), round(y, 9), i, j) for x, y, i, j in results)
+
+    def test_classic_cross(self):
+        segments = [
+            Segment.make((0.0, 0.0), (1.0, 1.0)),
+            Segment.make((0.0, 1.0), (1.0, 0.0)),
+        ]
+        out = find_intersections(segments)
+        assert len(out) == 1
+        assert out[0][:2] == pytest.approx((0.5, 0.5))
+
+    def test_no_intersections(self):
+        segments = [
+            Segment.make((0.0, 0.0), (1.0, 0.1)),
+            Segment.make((0.0, 1.0), (1.0, 1.1)),
+        ]
+        assert find_intersections(segments) == []
+
+    def test_random_segments_match_brute_force(self, rng):
+        for trial in range(15):
+            segments = []
+            for __ in range(12):
+                p1 = rng.random(2) * 10
+                p2 = rng.random(2) * 10
+                if np.allclose(p1, p2):
+                    continue
+                segments.append(Segment.make(p1, p2))
+            sweep = self._normalize(find_intersections(segments))
+            brute = self._normalize(brute_force_intersections(segments))
+            assert sweep == brute, f"trial {trial}"
+
+    def test_vertical_falls_back(self):
+        segments = [
+            Segment.make((0.5, -1.0), (0.5, 1.0)),  # vertical
+            Segment.make((0.0, 0.0), (1.0, 0.0)),
+        ]
+        out = find_intersections(segments)
+        assert len(out) == 1
+        assert out[0][:2] == pytest.approx((0.5, 0.0))
+
+    def test_shared_endpoint_falls_back(self):
+        segments = [
+            Segment.make((0.0, 0.0), (1.0, 1.0)),
+            Segment.make((0.0, 0.0), (1.0, -1.0)),
+            Segment.make((0.0, -0.5), (1.0, 0.5)),
+        ]
+        sweep = self._normalize(find_intersections(segments))
+        brute = self._normalize(brute_force_intersections(segments))
+        assert sweep == brute
+
+    def test_many_lines_through_grid(self, rng):
+        # Lines restricted to a box, like hyperplane traces in 2-D domain.
+        segments = []
+        for __ in range(20):
+            slope = rng.normal()
+            intercept = rng.random()
+            segments.append(
+                Segment.make((0.0, intercept), (1.0, intercept + slope))
+            )
+        sweep = self._normalize(find_intersections(segments))
+        brute = self._normalize(brute_force_intersections(segments))
+        assert sweep == brute
+
+    def test_single_segment(self):
+        assert find_intersections([Segment.make((0, 0), (1, 1))]) == []
+        assert find_intersections([]) == []

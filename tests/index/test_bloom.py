@@ -1,0 +1,77 @@
+import pytest
+
+from repro.errors import ValidationError
+from repro.index.bloom import BloomFilter, CountingBloomFilter, optimal_parameters
+
+
+class TestParameters:
+    def test_optimal_parameters_reasonable(self):
+        bits, hashes = optimal_parameters(1000, 0.01)
+        assert bits > 1000  # ~9.6 bits per item at 1% FPR
+        assert 5 <= hashes <= 10
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            optimal_parameters(0, 0.01)
+        with pytest.raises(ValidationError):
+            optimal_parameters(100, 1.5)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(expected_items=500, false_positive_rate=0.01)
+        items = [("subdomain", i, "boundary", i * 7) for i in range(500)]
+        for item in items:
+            bloom.add(item)
+        assert all(item in bloom for item in items)
+
+    def test_false_positive_rate_near_target(self):
+        bloom = BloomFilter(expected_items=1000, false_positive_rate=0.02)
+        for i in range(1000):
+            bloom.add(("present", i))
+        false_hits = sum(1 for i in range(5000) if ("absent", i) in bloom)
+        assert false_hits / 5000 < 0.06  # generous 3x headroom
+
+    def test_len_counts_adds(self):
+        bloom = BloomFilter()
+        bloom.add("a")
+        bloom.add("a")
+        assert len(bloom) == 2
+
+    def test_estimated_fpr_increases_with_fill(self):
+        bloom = BloomFilter(expected_items=100)
+        before = bloom.estimated_false_positive_rate()
+        for i in range(100):
+            bloom.add(i)
+        assert bloom.estimated_false_positive_rate() > before
+
+
+class TestCountingBloomFilter:
+    def test_remove_restores_absence(self):
+        bloom = CountingBloomFilter(expected_items=100)
+        bloom.add("x")
+        assert "x" in bloom
+        assert bloom.remove("x")
+        assert "x" not in bloom
+
+    def test_remove_absent_returns_false(self):
+        bloom = CountingBloomFilter(expected_items=100)
+        assert not bloom.remove("never-added")
+
+    def test_duplicate_adds_need_matching_removes(self):
+        bloom = CountingBloomFilter(expected_items=100)
+        bloom.add("dup")
+        bloom.add("dup")
+        assert bloom.remove("dup")
+        assert "dup" in bloom  # one registration remains
+        assert bloom.remove("dup")
+        assert "dup" not in bloom
+
+    def test_no_false_negatives_under_churn(self):
+        bloom = CountingBloomFilter(expected_items=300)
+        for i in range(300):
+            bloom.add(("k", i))
+        for i in range(0, 300, 2):
+            bloom.remove(("k", i))
+        for i in range(1, 300, 2):
+            assert ("k", i) in bloom

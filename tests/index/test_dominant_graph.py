@@ -1,0 +1,67 @@
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.index.dominant_graph import DominantGraph
+from repro.topk.evaluate import top_k
+
+
+class TestConstruction:
+    def test_validate_passes(self, rng):
+        dg = DominantGraph(rng.random((60, 3)))
+        dg.validate()
+
+    def test_layers_and_edges_exist(self, rng):
+        dg = DominantGraph(rng.random((80, 2)))
+        assert len(dg.layers) >= 2
+        assert dg.edge_count() > 0
+        assert dg.memory_estimate() > 0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            DominantGraph(np.array([1.0, 2.0]))
+
+
+class TestTopK:
+    def test_matches_brute_force_random(self, rng):
+        objects = rng.random((70, 3))
+        dg = DominantGraph(objects)
+        for __ in range(20):
+            weights = rng.random(3) + 0.05  # strictly positive
+            k = int(rng.integers(1, 10))
+            assert dg.top_k(weights, k) == top_k(objects, weights, k)
+
+    def test_k_exceeds_n(self, rng):
+        objects = rng.random((5, 2))
+        dg = DominantGraph(objects)
+        weights = np.array([0.3, 0.7])
+        assert dg.top_k(weights, 50) == top_k(objects, weights, 5)
+
+    def test_chain_data(self):
+        objects = np.array([[float(i), float(i)] for i in range(6)])
+        dg = DominantGraph(objects)
+        assert dg.top_k(np.array([1.0, 1.0]), 3) == [0, 1, 2]
+
+    def test_anticorrelated_data(self, rng):
+        t = rng.random(40)
+        objects = np.column_stack([t, 1 - t])
+        dg = DominantGraph(objects)
+        for __ in range(10):
+            weights = rng.random(2) + 0.05
+            assert dg.top_k(weights, 5) == top_k(objects, weights, 5)
+
+    def test_invalid_inputs(self, rng):
+        dg = DominantGraph(rng.random((10, 2)))
+        with pytest.raises(ValidationError):
+            dg.top_k(np.array([0.5]), 3)  # wrong shape
+        with pytest.raises(ValidationError):
+            dg.top_k(np.array([-0.5, 0.5]), 3)  # negative weight
+        with pytest.raises(ValidationError):
+            dg.top_k(np.array([0.5, 0.5]), 0)  # bad k
+
+    def test_5d_correctness(self, rng):
+        objects = rng.random((50, 5))
+        dg = DominantGraph(objects)
+        for __ in range(10):
+            weights = rng.random(5) + 0.05
+            assert dg.top_k(weights, 7) == top_k(objects, weights, 7)

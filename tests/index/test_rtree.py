@@ -1,0 +1,212 @@
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.index.rtree import Rect, RTree
+
+
+class TestRect:
+    def test_point_rect(self):
+        r = Rect.point([1.0, 2.0])
+        assert r.mins == r.maxs == (1.0, 2.0)
+        assert r.area() == 0.0
+
+    def test_union_and_area(self):
+        a = Rect.from_arrays([0, 0], [1, 1])
+        b = Rect.from_arrays([2, 2], [3, 4])
+        u = a.union(b)
+        assert u.mins == (0.0, 0.0) and u.maxs == (3.0, 4.0)
+        assert u.area() == pytest.approx(12.0)
+
+    def test_intersects_and_contains(self):
+        a = Rect.from_arrays([0, 0], [2, 2])
+        b = Rect.from_arrays([1, 1], [3, 3])
+        c = Rect.from_arrays([0.5, 0.5], [1.5, 1.5])
+        assert a.intersects(b) and b.intersects(a)
+        assert a.contains(c) and not c.contains(a)
+        assert not a.intersects(Rect.from_arrays([5, 5], [6, 6]))
+
+    def test_touching_edges_intersect(self):
+        a = Rect.from_arrays([0, 0], [1, 1])
+        b = Rect.from_arrays([1, 0], [2, 1])
+        assert a.intersects(b)
+
+    def test_empty_rect_raises(self):
+        with pytest.raises(ValidationError):
+            Rect.from_arrays([1.0], [0.0])
+
+    def test_min_dist_sq(self):
+        r = Rect.from_arrays([0, 0], [1, 1])
+        assert r.min_dist_sq((0.5, 0.5)) == 0.0
+        assert r.min_dist_sq((2.0, 0.5)) == pytest.approx(1.0)
+        assert r.min_dist_sq((2.0, 3.0)) == pytest.approx(1.0 + 4.0)
+
+
+class TestInsertSearch:
+    def test_insert_and_exact_search(self, rng):
+        tree = RTree(dim=2, max_entries=4)
+        points = rng.random((200, 2))
+        for i, p in enumerate(points):
+            tree.insert_point(p, i)
+        assert len(tree) == 200
+        tree.validate()
+        box = Rect.from_arrays([0.2, 0.2], [0.6, 0.7])
+        got = sorted(tree.search(box))
+        expected = sorted(
+            i
+            for i, p in enumerate(points)
+            if 0.2 <= p[0] <= 0.6 and 0.2 <= p[1] <= 0.7
+        )
+        assert got == expected
+
+    def test_search_where_predicate(self, rng):
+        tree = RTree(dim=2)
+        points = rng.random((100, 2))
+        for i, p in enumerate(points):
+            tree.insert_point(p, i)
+        box = Rect.from_arrays([0.0, 0.0], [1.0, 1.0])
+        odd = tree.search_where(box, lambda rect, payload: payload % 2 == 1)
+        assert sorted(odd) == [i for i in range(100) if i % 2 == 1]
+
+    def test_high_dimensional(self, rng):
+        tree = RTree(dim=5, max_entries=6)
+        points = rng.random((150, 5))
+        for i, p in enumerate(points):
+            tree.insert_point(p, i)
+        tree.validate()
+        box = Rect.from_arrays([0.0] * 5, [0.5] * 5)
+        got = sorted(tree.search(box))
+        expected = sorted(i for i, p in enumerate(points) if np.all(p <= 0.5))
+        assert got == expected
+
+    def test_duplicate_points_allowed(self):
+        tree = RTree(dim=2)
+        for i in range(10):
+            tree.insert_point([0.5, 0.5], i)
+        assert sorted(tree.search(Rect.point([0.5, 0.5]))) == list(range(10))
+
+    def test_dim_mismatch_raises(self):
+        tree = RTree(dim=2)
+        with pytest.raises(ValidationError):
+            tree.insert_point([1.0, 2.0, 3.0], 0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            RTree(dim=0)
+        with pytest.raises(ValidationError):
+            RTree(dim=2, max_entries=1)
+        with pytest.raises(ValidationError):
+            RTree(dim=2, max_entries=4, min_entries=3)
+
+
+class TestDelete:
+    def test_delete_returns_false_for_missing(self):
+        tree = RTree(dim=2)
+        tree.insert_point([0.1, 0.1], "a")
+        assert not tree.delete(Rect.point([0.9, 0.9]), "a")
+        assert not tree.delete(Rect.point([0.1, 0.1]), "b")
+        assert len(tree) == 1
+
+    def test_delete_then_search(self, rng):
+        tree = RTree(dim=3, max_entries=4)
+        points = rng.random((120, 3))
+        for i, p in enumerate(points):
+            tree.insert_point(p, i)
+        removed = set()
+        for i in range(0, 120, 3):
+            assert tree.delete(Rect.point(points[i]), i)
+            removed.add(i)
+            tree.validate()
+        assert len(tree) == 120 - len(removed)
+        everything = Rect.from_arrays([0.0] * 3, [1.0] * 3)
+        assert sorted(tree.search(everything)) == sorted(set(range(120)) - removed)
+
+    def test_delete_everything(self, rng):
+        tree = RTree(dim=2, max_entries=4)
+        points = rng.random((50, 2))
+        for i, p in enumerate(points):
+            tree.insert_point(p, i)
+        for i, p in enumerate(points):
+            assert tree.delete(Rect.point(p), i)
+        assert len(tree) == 0
+        tree.validate()
+        assert tree.search(Rect.from_arrays([0, 0], [1, 1])) == []
+        # The tree remains usable after being emptied.
+        tree.insert_point([0.5, 0.5], "again")
+        assert tree.search(Rect.point([0.5, 0.5])) == ["again"]
+
+
+class TestNearest:
+    def test_knn_matches_brute_force(self, rng):
+        tree = RTree(dim=2, max_entries=5)
+        points = rng.random((300, 2))
+        for i, p in enumerate(points):
+            tree.insert_point(p, i)
+        for __ in range(10):
+            target = rng.random(2)
+            got = tree.nearest(target, k=7)
+            dists = np.sum((points - target) ** 2, axis=1)
+            expected = set(np.argsort(dists, kind="stable")[:7])
+            # Ties in distance allow permutations, so compare distances.
+            got_d = sorted(dists[g] for g in got)
+            exp_d = sorted(dists[e] for e in expected)
+            assert np.allclose(got_d, exp_d)
+
+    def test_knn_k_larger_than_size(self):
+        tree = RTree(dim=1)
+        tree.insert_point([0.1], "x")
+        tree.insert_point([0.9], "y")
+        assert set(tree.nearest([0.0], k=10)) == {"x", "y"}
+
+    def test_invalid_k(self):
+        tree = RTree(dim=1)
+        with pytest.raises(ValidationError):
+            tree.nearest([0.0], k=0)
+
+
+class TestBulkLoad:
+    def test_bulk_load_equals_incremental_contents(self, rng):
+        points = rng.random((500, 3))
+        tree = RTree.bulk_load(3, [(p, i) for i, p in enumerate(points)], max_entries=8)
+        assert len(tree) == 500
+        tree.validate()
+        box = Rect.from_arrays([0.1, 0.1, 0.1], [0.4, 0.9, 0.6])
+        expected = sorted(
+            i
+            for i, p in enumerate(points)
+            if np.all(p >= [0.1, 0.1, 0.1]) and np.all(p <= [0.4, 0.9, 0.6])
+        )
+        assert sorted(tree.search(box)) == expected
+
+    def test_bulk_load_empty(self):
+        tree = RTree.bulk_load(2, [])
+        assert len(tree) == 0
+        assert tree.search(Rect.from_arrays([0, 0], [1, 1])) == []
+
+    def test_bulk_load_is_shallower_than_incremental(self, rng):
+        points = rng.random((400, 2))
+        inc = RTree(dim=2, max_entries=4)
+        for i, p in enumerate(points):
+            inc.insert_point(p, i)
+        bulk = RTree.bulk_load(2, [(p, i) for i, p in enumerate(points)], max_entries=4)
+        assert bulk.height() <= inc.height()
+
+
+class TestIntrospection:
+    def test_height_and_node_count_grow(self, rng):
+        tree = RTree(dim=2, max_entries=4)
+        assert tree.height() == 1
+        for i, p in enumerate(rng.random((100, 2))):
+            tree.insert_point(p, i)
+        assert tree.height() >= 2
+        assert tree.node_count() > 10
+        assert tree.memory_estimate() > 0
+
+    def test_items_roundtrip(self, rng):
+        tree = RTree(dim=2)
+        pts = rng.random((20, 2))
+        for i, p in enumerate(pts):
+            tree.insert_point(p, i)
+        items = tree.items()
+        assert len(items) == 20
+        assert sorted(payload for __, payload in items) == list(range(20))

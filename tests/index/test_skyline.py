@@ -1,0 +1,96 @@
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.index.skyline import (
+    block_nested_loop_skyline,
+    dominates,
+    skyline,
+    skyline_layers,
+)
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates([1.0, 1.0], [2.0, 2.0])
+        assert dominates([1.0, 2.0], [1.0, 3.0])
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates([1.0, 1.0], [1.0, 1.0])
+
+    def test_incomparable(self):
+        assert not dominates([1.0, 3.0], [3.0, 1.0])
+        assert not dominates([3.0, 1.0], [1.0, 3.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            dominates([1.0], [1.0, 2.0])
+
+
+def brute_force_skyline(objects):
+    n = objects.shape[0]
+    return sorted(
+        i
+        for i in range(n)
+        if not any(dominates(objects[j], objects[i]) for j in range(n) if j != i)
+    )
+
+
+class TestSkyline:
+    def test_known_example(self):
+        objects = np.array(
+            [
+                [1.0, 5.0],
+                [2.0, 2.0],
+                [5.0, 1.0],
+                [3.0, 3.0],  # dominated by (2, 2)
+                [2.0, 6.0],  # dominated by (1, 5)
+            ]
+        )
+        assert skyline(objects).tolist() == [0, 1, 2]
+
+    def test_matches_brute_force(self, rng):
+        for __ in range(10):
+            objects = rng.random((40, 3))
+            assert skyline(objects).tolist() == brute_force_skyline(objects)
+
+    def test_bnl_matches_sfs(self, rng):
+        for __ in range(10):
+            objects = rng.random((40, 4))
+            assert skyline(objects).tolist() == block_nested_loop_skyline(objects).tolist()
+
+    def test_empty_input(self):
+        assert skyline(np.empty((0, 3))).size == 0
+
+    def test_single_point(self):
+        assert skyline(np.array([[1.0, 2.0]])).tolist() == [0]
+
+    def test_anticorrelated_data_has_large_skyline(self, rng):
+        t = rng.random(50)
+        objects = np.column_stack([t, 1 - t + rng.normal(0, 0.01, 50)])
+        assert len(skyline(objects)) > 25
+
+
+class TestSkylineLayers:
+    def test_layers_partition(self, rng):
+        objects = rng.random((60, 3))
+        layers = skyline_layers(objects)
+        combined = np.concatenate(layers)
+        assert sorted(combined.tolist()) == list(range(60))
+
+    def test_first_layer_is_skyline(self, rng):
+        objects = rng.random((50, 2))
+        layers = skyline_layers(objects)
+        assert layers[0].tolist() == skyline(objects).tolist()
+
+    def test_each_deeper_object_dominated_by_previous_layer(self, rng):
+        objects = rng.random((50, 2))
+        layers = skyline_layers(objects)
+        for upper, lower in zip(layers, layers[1:]):
+            for child in lower:
+                assert any(dominates(objects[p], objects[child]) for p in upper)
+
+    def test_chain_produces_singleton_layers(self):
+        objects = np.array([[float(i), float(i)] for i in range(5)])
+        layers = skyline_layers(objects)
+        assert [layer.tolist() for layer in layers] == [[0], [1], [2], [3], [4]]

@@ -1,0 +1,101 @@
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.index.rtree import Rect, RTree
+from repro.index.xtree import XTree
+
+
+def fill(tree, points):
+    for i, p in enumerate(points):
+        tree.insert_point(p, i)
+    return tree
+
+
+class TestBasicBehaviour:
+    def test_search_matches_rtree(self, rng):
+        points = rng.random((300, 4))
+        xtree = fill(XTree(dim=4, max_entries=6), points)
+        rtree = fill(RTree(dim=4, max_entries=6), points)
+        xtree.validate()
+        box = Rect.from_arrays([0.2] * 4, [0.7] * 4)
+        assert sorted(xtree.search(box)) == sorted(rtree.search(box))
+
+    def test_search_matches_brute_force(self, rng):
+        points = rng.random((200, 3))
+        xtree = fill(XTree(dim=3, max_entries=5), points)
+        box = Rect.from_arrays([0.1, 0.3, 0.0], [0.5, 0.9, 0.6])
+        expected = sorted(
+            i
+            for i, p in enumerate(points)
+            if np.all(p >= box.mins) and np.all(p <= box.maxs)
+        )
+        assert sorted(xtree.search(box)) == expected
+
+    def test_knn_matches_brute_force(self, rng):
+        points = rng.random((150, 3))
+        xtree = fill(XTree(dim=3, max_entries=5), points)
+        target = rng.random(3)
+        got = xtree.nearest(target, k=6)
+        dists = np.sum((points - target) ** 2, axis=1)
+        assert sorted(dists[g] for g in got) == pytest.approx(
+            sorted(dists.tolist())[:6]
+        )
+
+    def test_delete_works(self, rng):
+        points = rng.random((80, 2))
+        xtree = fill(XTree(dim=2, max_entries=4), points)
+        for i in range(0, 80, 2):
+            assert xtree.delete(Rect.point(points[i]), i)
+        xtree.validate()
+        everything = Rect.from_arrays([0, 0], [1, 1])
+        assert sorted(xtree.search(everything)) == list(range(1, 80, 2))
+
+
+class TestSupernodes:
+    def test_supernodes_appear_in_high_dimensions(self, rng):
+        """Clustered high-dimensional data forces overlapping splits —
+        exactly the regime supernodes are for."""
+        centers = rng.random((4, 8))
+        points = np.vstack(
+            [c + rng.normal(0, 0.01, size=(120, 8)) for c in centers]
+        ).clip(0, 1)
+        xtree = fill(XTree(dim=8, max_entries=4, max_overlap=0.05), points)
+        xtree.validate()
+        assert xtree.supernode_count() >= 1
+
+    def test_zero_threshold_extends_on_any_overlap(self, rng):
+        points = rng.random((200, 5))
+        xtree = fill(XTree(dim=5, max_entries=4, max_overlap=0.0), points)
+        rtree = fill(RTree(dim=5, max_entries=4), points)
+        xtree.validate()
+        # With zero tolerance, internal splits are mostly refused, so
+        # the directory is flatter than the plain R-tree's.
+        assert xtree.height() <= rtree.height()
+
+    def test_threshold_one_behaves_like_rtree(self, rng):
+        points = rng.random((150, 3))
+        xtree = fill(XTree(dim=3, max_entries=4, max_overlap=1.0), points)
+        xtree.validate()
+        assert xtree.supernode_count() == 0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValidationError):
+            XTree(dim=2, max_overlap=1.5)
+
+
+class TestInsideSubdomainIndex:
+    def test_xtree_backed_index_gives_same_answers(self, rng):
+        """§4.1: 'R-tree or X-tree' — both back the same index results."""
+        from repro.core.objects import Dataset
+        from repro.core.queries import QuerySet
+        from repro.core.subdomain import SubdomainIndex
+
+        dataset = Dataset(rng.random((12, 3)))
+        queries = QuerySet(rng.random((25, 3)), ks=2)
+        with_rtree = SubdomainIndex(dataset, queries)
+        with_xtree = SubdomainIndex(dataset, queries, rtree_cls=XTree)
+        with_xtree.validate()
+        assert isinstance(with_xtree.rtree, XTree)
+        for target in range(12):
+            assert with_rtree.hits(target) == with_xtree.hits(target)

@@ -1,0 +1,141 @@
+"""Cross-module integration: full pipelines exercised the way the
+benchmarks and the paper's tool use them."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ImprovementQueryEngine
+from repro.core.objects import Dataset
+from repro.data.realworld import simulate_vehicle
+from repro.data.synthetic import generate
+from repro.data.workloads import generate_queries, polynomial_workload
+from repro.dbms import Database
+from repro.topk.evaluate import top_k
+
+
+class TestSyntheticPipelines:
+    @pytest.mark.parametrize("kind", ["IN", "CO", "AC"])
+    def test_object_kinds_full_pipeline(self, kind):
+        dataset = Dataset(generate(kind, 80, 3, seed=11))
+        queries = generate_queries("UN", 50, 3, seed=12, k_range=(1, 5))
+        engine = ImprovementQueryEngine(dataset, queries, mode="relevant")
+        target = min(range(80), key=engine.hits)
+        result = engine.min_cost(target, tau=10)
+        assert result.satisfied
+        # Independent verification against brute force.
+        improved = dataset.improved(target, result.strategy.vector)
+        hits = sum(
+            1
+            for j in range(50)
+            if target in top_k(improved.matrix, *queries.query(j))
+        )
+        assert hits == result.hits_after
+
+    @pytest.mark.parametrize("kind", ["UN", "CL"])
+    def test_query_kinds_full_pipeline(self, kind):
+        dataset = Dataset(generate("IN", 60, 3, seed=13))
+        queries = generate_queries(kind, 40, 3, seed=14, k_range=(1, 4))
+        engine = ImprovementQueryEngine(dataset, queries, mode="relevant")
+        result = engine.max_hit(0, budget=0.8)
+        assert result.total_cost <= 0.8 + 1e-9
+        assert result.hits_after >= result.hits_before
+
+
+class TestRelevantVsExactMode:
+    def test_same_results_both_modes(self):
+        """The 'relevant' hyperplane restriction must not change any
+        answer — it is a pure indexing optimization."""
+        dataset = Dataset(generate("IN", 50, 3, seed=15))
+        queries = generate_queries("UN", 30, 3, seed=16, k_range=(1, 4))
+        exact = ImprovementQueryEngine(dataset, queries, mode="exact")
+        relevant = ImprovementQueryEngine(dataset, queries, mode="relevant")
+        for target in (0, 10, 25):
+            assert exact.hits(target) == relevant.hits(target)
+            a = exact.min_cost(target, tau=8)
+            b = relevant.min_cost(target, tau=8)
+            assert a.total_cost == pytest.approx(b.total_cost)
+            assert a.hits_after == b.hits_after
+
+
+class TestNonlinearPipeline:
+    def test_polynomial_workload_end_to_end(self):
+        """Fig. 13 path: polynomial utilities -> linearize -> improve."""
+        family, queries = polynomial_workload("UN", 25, 3, seed=17, k_range=(1, 3))
+        points = np.random.default_rng(18).random((30, 3))
+        dataset = Dataset(family.augment(points))
+        engine = ImprovementQueryEngine(dataset, queries)
+        target = min(range(30), key=engine.hits)
+        result = engine.min_cost(target, tau=6)
+        assert result.satisfied
+        # Verify in the nonlinear world: apply the augmented strategy and
+        # recount with direct polynomial scoring.
+        augmented = family.augment(points)
+        augmented[target] += result.strategy.vector
+        hits = 0
+        for j in range(25):
+            weights, k = queries.query(j)
+            hits += target in top_k(augmented, weights, k)
+        assert hits == result.hits_after
+
+
+class TestSimulatedRealData:
+    def test_vehicle_improvement_story(self):
+        """Figure 12's path on the simulated VEHICLE data."""
+        dataset = simulate_vehicle(n=60, seed=19)
+        queries = generate_queries("UN", 30, 5, seed=20, k_range=(1, 4))
+        engine = ImprovementQueryEngine(dataset, queries, mode="relevant")
+        target = min(range(60), key=engine.hits)
+        result = engine.max_hit(target, budget=0.5)
+        assert result.hits_after >= result.hits_before
+        assert result.total_cost <= 0.5 + 1e-9
+
+
+class TestDbmsRoundTrip:
+    def test_generated_data_through_sql(self):
+        """Generator -> SQL inserts -> IMPROVE -> verify via engine API."""
+        rng = np.random.default_rng(21)
+        objects = rng.random((20, 2)).round(4)
+        weights = rng.random((12, 2)).round(4)
+        db = Database()
+        db.execute("CREATE TABLE o (a FLOAT, b FLOAT)")
+        for row in objects:
+            db.execute(f"INSERT INTO o VALUES ({row[0]}, {row[1]})")
+        db.execute("CREATE TABLE q (wa FLOAT, wb FLOAT, k INT)")
+        for row in weights:
+            db.execute(f"INSERT INTO q VALUES ({row[0]}, {row[1]}, 2)")
+        db.execute(
+            "CREATE IMPROVEMENT INDEX ix ON o (a, b) USING QUERIES q (wa, wb, k)"
+        )
+        sql_result = db.execute("IMPROVE o TARGET WHERE rowid = 5 USING ix REACH 4")
+
+        from repro.core.queries import QuerySet
+
+        engine = ImprovementQueryEngine(
+            Dataset(objects), QuerySet(weights, 2)
+        )
+        api_result = engine.min_cost(5, tau=4)
+        assert sql_result.column("cost")[0] == pytest.approx(api_result.total_cost)
+        assert sql_result.column("hits_after")[0] == api_result.hits_after
+
+
+class TestDynamicWorkloadScenario:
+    def test_churning_market(self):
+        """Objects and queries come and go; answers stay exact."""
+        rng = np.random.default_rng(22)
+        dataset = Dataset(rng.random((25, 2)))
+        queries_arr = rng.random((20, 2))
+        from repro.core.queries import QuerySet
+
+        engine = ImprovementQueryEngine(dataset, QuerySet(queries_arr, 2))
+        for step in range(6):
+            if step % 3 == 0:
+                engine.add_query(rng.random(2), int(rng.integers(1, 4)))
+            elif step % 3 == 1:
+                engine.add_object(rng.random(2))
+            else:
+                engine.remove_object(int(rng.integers(0, engine.dataset.n)))
+            engine.index.validate()
+            # Every state must agree with a from-scratch engine.
+            fresh = ImprovementQueryEngine(engine.dataset, engine.queries)
+            for target in (0, engine.dataset.n - 1):
+                assert engine.hits(target) == fresh.hits(target)

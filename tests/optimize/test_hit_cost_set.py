@@ -1,0 +1,129 @@
+import numpy as np
+import pytest
+
+from repro.core.cost import AsymmetricLinearCost, CallableCost, L1Cost, L2Cost
+from repro.core.strategy import StrategySpace
+from repro.errors import InfeasibleError, ValidationError
+from repro.optimize.hit_cost import min_cost_to_hit, min_cost_to_hit_set
+
+
+class TestSingleRowReducesToSingleQuery:
+    def test_l2_matches_single_solver(self, rng):
+        for __ in range(10):
+            q = rng.random(3) + 0.05
+            gap = -float(rng.random() + 0.1)
+            single = min_cost_to_hit(L2Cost(3), q, gap)
+            joint = min_cost_to_hit_set(L2Cost(3), q[None, :], np.array([gap]))
+            assert joint.cost == pytest.approx(single.cost, rel=1e-4, abs=1e-6)
+
+    def test_l1_matches_single_solver(self, rng):
+        for __ in range(10):
+            q = rng.random(2) + 0.05
+            gap = -float(rng.random() + 0.1)
+            single = min_cost_to_hit(L1Cost(2), q, gap)
+            joint = min_cost_to_hit_set(L1Cost(2), q[None, :], np.array([gap]))
+            assert joint.cost == pytest.approx(single.cost, rel=1e-4, abs=1e-6)
+
+
+class TestJointConstraints:
+    def test_all_constraints_satisfied(self, rng):
+        for __ in range(10):
+            weights = rng.random((4, 3)) + 0.05
+            gaps = -(rng.random(4) + 0.1)
+            s = min_cost_to_hit_set(L2Cost(3), weights, gaps)
+            assert np.all(weights @ s.vector <= gaps)
+
+    def test_joint_at_least_as_costly_as_worst_single(self, rng):
+        for __ in range(10):
+            weights = rng.random((3, 2)) + 0.05
+            gaps = -(rng.random(3) + 0.1)
+            joint = min_cost_to_hit_set(L2Cost(2), weights, gaps)
+            singles = [
+                min_cost_to_hit(L2Cost(2), weights[i], float(gaps[i])).cost
+                for i in range(3)
+            ]
+            assert joint.cost >= max(singles) - 1e-6
+
+    def test_already_satisfied_rows_still_guard(self):
+        # Row 0 needs work; row 1 is satisfied and must not be broken:
+        # s0 <= -1 (to hit row 0) but s0 >= -1.5 (to keep row 1).
+        weights = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        gaps = np.array([-1.0, 1.5])
+        s = min_cost_to_hit_set(L2Cost(2), weights, gaps)
+        assert s.vector[0] <= -1.0 + 1e-6
+        assert -s.vector[0] <= 1.5 + 1e-6
+        assert s.cost == pytest.approx(1.0, abs=1e-4)
+
+    def test_all_satisfied_returns_zero(self):
+        weights = np.array([[0.5, 0.5]])
+        s = min_cost_to_hit_set(L2Cost(2), weights, np.array([1.0]))
+        assert s.is_zero()
+
+    def test_contradictory_constraints_infeasible(self):
+        weights = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        gaps = np.array([-1.0, -1.0])  # s0 <= -1 and s0 >= 1
+        with pytest.raises(InfeasibleError):
+            min_cost_to_hit_set(L2Cost(2), weights, gaps)
+
+    def test_box_bounds(self):
+        weights = np.array([[1.0, 1.0]])
+        gaps = np.array([-1.0])
+        space = StrategySpace(2, lower=np.array([-0.2, -5.0]), upper=np.zeros(2))
+        s = min_cost_to_hit_set(L2Cost(2), weights, gaps, space=space)
+        assert space.contains(s.vector)
+        assert float(weights[0] @ s.vector) <= -1.0 + 1e-6
+
+    def test_infeasible_box(self):
+        weights = np.array([[1.0, 1.0]])
+        gaps = np.array([-5.0])
+        space = StrategySpace(2, lower=np.full(2, -0.1), upper=np.full(2, 0.1))
+        with pytest.raises(InfeasibleError):
+            min_cost_to_hit_set(L2Cost(2), weights, gaps, space=space)
+
+
+class TestCostFamilies:
+    def test_weighted_l2(self, rng):
+        weights = rng.random((3, 2)) + 0.05
+        gaps = -(rng.random(3) + 0.1)
+        cheap_dim1 = min_cost_to_hit_set(
+            L2Cost(2, weights=[100.0, 1.0]), weights, gaps
+        )
+        assert abs(cheap_dim1.vector[1]) > abs(cheap_dim1.vector[0])
+
+    def test_asymmetric_lp(self):
+        weights = np.array([[0.5, 0.5]])
+        gaps = np.array([-1.0])
+        cost = AsymmetricLinearCost(2, up=[1.0, 1.0], down=[0.01, 1.0])
+        s = min_cost_to_hit_set(cost, weights, gaps)
+        # Lowering dim 0 is nearly free: the LP should use it heavily.
+        assert s.vector[0] < -1.0
+
+    def test_callable_numeric_feasible(self, rng):
+        weights = rng.random((2, 3)) + 0.1
+        gaps = -(rng.random(2) + 0.1)
+        cost = CallableCost(3, lambda s: float(np.sum(s**4)))
+        s = min_cost_to_hit_set(cost, weights, gaps)
+        assert np.all(weights @ s.vector <= gaps + 1e-6)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            min_cost_to_hit_set(L2Cost(2), np.ones((2, 3)), np.zeros(2))
+        with pytest.raises(ValidationError):
+            min_cost_to_hit_set(L2Cost(2), np.ones((2, 2)), np.zeros(3))
+
+
+class TestDykstraOptimality:
+    def test_matches_projection_formula_single_halfspace(self):
+        # Min-norm point onto {s : q.s <= b} is (b/||q||^2) q for b < 0.
+        q = np.array([0.6, 0.8])
+        b = -2.0
+        s = min_cost_to_hit_set(L2Cost(2), q[None, :], np.array([b]), margin=0.0)
+        expected = (b / float(q @ q)) * q
+        assert np.allclose(s.vector, expected, atol=1e-6)
+
+    def test_two_halfspace_corner(self):
+        # {s0 <= -1} and {s1 <= -1}: the min-norm point is (-1, -1).
+        weights = np.eye(2)
+        gaps = np.array([-1.0, -1.0])
+        s = min_cost_to_hit_set(L2Cost(2), weights, gaps, margin=0.0)
+        assert np.allclose(s.vector, [-1.0, -1.0], atol=1e-6)

@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleError, UnboundedError, ValidationError
+from repro.optimize.simplex import linprog
+
+
+class TestBasicLPs:
+    def test_simple_bounded_minimum(self):
+        # min x + y s.t. x + y >= 1, x, y >= 0  ->  optimum 1
+        result = linprog([1.0, 1.0], a_ub=[[-1.0, -1.0]], b_ub=[-1.0])
+        assert result.fun == pytest.approx(1.0)
+        assert result.x.sum() == pytest.approx(1.0)
+
+    def test_maximization_via_negation(self):
+        # max 3x + 2y s.t. x + y <= 4, x <= 2, x, y >= 0 -> x=2, y=2, obj 10
+        result = linprog([-3.0, -2.0], a_ub=[[1.0, 1.0], [1.0, 0.0]], b_ub=[4.0, 2.0])
+        assert -result.fun == pytest.approx(10.0)
+        assert result.x == pytest.approx([2.0, 2.0])
+
+    def test_equality_constraints(self):
+        # min x + 2y s.t. x + y = 3, x, y >= 0 -> x=3, y=0
+        result = linprog([1.0, 2.0], a_eq=[[1.0, 1.0]], b_eq=[3.0])
+        assert result.x == pytest.approx([3.0, 0.0])
+        assert result.fun == pytest.approx(3.0)
+
+    def test_free_variables(self):
+        # min x s.t. x >= -5 (via inequality), x free  ->  -5
+        result = linprog([1.0], a_ub=[[-1.0]], b_ub=[5.0], bounds=[(None, None)])
+        assert result.fun == pytest.approx(-5.0)
+
+    def test_negative_lower_bounds(self):
+        # min x + y with -2 <= x <= 0, -3 <= y <= 1
+        result = linprog([1.0, 1.0], bounds=[(-2.0, 0.0), (-3.0, 1.0)])
+        assert result.x == pytest.approx([-2.0, -3.0])
+
+    def test_upper_bounds_respected(self):
+        # max x + y with x <= 1.5, y <= 2.5 (as bounds)
+        result = linprog([-1.0, -1.0], bounds=[(0.0, 1.5), (0.0, 2.5)])
+        assert result.x == pytest.approx([1.5, 2.5])
+
+    def test_no_constraints_zero_optimum(self):
+        result = linprog([1.0, 2.0])
+        assert result.fun == pytest.approx(0.0)
+
+
+class TestEdgeCases:
+    def test_infeasible_raises(self):
+        # x >= 0 and x <= -1
+        with pytest.raises(InfeasibleError):
+            linprog([1.0], a_ub=[[1.0]], b_ub=[-1.0])
+
+    def test_unbounded_raises(self):
+        with pytest.raises(UnboundedError):
+            linprog([-1.0])  # max x, x >= 0, no ceiling
+
+    def test_unbounded_free_variable(self):
+        with pytest.raises(UnboundedError):
+            linprog([1.0], bounds=[(None, None)])
+
+    def test_empty_bound_pair_raises(self):
+        with pytest.raises(InfeasibleError):
+            linprog([1.0], bounds=[(2.0, 1.0)])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            linprog([1.0, 2.0], a_ub=[[1.0]], b_ub=[1.0])
+
+    def test_matrix_without_vector_raises(self):
+        with pytest.raises(ValidationError):
+            linprog([1.0], a_ub=[[1.0]])
+
+    def test_degenerate_redundant_constraints(self):
+        # Duplicated constraints should not confuse phase 1.
+        result = linprog(
+            [1.0, 1.0],
+            a_eq=[[1.0, 1.0], [1.0, 1.0]],
+            b_eq=[2.0, 2.0],
+        )
+        assert result.fun == pytest.approx(2.0)
+
+
+class TestRandomizedAgainstScipy:
+    """Cross-check against scipy.optimize.linprog (HiGHS) on random LPs."""
+
+    def test_random_feasible_lps(self, rng):
+        scipy_linprog = pytest.importorskip("scipy.optimize").linprog
+        for trial in range(25):
+            n = int(rng.integers(2, 6))
+            m = int(rng.integers(1, 5))
+            c = rng.normal(size=n)
+            a = rng.normal(size=(m, n))
+            x_feasible = rng.random(n)  # guarantees feasibility
+            b = a @ x_feasible + rng.random(m)
+            bounds = [(0.0, 5.0)] * n  # boxed, so never unbounded
+            ours = linprog(c, a_ub=a, b_ub=b, bounds=bounds)
+            ref = scipy_linprog(c, A_ub=a, b_ub=b, bounds=bounds, method="highs")
+            assert ref.success
+            assert ours.fun == pytest.approx(ref.fun, abs=1e-6), f"trial {trial}"
+            # Our solution must itself be feasible.
+            assert np.all(a @ ours.x <= b + 1e-7)
+            assert np.all(ours.x >= -1e-9) and np.all(ours.x <= 5.0 + 1e-9)

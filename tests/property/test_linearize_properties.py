@@ -1,0 +1,76 @@
+"""Property-based tests for the §5.2-5.3 linearization machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.linearize import GenericSpace, polynomial_family
+from repro.topk.evaluate import top_k
+
+positive = st.floats(0.0625, 1.0, allow_nan=False, width=32)
+
+
+@st.composite
+def families(draw):
+    d = draw(st.integers(2, 4))
+    exponents = []
+    for j in range(d):
+        exponents.append({j: float(draw(st.integers(1, 5)))})
+    return d, polynomial_family(exponents)
+
+
+class TestLinearizationInvariants:
+    @given(fam=families(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_scores_equal_direct_polynomial(self, fam, data):
+        d, family = fam
+        points = data.draw(arrays(np.float64, (8, d), elements=positive))
+        params = data.draw(arrays(np.float64, (d,), elements=positive))
+        direct = np.zeros(8)
+        for term, w in zip(family.terms, params):
+            ((attr, power),) = term.exponents
+            direct += w * points[:, attr] ** power
+        assert np.allclose(family.score(points, params), direct)
+
+    @given(fam=families(), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_topk_invariant_under_linearization(self, fam, data):
+        """The heart of §5.2: rankings survive variable substitution."""
+        d, family = fam
+        points = data.draw(arrays(np.float64, (10, d), elements=positive))
+        params = data.draw(arrays(np.float64, (d,), elements=positive))
+        augmented = family.augment(points)
+        weights = family.map_weights(params)
+        direct_scores = family.score(points, params)
+        direct_order = np.lexsort((np.arange(10), direct_scores))
+        assert top_k(augmented, weights, 4) == [int(i) for i in direct_order[:4]]
+
+    @given(fam=families(), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_invert_move_roundtrip(self, fam, data):
+        d, family = fam
+        point = data.draw(arrays(np.float64, (d,), elements=st.floats(0.25, 1.0, width=32)))
+        delta = data.draw(
+            arrays(np.float64, (d,), elements=st.floats(0.0, 0.25, width=32))
+        )
+        move = family.invert_move(point, delta)
+        before = family.augment(point[None, :])[0]
+        after = family.augment((point + move)[None, :])[0]
+        assert np.allclose(after - before, delta, atol=1e-7)
+
+
+class TestGenericSpaceInvariants:
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_family_scores_preserved_in_generic_space(self, data):
+        d = data.draw(st.integers(2, 3))
+        fam_a = polynomial_family([{j: 1.0} for j in range(d)], name="a")
+        fam_b = polynomial_family([{j: 2.0} for j in range(d)], name="b")
+        generic = GenericSpace([fam_a, fam_b])
+        points = data.draw(arrays(np.float64, (6, d), elements=positive))
+        params = data.draw(arrays(np.float64, (d,), elements=positive))
+        augmented = generic.augment(points)
+        for f_idx, family in enumerate([fam_a, fam_b]):
+            via_generic = augmented @ generic.query_weights(f_idx, params)
+            assert np.allclose(via_generic, family.score(points, params))

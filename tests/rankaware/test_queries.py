@@ -1,0 +1,128 @@
+import numpy as np
+import pytest
+
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.errors import ValidationError
+from repro.rankaware.queries import max_rank, reverse_k_ranks
+from repro.topk.evaluate import rank_of
+
+
+class TestReverseKRanks:
+    def test_returns_best_rank_queries(self, rng):
+        dataset = Dataset(rng.random((15, 3)))
+        queries = QuerySet(rng.random((20, 3)), ks=1)
+        target = 7
+        picked = reverse_k_ranks(dataset, queries, target, k=5)
+        assert len(picked) == 5
+        ranks = [
+            rank_of(dataset.matrix, queries.weights[j], target) for j in range(20)
+        ]
+        picked_ranks = [ranks[j] for j in picked]
+        # No unpicked query may have a strictly better rank than the
+        # worst picked one.
+        unpicked = [ranks[j] for j in range(20) if j not in picked]
+        assert max(picked_ranks) <= min(unpicked)
+
+    def test_sorted_by_rank_then_id(self, rng):
+        dataset = Dataset(rng.random((10, 2)))
+        queries = QuerySet(rng.random((8, 2)), ks=1)
+        picked = reverse_k_ranks(dataset, queries, 3, k=8)
+        ranks = [rank_of(dataset.matrix, queries.weights[j], 3) for j in picked]
+        assert ranks == sorted(ranks)
+
+    def test_k_capped_at_m(self, rng):
+        dataset = Dataset(rng.random((5, 2)))
+        queries = QuerySet(rng.random((3, 2)), ks=1)
+        assert len(reverse_k_ranks(dataset, queries, 0, k=10)) == 3
+
+    def test_validation(self, rng):
+        dataset = Dataset(rng.random((5, 2)))
+        queries = QuerySet(rng.random((3, 2)), ks=1)
+        with pytest.raises(ValidationError):
+            reverse_k_ranks(dataset, queries, 0, k=0)
+        with pytest.raises(ValidationError):
+            reverse_k_ranks(dataset, queries, 99, k=1)
+
+
+def brute_force_max_rank(matrix, target, grid=25):
+    """Dense grid search over generic (strictly positive) 2-D queries.
+
+    The axis starts above zero: max_rank scores points exactly on a
+    hyperplane conservatively, and the all-zero query (where ranks
+    collapse to id order) is explicitly out of scope.
+    """
+    best = matrix.shape[0]
+    axis = np.linspace(0.02, 1, grid)
+    for x in axis:
+        for y in axis:
+            q = np.array([x, y])
+            scores = matrix @ q
+            mine = scores[target]
+            rank = int(np.sum(scores < mine)) + int(np.sum((scores == mine)[:target])) + 1
+            best = min(best, rank)
+    return best
+
+
+class TestMaxRank:
+    def test_dominating_object_ranks_first(self, rng):
+        points = rng.random((10, 2)) * 0.8 + 0.2
+        points[4] = [0.01, 0.01]  # dominates everything (min convention)
+        dataset = Dataset(points)
+        result = max_rank(dataset, 4)
+        assert result.exact
+        assert result.rank == 1
+
+    def test_dominated_object_never_first(self, rng):
+        points = rng.random((8, 2)) * 0.5
+        points[2] = [0.99, 0.99]  # dominated by all with positive weights
+        dataset = Dataset(points)
+        result = max_rank(dataset, 2)
+        assert result.rank == 8  # last under every query in (0,1]^2... at
+        # the origin all scores tie and ids 0..1 win anyway.
+
+    def test_matches_grid_search(self, rng):
+        for trial in range(5):
+            matrix = rng.random((8, 2))
+            dataset = Dataset(matrix)
+            target = int(rng.integers(0, 8))
+            result = max_rank(dataset, target)
+            assert result.exact, f"trial {trial}"
+            grid_best = brute_force_max_rank(matrix, target)
+            # The exact search can only do better than a finite grid.
+            assert result.rank <= grid_best, f"trial {trial}"
+            # And the witness certifies the claimed rank.
+            scores = matrix @ result.witness
+            mine = scores[target]
+            witness_rank = (
+                int(np.sum(scores < mine))
+                + int(np.sum((scores == mine)[:target]))
+                + 1
+            )
+            assert witness_rank == result.rank
+
+    def test_witness_inside_domain(self, rng):
+        dataset = Dataset(rng.random((6, 3)))
+        result = max_rank(dataset, 3)
+        assert np.all(result.witness >= -1e-9)
+        assert np.all(result.witness <= 1 + 1e-9)
+
+    def test_identical_objects_tie_by_id(self, rng):
+        row = rng.random(2)
+        dataset = Dataset(np.vstack([row, row, row]))
+        assert max_rank(dataset, 0).rank == 1
+        assert max_rank(dataset, 1).rank == 2
+        assert max_rank(dataset, 2).rank == 3
+
+    def test_node_budget_degrades_gracefully(self, rng):
+        dataset = Dataset(rng.random((20, 3)))
+        result = max_rank(dataset, 0, node_budget=5, samples=4)
+        assert result.rank >= 1  # still returns the incumbent
+
+    def test_custom_domain(self, rng):
+        dataset = Dataset(rng.random((6, 2)))
+        result = max_rank(
+            dataset, 1, domain_lower=[0.4, 0.4], domain_upper=[0.6, 0.6]
+        )
+        assert np.all(result.witness >= 0.4 - 1e-9)
+        assert np.all(result.witness <= 0.6 + 1e-9)

@@ -1,0 +1,111 @@
+"""Tests for the benchmark configuration and harness utilities."""
+
+import time
+
+import pytest
+
+from repro.bench.config import SCALES, load_config
+from repro.bench.harness import Stopwatch, TableResult, time_call
+from repro.errors import ValidationError
+
+
+class TestConfig:
+    def test_default_scale_is_bench(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert load_config().name == "bench"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        assert load_config().name == "tiny"
+
+    def test_arg_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        assert load_config("paper").name == "paper"
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValidationError):
+            load_config("galactic")
+
+    def test_paper_scale_matches_table2(self):
+        paper = SCALES["paper"]
+        assert paper.num_objects == 100_000
+        assert paper.object_sweep == (50_000, 100_000, 150_000, 200_000)
+        assert paper.num_queries == 10_000
+        assert paper.query_sweep == (5_000, 10_000, 15_000)
+        assert paper.tau == 250
+        assert paper.budget == 50.0
+        assert paper.dimensions == 3
+        assert paper.dim_sweep == (1, 2, 3, 4, 5)
+        assert paper.k_range == (1, 50)
+
+    def test_all_scales_consistent(self):
+        for config in SCALES.values():
+            assert config.num_objects in config.object_sweep
+            assert config.num_queries in config.query_sweep
+            assert config.tau >= 1 and config.budget >= 0
+
+
+class TestHarness:
+    def test_time_call_returns_result_and_duration(self):
+        result, seconds = time_call(lambda x: x * 2, 21)
+        assert result == 42
+        assert seconds >= 0
+
+    def test_stopwatch_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.01)
+        first = watch.elapsed
+        with watch:
+            time.sleep(0.01)
+        assert watch.elapsed > first >= 0.005
+
+    def test_table_result_roundtrip(self):
+        table = TableResult("T", ["x", "y"], notes="y doubles x")
+        table.add(1, 2.0)
+        table.add(2, 4.0)
+        assert table.column("y") == [2.0, 4.0]
+        text = table.render()
+        assert "T" in text and "expected shape" in text
+        assert "4" in text
+
+    def test_table_formatting_of_extremes(self):
+        table = TableResult("T", ["v"])
+        table.add(0.0)
+        table.add(123456.789)
+        table.add(0.000001)
+        text = table.render()
+        assert "0" in text and "1.23e+05" in text and "1e-06" in text
+
+
+class TestFiguresTiny:
+    """Each figure runner must produce a well-formed table quickly."""
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        return load_config("tiny")
+
+    def test_fig4(self, config):
+        from repro.bench.figures import fig4_indexing_objects
+
+        table = fig4_indexing_objects(config)
+        assert table.column("|D|") == list(config.object_sweep)
+
+    def test_fig13(self, config):
+        from repro.bench.figures import fig13_dimensionality
+
+        table = fig13_dimensionality(config)
+        assert table.column("variables") == list(config.dim_sweep)
+        assert all(t > 0 for t in table.column("time (ms)"))
+
+    def test_x1(self, config):
+        from repro.bench.figures import x1_exhaustive_gap
+
+        table = x1_exhaustive_gap(config)
+        assert all(r >= 1 - 1e-6 for r in table.column("cost ratio (heur/exact)"))
+
+    def test_x3_operations_complete(self, config):
+        from repro.bench.figures import x3_updates_ablation
+
+        table = x3_updates_ablation(config)
+        assert len(table.rows) == 4

@@ -1,0 +1,119 @@
+"""Tests for the command-line analytic tool."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def market_files(tmp_path, rng):
+    objects = tmp_path / "objects.csv"
+    rows = ["price,mpg,seats"]
+    for row in rng.random((25, 3)).round(4):
+        rows.append(f"{row[0]},{row[1]},{row[2]}")
+    objects.write_text("\n".join(rows) + "\n")
+
+    queries = tmp_path / "queries.csv"
+    rows = ["w_price,w_mpg,w_seats,k"]
+    for row in rng.random((15, 3)).round(4):
+        rows.append(f"{row[0]},{row[1]},{row[2]},2")
+    queries.write_text("\n".join(rows) + "\n")
+    return str(objects), str(queries)
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestImprove:
+    def test_min_cost_run(self, market_files):
+        objects, queries = market_files
+        code, out = run(
+            ["improve", objects, queries, "--target", "3", "--reach", "5"]
+        )
+        assert code == 0
+        assert "satisfied True" in out
+        assert "cost" in out
+
+    def test_max_hit_run(self, market_files):
+        objects, queries = market_files
+        code, out = run(
+            ["improve", objects, queries, "--target", "3", "--budget", "0.5", "--cost", "L1"]
+        )
+        assert code == 0
+        assert "hits" in out
+
+    def test_adjust_and_freeze(self, market_files):
+        objects, queries = market_files
+        code, out = run(
+            [
+                "improve", objects, queries, "--target", "0", "--reach", "4",
+                "--adjust", "price:-1:0", "--adjust", "mpg:-1:1", "--freeze", "seats",
+            ]
+        )
+        assert code in (0, 2)
+        assert "seats" not in [line.split()[1] for line in out.splitlines() if "adjust" in line]
+
+    def test_multi_target(self, market_files):
+        objects, queries = market_files
+        code, out = run(
+            ["improve", objects, queries, "--target", "1", "--target", "4", "--reach", "6"]
+        )
+        assert code == 0
+        assert "joint hits" in out
+
+    def test_unsatisfiable_returns_2(self, market_files):
+        objects, queries = market_files
+        code, out = run(
+            [
+                "improve", objects, queries, "--target", "0", "--reach", "15",
+                "--adjust", "price:0:0",  # everything frozen
+            ]
+        )
+        assert code == 2
+        assert "satisfied False" in out
+
+    def test_bad_column_errors(self, market_files):
+        objects, queries = market_files
+        code, __ = run(
+            ["improve", objects, queries, "--target", "0", "--reach", "3",
+             "--adjust", "bogus:-1:1"]
+        )
+        assert code == 1
+
+    def test_dimension_mismatch_errors(self, market_files, tmp_path):
+        objects, __ = market_files
+        bad = tmp_path / "bad_queries.csv"
+        bad.write_text("w1,k\n0.5,1\n0.4,2\n")
+        code, __ = run(["improve", objects, str(bad), "--target", "0", "--reach", "2"])
+        assert code == 1
+
+
+class TestHitsAndDemo:
+    def test_hits_report(self, market_files):
+        objects, queries = market_files
+        code, out = run(["hits", objects, queries, "--top", "5"])
+        assert code == 0
+        assert "of 15 queries" in out
+        assert len([l for l in out.splitlines() if l.strip() and l.split()[0].isdigit()]) == 5
+
+    def test_demo_runs(self):
+        code, out = run(["demo", "--seed", "1"])
+        assert code == 0
+        assert "min-cost" in out and "max-hit" in out
+
+
+class TestParser:
+    def test_requires_goal(self, market_files, capsys):
+        objects, queries = market_files
+        with pytest.raises(SystemExit):
+            main(["improve", objects, queries, "--target", "0"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

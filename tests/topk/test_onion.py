@@ -1,0 +1,82 @@
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.topk.evaluate import top_k
+from repro.topk.onion import OnionIndex, convex_hull_2d
+
+
+class TestConvexHull:
+    def test_square(self):
+        points = np.array([[0, 0], [1, 0], [1, 1], [0, 1], [0.5, 0.5]])
+        hull = convex_hull_2d(points)
+        assert hull.tolist() == [0, 1, 2, 3]
+
+    def test_collinear_points_kept(self):
+        points = np.array([[0.0, 0.0], [0.5, 0.0], [1.0, 0.0], [0.5, 1.0]])
+        hull = convex_hull_2d(points)
+        assert 1 in hull  # the mid-edge point can win ties
+
+    def test_all_identical(self):
+        points = np.tile([0.3, 0.7], (4, 1))
+        hull = convex_hull_2d(points)
+        assert hull.size >= 1
+
+    def test_tiny_inputs(self):
+        assert convex_hull_2d(np.array([[1.0, 2.0]])).tolist() == [0]
+        assert convex_hull_2d(np.array([[1.0, 2.0], [3.0, 4.0]])).tolist() == [0, 1]
+
+    def test_hull_contains_extremes(self, rng):
+        points = rng.random((50, 2))
+        hull = set(convex_hull_2d(points).tolist())
+        assert int(np.argmin(points[:, 0])) in hull
+        assert int(np.argmax(points[:, 0])) in hull
+        assert int(np.argmin(points[:, 1])) in hull
+        assert int(np.argmax(points[:, 1])) in hull
+
+    def test_bad_shape(self):
+        with pytest.raises(ValidationError):
+            convex_hull_2d(np.ones((3, 3)))
+
+
+class TestOnionIndex:
+    def test_layers_partition(self, rng):
+        index = OnionIndex(rng.random((60, 2)))
+        index.validate()
+        assert index.num_layers >= 2
+
+    def test_topk_matches_brute_force(self, rng):
+        objects = rng.random((80, 2))
+        index = OnionIndex(objects)
+        for __ in range(20):
+            weights = rng.normal(size=2)  # any sign allowed
+            k = int(rng.integers(1, 8))
+            assert index.top_k(weights, k) == top_k(objects, weights, k)
+
+    def test_negative_weights_supported(self, rng):
+        """The onion's advantage over dominance structures."""
+        objects = rng.random((40, 2))
+        index = OnionIndex(objects)
+        weights = np.array([-1.0, -0.5])
+        assert index.top_k(weights, 3) == top_k(objects, weights, 3)
+
+    def test_candidate_set_grows_with_k(self, rng):
+        index = OnionIndex(rng.random((60, 2)))
+        assert index.candidates(1).size <= index.candidates(2).size
+        assert index.candidates(1).size < 60  # selective at k=1
+
+    def test_high_dimensional_fallback_correct(self, rng):
+        objects = rng.random((30, 4))
+        index = OnionIndex(objects)
+        assert index.num_layers == 1
+        weights = rng.random(4)
+        assert index.top_k(weights, 5) == top_k(objects, weights, 5)
+
+    def test_validation(self, rng):
+        index = OnionIndex(rng.random((10, 2)))
+        with pytest.raises(ValidationError):
+            index.top_k(np.ones(3), 2)
+        with pytest.raises(ValidationError):
+            index.candidates(0)
+        with pytest.raises(ValidationError):
+            OnionIndex(np.empty((0, 2)))

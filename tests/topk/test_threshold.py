@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.topk.evaluate import top_k
+from repro.topk.threshold import SortedListsIndex
+
+
+class TestTA:
+    def test_matches_brute_force(self, rng):
+        objects = rng.random((200, 3))
+        index = SortedListsIndex(objects)
+        for __ in range(20):
+            weights = rng.random(3) + 0.01
+            k = int(rng.integers(1, 15))
+            result = index.top_k(weights, k)
+            assert result.ids == top_k(objects, weights, k)
+
+    def test_early_termination_saves_accesses(self, rng):
+        # Correlated data lets TA stop early: sequential accesses should
+        # be well below the full n*d scan.
+        base = rng.random(500)
+        objects = np.column_stack([base, base + rng.normal(0, 0.01, 500)])
+        index = SortedListsIndex(objects)
+        result = index.top_k(np.array([0.5, 0.5]), 5)
+        assert result.ids == top_k(objects, np.array([0.5, 0.5]), 5)
+        assert result.sequential_accesses < 500 * 2
+
+    def test_zero_weights_handled(self, rng):
+        objects = rng.random((20, 2))
+        index = SortedListsIndex(objects)
+        result = index.top_k(np.array([0.0, 0.0]), 3)
+        assert result.ids == [0, 1, 2]  # all scores zero, tie-break by id
+
+    def test_single_attribute_weight(self, rng):
+        objects = rng.random((50, 3))
+        index = SortedListsIndex(objects)
+        weights = np.array([0.0, 1.0, 0.0])
+        assert index.top_k(weights, 4).ids == top_k(objects, weights, 4)
+
+    def test_k_exceeds_n(self, rng):
+        objects = rng.random((6, 2))
+        index = SortedListsIndex(objects)
+        result = index.top_k(np.array([0.4, 0.6]), 100)
+        assert result.ids == top_k(objects, np.array([0.4, 0.6]), 6)
+
+    def test_validation(self, rng):
+        index = SortedListsIndex(rng.random((10, 2)))
+        with pytest.raises(ValidationError):
+            index.top_k(np.array([0.5]), 2)
+        with pytest.raises(ValidationError):
+            index.top_k(np.array([-0.1, 0.5]), 2)
+        with pytest.raises(ValidationError):
+            index.top_k(np.array([0.5, 0.5]), 0)
+        with pytest.raises(ValidationError):
+            SortedListsIndex(np.empty((0, 2)))
+
+    def test_access_counters_positive(self, rng):
+        index = SortedListsIndex(rng.random((30, 2)))
+        result = index.top_k(np.array([0.5, 0.5]), 3)
+        assert result.sequential_accesses > 0
+        assert result.random_accesses >= 3

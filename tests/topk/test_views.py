@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.topk.evaluate import top_k
+from repro.topk.views import ViewIndex
+
+
+class TestCorrectness:
+    def test_matches_brute_force(self, rng):
+        objects = rng.random((150, 3))
+        index = ViewIndex(objects)
+        for __ in range(25):
+            weights = rng.random(3) + 0.01
+            k = int(rng.integers(1, 12))
+            answer = index.top_k(weights, k)
+            assert answer.ids == top_k(objects, weights, k)
+
+    def test_query_equal_to_view_scans_k(self, rng):
+        objects = rng.random((200, 2))
+        views = np.array([[0.5, 0.5]])
+        index = ViewIndex(objects, views=views)
+        answer = index.top_k(np.array([0.5, 0.5]), 5)
+        assert answer.ids == top_k(objects, np.array([0.5, 0.5]), 5)
+        # min_ratio == 1: the watermark fires almost immediately.
+        assert answer.scanned <= 10
+
+    def test_early_termination_generally(self, rng):
+        objects = rng.random((400, 3))
+        index = ViewIndex(objects)
+        total_scanned = 0
+        for __ in range(10):
+            weights = rng.random(3) + 0.2  # bounded away from zero
+            answer = index.top_k(weights, 5)
+            total_scanned += answer.scanned
+        assert total_scanned < 10 * 400  # must beat the full scans
+
+    def test_zero_weight_degrades_to_full_scan_but_correct(self, rng):
+        objects = rng.random((50, 2))
+        index = ViewIndex(objects)
+        weights = np.array([0.0, 1.0])
+        answer = index.top_k(weights, 3)
+        assert answer.ids == top_k(objects, weights, 3)
+        assert answer.scanned == 50  # min_ratio = 0: no sound early stop
+
+    def test_k_exceeds_n(self, rng):
+        objects = rng.random((6, 2))
+        index = ViewIndex(objects)
+        answer = index.top_k(np.array([0.5, 0.5]), 100)
+        assert answer.ids == top_k(objects, np.array([0.5, 0.5]), 6)
+
+
+class TestViewSelection:
+    def test_best_view_prefers_similar_direction(self, rng):
+        objects = rng.random((20, 2))
+        views = np.array([[1.0, 0.1], [0.1, 1.0]])
+        index = ViewIndex(objects, views=views)
+        assert index.best_view(np.array([0.9, 0.1])) == 0
+        assert index.best_view(np.array([0.1, 0.9])) == 1
+
+    def test_answer_reports_view(self, rng):
+        objects = rng.random((20, 2))
+        views = np.array([[1.0, 0.1], [0.1, 1.0]])
+        index = ViewIndex(objects, views=views)
+        assert index.top_k(np.array([0.9, 0.1]), 2).view == 0
+
+
+class TestValidation:
+    def test_negative_objects_rejected(self):
+        with pytest.raises(ValidationError):
+            ViewIndex(np.array([[-1.0, 0.0]]))
+
+    def test_nonpositive_views_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            ViewIndex(rng.random((5, 2)), views=np.array([[1.0, 0.0]]))
+
+    def test_bad_query_inputs(self, rng):
+        index = ViewIndex(rng.random((5, 2)))
+        with pytest.raises(ValidationError):
+            index.top_k(np.array([0.5]), 1)
+        with pytest.raises(ValidationError):
+            index.top_k(np.array([-0.5, 0.5]), 1)
+        with pytest.raises(ValidationError):
+            index.top_k(np.array([0.5, 0.5]), 0)
+
+    def test_memory_estimate_positive(self, rng):
+        assert ViewIndex(rng.random((5, 2))).memory_estimate() > 0
