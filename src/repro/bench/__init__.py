@@ -1,13 +1,23 @@
 """Benchmark harness: configuration, timers, and per-figure runners."""
 
 from repro.bench.config import SCALES, BenchConfig, load_config
-from repro.bench.harness import Stopwatch, TableResult, time_call
+from repro.bench.harness import (
+    BenchRecord,
+    Stopwatch,
+    TableResult,
+    time_call,
+    write_bench_json,
+)
+from repro.bench.regression import run_regression
 
 __all__ = [
     "BenchConfig",
+    "BenchRecord",
     "load_config",
+    "run_regression",
     "SCALES",
     "TableResult",
     "Stopwatch",
     "time_call",
+    "write_bench_json",
 ]

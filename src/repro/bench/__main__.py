@@ -1,0 +1,8 @@
+"""``python -m repro.bench`` — benchmark-regression entry point."""
+
+import sys
+
+from repro.bench.regression import main
+
+if __name__ == "__main__":
+    sys.exit(main())

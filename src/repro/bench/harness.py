@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["Stopwatch", "TableResult", "time_call"]
+__all__ = ["BenchRecord", "Stopwatch", "TableResult", "time_call", "write_bench_json"]
+
+#: Schema tag written into every BENCH_*.json file.
+BENCH_SCHEMA = "repro-bench-regression/1"
 
 
 class Stopwatch:
@@ -79,6 +83,72 @@ class TableResult:
         print()
         print(self.render())
         print()
+
+
+@dataclass
+class BenchRecord:
+    """One literal-vs-vectorized measurement of the regression harness.
+
+    ``literal_seconds`` times the pre-optimization code path (BSP
+    partition loop / per-query closed-form loop); ``vectorized_seconds``
+    times the batched replacement on the *same* inputs, after a parity
+    check that both produced identical results.
+    """
+
+    figure: str  #: paper artefact the configuration comes from (fig4/fig5/fig7)
+    case: str  #: human-readable point on the figure's sweep axis
+    config: dict  #: the generating parameters (sizes, seed, mode, ...)
+    literal_seconds: float
+    vectorized_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock ratio literal / vectorized (higher is better)."""
+        return self.literal_seconds / max(self.vectorized_seconds, 1e-12)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (the ``records[]`` entry of BENCH_*.json)."""
+        return {
+            "figure": self.figure,
+            "case": self.case,
+            "config": dict(self.config),
+            "literal_seconds": self.literal_seconds,
+            "vectorized_seconds": self.vectorized_seconds,
+            "speedup": self.speedup,
+        }
+
+
+def summarize_records(records) -> dict:
+    """Per-figure speedup summary (min / median / max)."""
+    by_figure: dict[str, list[float]] = {}
+    for record in records:
+        by_figure.setdefault(record.figure, []).append(record.speedup)
+    summary = {}
+    for figure, speedups in sorted(by_figure.items()):
+        ordered = sorted(speedups)
+        summary[figure] = {
+            "points": len(ordered),
+            "min_speedup": ordered[0],
+            "median_speedup": ordered[len(ordered) // 2],
+            "max_speedup": ordered[-1],
+        }
+    return summary
+
+
+def write_bench_json(records, path, *, scale: str, extra: dict | None = None) -> dict:
+    """Serialize regression records to ``path``; returns the payload."""
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "scale": scale,
+        "summary": summarize_records(records),
+        "records": [record.to_dict() for record in records],
+    }
+    if extra:
+        payload.update(extra)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return payload
 
 
 def _fmt(value) -> str:

@@ -1,0 +1,263 @@
+"""Benchmark-regression harness: literal vs vectorized code paths.
+
+Re-runs the Figure 4, 5, and 7 configurations with both implementations
+of each optimized stage and records wall-clock plus speedup:
+
+* **fig4 / fig5** — full :class:`~repro.core.subdomain.SubdomainIndex`
+  builds with ``partition_method="literal"`` (the BSP loop of
+  Algorithm 1) vs ``"vectorized"`` (one sign-matrix partition), sweeping
+  |D| (fig4) and |Q| (fig5).  Both builds must produce byte-identical
+  signature -> member partitions or the run aborts.
+* **fig7** — candidate generation on the Figure 7 IQ-processing
+  configuration: :func:`~repro.core._search.generate_candidates` with
+  ``method="loop"`` (per-query :func:`min_cost_to_hit`) vs
+  ``method="auto"`` (batched closed form), per sampled target.  The two
+  paths must agree on candidate ids, vectors, and costs.
+
+``run_regression`` drives all three and optionally writes a
+``BENCH_*.json`` file (schema documented in EXPERIMENTS.md).  The
+``--smoke`` mode truncates every sweep and forces the tiny scale so CI
+can execute the whole harness in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.bench.config import BenchConfig, load_config
+from repro.bench.harness import BenchRecord, summarize_records, time_call, write_bench_json
+from repro.core._search import SearchState, generate_candidates
+from repro.core.cost import euclidean_cost
+from repro.core.ese import StrategyEvaluator
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.core.strategy import StrategySpace
+from repro.core.subdomain import SubdomainIndex
+from repro.data.synthetic import generate
+from repro.data.workloads import generate_queries
+from repro.errors import ReproError
+
+__all__ = [
+    "bench_fig4_partition",
+    "bench_fig5_partition",
+    "bench_fig7_candidates",
+    "run_regression",
+    "main",
+]
+
+
+class RegressionMismatch(AssertionError):
+    """Literal and vectorized paths disagreed — the harness is void."""
+
+
+def _make_inputs(n: int, m: int, config: BenchConfig) -> tuple[Dataset, QuerySet]:
+    dataset = Dataset(generate("IN", n, config.dimensions, seed=config.seed))
+    queries = generate_queries(
+        "UN", m, config.dimensions, seed=config.seed + 1, k_range=config.k_range
+    )
+    return dataset, queries
+
+
+def _partition_fingerprint(index: SubdomainIndex) -> list[tuple[bytes, tuple[int, ...]]]:
+    return sorted(
+        (sub.signature, tuple(int(q) for q in np.sort(sub.query_ids)))
+        for sub in index.subdomains
+    )
+
+
+def _timed_builds(
+    dataset: Dataset, queries: QuerySet, config: BenchConfig
+) -> tuple[float, float]:
+    """(literal_seconds, vectorized_seconds) for identical index builds."""
+    literal, literal_seconds = time_call(
+        SubdomainIndex,
+        dataset,
+        queries,
+        mode=config.index_mode,
+        partition_method="literal",
+    )
+    vectorized, vectorized_seconds = time_call(
+        SubdomainIndex,
+        dataset,
+        queries,
+        mode=config.index_mode,
+        partition_method="vectorized",
+    )
+    if _partition_fingerprint(literal) != _partition_fingerprint(vectorized):
+        raise RegressionMismatch(
+            f"literal and vectorized partitions differ (n={dataset.n}, m={queries.m})"
+        )
+    return literal_seconds, vectorized_seconds
+
+
+def bench_fig4_partition(config: BenchConfig, points: int | None = None) -> list[BenchRecord]:
+    """Figure 4 configuration: index build sweeping |D|."""
+    records = []
+    sweep = config.object_sweep[:points] if points else config.object_sweep
+    for n in sweep:
+        dataset, queries = _make_inputs(n, config.num_queries, config)
+        literal_seconds, vectorized_seconds = _timed_builds(dataset, queries, config)
+        records.append(
+            BenchRecord(
+                figure="fig4",
+                case=f"|D|={n}",
+                config={
+                    "num_objects": n,
+                    "num_queries": config.num_queries,
+                    "dimensions": config.dimensions,
+                    "index_mode": config.index_mode,
+                    "seed": config.seed,
+                },
+                literal_seconds=literal_seconds,
+                vectorized_seconds=vectorized_seconds,
+            )
+        )
+    return records
+
+
+def bench_fig5_partition(config: BenchConfig, points: int | None = None) -> list[BenchRecord]:
+    """Figure 5 configuration: index build sweeping |Q|."""
+    records = []
+    sweep = config.query_sweep[:points] if points else config.query_sweep
+    for m in sweep:
+        dataset, queries = _make_inputs(config.num_objects, m, config)
+        literal_seconds, vectorized_seconds = _timed_builds(dataset, queries, config)
+        records.append(
+            BenchRecord(
+                figure="fig5",
+                case=f"|Q|={m}",
+                config={
+                    "num_objects": config.num_objects,
+                    "num_queries": m,
+                    "dimensions": config.dimensions,
+                    "index_mode": config.index_mode,
+                    "seed": config.seed,
+                },
+                literal_seconds=literal_seconds,
+                vectorized_seconds=vectorized_seconds,
+            )
+        )
+    return records
+
+
+def bench_fig7_candidates(config: BenchConfig, targets: int | None = None) -> list[BenchRecord]:
+    """Figure 7 configuration: candidate generation, loop vs batch."""
+    dataset, queries = _make_inputs(config.num_objects, config.num_queries, config)
+    index = SubdomainIndex(dataset, queries, mode=config.index_mode)
+    evaluator = StrategyEvaluator(index)
+    cost = euclidean_cost(config.dimensions)
+    space = StrategySpace.unconstrained(config.dimensions)
+    rng = np.random.default_rng(config.seed + 7)
+    count = targets if targets else config.iq_repeats
+    picks = rng.choice(dataset.n, size=min(dataset.n, count), replace=False)
+
+    records = []
+    for target in sorted(int(t) for t in picks):
+        state = SearchState(
+            target=target,
+            base=index.dataset.matrix[target].copy(),
+            applied=np.zeros(config.dimensions),
+            spent=0.0,
+            mask=evaluator.hits_mask(target),
+        )
+        loop_batch, loop_seconds = time_call(
+            generate_candidates, evaluator, state, cost, space, method="loop"
+        )
+        auto_batch, auto_seconds = time_call(
+            generate_candidates, evaluator, state, cost, space, method="auto"
+        )
+        if not (
+            np.array_equal(loop_batch.query_ids, auto_batch.query_ids)
+            and np.allclose(loop_batch.vectors, auto_batch.vectors, atol=1e-9)
+            and np.allclose(loop_batch.costs, auto_batch.costs, atol=1e-9)
+        ):
+            raise RegressionMismatch(
+                f"loop and batch candidate generation differ (target={target})"
+            )
+        records.append(
+            BenchRecord(
+                figure="fig7",
+                case=f"target={target}",
+                config={
+                    "num_objects": config.num_objects,
+                    "num_queries": config.num_queries,
+                    "dimensions": config.dimensions,
+                    "index_mode": config.index_mode,
+                    "candidates": int(loop_batch.size),
+                    "seed": config.seed,
+                },
+                literal_seconds=loop_seconds,
+                vectorized_seconds=auto_seconds,
+            )
+        )
+    return records
+
+
+def run_regression(
+    scale: str | None = None, smoke: bool = False, out: str | None = None
+) -> dict:
+    """Run the full literal-vs-vectorized harness; returns the payload.
+
+    ``smoke`` forces the tiny scale and truncates each sweep to its
+    first two points / two targets (fast enough for CI); ``out`` writes
+    the JSON payload to the given path.
+    """
+    config = load_config("tiny" if smoke else scale)
+    points = 2 if smoke else None
+    records = []
+    records += bench_fig4_partition(config, points=points)
+    records += bench_fig5_partition(config, points=points)
+    records += bench_fig7_candidates(config, targets=points)
+    if out:
+        return write_bench_json(records, out, scale=config.name)
+    return {
+        "schema": "repro-bench-regression/1",
+        "scale": config.name,
+        "summary": summarize_records(records),
+        "records": [record.to_dict() for record in records],
+    }
+
+
+def main(argv=None) -> int:
+    """``python -m repro.bench`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Literal-vs-vectorized benchmark-regression harness.",
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        help="bench scale (tiny/bench/paper; default: $REPRO_BENCH_SCALE or bench)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: tiny scale, truncated sweeps, parity checks only",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write the JSON payload to this path (e.g. BENCH_PR1.json)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        payload = run_regression(scale=args.scale, smoke=args.smoke, out=args.out)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for figure, stats in payload["summary"].items():
+        print(
+            f"{figure}: {stats['points']} points, speedup "
+            f"min {stats['min_speedup']:.2f}x / median {stats['median_speedup']:.2f}x / "
+            f"max {stats['max_speedup']:.2f}x"
+        )
+    if args.out:
+        print(f"wrote {args.out} [{payload['scale']} scale]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

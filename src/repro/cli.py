@@ -17,6 +17,8 @@ Subcommands
 ``hits``      report H(target) and the reverse top-k for each object.
 ``demo``      a self-contained run on generated data (no files needed).
 ``sql``       start the interactive mini-DBMS shell.
+``bench``     run the literal-vs-vectorized benchmark-regression harness
+              (also available as ``python -m repro.bench``).
 
 Object CSVs have one numeric column per attribute.  Query CSVs have the
 matching weight columns plus a final ``k`` column.
@@ -77,6 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("sql", help="interactive mini-DBMS shell")
+
+    bench = sub.add_parser("bench", help="benchmark-regression harness")
+    bench.add_argument("--scale", default=None,
+                       help="bench scale (tiny/bench/paper; default: env or bench)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="CI mode: tiny scale, truncated sweeps")
+    bench.add_argument("--out", default=None,
+                       help="write the JSON payload to this path (e.g. BENCH_PR1.json)")
     return parser
 
 
@@ -225,6 +235,15 @@ def main(argv=None, out=None) -> int:
             from repro.dbms.__main__ import run_repl
 
             return run_repl(stdout=out)
+        if args.command == "bench":
+            from repro.bench.regression import main as bench_main
+
+            bench_args = ["--smoke"] if args.smoke else []
+            if args.scale:
+                bench_args += ["--scale", args.scale]
+            if args.out:
+                bench_args += ["--out", args.out]
+            return bench_main(bench_args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -20,10 +20,16 @@ import numpy as np
 from repro.core.cost import CostFunction, L2Cost
 from repro.core.ese import StrategyEvaluator
 from repro.core.strategy import StrategySpace
-from repro.errors import InfeasibleError
-from repro.optimize.hit_cost import DEFAULT_MARGIN, min_cost_to_hit
+from repro.errors import InfeasibleError, ValidationError
+from repro.optimize.hit_cost import (
+    DEFAULT_MARGIN,
+    min_cost_to_hit,
+    min_cost_to_hit_l2_batch,
+)
 
 __all__ = ["CandidateBatch", "generate_candidates", "SearchState"]
+
+_CANDIDATE_METHODS = ("auto", "loop")
 
 
 @dataclass
@@ -81,6 +87,7 @@ def generate_candidates(
     space: StrategySpace,
     margin: float = DEFAULT_MARGIN,
     max_cost: float | None = None,
+    method: str = "auto",
 ) -> CandidateBatch:
     """One candidate per unhit query, scored with ESE.
 
@@ -88,60 +95,64 @@ def generate_candidates(
     accumulated strategy).  ``max_cost`` drops candidates costlier than
     the remaining budget before the (comparatively expensive) batch hit
     evaluation — the filter of §5.1 step 2.
+
+    ``method="auto"`` (default) solves every weighted-L2 subproblem in
+    one vectorized closed-form batch — bounded strategy boxes included,
+    as long as the row's optimum is not clipped by an active bound —
+    and falls back to :func:`min_cost_to_hit` only for box-active rows
+    and genuinely custom costs.  ``method="loop"`` forces the per-query
+    solver for every row (the benchmark-regression baseline).
     """
+    if method not in _CANDIDATE_METHODS:
+        raise ValidationError(
+            f"method must be one of {_CANDIDATE_METHODS}, got {method!r}"
+        )
     index = evaluator.index
     weights = index.queries.weights
     __, theta = evaluator.thresholds(state.target)
     unhit = np.flatnonzero(~state.mask)
     position = state.position
+    dim = index.dataset.dim
 
-    picked_ids: list[int] = []
-    vectors: list[np.ndarray] = []
-    costs: list[float] = []
+    rows = unhit.size
+    vectors_all = np.zeros((rows, dim))
+    costs_all = np.zeros(rows)
+    keep = np.zeros(rows, dtype=bool)
+    loop_rows = np.arange(rows)
 
-    unbounded = not (np.isfinite(space.lower).any() or np.isfinite(space.upper).any())
-    plain_l2 = isinstance(cost, L2Cost) and np.all(cost.weights == 1.0)
-    if unbounded and plain_l2 and unhit.size:
-        # Vectorized closed form: s_j = b_j * q_j / ||q_j||^2 for every
-        # unhit query at once (the common benchmark configuration).
+    if method == "auto" and isinstance(cost, L2Cost) and rows:
         q = weights[unhit]
         gaps = theta[unhit] - q @ position
-        bounds = gaps - margin
-        norms = np.einsum("ij,ij->i", q, q)
-        feasible = norms > 0
-        with np.errstate(divide="ignore", invalid="ignore"):
-            scale = np.where(feasible, bounds / np.maximum(norms, 1e-300), 0.0)
-        vectors_all = scale[:, None] * q
-        vectors_all[bounds >= 0] = 0.0  # already hitting: free candidate
-        for row, j in enumerate(unhit):
-            if not feasible[row]:
-                continue
-            picked_ids.append(int(j))
-            vectors.append(vectors_all[row])
-            costs.append(float(np.linalg.norm(vectors_all[row])))
-    else:
-        for j in unhit:
-            gap = float(theta[j] - weights[j] @ position)
-            try:
-                candidate = min_cost_to_hit(cost, weights[j], gap, space=space, margin=margin)
-            except InfeasibleError:
-                continue
-            picked_ids.append(int(j))
-            vectors.append(candidate.vector)
-            costs.append(candidate.cost)
+        batch_vecs, batch_costs, solved, infeasible = min_cost_to_hit_l2_batch(
+            cost, q, gaps, space=space, margin=margin
+        )
+        vectors_all[solved] = batch_vecs[solved]
+        costs_all[solved] = batch_costs[solved]
+        keep |= solved
+        loop_rows = np.flatnonzero(~solved & ~infeasible)
 
-    if not picked_ids:
-        empty = np.empty((0, index.dataset.dim))
+    for row in loop_rows:
+        j = unhit[row]
+        gap = float(theta[j] - weights[j] @ position)
+        try:
+            candidate = min_cost_to_hit(cost, weights[j], gap, space=space, margin=margin)
+        except InfeasibleError:
+            continue
+        vectors_all[row] = candidate.vector
+        costs_all[row] = candidate.cost
+        keep[row] = True
+
+    if not keep.any():
         return CandidateBatch(
             query_ids=np.empty(0, dtype=np.intp),
-            vectors=empty,
+            vectors=np.empty((0, dim)),
             costs=np.empty(0),
             hits=np.empty(0, dtype=np.intp),
         )
 
-    query_ids = np.asarray(picked_ids, dtype=np.intp)
-    matrix = np.vstack(vectors)
-    cost_arr = np.asarray(costs)
+    query_ids = unhit[keep].astype(np.intp)
+    matrix = vectors_all[keep]
+    cost_arr = costs_all[keep]
     if max_cost is not None:
         keep = cost_arr <= max_cost + 1e-12
         query_ids, matrix, cost_arr = query_ids[keep], matrix[keep], cost_arr[keep]

@@ -45,6 +45,10 @@ class StrategyEvaluator:
     def __init__(self, index: SubdomainIndex):
         self.index = index
         self._target_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        # Any index mutation (repro.core.updates) invalidates the
+        # threshold cache automatically; a stale cache would silently
+        # return wrong hit counts after an object update.
+        index.subscribe_mutations(self.invalidate)
         self.full_evaluations = 0  #: vectorized H computations
         self.incremental_evaluations = 0  #: affected-subspace H computations
         self.affected_retrieved = 0  #: query points pulled from affected subspaces

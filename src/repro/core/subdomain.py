@@ -44,6 +44,7 @@ id.  Both are measure-zero events for continuous data.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -59,6 +60,12 @@ from repro.index.rtree import RTree
 __all__ = ["Subdomain", "SubdomainIndex", "find_subdomains", "relevant_pairs"]
 
 _MODES = ("exact", "relevant")
+_PARTITION_METHODS = ("vectorized", "literal")
+
+#: Budget (in floats) for intermediate score blocks; large workloads are
+#: processed in query chunks so the full ``m x n`` matrix never needs to
+#: exist at once.
+_SCORE_CHUNK = 4_000_000
 
 
 @dataclass
@@ -87,19 +94,37 @@ def relevant_pairs(dataset: Dataset, queries: QuerySet, margin: int = 2):
         raise ValidationError(f"margin must be non-negative, got {margin}")
     matrix = dataset.matrix
     weights = queries.weights
-    ks = queries.ks
-    contenders: set[int] = set()
-    scores = weights @ matrix.T  # (m, n)
-    for j in range(queries.m):
-        depth = min(dataset.n, int(ks[j]) + margin)
-        part = np.argpartition(scores[j], depth - 1)[:depth]
-        contenders.update(int(i) for i in part)
-    ordered = sorted(contenders)
+    n, m = dataset.n, queries.m
+    if n == 0 or m == 0:
+        return []
+    depths = np.minimum(n, queries.ks.astype(np.intp) + margin)
+    max_depth = int(depths.max())
+    contender = np.zeros(n, dtype=bool)
+    # Batched prefix selection: one argpartition per query *chunk*
+    # instead of a Python loop over queries.  Within the shared
+    # ``max_depth`` candidate block, rows are ordered by (score, id) so
+    # each query's own depth cut is a deterministic prefix.
+    chunk = max(1, _SCORE_CHUNK // n)
+    cols = np.arange(max_depth)
+    for start in range(0, m, chunk):
+        block = weights[start : start + chunk] @ matrix.T  # (b, n)
+        if max_depth < n:
+            part = np.argpartition(block, max_depth - 1, axis=1)[:, :max_depth]
+        else:
+            part = np.broadcast_to(np.arange(n), block.shape).copy()
+        part_scores = np.take_along_axis(block, part, axis=1)
+        order = np.lexsort((part, part_scores), axis=1)
+        ranked = np.take_along_axis(part, order, axis=1)
+        keep = cols[None, :] < depths[start : start + block.shape[0], None]
+        contender[ranked[keep]] = True
+    ordered = np.flatnonzero(contender).tolist()
     return [(a, b) for i, a in enumerate(ordered) for b in ordered[i + 1 :]]
 
 
-def find_subdomains(normals: np.ndarray, points: np.ndarray) -> dict[bytes, list[int]]:
-    """Literal Algorithm 1: BSP over one intersection at a time.
+def find_subdomains(
+    normals: np.ndarray, points: np.ndarray, method: str = "vectorized"
+) -> dict[bytes, list[int]]:
+    """Algorithm 1: partition query points by intersection hyperplanes.
 
     Parameters
     ----------
@@ -107,24 +132,40 @@ def find_subdomains(normals: np.ndarray, points: np.ndarray) -> dict[bytes, list
         ``(h, d)`` hyperplane normals (the intersection set ``I``).
     points:
         ``(m, d)`` query points.
+    method:
+        ``"vectorized"`` (default) computes the whole sign matrix with
+        one ``points @ normals.T`` matmul and groups identical rows;
+        ``"literal"`` runs the paper's binary-space-partitioning loop
+        one hyperplane at a time.  Both produce the identical mapping
+        (the property tests assert byte-identical output).
 
     Returns
     -------
     Mapping from the cell's side-signature bytes to the list of query
-    indices it contains.  Only non-empty cells are kept, exactly as
-    Algorithm 1 discards subdomains that contain no query point.
+    indices it contains (ascending).  Only non-empty cells are kept,
+    exactly as Algorithm 1 discards subdomains that contain no query
+    point.
     """
+    if method not in _PARTITION_METHODS:
+        raise ValidationError(
+            f"method must be one of {_PARTITION_METHODS}, got {method!r}"
+        )
     normals = np.atleast_2d(np.asarray(normals, dtype=float))
     points = np.atleast_2d(np.asarray(points, dtype=float))
+    if points.shape[0] == 0:
+        return {}
+    if method == "vectorized":
+        groups = group_by_signature(signature_matrix(points, normals, tol=EPS))
+        return {key: members.tolist() for key, members in groups.items()}
     h = normals.shape[0]
     # Start with a single subdomain holding every query (lines 1-5).
-    groups: list[tuple[list[int], list[int]]] = [(list(range(points.shape[0])), [])]
+    groups_lit: list[tuple[list[int], list[int]]] = [(list(range(points.shape[0])), [])]
     # Each group carries (query indices, side history) where the side
     # history is the signature accumulated over processed hyperplanes.
     for col in range(h):  # line 6: for all I_i in I
         normal = normals[col]
         next_groups: list[tuple[list[int], list[int]]] = []
-        for members, history in groups:  # line 7: subdomains overlapping I_i
+        for members, history in groups_lit:  # line 7: subdomains overlapping I_i
             above: list[int] = []
             below: list[int] = []
             for q in members:  # lines 12-18
@@ -136,9 +177,10 @@ def find_subdomains(normals: np.ndarray, points: np.ndarray) -> dict[bytes, list
                 next_groups.append((above, history + [1]))
             if below:  # line 22-24
                 next_groups.append((below, history + [-1]))
-        groups = next_groups
+        groups_lit = next_groups
     return {
-        np.asarray(history, dtype=np.int8).tobytes(): members for members, history in groups
+        np.asarray(history, dtype=np.int8).tobytes(): members
+        for members, history in groups_lit
     }
 
 
@@ -160,6 +202,11 @@ class SubdomainIndex:
         Spatial index class for the query points — :class:`RTree`
         (default) or :class:`~repro.index.xtree.XTree`, the paper's two
         named options (§4.1).  Must provide the :class:`RTree` API.
+    partition_method:
+        ``"vectorized"`` (default) or ``"literal"`` — which
+        :func:`find_subdomains` path builds the partition.  Both yield
+        identical subdomains; the literal path exists as the executable
+        specification and for benchmark baselines.
     """
 
     def __init__(
@@ -170,9 +217,15 @@ class SubdomainIndex:
         margin: int = 2,
         rtree_max_entries: int = 16,
         rtree_cls: type = RTree,
+        partition_method: str = "vectorized",
     ):
         if mode not in _MODES:
             raise ValidationError(f"mode must be one of {_MODES}, got {mode!r}")
+        if partition_method not in _PARTITION_METHODS:
+            raise ValidationError(
+                f"partition_method must be one of {_PARTITION_METHODS}, "
+                f"got {partition_method!r}"
+            )
         if dataset.dim != queries.dim:
             raise ValidationError(
                 f"dataset dim {dataset.dim} != query dim {queries.dim}"
@@ -181,7 +234,9 @@ class SubdomainIndex:
         self.queries = queries
         self.mode = mode
         self.margin = margin
+        self.partition_method = partition_method
         self.representative_evaluations = 0  #: full rankings computed so far
+        self._mutation_hooks: list = []  #: weak refs to invalidation callbacks
 
         matrix = dataset.matrix
         if mode == "exact":
@@ -217,8 +272,14 @@ class SubdomainIndex:
         # per-query storage is unnecessary ("mark this on the root-node
         # of the sub-tree instead of storing the same information for
         # each query point").
-        signatures = signature_matrix(self.queries.weights, self.normals)
-        groups = group_by_signature(signatures)
+        if self.partition_method == "literal":
+            cells = find_subdomains(self.normals, self.queries.weights, method="literal")
+            groups = {
+                key: np.asarray(members, dtype=np.intp) for key, members in cells.items()
+            }
+        else:
+            signatures = signature_matrix(self.queries.weights, self.normals)
+            groups = group_by_signature(signatures)
         self.subdomains: list[Subdomain] = []
         self.subdomain_of = np.empty(self.queries.m, dtype=np.intp)
         for signature_key in sorted(groups):  # deterministic order
@@ -235,15 +296,19 @@ class SubdomainIndex:
             self.subdomain_of[members] = sid
 
     def _build_rtree(self, max_entries: int) -> None:
-        items = [(w, int(j)) for j, w in enumerate(self.queries.weights)]
         if self._rtree_cls is RTree:
-            self.rtree = RTree.bulk_load(self.queries.dim, items, max_entries=max_entries)
+            # STR bulk load packs the whole workload in one pass; the
+            # point variant sorts coordinate arrays with numpy instead
+            # of Python tuple comparisons.
+            self.rtree = RTree.bulk_load_points(
+                self.queries.dim, self.queries.weights, max_entries=max_entries
+            )
         else:
             # Alternative spatial indexes (e.g. the X-tree) build
             # incrementally so their overflow policy takes effect.
             self.rtree = self._rtree_cls(self.queries.dim, max_entries=max_entries)
-            for weights, payload in items:
-                self.rtree.insert_point(weights, payload)
+            for payload, weights in enumerate(self.queries.weights):
+                self.rtree.insert_point(weights, int(payload))
 
     def ensure_boundaries(self) -> None:
         """Mark which hyperplane columns bound which subdomains (lazy).
@@ -303,6 +368,34 @@ class SubdomainIndex:
         """Invalidate the boundary registration after a mutation."""
         self._boundaries_ready = False
 
+    # ------------------------------------------------------------------
+    # Mutation notification
+    # ------------------------------------------------------------------
+    def subscribe_mutations(self, callback) -> None:
+        """Register a callback fired after every index mutation.
+
+        Consumers caching per-target state derived from the index (the
+        ESE threshold cache, notably) subscribe here so a direct
+        :mod:`repro.core.updates` call can never leave them stale.
+        Callbacks are held weakly: a garbage-collected subscriber is
+        dropped silently.
+        """
+        try:
+            ref = weakref.WeakMethod(callback)
+        except TypeError:
+            ref = weakref.ref(callback)
+        self._mutation_hooks.append(ref)
+
+    def notify_mutation(self) -> None:
+        """Fire every live mutation callback (called by ``updates``)."""
+        live = []
+        for ref in self._mutation_hooks:
+            callback = ref()
+            if callback is not None:
+                callback()
+                live.append(ref)
+        self._mutation_hooks = live
+
     def memory_estimate(self) -> int:
         """Approximate index size in bytes (Figures 4-6 metric).
 
@@ -360,13 +453,21 @@ class SubdomainIndex:
         for sub in self.subdomains:
             prefix = self.prefix(sub.sid)
             others = prefix[prefix != target]
-            for j in sub.query_ids:
-                k = int(ks[j])
-                if k <= others.shape[0]:
-                    kth = int(others[k - 1])
-                    kth_ids[j] = kth
-                    theta[j] = float(weights[j] @ matrix[kth])
-                elif self.dataset.n - 1 >= k:
+            members = sub.query_ids
+            member_ks = ks[members].astype(np.intp)
+            deep = member_ks <= others.shape[0]
+            covered = members[deep]
+            if covered.size:
+                # Batched threshold lookup: every member whose k is
+                # within the shared prefix resolves with one fancy
+                # index plus one row-wise dot product.
+                kth = others[member_ks[deep] - 1]
+                kth_ids[covered] = kth
+                theta[covered] = np.einsum(
+                    "ij,ij->i", weights[covered], matrix[kth]
+                )
+            for j, k in zip(members[~deep], member_ks[~deep]):
+                if self.dataset.n - 1 >= k:
                     # Prefix too shallow (can only happen in relevant
                     # mode); fall back to a direct evaluation.
                     scores = matrix @ weights[j]

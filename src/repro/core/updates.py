@@ -65,6 +65,7 @@ def add_query(index: SubdomainIndex, weights: np.ndarray, k: int) -> int:
         sub.prefix = None  # deeper ranking now needed; re-evaluate lazily
     index.subdomain_of = np.append(index.subdomain_of, sid)
     index.mark_boundaries_dirty()
+    index.notify_mutation()
     return query_id
 
 
@@ -142,6 +143,7 @@ def remove_query(index: SubdomainIndex, query_id: int) -> None:
     # R-tree payloads above the removed id must shift as well.
     _shift_rtree_payloads(index, query_id)
     index.mark_boundaries_dirty()
+    index.notify_mutation()
 
 
 def _shift_rtree_payloads(index, removed_id: int) -> None:
@@ -185,6 +187,7 @@ def add_object(index: SubdomainIndex, attributes: np.ndarray) -> int:
         _split_cells_on_new_columns(index, new_normals)
     _invalidate_prefixes(index)  # the new object changes every ranking
     index.mark_boundaries_dirty()
+    index.notify_mutation()
     return object_id
 
 
@@ -259,6 +262,7 @@ def remove_object(index: SubdomainIndex, object_id: int) -> None:
             sub.signature = reduced[sub.sid]
     index.mark_boundaries_dirty()
     _invalidate_prefixes(index)
+    index.notify_mutation()
 
 
 def _merge_cells(index: SubdomainIndex, reduced: dict[int, bytes]) -> None:

@@ -60,12 +60,28 @@ def group_by_signature(signatures: np.ndarray) -> dict[bytes, np.ndarray]:
     Returns a dict mapping the signature's byte representation to the
     sorted array of row indices sharing it.  The byte key is stable and
     hashable, which is what the subdomain index stores.
+
+    Grouping is a single ``np.unique`` over the rows plus a stable
+    argsort of the inverse mapping, so the cost is ``O(m h + m log m)``
+    vectorized work rather than a Python loop over every query point.
     """
     signatures = np.atleast_2d(np.asarray(signatures, dtype=np.int8))
-    groups: dict[bytes, list[int]] = {}
-    for idx, row in enumerate(signatures):
-        groups.setdefault(row.tobytes(), []).append(idx)
-    return {key: np.asarray(rows, dtype=np.intp) for key, rows in groups.items()}
+    m, h = signatures.shape
+    if m == 0:
+        return {}
+    if h == 0:
+        # Zero hyperplanes: every point shares the one (empty) signature.
+        return {b"": np.arange(m, dtype=np.intp)}
+    uniq, inverse = np.unique(signatures, axis=0, return_inverse=True)
+    inverse = inverse.reshape(-1)  # numpy 2.x returns (m, 1) for axis=0
+    order = np.argsort(inverse, kind="stable")  # members stay ascending
+    starts = np.searchsorted(inverse[order], np.arange(uniq.shape[0]))
+    bounds = np.append(starts, m)
+    members = order.astype(np.intp, copy=False)
+    return {
+        uniq[g].tobytes(): members[bounds[g] : bounds[g + 1]]
+        for g in range(uniq.shape[0])
+    }
 
 
 def cells_touched(points: np.ndarray, normals: np.ndarray) -> int:

@@ -426,6 +426,57 @@ class RTree:
         tree._size = len(entries)
         return tree
 
+    @classmethod
+    def bulk_load_points(
+        cls, dim: int, coords, payloads=None, max_entries: int = 8
+    ) -> "RTree":
+        """Build a packed tree from an ``(n, d)`` coordinate array (STR).
+
+        The point-data fast path of :meth:`bulk_load`: the recursive
+        sort-tile ordering runs on numpy index arrays (one ``argsort``
+        per slab instead of Python tuple comparisons), so packing a
+        whole query workload is a single vectorized pass.  ``payloads``
+        defaults to ``0..n-1`` — the query-id convention of the
+        subdomain index.
+        """
+        coords = np.atleast_2d(np.asarray(coords, dtype=float))
+        tree = cls(dim, max_entries=max_entries)
+        n = coords.shape[0]
+        if n == 0:
+            return tree
+        if coords.shape[1] != dim:
+            raise ValidationError(f"coords are {coords.shape[1]}-D, tree dim is {dim}")
+        if payloads is None:
+            payloads = range(n)
+        payloads = list(payloads)
+        if len(payloads) != n:
+            raise ValidationError(f"{len(payloads)} payloads for {n} points")
+        capacity = max_entries
+        num_nodes = int(np.ceil(n / capacity))
+
+        def tile(idx: np.ndarray, axis: int) -> list[np.ndarray]:
+            if axis >= dim - 1 or idx.size <= capacity:
+                idx = idx[np.argsort(coords[idx, min(axis, dim - 1)], kind="stable")]
+                return [idx[i : i + capacity] for i in range(0, idx.size, capacity)]
+            idx = idx[np.argsort(coords[idx, axis], kind="stable")]
+            slabs_needed = int(np.ceil(num_nodes ** ((dim - axis - 1) / (dim - axis))))
+            slab_size = max(capacity, int(np.ceil(idx.size / max(1, slabs_needed))))
+            out: list[np.ndarray] = []
+            for i in range(0, idx.size, slab_size):
+                out.extend(tile(idx[i : i + slab_size], axis + 1))
+            return out
+
+        groups = [
+            [(Rect.point(coords[i]), payloads[i]) for i in group]
+            for group in tile(np.arange(n), 0)
+        ]
+        nodes = tree._nodes_from_groups(groups, leaf=True)
+        while len(nodes) > 1:
+            nodes = tree._str_pack([(node.rect(), node) for node in nodes], leaf=False)
+        tree._root = nodes[0]
+        tree._size = n
+        return tree
+
     def _str_pack(self, entries: list, leaf: bool) -> list[_Node]:
         capacity = self.max_entries
         dim = self.dim
@@ -444,9 +495,16 @@ class RTree:
             return out
 
         groups = tile(list(entries), 0)
-        # Slab boundaries can leave undersized tail groups; merge each
-        # into its predecessor (resplitting when the merge overflows) so
-        # every node respects the minimum fill invariant.
+        return self._nodes_from_groups(groups, leaf)
+
+    def _nodes_from_groups(self, groups: list[list], leaf: bool) -> list[_Node]:
+        """Turn entry groups into nodes, enforcing the minimum fill.
+
+        Slab boundaries can leave undersized tail groups; merge each
+        into its predecessor (resplitting when the merge overflows) so
+        every node respects the minimum fill invariant.
+        """
+        capacity = self.max_entries
         balanced: list[list] = []
         for group in groups:
             if len(group) >= self.min_entries or not balanced:
@@ -458,9 +516,8 @@ class RTree:
             else:
                 half = len(merged) // 2
                 balanced.extend([merged[:half], merged[half:]])
-        groups = balanced
         nodes = []
-        for group in groups:
+        for group in balanced:
             node = _Node(leaf=leaf)
             node.entries = group
             if not leaf:

@@ -38,7 +38,12 @@ from repro.core.strategy import Strategy, StrategySpace
 from repro.errors import InfeasibleError, ValidationError
 from repro.optimize.simplex import linprog
 
-__all__ = ["min_cost_to_hit", "min_cost_to_hit_set", "HitSubproblem"]
+__all__ = [
+    "min_cost_to_hit",
+    "min_cost_to_hit_l2_batch",
+    "min_cost_to_hit_set",
+    "HitSubproblem",
+]
 
 #: Default slack turning the strict constraint into a closed one.  The
 #: query domain is normalized, so an absolute margin is meaningful.
@@ -102,6 +107,65 @@ def min_cost_to_hit(
     if not problem.satisfied_by(vector):
         raise InfeasibleError("query cannot be hit within the strategy bounds")
     return Strategy(vector, cost=cost(vector))
+
+
+def min_cost_to_hit_l2_batch(
+    cost: L2Cost,
+    weights_rows: np.ndarray,
+    gaps: np.ndarray,
+    space: StrategySpace | None = None,
+    margin: float = DEFAULT_MARGIN,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Closed-form Eq. 13-14 for a whole batch of queries at once.
+
+    For a weighted-L2 cost the single-constraint optimum is the
+    Lagrangian point ``s = b * (q / w) / (q . (q / w))`` with cost
+    ``|b| / sqrt(q . (q / w))``; it is also the *box-constrained*
+    optimum whenever it happens to lie inside the strategy box (the box
+    constraints are then inactive).  This solves every query in a batch
+    with two matrix products — the per-query bisection of
+    :func:`min_cost_to_hit` is only needed for rows whose optimum is
+    clipped by an active bound.
+
+    Parameters mirror :func:`min_cost_to_hit`, with ``weights_rows`` a
+    ``(r, d)`` stack of query weight vectors and ``gaps`` their
+    ``theta_q - q . p`` values.
+
+    Returns
+    -------
+    ``(vectors, costs, solved, infeasible)`` where ``vectors``/``costs``
+    are only meaningful on ``solved`` rows.  Rows with neither flag set
+    have a box-active optimum and need the per-query solver; rows
+    flagged ``infeasible`` (all-zero query weights) can never be hit.
+    """
+    weights_rows = np.atleast_2d(np.asarray(weights_rows, dtype=float))
+    gaps = np.atleast_1d(np.asarray(gaps, dtype=float))
+    if weights_rows.shape != (gaps.shape[0], cost.dim):
+        raise ValidationError(
+            f"weights shape {weights_rows.shape} incompatible with "
+            f"gaps {gaps.shape} / dim {cost.dim}"
+        )
+    space = space or StrategySpace.unconstrained(cost.dim)
+    if space.dim != cost.dim:
+        raise ValidationError(f"space dim {space.dim} != cost dim {cost.dim}")
+    q = weights_rows
+    bounds = gaps - margin
+    rows = q.shape[0]
+    vectors = np.zeros((rows, cost.dim))
+    costs = np.zeros(rows)
+    denom = np.einsum("ij,ij->i", q, q / cost.weights)  # q . W^-1 q per row
+    already_hit = bounds >= 0  # the zero strategy suffices (and is free)
+    infeasible = (denom <= 0) & ~already_hit
+    active = ~already_hit & ~infeasible
+    with np.errstate(divide="ignore", invalid="ignore"):
+        scale = np.where(active, bounds / np.maximum(denom, 1e-300), 0.0)
+    raw = scale[:, None] * (q / cost.weights)
+    inside = np.all((raw >= space.lower) & (raw <= space.upper), axis=1)
+    use = active & inside
+    vectors[use] = raw[use]
+    costs[use] = np.abs(bounds[use]) / np.sqrt(denom[use])
+    solved = already_hit | use
+    return vectors, costs, solved, infeasible
 
 
 # ----------------------------------------------------------------------

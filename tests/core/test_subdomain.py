@@ -59,6 +59,37 @@ class TestAgainstLiteralAlgorithm1:
         assert all(v for v in cells.values())
 
 
+class TestPartitionMethodSwitch:
+    def test_methods_agree(self, rng):
+        normals = rng.normal(size=(6, 3))
+        points = rng.random((40, 3))
+        literal = find_subdomains(normals, points, method="literal")
+        vectorized = find_subdomains(normals, points, method="vectorized")
+        assert literal == vectorized
+
+    def test_unknown_method_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            find_subdomains(rng.normal(size=(2, 2)), rng.random((4, 2)), method="quantum")
+
+    def test_index_partition_method_validated(self, rng):
+        dataset = Dataset(rng.random((5, 2)))
+        queries = QuerySet(rng.random((5, 2)), ks=1)
+        with pytest.raises(ValidationError):
+            SubdomainIndex(dataset, queries, partition_method="quantum")
+
+    def test_index_builds_identically_either_way(self, rng):
+        dataset = Dataset(rng.random((12, 3)))
+        queries = QuerySet(rng.random((30, 3)), ks=rng.integers(1, 4, 30))
+        literal = SubdomainIndex(dataset, queries, partition_method="literal")
+        vectorized = SubdomainIndex(dataset, queries, partition_method="vectorized")
+        assert literal.partition_method == "literal"
+        ours = sorted((s.signature, s.query_ids.tolist()) for s in literal.subdomains)
+        theirs = sorted((s.signature, s.query_ids.tolist()) for s in vectorized.subdomains)
+        assert ours == theirs
+        for target in range(dataset.n):
+            assert literal.hits(target) == vectorized.hits(target)
+
+
 class TestRankingInvariance:
     """The index's core claim: rankings are constant within a subdomain."""
 

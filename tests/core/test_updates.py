@@ -135,6 +135,68 @@ class TestRemoveObject:
         assert_equivalent(index, reference)
 
 
+class TestEvaluatorInvalidation:
+    """Every mutation must invalidate subscribed evaluator caches."""
+
+    def _spied_evaluator(self, index):
+        from repro.core.ese import StrategyEvaluator
+
+        evaluator = StrategyEvaluator(index)
+        calls = []
+        original = evaluator.invalidate
+
+        def spy(target=None):
+            calls.append(target)
+            original(target)
+
+        evaluator.invalidate = spy
+        index.subscribe_mutations(evaluator.invalidate)
+        return evaluator, calls
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda idx, rng: updates.add_query(idx, rng.random(2), 2),
+            lambda idx, rng: updates.remove_query(idx, 0),
+            lambda idx, rng: updates.add_object(idx, rng.random(2)),
+            lambda idx, rng: updates.remove_object(idx, 0),
+        ],
+        ids=["add_query", "remove_query", "add_object", "remove_object"],
+    )
+    def test_every_mutation_invalidates(self, rng, mutate):
+        index = build(rng)
+        evaluator, calls = self._spied_evaluator(index)
+        evaluator.thresholds(1)  # populate the cache
+        mutate(index, rng)
+        assert calls, "mutation did not notify the evaluator"
+        assert not evaluator._target_cache
+
+    def test_stale_cache_would_be_wrong(self, rng):
+        # The behavioral reason for the hook: after adding an object the
+        # cached thresholds are wrong, so hits computed from a pinned
+        # stale cache must be allowed to differ from a fresh evaluator.
+        from repro.core.ese import StrategyEvaluator
+
+        index = build(rng, n=8, m=25)
+        evaluator = StrategyEvaluator(index)
+        before = {t: evaluator.hits(t) for t in range(4)}
+        updates.add_object(index, np.zeros(2))  # dominates: enters every top-k
+        fresh = StrategyEvaluator(rebuilt(index))
+        after = {t: evaluator.hits(t) for t in range(4)}
+        assert after == {t: fresh.hits(t) for t in range(4)}
+        assert before != after  # the dominating object displaced someone
+
+    def test_dead_subscriber_is_dropped(self, rng):
+        from repro.core.ese import StrategyEvaluator
+
+        index = build(rng)
+        evaluator = StrategyEvaluator(index)
+        hooks_with_evaluator = len(index._mutation_hooks)
+        del evaluator
+        updates.add_query(index, rng.random(2), 2)  # must not crash
+        assert len(index._mutation_hooks) < hooks_with_evaluator
+
+
 class TestInterleaved:
     def test_mixed_update_sequence(self, rng):
         index = build(rng)

@@ -192,6 +192,48 @@ class TestBulkLoad:
         assert bulk.height() <= inc.height()
 
 
+class TestBulkLoadPoints:
+    def test_matches_tuple_bulk_load_results(self, rng):
+        points = rng.random((500, 3))
+        fast = RTree.bulk_load_points(3, points, max_entries=8)
+        slow = RTree.bulk_load(3, [(p, i) for i, p in enumerate(points)], max_entries=8)
+        assert len(fast) == 500
+        fast.validate()
+        box = Rect.from_arrays([0.2, 0.0, 0.1], [0.7, 0.5, 0.9])
+        assert sorted(fast.search(box)) == sorted(slow.search(box))
+        probe = rng.random(3)
+        assert fast.nearest(probe, k=5) == slow.nearest(probe, k=5)
+
+    def test_default_payloads_are_row_ids(self, rng):
+        points = rng.random((30, 2))
+        tree = RTree.bulk_load_points(2, points, max_entries=4)
+        everything = Rect.from_arrays([-1, -1], [2, 2])
+        assert sorted(tree.search(everything)) == list(range(30))
+
+    def test_custom_payloads(self, rng):
+        points = rng.random((10, 2))
+        tree = RTree.bulk_load_points(2, points, payloads=[i * 7 for i in range(10)])
+        everything = Rect.from_arrays([-1, -1], [2, 2])
+        assert sorted(tree.search(everything)) == [i * 7 for i in range(10)]
+
+    def test_empty_and_shape_checks(self, rng):
+        tree = RTree.bulk_load_points(2, np.empty((0, 2)))
+        assert len(tree) == 0
+        with pytest.raises(ValidationError):
+            RTree.bulk_load_points(3, rng.random((5, 2)))
+        with pytest.raises(ValidationError):
+            RTree.bulk_load_points(2, rng.random((5, 2)), payloads=[1, 2])
+
+    def test_large_load_stays_valid_and_shallow(self, rng):
+        points = rng.random((2000, 2))
+        tree = RTree.bulk_load_points(2, points, max_entries=8)
+        tree.validate()
+        inc = RTree(dim=2, max_entries=8)
+        for i, p in enumerate(points[:400]):
+            inc.insert_point(p, i)
+        assert tree.height() <= inc.height() + 1
+
+
 class TestIntrospection:
     def test_height_and_node_count_grow(self, rng):
         tree = RTree(dim=2, max_entries=4)

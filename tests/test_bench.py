@@ -1,11 +1,19 @@
 """Tests for the benchmark configuration and harness utilities."""
 
+import json
 import time
 
 import pytest
 
 from repro.bench.config import SCALES, load_config
-from repro.bench.harness import Stopwatch, TableResult, time_call
+from repro.bench.harness import (
+    BenchRecord,
+    Stopwatch,
+    TableResult,
+    summarize_records,
+    time_call,
+    write_bench_json,
+)
 from repro.errors import ValidationError
 
 
@@ -76,6 +84,70 @@ class TestHarness:
         table.add(0.000001)
         text = table.render()
         assert "0" in text and "1.23e+05" in text and "1e-06" in text
+
+
+class TestBenchRecord:
+    def test_speedup_and_serialization(self):
+        record = BenchRecord(
+            figure="fig4",
+            case="|D|=100",
+            config={"num_objects": 100},
+            literal_seconds=2.0,
+            vectorized_seconds=0.5,
+        )
+        assert record.speedup == pytest.approx(4.0)
+        payload = record.to_dict()
+        assert payload["figure"] == "fig4"
+        assert payload["speedup"] == pytest.approx(4.0)
+
+    def test_zero_time_does_not_divide_by_zero(self):
+        record = BenchRecord("f", "c", {}, literal_seconds=1.0, vectorized_seconds=0.0)
+        assert record.speedup > 0
+
+    def test_summary_groups_by_figure(self):
+        records = [
+            BenchRecord("fig4", "a", {}, 2.0, 1.0),
+            BenchRecord("fig4", "b", {}, 8.0, 1.0),
+            BenchRecord("fig5", "c", {}, 3.0, 1.0),
+        ]
+        summary = summarize_records(records)
+        assert summary["fig4"]["points"] == 2
+        assert summary["fig4"]["min_speedup"] == pytest.approx(2.0)
+        assert summary["fig4"]["max_speedup"] == pytest.approx(8.0)
+        assert summary["fig5"]["points"] == 1
+
+    def test_write_bench_json_schema(self, tmp_path):
+        path = tmp_path / "bench.json"
+        records = [BenchRecord("fig7", "target=0", {"seed": 1}, 1.0, 0.25)]
+        payload = write_bench_json(records, path, scale="tiny")
+        on_disk = json.loads(path.read_text())
+        assert on_disk == payload
+        assert on_disk["schema"] == "repro-bench-regression/1"
+        assert on_disk["scale"] == "tiny"
+        assert on_disk["records"][0]["speedup"] == pytest.approx(4.0)
+        assert "fig7" in on_disk["summary"]
+
+
+class TestRegressionHarness:
+    def test_smoke_run_checks_parity_and_writes_json(self, tmp_path):
+        from repro.bench.regression import run_regression
+
+        path = tmp_path / "BENCH_SMOKE.json"
+        payload = run_regression(smoke=True, out=str(path))
+        assert path.exists()
+        assert payload["scale"] == "tiny"
+        figures = {record["figure"] for record in payload["records"]}
+        assert figures == {"fig4", "fig5", "fig7"}
+        for record in payload["records"]:
+            assert record["literal_seconds"] > 0
+            assert record["vectorized_seconds"] > 0
+
+    def test_cli_entry_point(self, capsys):
+        from repro.bench.regression import main
+
+        assert main(["--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "speedup" in out
 
 
 class TestFiguresTiny:

@@ -107,6 +107,14 @@ class TestHitsAndDemo:
         assert code == 0
         assert "min-cost" in out and "max-hit" in out
 
+    def test_bench_smoke(self, capsys, tmp_path):
+        path = tmp_path / "bench.json"
+        code = main(["bench", "--smoke", "--out", str(path)])
+        assert code == 0
+        assert path.exists()
+        printed = capsys.readouterr().out
+        assert "fig4" in printed and "speedup" in printed
+
 
 class TestParser:
     def test_requires_goal(self, market_files, capsys):
