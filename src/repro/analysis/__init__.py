@@ -1,0 +1,47 @@
+"""Project-specific static analysis (``repro lint``).
+
+A small AST lint framework plus the rules that keep this reproduction's
+correctness disciplines machine-checked:
+
+========  ==============================================================
+RPR001    no literal float tolerances outside :mod:`repro.constants`
+RPR002    runtime invariants raise :class:`~repro.errors.ReproError`
+          subclasses, never ``assert`` / bare ``Exception``
+RPR003    public ndarray-taking functions validate shape/dtype
+RPR004    no mutable default arguments
+RPR005    vectorized/literal implementation pairs are exercised by a
+          parity test
+========  ==============================================================
+
+Run ``repro lint src/repro`` (or ``python -m repro.analysis``); suppress
+a single line with ``# repro: noqa[RPR001]``.
+"""
+
+from __future__ import annotations
+
+import repro.analysis.rules  # noqa: F401  (import registers the rules)
+from repro.analysis.cli import main
+from repro.analysis.framework import (
+    FileContext,
+    Finding,
+    LintConfig,
+    Rule,
+    lint_file,
+    lint_paths,
+    register_rule,
+    registered_rules,
+)
+from repro.analysis.rules import PARITY_PAIRS
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "PARITY_PAIRS",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "main",
+    "register_rule",
+    "registered_rules",
+]

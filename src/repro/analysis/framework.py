@@ -1,0 +1,248 @@
+"""The AST lint framework behind ``repro lint``.
+
+A *rule* is a class with a ``code`` (``RPR001``, ...), a human ``title``,
+a ``severity``, and a ``check`` method that walks one parsed file and
+yields :class:`Finding` objects.  Rules register themselves with
+:func:`register_rule`; the runner applies every registered rule (minus
+``--select`` / ``--ignore`` filtering) to every target file.
+
+Suppressions
+------------
+A finding is discarded when its physical source line carries a
+``# repro: noqa`` comment::
+
+    value = 1e-9          # repro: noqa            (suppress every rule)
+    value = 1e-9          # repro: noqa[RPR001]    (suppress one rule)
+    assert x; y = 1e-9    # repro: noqa[RPR001,RPR002]
+
+Suppression is deliberately line-scoped — there is no file-level or
+block-level escape hatch, so every accepted violation is visible next
+to the code it excuses.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "FileContext",
+    "Rule",
+    "register_rule",
+    "registered_rules",
+    "lint_file",
+    "lint_paths",
+    "render_human",
+    "render_json",
+]
+
+#: ``# repro: noqa`` or ``# repro: noqa[RPR001,RPR002]`` anywhere in a line.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Z0-9,\s]*)\])?")
+
+#: Sentinel rule-code set meaning "suppress everything on this line".
+_ALL_RULES = frozenset({"*"})
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: str = "error"
+
+    def format_human(self) -> str:
+        """``path:line:col: CODE [severity] message`` for terminal output."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable representation of this finding."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintConfig:
+    """Run-wide configuration shared by every rule.
+
+    ``tests_root`` is where RPR005 looks for parity tests; when ``None``
+    it is derived per-file by walking up from the linted file until a
+    directory containing ``tests/`` is found.
+    """
+
+    select: frozenset[str] | None = None
+    ignore: frozenset[str] = frozenset()
+    tests_root: Path | None = None
+
+    def rule_enabled(self, code: str) -> bool:
+        """Should the rule with this code run under select/ignore filters?"""
+        if code in self.ignore:
+            return False
+        return self.select is None or code in self.select
+
+
+class FileContext:
+    """One parsed source file plus its suppression map."""
+
+    def __init__(self, path: Path, source: str, config: LintConfig) -> None:
+        self.path = path
+        self.source = source
+        self.config = config
+        self.tree: ast.Module = ast.parse(source, filename=str(path))
+        self._noqa: dict[int, frozenset[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _NOQA_RE.search(text)
+            if match is None:
+                continue
+            codes = match.group(1)
+            if codes is None or not codes.strip():
+                self._noqa[lineno] = _ALL_RULES
+            else:
+                self._noqa[lineno] = frozenset(
+                    code.strip() for code in codes.split(",") if code.strip()
+                )
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        """Is ``rule`` silenced on ``line`` by a ``# repro: noqa`` comment?"""
+        codes = self._noqa.get(line)
+        return codes is not None and (codes is _ALL_RULES or "*" in codes or rule in codes)
+
+    def finding(self, node: ast.AST, rule: "Rule", message: str) -> Finding:
+        """Build a :class:`Finding` located at ``node`` for ``rule``."""
+        return Finding(
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule.code,
+            message=message,
+            severity=rule.severity,
+        )
+
+
+class Rule:
+    """Base class for lint rules; subclasses register via :func:`register_rule`."""
+
+    code: str = "RPR000"
+    title: str = "unnamed rule"
+    severity: str = "error"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield every violation of this rule found in ``ctx``."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule instance to the global registry."""
+    rule = cls()
+    if rule.code in _REGISTRY:
+        raise ValidationError(f"duplicate lint rule code {rule.code!r}")
+    _REGISTRY[rule.code] = rule
+    return cls
+
+
+def registered_rules() -> list[Rule]:
+    """All registered rules, ordered by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def lint_file(path: Path, config: LintConfig) -> list[Finding]:
+    """Apply every enabled rule to one file; syntax errors become findings."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        ctx = FileContext(path, source, config)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule="RPR000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    findings: list[Finding] = []
+    for rule in registered_rules():
+        if not config.rule_enabled(rule.code):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(finding.line, finding.rule):
+                findings.append(finding)
+    return findings
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand directories to their ``.py`` members, sorted and deduplicated."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif not path.exists():
+            raise ValidationError(f"lint target does not exist: {path}")
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            raise ValidationError(f"lint target is not a Python file or directory: {path}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_paths(paths: Iterable[Path], config: LintConfig | None = None) -> tuple[list[Finding], int]:
+    """Lint files/directories; returns (sorted findings, files checked)."""
+    config = config or LintConfig()
+    findings: list[Finding] = []
+    checked = 0
+    for path in iter_python_files(paths):
+        checked += 1
+        findings.extend(lint_file(path, config))
+    return sorted(findings), checked
+
+
+def render_human(findings: list[Finding], checked: int, out: IO[str]) -> None:
+    """Print one ``path:line:col: CODE message`` row per finding plus a summary."""
+    for finding in findings:
+        print(finding.format_human(), file=out)
+    noun = "file" if checked == 1 else "files"
+    if findings:
+        print(f"{len(findings)} finding(s) in {checked} {noun}", file=out)
+    else:
+        print(f"clean: {checked} {noun} checked", file=out)
+
+
+def render_json(findings: list[Finding], checked: int, out: IO[str]) -> None:
+    """Emit the findings, file count, and rule catalog as a JSON document."""
+    payload = {
+        "checked_files": checked,
+        "findings": [finding.to_dict() for finding in findings],
+        "rules": [
+            {"code": rule.code, "title": rule.title, "severity": rule.severity}
+            for rule in registered_rules()
+        ],
+    }
+    json.dump(payload, out, indent=2, sort_keys=True)
+    out.write("\n")

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.constants import EPS_FEASIBILITY
 from repro.core.cost import CostFunction
 from repro.core.ese import StrategyEvaluator
 from repro.core.results import IQResult, IterationRecord
@@ -145,6 +146,6 @@ def greedy_max_hit_iq(
         hits_before=hits_before,
         hits_after=hits_after,
         total_cost=spent,
-        satisfied=spent <= budget + 1e-9,
+        satisfied=spent <= budget + EPS_FEASIBILITY,
         iterations=records,
     )

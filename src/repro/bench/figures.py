@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.constants import EPS_TIME
 from repro.baselines.greedy import greedy_max_hit_iq, greedy_min_cost_iq
 from repro.baselines.random_search import random_max_hit_iq, random_min_cost_iq
 from repro.baselines.rta import RTAEvaluator
@@ -28,6 +29,7 @@ from repro.core.queries import QuerySet
 from repro.core.subdomain import SubdomainIndex
 from repro.core.updates import add_object, add_query, remove_object, remove_query
 from repro.data.realworld import simulate_house, simulate_vehicle
+from repro.errors import ReproError
 from repro.data.synthetic import generate
 from repro.data.workloads import generate_queries
 from repro.index.dominant_graph import DominantGraph
@@ -137,7 +139,7 @@ def fig5_indexing_queries(config: BenchConfig | None = None) -> TableResult:
             m,
             ours_time,
             rtree_time,
-            100.0 * (ours_time - rtree_time) / max(rtree_time, 1e-9),
+            100.0 * (ours_time - rtree_time) / max(rtree_time, EPS_TIME),
             ours_size,
             rtree_size,
             100.0 * (ours_size - rtree_size) / max(rtree_size, 1),
@@ -450,8 +452,13 @@ def x2_ese_ablation(config: BenchConfig | None = None) -> TableResult:
             return hits
 
         naive_hits, naive_time = time_call(naive)
-        assert naive_hits == ese.evaluate(target, strategy)
-        table.add(m, 1000 * ese_time, 1000 * naive_time, naive_time / max(ese_time, 1e-9))
+        ese_hits = ese.evaluate(target, strategy)
+        if naive_hits != ese_hits:
+            raise ReproError(
+                f"X3 cross-check failed: naive evaluation counts {naive_hits} hits "
+                f"but the ESE index counts {ese_hits} (m={m})"
+            )
+        table.add(m, 1000 * ese_time, 1000 * naive_time, naive_time / max(ese_time, EPS_TIME))
     return table
 
 
@@ -539,6 +546,6 @@ def x3_updates_ablation(config: BenchConfig | None = None) -> TableResult:
             name,
             1000 * incremental_time,
             1000 * rebuild_time,
-            rebuild_time / max(incremental_time, 1e-9),
+            rebuild_time / max(incremental_time, EPS_TIME),
         )
     return table

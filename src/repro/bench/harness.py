@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 import time
+
+from repro.constants import EPS_TIME
 from dataclasses import dataclass, field
 
 __all__ = ["BenchRecord", "Stopwatch", "TableResult", "time_call", "write_bench_json"]
@@ -104,7 +106,7 @@ class BenchRecord:
     @property
     def speedup(self) -> float:
         """Wall-clock ratio literal / vectorized (higher is better)."""
-        return self.literal_seconds / max(self.vectorized_seconds, 1e-12)
+        return self.literal_seconds / max(self.vectorized_seconds, EPS_TIME)
 
     def to_dict(self) -> dict:
         """JSON-ready dict (the ``records[]`` entry of BENCH_*.json)."""

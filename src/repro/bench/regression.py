@@ -27,6 +27,7 @@ import sys
 
 import numpy as np
 
+from repro.constants import ATOL_PARITY
 from repro.bench.config import BenchConfig, load_config
 from repro.bench.harness import BenchRecord, summarize_records, time_call, write_bench_json
 from repro.core._search import SearchState, generate_candidates
@@ -171,8 +172,8 @@ def bench_fig7_candidates(config: BenchConfig, targets: int | None = None) -> li
         )
         if not (
             np.array_equal(loop_batch.query_ids, auto_batch.query_ids)
-            and np.allclose(loop_batch.vectors, auto_batch.vectors, atol=1e-9)
-            and np.allclose(loop_batch.costs, auto_batch.costs, atol=1e-9)
+            and np.allclose(loop_batch.vectors, auto_batch.vectors, atol=ATOL_PARITY)
+            and np.allclose(loop_batch.costs, auto_batch.costs, atol=ATOL_PARITY)
         ):
             raise RegressionMismatch(
                 f"loop and batch candidate generation differ (target={target})"

@@ -31,6 +31,7 @@ import sys
 
 import numpy as np
 
+from repro.constants import EPS_FEASIBILITY
 from repro.core.cost import L1Cost, L2Cost, LInfCost
 from repro.core.engine import ImprovementQueryEngine
 from repro.core.queries import QuerySet
@@ -87,6 +88,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="CI mode: tiny scale, truncated sweeps")
     bench.add_argument("--out", default=None,
                        help="write the JSON payload to this path (e.g. BENCH_PR1.json)")
+
+    lint = sub.add_parser("lint", help="project static analysis (rules RPR001-RPR005)")
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories to lint (default: src/repro)")
+    lint.add_argument("--format", choices=["human", "json"], default="human")
+    lint.add_argument("--select", default=None, metavar="CODES",
+                      help="comma-separated rule codes to run")
+    lint.add_argument("--ignore", default=None, metavar="CODES",
+                      help="comma-separated rule codes to skip")
+    lint.add_argument("--tests-root", default=None, metavar="DIR",
+                      help="tests directory for RPR005 parity lookups")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
     return parser
 
 
@@ -148,7 +162,7 @@ def _cmd_improve(args, out) -> int:
         goal = f"reach {args.reach}" if args.reach is not None else f"budget {args.budget}"
         print(f"target {target} ({goal}, cost {args.cost}, method {args.method}):", file=out)
         for name, delta in zip(names, result.strategy.vector):
-            if abs(delta) > 1e-9:
+            if abs(delta) > EPS_FEASIBILITY:
                 print(f"  adjust {name:<16} {delta:+.6g}", file=out)
         print(
             f"  cost {result.total_cost:.6g}  hits {result.hits_before} -> "
@@ -181,7 +195,7 @@ def _cmd_improve(args, out) -> int:
         moves = ", ".join(
             f"{name} {delta:+.4g}"
             for name, delta in zip(names, strategy.vector)
-            if abs(delta) > 1e-9
+            if abs(delta) > EPS_FEASIBILITY
         )
         print(f"  target {target}: cost {strategy.cost:.6g}  [{moves or 'no change'}]", file=out)
     return 0 if multi.satisfied else 2
@@ -244,6 +258,20 @@ def main(argv=None, out=None) -> int:
             if args.out:
                 bench_args += ["--out", args.out]
             return bench_main(bench_args)
+        if args.command == "lint":
+            from repro.analysis.cli import main as lint_main
+
+            lint_args = list(args.paths)
+            lint_args += ["--format", args.format]
+            if args.select:
+                lint_args += ["--select", args.select]
+            if args.ignore:
+                lint_args += ["--ignore", args.ignore]
+            if args.tests_root:
+                lint_args += ["--tests-root", args.tests_root]
+            if args.list_rules:
+                lint_args.append("--list-rules")
+            return lint_main(lint_args, out=out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

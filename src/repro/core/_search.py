@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.constants import EPS_COST
 from repro.core.cost import CostFunction, L2Cost
 from repro.core.ese import StrategyEvaluator
 from repro.core.strategy import StrategySpace
@@ -154,7 +155,7 @@ def generate_candidates(
     matrix = vectors_all[keep]
     cost_arr = costs_all[keep]
     if max_cost is not None:
-        keep = cost_arr <= max_cost + 1e-12
+        keep = cost_arr <= max_cost + EPS_COST
         query_ids, matrix, cost_arr = query_ids[keep], matrix[keep], cost_arr[keep]
         if query_ids.size == 0:
             return CandidateBatch(

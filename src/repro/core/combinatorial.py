@@ -22,9 +22,11 @@ reports) true joint hit counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TypeVar
 
 import numpy as np
 
+from repro.constants import EPS_COST, EPS_FEASIBILITY
 from repro.core.cost import CostFunction
 from repro.core.strategy import Strategy, StrategySpace
 from repro.core.subdomain import SubdomainIndex
@@ -32,6 +34,8 @@ from repro.errors import InfeasibleError, ValidationError
 from repro.optimize.hit_cost import DEFAULT_MARGIN, min_cost_to_hit
 
 __all__ = ["MultiTargetResult", "combinatorial_min_cost", "combinatorial_max_hit"]
+
+_T = TypeVar("_T")
 
 
 @dataclass
@@ -57,7 +61,7 @@ class MultiTargetResult:
 class _JointState:
     """Current positions of every object with exact joint-hit accounting."""
 
-    def __init__(self, index: SubdomainIndex, targets: list[int]):
+    def __init__(self, index: SubdomainIndex, targets: list[int]) -> None:
         if len(set(targets)) != len(targets):
             raise ValidationError("duplicate target ids")
         for t in targets:
@@ -93,7 +97,7 @@ class _JointState:
         return scores[np.arange(scores.shape[0]), self.ks - 1]
 
 
-def _normalize_per_target(value, targets, kind):
+def _normalize_per_target(value: _T | dict[int, _T], targets: list[int], kind: str) -> dict[int, _T]:
     if isinstance(value, dict):
         missing = [t for t in targets if t not in value]
         if missing:
@@ -110,9 +114,9 @@ def _candidates(
     mask: np.ndarray,
     margin: float,
     max_cost: float | None,
-):
+) -> list[tuple[int, int, np.ndarray, float, int]]:
     """All (target, query, vector, cost, joint_hits) candidates of a round."""
-    out = []
+    out: list[tuple[int, int, np.ndarray, float, int]] = []
     unhit = np.flatnonzero(~mask)
     if unhit.size == 0:
         return out
@@ -128,7 +132,7 @@ def _candidates(
                 )
             except InfeasibleError:
                 continue
-            if max_cost is not None and candidate.cost > max_cost + 1e-12:
+            if max_cost is not None and candidate.cost > max_cost + EPS_COST:
                 continue  # §5.1 step 2: drop over-budget candidates
             # Score: joint hits with the other targets frozen.
             scores = state.scores()
@@ -140,9 +144,11 @@ def _candidates(
     return out
 
 
-def _pick_best_ratio(candidates):
+def _pick_best_ratio(
+    candidates: list[tuple[int, int, np.ndarray, float, int]],
+) -> tuple[int, int, np.ndarray, float, int] | None:
     """Min cost-per-hit; ties by cost then (target, query) for determinism."""
-    def key(c):
+    def key(c: tuple[int, int, np.ndarray, float, int]) -> tuple[float, float, int, int]:
         t, j, __, cost, hits = c
         ratio = cost / hits if hits > 0 else np.inf
         return (ratio, cost, t, j)
@@ -155,8 +161,8 @@ def combinatorial_min_cost(
     index: SubdomainIndex,
     targets: list[int],
     tau: int,
-    costs,
-    spaces=None,
+    costs: CostFunction | dict[int, CostFunction],
+    spaces: StrategySpace | dict[int, StrategySpace] | None = None,
     margin: float = DEFAULT_MARGIN,
     max_rounds: int | None = None,
 ) -> MultiTargetResult:
@@ -217,8 +223,8 @@ def combinatorial_max_hit(
     index: SubdomainIndex,
     targets: list[int],
     budget: float,
-    costs,
-    spaces=None,
+    costs: CostFunction | dict[int, CostFunction],
+    spaces: StrategySpace | dict[int, StrategySpace] | None = None,
     margin: float = DEFAULT_MARGIN,
     max_rounds: int | None = None,
 ) -> MultiTargetResult:
@@ -265,7 +271,7 @@ def combinatorial_max_hit(
         hits_before=hits_before,
         hits_after=hits_after,
         total_cost=total,
-        satisfied=total <= budget + 1e-9,
+        satisfied=total <= budget + EPS_FEASIBILITY,
         rounds=len(log),
         applied=log,
     )

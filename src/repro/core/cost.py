@@ -20,9 +20,11 @@ are convex, which the greedy searches implicitly rely on.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Callable
 
 import numpy as np
 
+from repro.constants import EPS_COST, EPS_FEASIBILITY
 from repro.errors import ValidationError
 
 __all__ = [
@@ -36,7 +38,7 @@ __all__ = [
 ]
 
 
-def _check_weights(weights, dim: int) -> np.ndarray:
+def _check_weights(weights: "np.typing.ArrayLike | None", dim: int) -> np.ndarray:
     if weights is None:
         return np.ones(dim)
     weights = np.asarray(weights, dtype=float)
@@ -50,7 +52,7 @@ def _check_weights(weights, dim: int) -> np.ndarray:
 class CostFunction(ABC):
     """A convex, non-negative cost of an improvement strategy."""
 
-    def __init__(self, dim: int):
+    def __init__(self, dim: int) -> None:
         if dim <= 0:
             raise ValidationError(f"dim must be positive, got {dim}")
         self.dim = dim
@@ -59,7 +61,7 @@ class CostFunction(ABC):
     def __call__(self, s: np.ndarray) -> float:
         """Cost of applying strategy ``s``."""
 
-    def _coerce(self, s) -> np.ndarray:
+    def _coerce(self, s: "np.typing.ArrayLike") -> np.ndarray:
         s = np.asarray(s, dtype=float)
         if s.shape != (self.dim,):
             raise ValidationError(f"strategy shape {s.shape} != ({self.dim},)")
@@ -69,11 +71,11 @@ class CostFunction(ABC):
 class L2Cost(CostFunction):
     """Weighted Euclidean cost ``sqrt(sum w_i s_i^2)`` (Eq. 30 when w=1)."""
 
-    def __init__(self, dim: int, weights=None):
+    def __init__(self, dim: int, weights: "np.typing.ArrayLike | None" = None) -> None:
         super().__init__(dim)
         self.weights = _check_weights(weights, dim)
 
-    def __call__(self, s) -> float:
+    def __call__(self, s: "np.typing.ArrayLike") -> float:
         s = self._coerce(s)
         return float(np.sqrt(np.sum(self.weights * s * s)))
 
@@ -81,11 +83,11 @@ class L2Cost(CostFunction):
 class L1Cost(CostFunction):
     """Weighted Manhattan cost ``sum w_i |s_i|`` — per-unit pricing."""
 
-    def __init__(self, dim: int, weights=None):
+    def __init__(self, dim: int, weights: "np.typing.ArrayLike | None" = None) -> None:
         super().__init__(dim)
         self.weights = _check_weights(weights, dim)
 
-    def __call__(self, s) -> float:
+    def __call__(self, s: "np.typing.ArrayLike") -> float:
         s = self._coerce(s)
         return float(np.sum(self.weights * np.abs(s)))
 
@@ -93,11 +95,11 @@ class L1Cost(CostFunction):
 class LInfCost(CostFunction):
     """Weighted Chebyshev cost ``max w_i |s_i|`` — bottleneck pricing."""
 
-    def __init__(self, dim: int, weights=None):
+    def __init__(self, dim: int, weights: "np.typing.ArrayLike | None" = None) -> None:
         super().__init__(dim)
         self.weights = _check_weights(weights, dim)
 
-    def __call__(self, s) -> float:
+    def __call__(self, s: "np.typing.ArrayLike") -> float:
         s = self._coerce(s)
         return float(np.max(self.weights * np.abs(s), initial=0.0))
 
@@ -111,12 +113,17 @@ class AsymmetricLinearCost(CostFunction):
     make unbounded free movement optimal).
     """
 
-    def __init__(self, dim: int, up=None, down=None):
+    def __init__(
+        self,
+        dim: int,
+        up: "np.typing.ArrayLike | None" = None,
+        down: "np.typing.ArrayLike | None" = None,
+    ) -> None:
         super().__init__(dim)
         self.up = _check_weights(up, dim)
         self.down = _check_weights(down, dim)
 
-    def __call__(self, s) -> float:
+    def __call__(self, s: "np.typing.ArrayLike") -> float:
         s = self._coerce(s)
         return float(np.sum(self.up * np.clip(s, 0, None) - self.down * np.clip(s, None, 0)))
 
@@ -130,18 +137,18 @@ class CallableCost(CostFunction):
     costs yield approximate (still feasible) strategies.
     """
 
-    def __init__(self, dim: int, fn):
+    def __init__(self, dim: int, fn: "Callable[[np.ndarray], float]") -> None:
         super().__init__(dim)
         if not callable(fn):
             raise ValidationError("fn must be callable")
         self.fn = fn
         value_at_zero = float(fn(np.zeros(dim)))
-        if abs(value_at_zero) > 1e-9:
+        if abs(value_at_zero) > EPS_FEASIBILITY:
             raise ValidationError(f"cost(0) must be 0, got {value_at_zero}")
 
-    def __call__(self, s) -> float:
+    def __call__(self, s: "np.typing.ArrayLike") -> float:
         value = float(self.fn(self._coerce(s)))
-        if value < -1e-12 or not np.isfinite(value):
+        if value < -EPS_COST or not np.isfinite(value):
             raise ValidationError(f"cost function returned invalid value {value}")
         return max(value, 0.0)
 

@@ -68,7 +68,7 @@ class ImprovementQueryEngine:
         queries: QuerySet,
         mode: str = "exact",
         margin: int = 2,
-    ):
+    ) -> None:
         self.index = SubdomainIndex(dataset, queries, mode=mode, margin=margin)
         self.evaluator = StrategyEvaluator(self.index)
         self._rta_evaluator: RTAEvaluator | None = None
@@ -103,7 +103,7 @@ class ImprovementQueryEngine:
         cost: CostFunction | None = None,
         space: StrategySpace | None = None,
         method: str = "efficient",
-        **kwargs,
+        **kwargs: object,
     ) -> IQResult:
         """Min-Cost IQ: cheapest strategy with ``H(target + s) >= tau``.
 
@@ -134,7 +134,7 @@ class ImprovementQueryEngine:
         cost: CostFunction | None = None,
         space: StrategySpace | None = None,
         method: str = "efficient",
-        **kwargs,
+        **kwargs: object,
     ) -> IQResult:
         """Max-Hit IQ: maximize ``H(target + s)`` with ``Cost(s) <= budget``."""
         cost_int, space_int = self._internalize(cost, space)
@@ -155,13 +155,27 @@ class ImprovementQueryEngine:
     # ------------------------------------------------------------------
     # Combinatorial (multi-target) improvement (§5.1)
     # ------------------------------------------------------------------
-    def min_cost_multi(self, targets, tau, costs=None, spaces=None, **kwargs) -> MultiTargetResult:
+    def min_cost_multi(
+        self,
+        targets: list[int],
+        tau: int,
+        costs: CostFunction | dict[int, CostFunction] | None = None,
+        spaces: StrategySpace | dict[int, StrategySpace] | None = None,
+        **kwargs: object,
+    ) -> MultiTargetResult:
         """Combinatorial Min-Cost IQ over several targets (Def. 5)."""
         costs_int, spaces_int = self._internalize_multi(targets, costs, spaces)
         result = combinatorial_min_cost(self.index, list(targets), tau, costs_int, spaces_int, **kwargs)
         return self._externalize_multi(result)
 
-    def max_hit_multi(self, targets, budget, costs=None, spaces=None, **kwargs) -> MultiTargetResult:
+    def max_hit_multi(
+        self,
+        targets: list[int],
+        budget: float,
+        costs: CostFunction | dict[int, CostFunction] | None = None,
+        spaces: StrategySpace | dict[int, StrategySpace] | None = None,
+        **kwargs: object,
+    ) -> MultiTargetResult:
         """Combinatorial Max-Hit IQ over several targets (Def. 6)."""
         costs_int, spaces_int = self._internalize_multi(targets, costs, spaces)
         result = combinatorial_max_hit(self.index, list(targets), budget, costs_int, spaces_int, **kwargs)
@@ -170,7 +184,7 @@ class ImprovementQueryEngine:
     # ------------------------------------------------------------------
     # Workload / dataset maintenance (§4.3)
     # ------------------------------------------------------------------
-    def add_query(self, weights, k: int) -> int:
+    def add_query(self, weights: "np.typing.ArrayLike", k: int) -> int:
         """Add a top-k query to the workload (§4.3); returns its id."""
         query_id = updates.add_query(self.index, np.asarray(weights, dtype=float), k)
         self._invalidate()
@@ -181,7 +195,7 @@ class ImprovementQueryEngine:
         updates.remove_query(self.index, query_id)
         self._invalidate()
 
-    def add_object(self, attributes) -> int:
+    def add_object(self, attributes: "np.typing.ArrayLike") -> int:
         """Add an object (§4.3); returns its id."""
         object_id = updates.add_object(self.index, np.asarray(attributes, dtype=float))
         self._invalidate()
@@ -204,7 +218,9 @@ class ImprovementQueryEngine:
             self._rta_evaluator = RTAEvaluator(self.index)
         return self._rta_evaluator
 
-    def _internalize(self, cost, space):
+    def _internalize(
+        self, cost: CostFunction | None, space: StrategySpace | None
+    ) -> tuple[CostFunction, StrategySpace | None]:
         dataset = self.dataset
         cost = cost or euclidean_cost(dataset.dim)
         if cost.dim != dataset.dim:
@@ -213,7 +229,15 @@ class ImprovementQueryEngine:
             return cost, space
         return _flip_cost(cost), _flip_space(space)
 
-    def _internalize_multi(self, targets, costs, spaces):
+    def _internalize_multi(
+        self,
+        targets: list[int],
+        costs: CostFunction | dict[int, CostFunction] | None,
+        spaces: StrategySpace | dict[int, StrategySpace] | None,
+    ) -> tuple[
+        CostFunction | dict[int, CostFunction],
+        StrategySpace | dict[int, StrategySpace] | None,
+    ]:
         dataset = self.dataset
         costs = costs or euclidean_cost(dataset.dim)
         if dataset.sense == "min":

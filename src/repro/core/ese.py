@@ -42,7 +42,7 @@ _CHUNK_BUDGET = 4_000_000
 class StrategyEvaluator:
     """ESE over a :class:`~repro.core.subdomain.SubdomainIndex`."""
 
-    def __init__(self, index: SubdomainIndex):
+    def __init__(self, index: SubdomainIndex) -> None:
         self.index = index
         self._target_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         # Any index mutation (repro.core.updates) invalidates the
@@ -161,7 +161,12 @@ class StrategyEvaluator:
             old_normal = old_position - matrix[l]
             new_normal = new_position - matrix[l]
 
-            def crosses(rect, query_id, old_normal=old_normal, new_normal=new_normal):
+            def crosses(
+                rect: Rect,
+                query_id: int,
+                old_normal: np.ndarray = old_normal,
+                new_normal: np.ndarray = new_normal,
+            ) -> bool:
                 point = np.asarray(rect.mins)
                 old_side = float(point @ old_normal) <= 0
                 new_side = float(point @ new_normal) <= 0

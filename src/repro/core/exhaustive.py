@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.constants import EPS_COST, EPS_FEASIBILITY
 from repro.core.cost import CostFunction
 from repro.core.ese import StrategyEvaluator
 from repro.core.results import IQResult
@@ -52,7 +53,13 @@ class _Problem:
     singles: np.ndarray  #: (m,) single-query optimal costs (inf if infeasible)
 
 
-def _prepare(evaluator, target, cost, space, margin) -> _Problem:
+def _prepare(
+    evaluator: StrategyEvaluator,
+    target: int,
+    cost: CostFunction,
+    space: StrategySpace | None,
+    margin: float,
+) -> _Problem:
     index = evaluator.index
     if cost.dim != index.dataset.dim:
         raise ValidationError(f"cost dim {cost.dim} != dataset dim {index.dataset.dim}")
@@ -118,7 +125,7 @@ def exhaustive_min_cost(
         nonlocal best_strategy, best_cost
         if len(chosen) >= tau:
             strategy = _set_cost(problem, chosen)
-            if strategy is not None and strategy.cost < best_cost - 1e-12:
+            if strategy is not None and strategy.cost < best_cost - EPS_COST:
                 # Verify with a true hit count (the strategy may hit
                 # more than the chosen set, never fewer).
                 achieved = problem.evaluator.evaluate(target, strategy.vector)
@@ -132,7 +139,7 @@ def exhaustive_min_cost(
         j = candidates[pos]
         # Bound: any superset of chosen+{j} costs >= the dearest single.
         lower = max((problem.singles[q] for q in chosen + [j]), default=0.0)
-        if lower < best_cost - 1e-12:
+        if lower < best_cost - EPS_COST:
             search(pos + 1, chosen + [j])  # include j
         search(pos + 1, chosen)  # exclude j
 
@@ -170,7 +177,7 @@ def exhaustive_max_hit(
     candidates = [
         int(j)
         for j in order
-        if np.isfinite(problem.singles[j]) and problem.singles[j] <= budget + 1e-12
+        if np.isfinite(problem.singles[j]) and problem.singles[j] <= budget + EPS_COST
     ]
     hits_before = evaluator.hits(target)
 
@@ -182,7 +189,7 @@ def exhaustive_max_hit(
         if len(chosen) + (len(candidates) - pos) <= best_hits:
             return  # cannot beat the incumbent even taking everything
         strategy = _set_cost(problem, chosen)
-        if strategy is None or strategy.cost > budget + 1e-9:
+        if strategy is None or strategy.cost > budget + EPS_FEASIBILITY:
             return  # supersets only get more expensive: prune
         achieved = problem.evaluator.evaluate(target, strategy.vector)
         if achieved > best_hits:

@@ -38,6 +38,7 @@ interpretation the paper's experiments imply.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -68,16 +69,20 @@ class Term:
     """
 
     name: str
-    evaluate: callable = field(compare=False)
-    weight_map: callable = field(default=None, compare=False)
-    exponents: tuple = None  #: ((attr, power), ...) for monomials, else None
+    evaluate: "Callable[[np.ndarray], np.ndarray]" = field(compare=False)
+    weight_map: "Callable[[float], float] | None" = field(default=None, compare=False)
+    exponents: tuple[tuple[int, float], ...] | None = None  #: ((attr, power), ...) for monomials, else None
 
     def mapped_weight(self, w: float) -> float:
         """The linear weight this term contributes for user parameter ``w``."""
         return float(w) if self.weight_map is None else float(self.weight_map(w))
 
 
-def monomial(exponents: dict[int, float], name: str | None = None, weight_map=None) -> Term:
+def monomial(
+    exponents: dict[int, float],
+    name: str | None = None,
+    weight_map: "Callable[[float], float] | None" = None,
+) -> Term:
     """A product term ``prod_j attr_j ^ e_j`` (paper Eq. 20 components)."""
     if not exponents:
         raise ValidationError("a monomial needs at least one attribute")
@@ -94,7 +99,11 @@ def monomial(exponents: dict[int, float], name: str | None = None, weight_map=No
     return Term(name=name, evaluate=evaluate, weight_map=weight_map, exponents=items)
 
 
-def function_term(name: str, fn, weight_map=None) -> Term:
+def function_term(
+    name: str,
+    fn: "Callable[[np.ndarray], np.ndarray]",
+    weight_map: "Callable[[float], float] | None" = None,
+) -> Term:
     """An arbitrary substitution ``fn(points) -> column`` (not invertible)."""
     return Term(name=name, evaluate=fn, weight_map=weight_map, exponents=None)
 
@@ -102,7 +111,7 @@ def function_term(name: str, fn, weight_map=None) -> Term:
 class UtilityFamily:
     """An ordered list of terms defining one utility-function shape."""
 
-    def __init__(self, terms, name: str = "family"):
+    def __init__(self, terms: "Iterable[Term]", name: str = "family") -> None:
         terms = list(terms)
         if not terms:
             raise ValidationError("a utility family needs at least one term")
@@ -124,7 +133,7 @@ class UtilityFamily:
             )
         return out
 
-    def map_weights(self, params) -> np.ndarray:
+    def map_weights(self, params: "np.typing.ArrayLike") -> np.ndarray:
         """User parameters (one per term) -> linear weights."""
         params = np.atleast_1d(np.asarray(params, dtype=float))
         if params.shape != (self.num_terms,):
@@ -133,7 +142,7 @@ class UtilityFamily:
             )
         return np.asarray([t.mapped_weight(w) for t, w in zip(self.terms, params)])
 
-    def score(self, points: np.ndarray, params) -> np.ndarray:
+    def score(self, points: np.ndarray, params: "np.typing.ArrayLike") -> np.ndarray:
         """Utility scores — linear in the augmented space by construction."""
         return self.augment(points) @ self.map_weights(params)
 
@@ -194,12 +203,12 @@ class GenericSpace:
     families; a family-``f`` query occupies only its own slice.
     """
 
-    def __init__(self, families):
+    def __init__(self, families: "Iterable[UtilityFamily]") -> None:
         families = list(families)
         if not families:
             raise ValidationError("need at least one utility family")
         self.families = families
-        self.offsets = []
+        self.offsets: list[int] = []
         total = 0
         for family in families:
             self.offsets.append(total)
@@ -215,7 +224,7 @@ class GenericSpace:
         """A :class:`Dataset` over the unified space, ready for indexing."""
         return Dataset(self.augment(points), sense=sense)
 
-    def query_weights(self, family_index: int, params) -> np.ndarray:
+    def query_weights(self, family_index: int, params: "np.typing.ArrayLike") -> np.ndarray:
         """Full-width weight vector for one family's query (zeros elsewhere)."""
         if not 0 <= family_index < len(self.families):
             raise ValidationError(f"family index {family_index} out of range")
@@ -225,10 +234,14 @@ class GenericSpace:
         out[start : start + family.num_terms] = family.map_weights(params)
         return out
 
-    def query_set(self, queries, normalized: bool = False) -> QuerySet:
+    def query_set(
+        self,
+        queries: "Iterable[tuple[int, np.typing.ArrayLike, int]]",
+        normalized: bool = False,
+    ) -> QuerySet:
         """Build a :class:`QuerySet` from ``(family_index, params, k)`` triples."""
-        rows = []
-        ks = []
+        rows: list[np.ndarray] = []
+        ks: list[int] = []
         for family_index, params, k in queries:
             rows.append(self.query_weights(family_index, params))
             ks.append(int(k))
@@ -237,7 +250,9 @@ class GenericSpace:
         return QuerySet(np.vstack(rows), np.asarray(ks), normalized=normalized)
 
 
-def polynomial_family(term_exponents, name: str = "polynomial") -> UtilityFamily:
+def polynomial_family(
+    term_exponents: "Iterable[dict[int, float]]", name: str = "polynomial"
+) -> UtilityFamily:
     """Family from monomial exponent dicts, e.g. Eq. 20:
     ``polynomial_family([{0: 3}, {1: 1, 2: 1}, {3: 2}])``."""
     return UtilityFamily([monomial(e) for e in term_exponents], name=name)

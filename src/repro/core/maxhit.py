@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core._search import SearchState, generate_candidates
+from repro.constants import EPS_FEASIBILITY
+from repro.core._search import CandidateBatch, SearchState, generate_candidates
 from repro.core.cost import CostFunction
 from repro.core.ese import StrategyEvaluator
 from repro.core.results import IQResult, IterationRecord
@@ -94,13 +95,19 @@ def max_hit_iq(
         hits_before=hits_before,
         hits_after=best_hits,
         total_cost=best_spent,
-        satisfied=best_spent <= budget + 1e-9,
+        satisfied=best_spent <= budget + EPS_FEASIBILITY,
         iterations=records,
         evaluations=evaluator.full_evaluations - evaluations_start,
     )
 
 
-def _apply(evaluator, state, batch, pick, records) -> None:
+def _apply(
+    evaluator: StrategyEvaluator,
+    state: SearchState,
+    batch: CandidateBatch,
+    pick: int,
+    records: list[IterationRecord],
+) -> None:
     state.applied = state.applied + batch.vectors[pick]
     state.spent += float(batch.costs[pick])
     state.mask = evaluator.hits_mask(state.target, state.position)

@@ -20,6 +20,8 @@ and converted at the boundary (:meth:`Dataset.to_internal_strategy`).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.errors import ValidationError
@@ -43,7 +45,12 @@ class Dataset:
         ``"min"`` (paper default: lower score wins) or ``"max"``.
     """
 
-    def __init__(self, attributes: np.ndarray, names=None, sense: str = "min"):
+    def __init__(
+        self,
+        attributes: np.ndarray,
+        names: "Sequence[str] | None" = None,
+        sense: str = "min",
+    ) -> None:
         attributes = np.array(attributes, dtype=float)
         if attributes.ndim != 2:
             raise ValidationError(f"attributes must be 2-D, got shape {attributes.shape}")

@@ -29,7 +29,12 @@ class QuerySet:
         Per-query ``k``; a scalar broadcasts to every query.
     """
 
-    def __init__(self, weights: np.ndarray, ks, normalized: bool = True):
+    def __init__(
+        self,
+        weights: np.ndarray,
+        ks: "np.typing.ArrayLike",
+        normalized: bool = True,
+    ) -> None:
         weights = np.array(weights, dtype=float)
         if weights.ndim != 2:
             raise ValidationError(f"weights must be 2-D, got shape {weights.shape}")
@@ -95,7 +100,7 @@ class QuerySet:
         mask[query_id] = False
         return QuerySet(self._weights[mask], self._ks[mask], normalized=self.normalized)
 
-    def subset(self, query_ids) -> "QuerySet":
+    def subset(self, query_ids: "np.typing.ArrayLike") -> "QuerySet":
         """A new workload restricted to the given query ids (in order)."""
         query_ids = np.asarray(query_ids, dtype=np.intp)
         return QuerySet(self._weights[query_ids], self._ks[query_ids], normalized=self.normalized)

@@ -13,6 +13,7 @@ the proof and as a cross-check used by the tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.cost import CostFunction
 from repro.core.ese import StrategyEvaluator
@@ -40,7 +41,7 @@ def min_cost_via_max_hit(
     margin: float = DEFAULT_MARGIN,
     budget_hint: float | None = None,
     iterations: int = 24,
-    oracle=max_hit_iq,
+    oracle: "Callable[..., IQResult]" = max_hit_iq,
 ) -> IQResult:
     """Min-Cost IQ by binary search over Max-Hit budgets (§4.2.2).
 

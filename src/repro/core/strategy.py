@@ -12,8 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Iterable
+
 import numpy as np
 
+from repro.constants import EPS_FEASIBILITY
 from repro.errors import ValidationError
 
 __all__ = ["Strategy", "StrategySpace"]
@@ -26,7 +29,7 @@ class Strategy:
     vector: np.ndarray
     cost: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         vector = np.asarray(self.vector, dtype=float)
         if vector.ndim != 1:
             raise ValidationError(f"strategy must be 1-D, got shape {vector.shape}")
@@ -78,7 +81,7 @@ class StrategySpace:
     lower: np.ndarray = field(default=None)
     upper: np.ndarray = field(default=None)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.dim <= 0:
             raise ValidationError(f"dim must be positive, got {self.dim}")
         self.lower = (
@@ -99,7 +102,12 @@ class StrategySpace:
         return cls(dim)
 
     @classmethod
-    def from_value_range(cls, point: np.ndarray, value_lower, value_upper) -> "StrategySpace":
+    def from_value_range(
+        cls,
+        point: np.ndarray,
+        value_lower: "np.typing.ArrayLike",
+        value_upper: "np.typing.ArrayLike",
+    ) -> "StrategySpace":
         """Strategy bounds keeping ``point + s`` within attribute ranges."""
         point = np.asarray(point, dtype=float)
         value_lower = np.asarray(value_lower, dtype=float)
@@ -108,7 +116,7 @@ class StrategySpace:
             raise ValidationError("object already outside its allowed value range")
         return cls(point.shape[0], lower=value_lower - point, upper=value_upper - point)
 
-    def freeze(self, attributes) -> "StrategySpace":
+    def freeze(self, attributes: "Iterable[int]") -> "StrategySpace":
         """A copy with the given attribute indices made unadjustable."""
         lower, upper = self.lower.copy(), self.upper.copy()
         for i in attributes:
@@ -117,7 +125,7 @@ class StrategySpace:
             lower[i] = upper[i] = 0.0
         return StrategySpace(self.dim, lower=lower, upper=upper)
 
-    def contains(self, s: np.ndarray, tol: float = 1e-9) -> bool:
+    def contains(self, s: np.ndarray, tol: float = EPS_FEASIBILITY) -> bool:
         """Is ``s`` a valid strategy within the box (with slack ``tol``)?"""
         s = np.asarray(s, dtype=float)
         if s.shape != (self.dim,):

@@ -46,9 +46,11 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
+from repro.constants import EPS_TIE
 from repro.core.objects import Dataset
 from repro.core.queries import QuerySet
 from repro.errors import ValidationError
@@ -84,7 +86,9 @@ class Subdomain:
         return int(self.query_ids.shape[0])
 
 
-def relevant_pairs(dataset: Dataset, queries: QuerySet, margin: int = 2):
+def relevant_pairs(
+    dataset: Dataset, queries: QuerySet, margin: int = 2
+) -> list[tuple[int, int]]:
     """Object pairs whose intersections can affect indexed top-k results.
 
     Returns the sorted list of ``(a, b)`` pairs (``a < b``) among the
@@ -216,9 +220,9 @@ class SubdomainIndex:
         mode: str = "exact",
         margin: int = 2,
         rtree_max_entries: int = 16,
-        rtree_cls: type = RTree,
+        rtree_cls: type[RTree] = RTree,
         partition_method: str = "vectorized",
-    ):
+    ) -> None:
         if mode not in _MODES:
             raise ValidationError(f"mode must be one of {_MODES}, got {mode!r}")
         if partition_method not in _PARTITION_METHODS:
@@ -371,7 +375,7 @@ class SubdomainIndex:
     # ------------------------------------------------------------------
     # Mutation notification
     # ------------------------------------------------------------------
-    def subscribe_mutations(self, callback) -> None:
+    def subscribe_mutations(self, callback: "Callable[[], None]") -> None:
         """Register a callback fired after every index mutation.
 
         Consumers caching per-target state derived from the index (the
@@ -505,7 +509,7 @@ class SubdomainIndex:
 #: Scores within this relative band count as tied (resolved by object
 #: id).  Needed because the evaluator's batched matrix products and the
 #: threshold dot products may round the *same* exact value differently.
-_TIE_TOL = 1e-12
+_TIE_TOL = EPS_TIE
 
 
 def _beats(scores: np.ndarray, theta: np.ndarray, target: int, kth_ids: np.ndarray) -> np.ndarray:

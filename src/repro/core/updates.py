@@ -39,6 +39,7 @@ from repro.core.subdomain import Subdomain, SubdomainIndex
 from repro.errors import ValidationError
 from repro.geometry.arrangement import signature_matrix
 from repro.geometry.hyperplane import EPS
+from repro.index.rtree import Rect
 
 __all__ = ["add_query", "remove_query", "add_object", "remove_object"]
 
@@ -69,7 +70,9 @@ def add_query(index: SubdomainIndex, weights: np.ndarray, k: int) -> int:
     return query_id
 
 
-def _locate_with_knn_candidates(index, weights, signature_row):
+def _locate_with_knn_candidates(
+    index: SubdomainIndex, weights: np.ndarray, signature_row: np.ndarray
+) -> int | None:
     """§4.3: try the subdomains of the point's nearest neighbours first.
 
     A candidate is accepted by checking sides only against its
@@ -99,7 +102,7 @@ def _locate_with_knn_candidates(index, weights, signature_row):
     return None
 
 
-def _classify_full(index, signature_row) -> int:
+def _classify_full(index: SubdomainIndex, signature_row: np.ndarray) -> int:
     key = signature_row.tobytes()
     for sub in index.subdomains:
         if sub.signature == key:
@@ -146,9 +149,9 @@ def remove_query(index: SubdomainIndex, query_id: int) -> None:
     index.notify_mutation()
 
 
-def _shift_rtree_payloads(index, removed_id: int) -> None:
+def _shift_rtree_payloads(index: SubdomainIndex, removed_id: int) -> None:
     """Rebuild the R-tree with payloads > removed_id decremented."""
-    items = []
+    items: list[tuple[Rect, int]] = []
     for rect, payload in index.rtree.items():
         items.append((rect, payload - 1 if payload > removed_id else payload))
     index.rtree = type(index.rtree).bulk_load(

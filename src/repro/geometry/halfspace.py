@@ -17,16 +17,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.constants import EPS, STRICT_MARGIN
 from repro.errors import InfeasibleError, UnboundedError, ValidationError
 from repro.geometry.hyperplane import Hyperplane
 from repro.optimize.simplex import linprog
 
-__all__ = ["HalfspaceRegion", "region_is_empty", "chebyshev_center"]
-
-#: Strict inequalities are realized as ``<= -MARGIN`` in LP feasibility
-#: tests; the query domain is scaled to the unit box so an absolute
-#: margin is meaningful.
-STRICT_MARGIN = 1e-6
+__all__ = ["HalfspaceRegion", "region_is_empty", "chebyshev_center", "STRICT_MARGIN"]
 
 
 @dataclass
@@ -43,7 +39,7 @@ class HalfspaceRegion:
     upper: np.ndarray = field(default=None)
     constraints: list = field(default_factory=list)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.dim <= 0:
             raise ValidationError(f"dimension must be positive, got {self.dim}")
         self.lower = np.zeros(self.dim) if self.lower is None else np.asarray(self.lower, float)
@@ -65,8 +61,14 @@ class HalfspaceRegion:
         clone.constraints.append((hyperplane, side))
         return clone
 
-    def contains(self, q: np.ndarray, tol: float = 1e-12) -> bool:
-        """Membership test for a single point (box and all halfspaces)."""
+    def contains(self, q: np.ndarray, tol: float = EPS) -> bool:
+        """Membership test for a single point (box and all halfspaces).
+
+        The default tolerance is the canonical :data:`repro.constants.EPS`
+        used by ``signature_matrix`` and all other side tests, so a point
+        classified into a subdomain by the partition signature is also
+        ``contains``-positive for that subdomain's region.
+        """
         q = np.asarray(q, dtype=float)
         if np.any(q < self.lower - tol) or np.any(q > self.upper + tol):
             return False
@@ -93,7 +95,7 @@ class HalfspaceRegion:
         return center
 
 
-def _inequality_system(region: HalfspaceRegion):
+def _inequality_system(region: HalfspaceRegion) -> tuple[np.ndarray, np.ndarray]:
     """Stack the region's halfspaces as ``A q <= b`` rows (strict -> margin)."""
     rows, rhs = [], []
     for hyperplane, side in region.constraints:

@@ -18,16 +18,14 @@ ranking, *above* means ``p_a`` ranks at least as well as ``p_b`` at
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
+from repro.constants import EPS
 from repro.errors import ValidationError
 
-__all__ = ["Hyperplane", "side_of", "sides_of", "pairwise_normals"]
-
-#: Comparisons against zero use this tolerance so that floating-point
-#: noise on a boundary does not flip a side test.
-EPS = 1e-12
+__all__ = ["EPS", "Hyperplane", "side_of", "sides_of", "pairwise_normals"]
 
 
 @dataclass(frozen=True)
@@ -44,7 +42,7 @@ class Hyperplane:
     b: int = -1  #: id of the second object (f_b), -1 if anonymous
     _key: tuple = field(init=False, repr=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         normal = np.asarray(self.normal, dtype=float)
         if normal.ndim != 1:
             raise ValidationError(f"hyperplane normal must be 1-D, got shape {normal.shape}")
@@ -89,10 +87,10 @@ class Hyperplane:
             raise ValidationError(f"strategy shape {s.shape} != dim {self.normal.shape}")
         return Hyperplane(self.normal + s, a=self.a, b=self.b)
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash(self._key)
 
-    def __eq__(self, other):
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, Hyperplane):
             return NotImplemented
         return self._key == other._key
@@ -115,7 +113,9 @@ def sides_of(normal: np.ndarray, points: np.ndarray, tol: float = EPS) -> np.nda
     return np.where(values <= tol, 1, -1)
 
 
-def pairwise_normals(objects: np.ndarray, pairs=None) -> tuple[np.ndarray, list[tuple[int, int]]]:
+def pairwise_normals(
+    objects: np.ndarray, pairs: Iterable[tuple[int, int]] | None = None
+) -> tuple[np.ndarray, list[tuple[int, int]]]:
     """Normals of all pairwise intersection hyperplanes of ``objects``.
 
     Parameters

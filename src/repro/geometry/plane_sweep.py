@@ -18,14 +18,14 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.constants import EPS as _EPS, EPS_EVENT
 from repro.errors import ValidationError
 
 __all__ = ["Segment", "find_intersections", "brute_force_intersections", "segment_intersection"]
-
-_EPS = 1e-12
 
 
 @dataclass(frozen=True)
@@ -37,7 +37,7 @@ class Segment:
     x2: float
     y2: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if (self.x1, self.y1) == (self.x2, self.y2):
             raise ValidationError("degenerate segment (both endpoints equal)")
         if (self.x2, self.y2) < (self.x1, self.y1):
@@ -49,7 +49,7 @@ class Segment:
             object.__setattr__(self, "y2", right[1])
 
     @classmethod
-    def make(cls, p1, p2) -> "Segment":
+    def make(cls, p1: "Sequence[float]", p2: "Sequence[float]") -> "Segment":
         """Build a segment from two points, normalizing endpoint order."""
         a = (float(p1[0]), float(p1[1]))
         b = (float(p2[0]), float(p2[1]))
@@ -59,11 +59,11 @@ class Segment:
         return cls(left[0], left[1], right[0], right[1])
 
     @property
-    def left(self):
+    def left(self) -> tuple[float, float]:
         return (self.x1, self.y1)
 
     @property
-    def right(self):
+    def right(self) -> tuple[float, float]:
         return (self.x2, self.y2)
 
     def is_vertical(self) -> bool:
@@ -78,7 +78,9 @@ class Segment:
         return self.y1 + t * (self.y2 - self.y1)
 
 
-def segment_intersection(s: Segment, t: Segment, tol: float = _EPS):
+def segment_intersection(
+    s: Segment, t: Segment, tol: float = _EPS
+) -> tuple[float, float] | None:
     """Proper intersection point of two segments, or ``None``.
 
     Returns the crossing point when the interiors (or an endpoint lying
@@ -98,10 +100,12 @@ def segment_intersection(s: Segment, t: Segment, tol: float = _EPS):
     return None
 
 
-def brute_force_intersections(segments) -> list[tuple[float, float, int, int]]:
+def brute_force_intersections(
+    segments: "Iterable[Segment]",
+) -> list[tuple[float, float, int, int]]:
     """All pairwise proper intersections as ``(x, y, i, j)`` with ``i < j``."""
     segments = list(segments)
-    out = []
+    out: list[tuple[float, float, int, int]] = []
     for i in range(len(segments)):
         for j in range(i + 1, len(segments)):
             point = segment_intersection(segments[i], segments[j])
@@ -115,7 +119,9 @@ def brute_force_intersections(segments) -> list[tuple[float, float, int, int]]:
 _LEFT, _CROSS, _RIGHT = 0, 1, 2
 
 
-def find_intersections(segments) -> list[tuple[float, float, int, int]]:
+def find_intersections(
+    segments: "Iterable[Segment]",
+) -> list[tuple[float, float, int, int]]:
     """Bentley-Ottmann sweep over ``segments``.
 
     Returns ``(x, y, i, j)`` tuples like
@@ -141,7 +147,7 @@ class _GeneralPositionViolation(Exception):
     """Raised internally when the sweep detects a degeneracy."""
 
 
-def _sweep(segments):
+def _sweep(segments: list[Segment]) -> list[tuple[float, float, int, int]]:
     events: list[tuple[float, int, float, int, int]] = []
     for i, s in enumerate(segments):
         heapq.heappush(events, (s.x1, _LEFT, s.y1, i, -1))
@@ -153,7 +159,7 @@ def _sweep(segments):
     def order_key(seg_id: int, x: float) -> float:
         return segments[seg_id].y_at(x)
 
-    def check(lower_pos: int, x: float):
+    def check(lower_pos: int, x: float) -> None:
         """Schedule the crossing of status[lower_pos] and its upper neighbour."""
         if lower_pos < 0 or lower_pos + 1 >= len(status):
             return
@@ -167,7 +173,7 @@ def _sweep(segments):
             heapq.heappush(events, (point[0], _CROSS, point[1], pair[0], pair[1]))
 
     emitted: set[tuple[int, int]] = set()
-    out = []
+    out: list[tuple[float, float, int, int]] = []
     while events:
         x, kind, y, i, j = heapq.heappop(events)
         if kind == _LEFT:
@@ -175,7 +181,7 @@ def _sweep(segments):
             pos = 0
             while pos < len(status):
                 other = order_key(status[pos], x)
-                if abs(other - key) <= 1e-10:
+                if abs(other - key) <= EPS_EVENT:
                     raise _GeneralPositionViolation
                 if other > key:
                     break

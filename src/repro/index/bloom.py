@@ -34,7 +34,7 @@ def optimal_parameters(expected_items: int, false_positive_rate: float) -> tuple
     return max(8, num_bits), num_hashes
 
 
-def _base_hashes(item) -> tuple[int, int]:
+def _base_hashes(item: object) -> tuple[int, int]:
     data = repr(item).encode("utf-8")
     digest = hashlib.blake2b(data, digest_size=16).digest()
     return int.from_bytes(digest[:8], "little"), int.from_bytes(digest[8:], "little")
@@ -43,23 +43,23 @@ def _base_hashes(item) -> tuple[int, int]:
 class BloomFilter:
     """Standard (non-counting) Bloom filter over hashable items."""
 
-    def __init__(self, expected_items: int = 1024, false_positive_rate: float = 0.01):
+    def __init__(self, expected_items: int = 1024, false_positive_rate: float = 0.01) -> None:
         self.num_bits, self.num_hashes = optimal_parameters(expected_items, false_positive_rate)
         self._bits = np.zeros(self.num_bits, dtype=bool)
         self._count = 0
 
-    def _indices(self, item) -> np.ndarray:
+    def _indices(self, item: object) -> np.ndarray:
         h1, h2 = _base_hashes(item)
         return (h1 + np.arange(self.num_hashes, dtype=np.uint64) * np.uint64(h2)) % np.uint64(
             self.num_bits
         )
 
-    def add(self, item) -> None:
+    def add(self, item: object) -> None:
         """Register an item."""
         self._bits[self._indices(item).astype(np.intp)] = True
         self._count += 1
 
-    def __contains__(self, item) -> bool:
+    def __contains__(self, item: object) -> bool:
         return bool(self._bits[self._indices(item).astype(np.intp)].all())
 
     def __len__(self) -> int:
@@ -75,12 +75,12 @@ class BloomFilter:
 class CountingBloomFilter(BloomFilter):
     """Bloom filter with 16-bit counters supporting removal."""
 
-    def __init__(self, expected_items: int = 1024, false_positive_rate: float = 0.01):
+    def __init__(self, expected_items: int = 1024, false_positive_rate: float = 0.01) -> None:
         super().__init__(expected_items, false_positive_rate)
         self._counters = np.zeros(self.num_bits, dtype=np.uint16)
         del self._bits  # counters replace the bit array
 
-    def add(self, item) -> None:
+    def add(self, item: object) -> None:
         """Register an item (counters saturate rather than overflow)."""
         idx = self._indices(item).astype(np.intp)
         # saturate rather than overflow
@@ -89,7 +89,7 @@ class CountingBloomFilter(BloomFilter):
         ).astype(np.uint16)
         self._count += 1
 
-    def remove(self, item) -> bool:
+    def remove(self, item: object) -> bool:
         """Withdraw one registration; False when the item (probably) absent."""
         idx = self._indices(item).astype(np.intp)
         if not (self._counters[idx] > 0).all():
@@ -98,7 +98,7 @@ class CountingBloomFilter(BloomFilter):
         self._count -= 1
         return True
 
-    def __contains__(self, item) -> bool:
+    def __contains__(self, item: object) -> bool:
         idx = self._indices(item).astype(np.intp)
         return bool((self._counters[idx] > 0).all())
 

@@ -43,7 +43,7 @@ class DominantGraph:
         with non-negative weights ``q``.
     """
 
-    def __init__(self, objects: np.ndarray):
+    def __init__(self, objects: np.ndarray) -> None:
         objects = np.asarray(objects, dtype=float)
         if objects.ndim != 2:
             raise ValidationError(f"objects must be 2-D, got shape {objects.shape}")

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from heapq import heappop, heappush
 from itertools import count
+from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -34,7 +35,7 @@ class Rect:
     maxs: tuple
 
     @classmethod
-    def from_arrays(cls, mins, maxs) -> "Rect":
+    def from_arrays(cls, mins: "np.typing.ArrayLike", maxs: "np.typing.ArrayLike") -> "Rect":
         mins = tuple(float(v) for v in np.atleast_1d(mins))
         maxs = tuple(float(v) for v in np.atleast_1d(maxs))
         if len(mins) != len(maxs):
@@ -44,7 +45,7 @@ class Rect:
         return cls(mins, maxs)
 
     @classmethod
-    def point(cls, coords) -> "Rect":
+    def point(cls, coords: "np.typing.ArrayLike") -> "Rect":
         coords = tuple(float(v) for v in np.atleast_1d(coords))
         return cls(coords, coords)
 
@@ -88,7 +89,8 @@ class Rect:
         """Extra area needed to cover ``other`` (Guttman's insert metric)."""
         return self.union(other).area() - self.area()
 
-    def min_dist_sq(self, point) -> float:
+    # Hot path inside nearest(): callers pass pre-validated query points.
+    def min_dist_sq(self, point: "tuple[float, ...] | np.ndarray") -> float:  # repro: noqa[RPR003]
         """Squared distance from ``point`` to the nearest point of the rect."""
         total = 0.0
         for value, lo, hi in zip(point, self.mins, self.maxs):
@@ -106,7 +108,7 @@ class Rect:
 class _Node:
     __slots__ = ("leaf", "entries", "parent")
 
-    def __init__(self, leaf: bool):
+    def __init__(self, leaf: bool) -> None:
         self.leaf = leaf
         # Leaf entries: (Rect, payload).  Internal entries: (Rect, _Node).
         self.entries: list = []
@@ -133,7 +135,7 @@ class RTree:
         nodes after deletion are dissolved and their entries reinserted.
     """
 
-    def __init__(self, dim: int, max_entries: int = 8, min_entries: int | None = None):
+    def __init__(self, dim: int, max_entries: int = 8, min_entries: int | None = None) -> None:
         if dim <= 0:
             raise ValidationError(f"dim must be positive, got {dim}")
         if max_entries < 2:
@@ -155,7 +157,7 @@ class RTree:
     # ------------------------------------------------------------------
     # Insertion
     # ------------------------------------------------------------------
-    def insert(self, rect, payload) -> None:
+    def insert(self, rect: "Rect | np.typing.ArrayLike", payload: object) -> None:
         """Insert ``payload`` under ``rect`` (a :class:`Rect` or a point)."""
         rect = self._coerce(rect)
         leaf = self._choose_leaf(self._root, rect)
@@ -163,11 +165,11 @@ class RTree:
         self._split_upward(leaf)
         self._size += 1
 
-    def insert_point(self, coords, payload) -> None:
+    def insert_point(self, coords: "np.typing.ArrayLike", payload: object) -> None:
         """Convenience wrapper for point data (the query-point use case)."""
         self.insert(Rect.point(coords), payload)
 
-    def _coerce(self, rect) -> Rect:
+    def _coerce(self, rect: "Rect | np.typing.ArrayLike") -> Rect:
         if not isinstance(rect, Rect):
             rect = Rect.point(rect)
         if rect.dim != self.dim:
@@ -272,7 +274,7 @@ class RTree:
     # ------------------------------------------------------------------
     # Deletion
     # ------------------------------------------------------------------
-    def delete(self, rect, payload) -> bool:
+    def delete(self, rect: "Rect | np.typing.ArrayLike", payload: object) -> bool:
         """Remove one entry matching ``(rect, payload)``; True on success."""
         rect = self._coerce(rect)
         leaf = self._find_leaf(self._root, rect, payload)
@@ -290,7 +292,7 @@ class RTree:
         self._condense(leaf)
         return True
 
-    def _find_leaf(self, node: _Node, rect: Rect, payload) -> _Node | None:
+    def _find_leaf(self, node: _Node, rect: Rect, payload: object) -> _Node | None:
         if node.leaf:
             for r, p in node.entries:
                 if r == rect and p == payload:
@@ -340,7 +342,7 @@ class RTree:
             self._size -= 1
             self.insert(rect, payload)
 
-    def _leaf_entries(self, node: _Node):
+    def _leaf_entries(self, node: _Node) -> "Iterator[tuple[Rect, object]]":
         if node.leaf:
             yield from node.entries
         else:
@@ -350,7 +352,7 @@ class RTree:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def search(self, rect) -> list:
+    def search(self, rect: "Rect | np.typing.ArrayLike") -> list:
         """Payloads of all entries whose rectangle intersects ``rect``."""
         rect = self._coerce(rect)
         out: list = []
@@ -363,7 +365,11 @@ class RTree:
                 stack.extend(child for r, child in node.entries if r.intersects(rect))
         return out
 
-    def search_where(self, rect, predicate) -> list:
+    def search_where(
+        self,
+        rect: "Rect | np.typing.ArrayLike",
+        predicate: "Callable[[Rect, object], bool]",
+    ) -> list:
         """Range search with an extra payload/point predicate.
 
         Used for affected-subspace retrieval: the R-tree prunes with the
@@ -381,7 +387,7 @@ class RTree:
                 stack.extend(child for r, child in node.entries if r.intersects(rect))
         return out
 
-    def nearest(self, point, k: int = 1) -> list:
+    def nearest(self, point: "np.typing.ArrayLike", k: int = 1) -> list:
         """Best-first k-nearest-neighbour search; returns up to ``k`` payloads."""
         point = tuple(float(v) for v in np.atleast_1d(point))
         if len(point) != self.dim:
@@ -413,7 +419,12 @@ class RTree:
     # Bulk loading (Sort-Tile-Recursive)
     # ------------------------------------------------------------------
     @classmethod
-    def bulk_load(cls, dim: int, items, max_entries: int = 8) -> "RTree":
+    def bulk_load(
+        cls,
+        dim: int,
+        items: "Iterable[tuple[Rect | np.typing.ArrayLike, object]]",
+        max_entries: int = 8,
+    ) -> "RTree":
         """Build a packed tree from ``(point_or_rect, payload)`` pairs (STR)."""
         tree = cls(dim, max_entries=max_entries)
         entries = [(tree._coerce(rect), payload) for rect, payload in items]
@@ -428,7 +439,11 @@ class RTree:
 
     @classmethod
     def bulk_load_points(
-        cls, dim: int, coords, payloads=None, max_entries: int = 8
+        cls,
+        dim: int,
+        coords: "np.typing.ArrayLike",
+        payloads: "Iterable[object] | None" = None,
+        max_entries: int = 8,
     ) -> "RTree":
         """Build a packed tree from an ``(n, d)`` coordinate array (STR).
 
@@ -482,7 +497,7 @@ class RTree:
         dim = self.dim
         num_nodes = int(np.ceil(len(entries) / capacity))
         # Recursively tile: sort by each axis in turn and slice.
-        def tile(chunk, axis):
+        def tile(chunk: list, axis: int) -> list[list]:
             if axis >= dim - 1 or len(chunk) <= capacity:
                 chunk.sort(key=lambda e: e[0].center()[min(axis, dim - 1)])
                 return [chunk[i : i + capacity] for i in range(0, len(chunk), capacity)]

@@ -47,7 +47,7 @@ class XTree(RTree):
     """
 
     def __init__(self, dim: int, max_entries: int = 8, min_entries: int | None = None,
-                 max_overlap: float = 0.2):
+                 max_overlap: float = 0.2) -> None:
         super().__init__(dim, max_entries=max_entries, min_entries=min_entries)
         if not 0 <= max_overlap <= 1:
             raise ValidationError(f"max_overlap must be in [0, 1], got {max_overlap}")

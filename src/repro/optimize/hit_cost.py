@@ -33,6 +33,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.constants import (
+    DEFAULT_MARGIN,
+    EPS_CONVERGENCE,
+    EPS_FEASIBILITY,
+    EPS_SET_FEASIBILITY,
+    FD_STEP,
+)
 from repro.core.cost import AsymmetricLinearCost, CostFunction, L1Cost, L2Cost, LInfCost
 from repro.core.strategy import Strategy, StrategySpace
 from repro.errors import InfeasibleError, ValidationError
@@ -45,10 +52,6 @@ __all__ = [
     "HitSubproblem",
 ]
 
-#: Default slack turning the strict constraint into a closed one.  The
-#: query domain is normalized, so an absolute margin is meaningful.
-DEFAULT_MARGIN = 1e-7
-
 
 @dataclass(frozen=True)
 class HitSubproblem:
@@ -57,8 +60,11 @@ class HitSubproblem:
     weights: np.ndarray  #: the query's weight vector (function input q)
     bound: float  #: gap minus margin; the constraint is q . s <= bound
 
-    def satisfied_by(self, s: np.ndarray, tol: float = 1e-9) -> bool:
+    def satisfied_by(self, s: np.ndarray, tol: float = EPS_FEASIBILITY) -> bool:
         """Does strategy ``s`` satisfy the constraint (within ``tol``)?"""
+        s = np.asarray(s, dtype=float)
+        if s.shape != self.weights.shape:
+            raise ValidationError(f"strategy shape {s.shape} != {self.weights.shape}")
         return float(self.weights @ s) <= self.bound + tol
 
 
@@ -206,7 +212,9 @@ def _solve_l2(cost: L2Cost, problem: HitSubproblem, space: StrategySpace) -> np.
 # ----------------------------------------------------------------------
 # Weighted L1 / asymmetric linear: exact LP with split variables
 # ----------------------------------------------------------------------
-def _solve_linear_lp(cost, problem: HitSubproblem, space: StrategySpace) -> np.ndarray:
+def _solve_linear_lp(
+    cost: L1Cost | AsymmetricLinearCost, problem: HitSubproblem, space: StrategySpace
+) -> np.ndarray:
     q, b = problem.weights, problem.bound
     d = cost.dim
     if isinstance(cost, AsymmetricLinearCost):
@@ -283,7 +291,7 @@ def _solve_numeric(
         for __ in range(100):
             s = s - (max(float(q @ s) - b, 0.0) / qq) * q
             s = np.clip(s, space.lower, space.upper)
-            if float(q @ s) <= b + 1e-12:
+            if float(q @ s) <= b + EPS_CONVERGENCE:
                 return s
         raise InfeasibleError("query cannot be hit within the strategy bounds")
 
@@ -295,7 +303,7 @@ def _solve_numeric(
     for t in range(1, iterations + 1):
         grad = _numeric_gradient(cost, current)
         norm = float(np.linalg.norm(grad))
-        if norm <= 1e-12:
+        if norm <= EPS_CONVERGENCE:
             break
         current = project(current - (step0 / (norm * np.sqrt(t))) * grad)
         value = cost(current)
@@ -341,12 +349,17 @@ def min_cost_to_hit_set(
     else:
         vector = _set_numeric(cost, weights, bounds, space)
     vector = space.clip(vector)
-    if np.any(weights @ vector > bounds + 1e-6):
+    if np.any(weights @ vector > bounds + EPS_SET_FEASIBILITY):
         raise InfeasibleError("query set cannot be hit jointly within the strategy bounds")
     return Strategy(vector, cost=cost(vector))
 
 
-def _set_linear_lp(cost, weights, bounds, space) -> np.ndarray:
+def _set_linear_lp(
+    cost: L1Cost | AsymmetricLinearCost,
+    weights: np.ndarray,
+    bounds: np.ndarray,
+    space: StrategySpace,
+) -> np.ndarray:
     d = cost.dim
     if isinstance(cost, AsymmetricLinearCost):
         up_price, down_price = cost.up, cost.down
@@ -363,7 +376,13 @@ def _set_linear_lp(cost, weights, bounds, space) -> np.ndarray:
     return result.x[:d] - result.x[d:]
 
 
-def _set_l2_dykstra(cost: L2Cost, weights, bounds, space, iterations: int = 2000) -> np.ndarray:
+def _set_l2_dykstra(
+    cost: L2Cost,
+    weights: np.ndarray,
+    bounds: np.ndarray,
+    space: StrategySpace,
+    iterations: int = 2000,
+) -> np.ndarray:
     """Minimum weighted-norm point of the polyhedron via Dykstra.
 
     In the metric ``||s||_w = sqrt(sum w_i s_i^2)``, projecting the
@@ -394,14 +413,20 @@ def _set_l2_dykstra(cost: L2Cost, weights, bounds, space, iterations: int = 2000
             corrections[key] = y - projected
             shift = max(shift, float(np.abs(projected - u).max(initial=0.0)))
             u = projected
-        if shift < 1e-12:
+        if shift < EPS_CONVERGENCE:
             break
-    if np.any(a @ u > bounds + 1e-6):
+    if np.any(a @ u > bounds + EPS_SET_FEASIBILITY):
         raise InfeasibleError("query set cannot be hit jointly within the strategy bounds")
     return u / scale
 
 
-def _set_numeric(cost, weights, bounds, space, iterations: int = 500) -> np.ndarray:
+def _set_numeric(
+    cost: CostFunction,
+    weights: np.ndarray,
+    bounds: np.ndarray,
+    space: StrategySpace,
+    iterations: int = 500,
+) -> np.ndarray:
     """Projected subgradient with cyclic feasibility projections."""
 
     def project(s: np.ndarray) -> np.ndarray:
@@ -412,7 +437,7 @@ def _set_numeric(cost, weights, bounds, space, iterations: int = 500) -> np.ndar
             s = np.clip(s, space.lower, space.upper)
             violations = weights @ s - bounds
             worst = int(np.argmax(violations))
-            if violations[worst] <= 1e-12:
+            if violations[worst] <= EPS_CONVERGENCE:
                 return s
             s = s - (violations[worst] / row_norms[worst]) * weights[worst]
         raise InfeasibleError("query set cannot be hit jointly within the strategy bounds")
@@ -425,7 +450,7 @@ def _set_numeric(cost, weights, bounds, space, iterations: int = 500) -> np.ndar
     for t in range(1, iterations + 1):
         grad = _numeric_gradient(cost, current)
         norm = float(np.linalg.norm(grad))
-        if norm <= 1e-12:
+        if norm <= EPS_CONVERGENCE:
             break
         current = project(current - (step0 / (norm * np.sqrt(t))) * grad)
         value = cost(current)
@@ -434,7 +459,7 @@ def _set_numeric(cost, weights, bounds, space, iterations: int = 500) -> np.ndar
     return best
 
 
-def _numeric_gradient(cost: CostFunction, s: np.ndarray, h: float = 1e-6) -> np.ndarray:
+def _numeric_gradient(cost: CostFunction, s: np.ndarray, h: float = FD_STEP) -> np.ndarray:
     grad = np.empty_like(s)
     for i in range(s.shape[0]):
         bump = np.zeros_like(s)

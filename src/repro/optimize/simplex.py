@@ -33,14 +33,14 @@ the true objective starting from the phase-1 basis.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
+from repro.constants import LP_RESIDUAL_TOL, LP_TOL as _TOL
 from repro.errors import InfeasibleError, UnboundedError, ValidationError
 
 __all__ = ["linprog", "LinprogResult"]
-
-_TOL = 1e-9
 
 
 @dataclass
@@ -52,7 +52,14 @@ class LinprogResult:
     iterations: int  #: total simplex pivots (both phases)
 
 
-def linprog(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, bounds=None) -> LinprogResult:
+def linprog(
+    c: "np.typing.ArrayLike",
+    a_ub: "np.typing.ArrayLike | None" = None,
+    b_ub: "np.typing.ArrayLike | None" = None,
+    a_eq: "np.typing.ArrayLike | None" = None,
+    b_eq: "np.typing.ArrayLike | None" = None,
+    bounds: Sequence[tuple[float | None, float | None]] | None = None,
+) -> LinprogResult:
     """Minimize ``c . x`` subject to ``a_ub x <= b_ub``, ``a_eq x = b_eq``.
 
     Parameters
@@ -81,7 +88,12 @@ def linprog(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None, bounds=None) -> Linpr
     return LinprogResult(x=x, fun=float(np.dot(c, x)), iterations=iterations)
 
 
-def _check_system(a, b, n, label):
+def _check_system(
+    a: "np.typing.ArrayLike | None",
+    b: "np.typing.ArrayLike | None",
+    n: int,
+    label: str,
+) -> tuple[np.ndarray, np.ndarray]:
     if a is None and b is None:
         return np.empty((0, n)), np.empty(0)
     if a is None or b is None:
@@ -93,7 +105,9 @@ def _check_system(a, b, n, label):
     return a, b
 
 
-def _normalize_bounds(bounds, n):
+def _normalize_bounds(
+    bounds: Sequence[tuple[float | None, float | None]] | None, n: int
+) -> tuple[np.ndarray, np.ndarray]:
     if bounds is None:
         return np.zeros(n), np.full(n, np.inf)
     if len(bounds) != n:
@@ -120,13 +134,22 @@ class _Standardizer:
     * free: ``x_i = u_i+ - u_i-``, two standard-form variables.
     """
 
-    def __init__(self, c, a_ub, b_ub, a_eq, b_eq, lows, highs):
+    def __init__(
+        self,
+        c: np.ndarray,
+        a_ub: np.ndarray,
+        b_ub: np.ndarray,
+        a_eq: np.ndarray,
+        b_eq: np.ndarray,
+        lows: np.ndarray,
+        highs: np.ndarray,
+    ) -> None:
         self.c, self.a_ub, self.b_ub = c, a_ub, b_ub
         self.a_eq, self.b_eq = a_eq, b_eq
         self.lows, self.highs = lows, highs
         self.n = c.shape[0]
 
-    def build(self):
+    def build(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         n = self.n
         # Column description of every standard-form variable: (orig, sign)
         self.columns: list[tuple[int, float]] = []
@@ -148,7 +171,7 @@ class _Standardizer:
         self.shift = shift
         k = len(self.columns)
 
-        def to_std(matrix):
+        def to_std(matrix: np.ndarray) -> np.ndarray:
             out = np.zeros((matrix.shape[0], k))
             for j, (orig, sign) in enumerate(self.columns):
                 out[:, j] = sign * matrix[:, orig]
@@ -181,14 +204,14 @@ class _Standardizer:
         self.k = k
         return a, b, c_std
 
-    def recover(self, x_std):
+    def recover(self, x_std: np.ndarray) -> np.ndarray:
         x = self.shift.copy()
         for j, (orig, sign) in enumerate(self.columns):
             x[orig] += sign * x_std[j]
         return x
 
 
-def _two_phase(a, b, c):
+def _two_phase(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> tuple[np.ndarray, int]:
     """Solve ``min c.u`` s.t. ``a u = b``, ``u >= 0``; returns (u, pivots)."""
     m, n = a.shape
     # Make all right-hand sides non-negative.
@@ -215,7 +238,7 @@ def _two_phase(a, b, c):
     tableau[m, -1] = -b.sum()
     basis = list(range(n, n + m))
     pivots1 = _iterate(tableau, basis, n + m)
-    if tableau[m, -1] < -1e-7:
+    if tableau[m, -1] < -LP_RESIDUAL_TOL:
         raise InfeasibleError("linear program is infeasible")
 
     # Drive any artificial variables out of the basis (degenerate rows).
@@ -245,13 +268,15 @@ def _two_phase(a, b, c):
     for row, var in enumerate(basis):
         if var < n:
             # Standard-form variables are non-negative by definition;
-            # phase-1's accepted residual can leave a ~1e-7 negative
-            # basic value, which is numerical noise — clamp it.
+            # phase-1's accepted residual can leave a ~LP_RESIDUAL_TOL
+            # negative basic value, which is numerical noise — clamp it.
             x[var] = max(float(tableau[row, -1]), 0.0)
     return x, pivots1 + pivots2
 
 
-def _iterate(tableau, basis, num_cols, max_pivots=100_000):
+def _iterate(
+    tableau: np.ndarray, basis: list[int], num_cols: int, max_pivots: int = 100_000
+) -> int:
     m = len(basis)
     pivots = 0
     while True:
@@ -284,7 +309,7 @@ def _iterate(tableau, basis, num_cols, max_pivots=100_000):
             raise ValidationError("simplex pivot limit exceeded (numerical trouble?)")
 
 
-def _pivot(tableau, row, col):
+def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
     tableau[row, :] /= tableau[row, col]
     for i in range(tableau.shape[0]):
         if i != row and abs(tableau[i, col]) > 0:

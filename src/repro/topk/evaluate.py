@@ -87,7 +87,9 @@ def rank_of(objects: np.ndarray, weights: np.ndarray, object_id: int) -> int:
     return better + 1
 
 
-def kth_score(objects: np.ndarray, weights: np.ndarray, k: int, exclude: int | None = None):
+def kth_score(
+    objects: np.ndarray, weights: np.ndarray, k: int, exclude: int | None = None
+) -> tuple[float, int]:
     """Score and id of the k-th ranked object, optionally excluding one.
 
     This is ``f_{q,k}`` of Eq. 6: the threshold an improved target must

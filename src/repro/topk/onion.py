@@ -41,12 +41,12 @@ def convex_hull_2d(points: np.ndarray) -> np.ndarray:
         return np.arange(n, dtype=np.intp)
     order = np.lexsort((points[:, 1], points[:, 0]))
 
-    def cross(o, a, b) -> float:
+    def cross(o: int, a: int, b: int) -> float:
         return (points[a, 0] - points[o, 0]) * (points[b, 1] - points[o, 1]) - (
             points[a, 1] - points[o, 1]
         ) * (points[b, 0] - points[o, 0])
 
-    def chain(indices):
+    def chain(indices: np.ndarray) -> list[int]:
         out: list[int] = []
         for idx in indices:
             # Keep collinear points: pop only on strict right turns.
@@ -66,7 +66,7 @@ def convex_hull_2d(points: np.ndarray) -> np.ndarray:
 class OnionIndex:
     """Convex-hull layer index answering linear top-k queries."""
 
-    def __init__(self, objects: np.ndarray):
+    def __init__(self, objects: np.ndarray) -> None:
         objects = np.asarray(objects, dtype=float)
         if objects.ndim != 2 or objects.shape[0] == 0:
             raise ValidationError(f"objects must be non-empty 2-D, got {objects.shape}")

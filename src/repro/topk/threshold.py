@@ -35,7 +35,7 @@ class TAResult:
 class SortedListsIndex:
     """Per-attribute ascending sorted lists supporting TA top-k."""
 
-    def __init__(self, objects: np.ndarray):
+    def __init__(self, objects: np.ndarray) -> None:
         objects = np.asarray(objects, dtype=float)
         if objects.ndim != 2 or objects.shape[0] == 0:
             raise ValidationError(f"objects must be a non-empty 2-D array, got {objects.shape}")

@@ -52,7 +52,7 @@ class ViewIndex:
         to the uniform view plus one axis-leaning view per dimension.
     """
 
-    def __init__(self, objects: np.ndarray, views: np.ndarray | None = None):
+    def __init__(self, objects: np.ndarray, views: np.ndarray | None = None) -> None:
         objects = np.asarray(objects, dtype=float)
         if objects.ndim != 2 or objects.shape[0] == 0:
             raise ValidationError(f"objects must be non-empty 2-D, got {objects.shape}")
@@ -84,6 +84,11 @@ class ViewIndex:
 
         A larger ratio means a tighter bound and an earlier stop.
         """
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (self.views.shape[1],):
+            raise ValidationError(
+                f"weights shape {weights.shape} != ({self.views.shape[1]},)"
+            )
         ratios = (weights[None, :] / self.views).min(axis=1)
         return int(np.argmax(ratios))
 

@@ -1,0 +1,301 @@
+"""Each RPR rule has a fixture that triggers it and one that suppresses it."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintConfig, lint_file
+
+
+def lint_source(tmp_path, source, name="mod.py", **config):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return lint_file(path, LintConfig(**config))
+
+
+def codes(findings):
+    return sorted({f.rule for f in findings})
+
+
+# ----------------------------------------------------------------------
+# RPR001: literal tolerances
+# ----------------------------------------------------------------------
+class TestToleranceLiteral:
+    def test_triggers_on_in_band_literal(self, tmp_path):
+        findings = lint_source(tmp_path, "TOL = 1e-9\n", select=frozenset({"RPR001"}))
+        assert codes(findings) == ["RPR001"]
+        assert findings[0].line == 1
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "TOL = 1e-9  # repro: noqa[RPR001]\n",
+            select=frozenset({"RPR001"}),
+        )
+        assert findings == []
+
+    def test_bare_noqa_suppresses_every_rule(self, tmp_path):
+        findings = lint_source(tmp_path, "TOL = 1e-9  # repro: noqa\n")
+        assert findings == []
+
+    def test_out_of_band_literals_pass(self, tmp_path):
+        source = """\
+        GUARD = 1e-300
+        LIMIT = 1e18
+        HALF = 0.5
+        COUNT = 7
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR001"})) == []
+
+    def test_constants_module_is_exempt(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "EPS = 1e-12\n", name="constants.py", select=frozenset({"RPR001"})
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR002: asserts / bare exceptions
+# ----------------------------------------------------------------------
+class TestRuntimeInvariant:
+    def test_triggers_on_assert(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "assert 1 + 1 == 2\n", select=frozenset({"RPR002"})
+        )
+        assert codes(findings) == ["RPR002"]
+
+    def test_triggers_on_bare_exception_raise(self, tmp_path):
+        source = """\
+        def f() -> None:
+            raise Exception("boom")
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR002"}))
+        assert codes(findings) == ["RPR002"]
+
+    def test_repro_error_raise_passes(self, tmp_path):
+        source = """\
+        from repro.errors import ValidationError
+
+        def f() -> None:
+            raise ValidationError("boom")
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR002"})) == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "assert True  # repro: noqa[RPR002]\n",
+            select=frozenset({"RPR002"}),
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR003: unvalidated ndarray parameters
+# ----------------------------------------------------------------------
+class TestArrayValidation:
+    def test_triggers_on_unvalidated_public_function(self, tmp_path):
+        source = """\
+        import numpy as np
+
+        def total(values: np.ndarray) -> float:
+            return float(values.sum())
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR003"}))
+        assert codes(findings) == ["RPR003"]
+        assert "values" in findings[0].message
+
+    def test_asarray_counts_as_validation(self, tmp_path):
+        source = """\
+        import numpy as np
+
+        def total(values: np.ndarray) -> float:
+            values = np.asarray(values, dtype=float)
+            return float(values.sum())
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR003"})) == []
+
+    def test_delegating_to_a_validating_helper_counts(self, tmp_path):
+        source = """\
+        import numpy as np
+
+        def _coerce(values: object) -> np.ndarray:
+            return np.asarray(values, dtype=float)
+
+        def total(values: np.ndarray) -> float:
+            return float(_coerce(values).sum())
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR003"})) == []
+
+    def test_private_and_nested_functions_are_exempt(self, tmp_path):
+        source = """\
+        import numpy as np
+
+        def _helper(values: np.ndarray) -> float:
+            return float(values.sum())
+
+        def outer() -> float:
+            def inner(values: np.ndarray) -> float:
+                return float(values.sum())
+            return inner(np.zeros(3))
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR003"}))
+        assert [f for f in findings if f.rule == "RPR003"] == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        source = """\
+        import numpy as np
+
+        def total(values: np.ndarray) -> float:  # repro: noqa[RPR003]
+            return float(values.sum())
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR003"})) == []
+
+
+# ----------------------------------------------------------------------
+# RPR004: mutable defaults
+# ----------------------------------------------------------------------
+class TestMutableDefault:
+    def test_triggers_on_list_literal_default(self, tmp_path):
+        source = """\
+        def collect(item: int, into: list = []) -> list:
+            into.append(item)
+            return into
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR004"}))
+        assert codes(findings) == ["RPR004"]
+
+    def test_triggers_on_dict_call_default(self, tmp_path):
+        source = """\
+        def collect(cache: dict = dict()) -> dict:
+            return cache
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR004"}))
+        assert codes(findings) == ["RPR004"]
+
+    def test_none_default_passes(self, tmp_path):
+        source = """\
+        def collect(item: int, into: list | None = None) -> list:
+            into = [] if into is None else into
+            into.append(item)
+            return into
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR004"})) == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        source = """\
+        def collect(into: list = []) -> list:  # repro: noqa[RPR004]
+            return into
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR004"})) == []
+
+
+# ----------------------------------------------------------------------
+# RPR005: parity coverage for vectorized/literal pairs
+# ----------------------------------------------------------------------
+PARITY_SOURCE = """\
+def find_subdomains(method: str = "vectorized") -> None:
+    pass
+"""
+
+
+class TestParityCoverage:
+    def write_project(self, tmp_path, test_text):
+        src = tmp_path / "proj" / "src"
+        src.mkdir(parents=True)
+        (src / "mod.py").write_text(PARITY_SOURCE)
+        tests = tmp_path / "proj" / "tests"
+        tests.mkdir()
+        (tests / "test_mod.py").write_text(test_text)
+        return src / "mod.py", tests
+
+    def test_triggers_without_two_variant_test(self, tmp_path):
+        mod, tests = self.write_project(
+            tmp_path, "def test_only_one():\n    find_subdomains('vectorized')\n"
+        )
+        findings = lint_file(
+            mod, LintConfig(select=frozenset({"RPR005"}), tests_root=tests)
+        )
+        assert codes(findings) == ["RPR005"]
+
+    def test_two_variant_test_satisfies_the_rule(self, tmp_path):
+        mod, tests = self.write_project(
+            tmp_path,
+            "def test_parity():\n"
+            "    assert find_subdomains('literal') == find_subdomains('vectorized')\n",
+        )
+        findings = lint_file(
+            mod, LintConfig(select=frozenset({"RPR005"}), tests_root=tests)
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        src = tmp_path / "proj" / "src"
+        src.mkdir(parents=True)
+        mod = src / "mod.py"
+        mod.write_text(
+            "def find_subdomains() -> None:  # repro: noqa[RPR005]\n    pass\n"
+        )
+        tests = tmp_path / "proj" / "tests"
+        tests.mkdir()
+        findings = lint_file(
+            mod, LintConfig(select=frozenset({"RPR005"}), tests_root=tests)
+        )
+        assert findings == []
+
+    def test_unrelated_symbols_are_ignored(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "def unrelated() -> None:\n    pass\n", select=frozenset({"RPR005"})
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Framework behaviour
+# ----------------------------------------------------------------------
+class TestFramework:
+    def test_syntax_error_becomes_rpr000_finding(self, tmp_path):
+        findings = lint_source(tmp_path, "def broken(:\n")
+        assert codes(findings) == ["RPR000"]
+
+    def test_multi_code_noqa(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "assert 1e-9  # repro: noqa[RPR001,RPR002]\n"
+        )
+        assert findings == []
+
+    def test_noqa_for_another_rule_does_not_suppress(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "TOL = 1e-9  # repro: noqa[RPR002]\n",
+            select=frozenset({"RPR001"}),
+        )
+        assert codes(findings) == ["RPR001"]
+
+    def test_ignore_filter_disables_a_rule(self, tmp_path):
+        findings = lint_source(tmp_path, "TOL = 1e-9\n", ignore=frozenset({"RPR001"}))
+        assert findings == []
+
+    def test_findings_sort_by_location(self, tmp_path):
+        source = """\
+        B = 1e-9
+        assert True
+        """
+        findings = lint_source(tmp_path, source)
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+
+# ----------------------------------------------------------------------
+# Self-application: the library obeys its own rules
+# ----------------------------------------------------------------------
+def test_repro_source_tree_is_lint_clean():
+    """`repro lint src/repro` must exit clean on the shipped tree."""
+    package_root = Path(__file__).resolve().parents[2] / "src" / "repro"
+    if not package_root.is_dir():  # repro installed without sources
+        pytest.skip("src/repro not present relative to the test tree")
+    from repro.analysis import lint_paths
+
+    findings, checked = lint_paths([package_root])
+    assert checked > 0
+    assert findings == [], "\n" + "\n".join(f.format_human() for f in findings)
