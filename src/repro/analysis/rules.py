@@ -1,4 +1,4 @@
-"""Project-specific lint rules RPR001-RPR005.
+"""Project-specific lint rules RPR001-RPR006.
 
 Each rule encodes a discipline the paper's correctness depends on; see
 DESIGN.md ("Static analysis") for the full catalog with rationale.
@@ -20,6 +20,7 @@ __all__ = [
     "ArrayValidationRule",
     "MutableDefaultRule",
     "ParityCoverageRule",
+    "SolverDispatchRule",
     "PARITY_PAIRS",
 ]
 
@@ -353,3 +354,39 @@ class ParityCoverageRule(Rule):
         if ctx.config.tests_root is not None:
             return ctx.config.tests_root
         return _find_tests_root(ctx.path)
+
+
+@register_rule
+class SolverDispatchRule(Rule):
+    """RPR006: solver functions are called only through the registry.
+
+    The raw scheme implementations (``min_cost_iq``, ``greedy_*``,
+    ``rta_*``, ...) are wrapped by registered solvers in
+    ``repro/core/solvers.py``; every other module must dispatch through
+    ``get_solver(name)`` so plans, EXPLAIN output, and ``method=``
+    validation stay in sync with what actually runs.  The flagged name
+    set is derived from each solver's ``wraps`` declaration — a newly
+    registered solver extends the rule automatically.
+    """
+
+    code = "RPR006"
+    title = "solver function called outside the registry"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield RPR006 findings: direct solver-function calls."""
+        if ctx.path.name == "solvers.py":
+            return
+        from repro.core.solvers import solver_function_names
+
+        wrapped = solver_function_names()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name in wrapped:
+                yield ctx.finding(
+                    node,
+                    self,
+                    f"direct call to solver function {name}(); dispatch "
+                    f"through repro.core.solvers.get_solver(...) instead",
+                )

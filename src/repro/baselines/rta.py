@@ -95,7 +95,14 @@ class RTAEvaluator(StrategyEvaluator):
         super().__init__(index)
         self.rta = ReverseTopK(index.dataset.matrix, index.queries)
 
+    def _refresh(self) -> None:
+        # The ReverseTopK snapshot holds the dataset matrix and workload
+        # as of its construction; a moved index epoch means either may
+        # have been replaced, so rebuild against the current state.
+        self.rta = ReverseTopK(self.index.dataset.matrix, self.index.queries)
+
     def hits(self, target: int, position: np.ndarray | None = None) -> int:
+        self._sync()
         if position is None:
             position = self.index.dataset.matrix[target]
         self.full_evaluations += 1
@@ -124,9 +131,11 @@ def rta_min_cost_iq(
     **kwargs,
 ) -> IQResult:
     """Min-Cost IQ with RTA-based candidate evaluation (§6.1 RTA-IQ)."""
-    from repro.core.mincost import min_cost_iq
+    from repro.core.solvers import get_solver
 
-    return min_cost_iq(RTAEvaluator(index), target, tau, cost, space=space, **kwargs)
+    return get_solver("rta").min_cost(
+        RTAEvaluator(index), target, tau, cost, space, **kwargs
+    )
 
 
 def rta_max_hit_iq(
@@ -138,6 +147,8 @@ def rta_max_hit_iq(
     **kwargs,
 ) -> IQResult:
     """Max-Hit IQ with RTA-based candidate evaluation (§6.1 RTA-IQ)."""
-    from repro.core.maxhit import max_hit_iq
+    from repro.core.solvers import get_solver
 
-    return max_hit_iq(RTAEvaluator(index), target, budget, cost, space=space, **kwargs)
+    return get_solver("rta").max_hit(
+        RTAEvaluator(index), target, budget, cost, space, **kwargs
+    )

@@ -14,18 +14,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.constants import EPS_TIME
-from repro.baselines.greedy import greedy_max_hit_iq, greedy_min_cost_iq
-from repro.baselines.random_search import random_max_hit_iq, random_min_cost_iq
 from repro.baselines.rta import RTAEvaluator
 from repro.bench.config import BenchConfig, load_config
 from repro.bench.harness import TableResult, time_call
 from repro.core.cost import euclidean_cost
 from repro.core.ese import StrategyEvaluator
-from repro.core.exhaustive import exhaustive_min_cost
-from repro.core.maxhit import max_hit_iq
-from repro.core.mincost import min_cost_iq
 from repro.core.objects import Dataset
 from repro.core.queries import QuerySet
+from repro.core.solvers import get_solver
 from repro.core.subdomain import SubdomainIndex
 from repro.core.updates import add_object, add_query, remove_object, remove_query
 from repro.data.realworld import simulate_house, simulate_vehicle
@@ -211,22 +207,28 @@ def _run_schemes(dataset: Dataset, queries: QuerySet, config: BenchConfig):
     cost = euclidean_cost(dataset.dim)
     tau = min(config.tau, queries.m)
 
+    # Every scheme dispatches through the solver registry (RTA-IQ runs
+    # the "efficient" search over the RTA evaluation engine — only the
+    # per-candidate evaluator differs, matching the paper's comparison).
+    efficient = get_solver("efficient")
+    greedy = get_solver("greedy")
+    random_solver = get_solver("random")
     runners = {
         "Efficient-IQ": (
-            lambda t: min_cost_iq(ese, int(t), tau, cost),
-            lambda t: max_hit_iq(ese, int(t), config.budget, cost),
+            lambda t: efficient.min_cost(ese, int(t), tau, cost),
+            lambda t: efficient.max_hit(ese, int(t), config.budget, cost),
         ),
         "RTA-IQ": (
-            lambda t: min_cost_iq(rta, int(t), tau, cost),
-            lambda t: max_hit_iq(rta, int(t), config.budget, cost),
+            lambda t: efficient.min_cost(rta, int(t), tau, cost),
+            lambda t: efficient.max_hit(rta, int(t), config.budget, cost),
         ),
         "Greedy": (
-            lambda t: greedy_min_cost_iq(ese, int(t), tau, cost),
-            lambda t: greedy_max_hit_iq(ese, int(t), config.budget, cost),
+            lambda t: greedy.min_cost(ese, int(t), tau, cost),
+            lambda t: greedy.max_hit(ese, int(t), config.budget, cost),
         ),
         "Random": (
-            lambda t: random_min_cost_iq(ese, int(t), tau, cost, seed=config.seed),
-            lambda t: random_max_hit_iq(ese, int(t), config.budget, cost, seed=config.seed),
+            lambda t: random_solver.min_cost(ese, int(t), tau, cost, seed=config.seed),
+            lambda t: random_solver.max_hit(ese, int(t), config.budget, cost, seed=config.seed),
         ),
     }
     times = {}
@@ -369,11 +371,12 @@ def fig13_dimensionality(config: BenchConfig | None = None) -> TableResult:
         tau = min(config.tau, queries.m)
         elapsed = 0.0
         ratios = []
+        solver = get_solver("efficient")
         for target in rng.integers(0, dataset.n, size=config.iq_repeats):
-            result, seconds = time_call(min_cost_iq, ese, int(target), tau, cost)
+            result, seconds = time_call(solver.min_cost, ese, int(target), tau, cost)
             elapsed += seconds
             ratios.append(result.cost_per_hit)
-            result, seconds = time_call(max_hit_iq, ese, int(target), config.budget, cost)
+            result, seconds = time_call(solver.max_hit, ese, int(target), config.budget, cost)
             elapsed += seconds
             ratios.append(result.cost_per_hit)
         finite = [r for r in ratios if np.isfinite(r)]
@@ -409,8 +412,8 @@ def x1_exhaustive_gap(config: BenchConfig | None = None) -> TableResult:
         evaluator = StrategyEvaluator(SubdomainIndex(dataset, queries))
         cost = euclidean_cost(config.dimensions)
         tau = max(2, m // 3)
-        exact, exact_time = time_call(exhaustive_min_cost, evaluator, 0, tau, cost)
-        heuristic, heuristic_time = time_call(min_cost_iq, evaluator, 0, tau, cost)
+        exact, exact_time = time_call(get_solver("exhaustive").min_cost, evaluator, 0, tau, cost)
+        heuristic, heuristic_time = time_call(get_solver("efficient").min_cost, evaluator, 0, tau, cost)
         ratio = (
             heuristic.total_cost / exact.total_cost
             if exact.satisfied and exact.total_cost > 0

@@ -102,6 +102,10 @@ class BenchRecord:
     config: dict  #: the generating parameters (sizes, seed, mode, ...)
     literal_seconds: float
     vectorized_seconds: float
+    #: ExecutionPlan.to_dict() of the benchmarked call, when the measured
+    #: stage belongs to a planned improvement query (fig7); None for
+    #: stages with no solver involved (fig4/fig5 index builds).
+    plan: dict | None = None
 
     @property
     def speedup(self) -> float:
@@ -110,7 +114,7 @@ class BenchRecord:
 
     def to_dict(self) -> dict:
         """JSON-ready dict (the ``records[]`` entry of BENCH_*.json)."""
-        return {
+        payload = {
             "figure": self.figure,
             "case": self.case,
             "config": dict(self.config),
@@ -118,6 +122,9 @@ class BenchRecord:
             "vectorized_seconds": self.vectorized_seconds,
             "speedup": self.speedup,
         }
+        if self.plan is not None:
+            payload["plan"] = dict(self.plan)
+        return payload
 
 
 def summarize_records(records) -> dict:

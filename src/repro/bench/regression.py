@@ -23,18 +23,27 @@ can execute the whole harness in seconds.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
 from repro.constants import ATOL_PARITY
 from repro.bench.config import BenchConfig, load_config
-from repro.bench.harness import BenchRecord, summarize_records, time_call, write_bench_json
+from repro.bench.harness import (
+    BENCH_SCHEMA,
+    BenchRecord,
+    summarize_records,
+    time_call,
+    write_bench_json,
+)
 from repro.core._search import SearchState, generate_candidates
 from repro.core.cost import euclidean_cost
 from repro.core.ese import StrategyEvaluator
 from repro.core.objects import Dataset
+from repro.core.plan import build_plan
 from repro.core.queries import QuerySet
+from repro.core.solvers import get_solver
 from repro.core.strategy import StrategySpace
 from repro.core.subdomain import SubdomainIndex
 from repro.data.synthetic import generate
@@ -45,9 +54,15 @@ __all__ = [
     "bench_fig4_partition",
     "bench_fig5_partition",
     "bench_fig7_candidates",
+    "check_regression",
     "run_regression",
     "main",
 ]
+
+#: A figure "regresses" when its median speedup falls below this
+#: fraction of the baseline's — generous, because the harness times
+#: sub-second stages on shared CI machines.
+CHECK_MIN_RATIO = 0.5
 
 
 class RegressionMismatch(AssertionError):
@@ -155,8 +170,13 @@ def bench_fig7_candidates(config: BenchConfig, targets: int | None = None) -> li
     count = targets if targets else config.iq_repeats
     picks = rng.choice(dataset.n, size=min(dataset.n, count), replace=False)
 
+    tau = min(config.tau, queries.m)
+    solver = get_solver("efficient")
     records = []
     for target in sorted(int(t) for t in picks):
+        # The measured stage is candidate generation inside this planned
+        # Min-Cost IQ call; the plan is recorded alongside the timing.
+        plan = build_plan(index, solver, "min_cost", target, tau, cost, space)
         state = SearchState(
             target=target,
             base=index.dataset.matrix[target].copy(),
@@ -192,9 +212,45 @@ def bench_fig7_candidates(config: BenchConfig, targets: int | None = None) -> li
                 },
                 literal_seconds=loop_seconds,
                 vectorized_seconds=auto_seconds,
+                plan=plan.to_dict(),
             )
         )
     return records
+
+
+def check_regression(
+    payload: dict, baseline: dict, min_ratio: float = CHECK_MIN_RATIO
+) -> list[str]:
+    """Compare a fresh run against a baseline BENCH_*.json payload.
+
+    Returns a list of human-readable problems (empty = no regression):
+    schema/scale mismatches make the comparison meaningless and are
+    reported as problems; a figure regresses when its median speedup
+    drops below ``min_ratio`` times the baseline's.
+    """
+    problems: list[str] = []
+    if baseline.get("schema") != BENCH_SCHEMA:
+        return [f"baseline schema {baseline.get('schema')!r} != {BENCH_SCHEMA!r}"]
+    if baseline.get("scale") != payload.get("scale"):
+        return [
+            f"scale mismatch: baseline ran at {baseline.get('scale')!r}, "
+            f"this run at {payload.get('scale')!r} — not comparable"
+        ]
+    summary = payload.get("summary", {})
+    for figure, base_stats in sorted(baseline.get("summary", {}).items()):
+        stats = summary.get(figure)
+        if stats is None:
+            problems.append(f"{figure}: present in baseline but missing from this run")
+            continue
+        floor = min_ratio * float(base_stats["median_speedup"])
+        median = float(stats["median_speedup"])
+        if median < floor:
+            problems.append(
+                f"{figure}: median speedup {median:.2f}x fell below "
+                f"{floor:.2f}x ({min_ratio:g} * baseline "
+                f"{float(base_stats['median_speedup']):.2f}x)"
+            )
+    return problems
 
 
 def run_regression(
@@ -215,7 +271,7 @@ def run_regression(
     if out:
         return write_bench_json(records, out, scale=config.name)
     return {
-        "schema": "repro-bench-regression/1",
+        "schema": BENCH_SCHEMA,
         "scale": config.name,
         "summary": summarize_records(records),
         "records": [record.to_dict() for record in records],
@@ -243,9 +299,30 @@ def main(argv=None) -> int:
         default=None,
         help="write the JSON payload to this path (e.g. BENCH_PR1.json)",
     )
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help=(
+            "compare this run against a baseline BENCH_*.json; the run "
+            "adopts the baseline's scale unless --scale is given; exit "
+            "code 3 on regression"
+        ),
+    )
     args = parser.parse_args(argv)
+    baseline = None
+    scale = args.scale
+    if args.check:
+        try:
+            with open(args.check, encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.check}: {exc}", file=sys.stderr)
+            return 1
+        if scale is None and not args.smoke:
+            scale = baseline.get("scale")
     try:
-        payload = run_regression(scale=args.scale, smoke=args.smoke, out=args.out)
+        payload = run_regression(scale=scale, smoke=args.smoke, out=args.out)
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -257,6 +334,13 @@ def main(argv=None) -> int:
         )
     if args.out:
         print(f"wrote {args.out} [{payload['scale']} scale]")
+    if baseline is not None:
+        problems = check_regression(payload, baseline)
+        if problems:
+            for problem in problems:
+                print(f"regression vs {args.check}: {problem}", file=sys.stderr)
+            return 3
+        print(f"no regression vs {args.check}")
     return 0
 
 

@@ -14,6 +14,10 @@ Subcommands
         --reach 25 --cost L2 --sense max --adjust "price:-80:0" \\
         --freeze storage
 
+``explain``   print the :class:`~repro.core.plan.ExecutionPlan` an
+              equivalent ``improve`` call would run, without running it
+              (the CLI face of ``engine.explain`` / SQL
+              ``EXPLAIN IMPROVE``).
 ``hits``      report H(target) and the reverse top-k for each object.
 ``demo``      a self-contained run on generated data (no files needed).
 ``sql``       start the interactive mini-DBMS shell.
@@ -35,6 +39,7 @@ from repro.constants import EPS_FEASIBILITY
 from repro.core.cost import L1Cost, L2Cost, LInfCost
 from repro.core.engine import ImprovementQueryEngine
 from repro.core.queries import QuerySet
+from repro.core.solvers import registered_solvers
 from repro.core.strategy import StrategySpace
 from repro.data.realworld import load_csv
 from repro.errors import ReproError, ValidationError
@@ -52,23 +57,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_iq_arguments(command: argparse.ArgumentParser) -> None:
+        command.add_argument("objects", help="object CSV (numeric attribute columns)")
+        command.add_argument("queries", help="query CSV (weight columns + final k column)")
+        command.add_argument("--target", type=int, required=True, action="append",
+                             help="object row id to improve (repeatable)")
+        goal = command.add_mutually_exclusive_group(required=True)
+        goal.add_argument("--reach", type=int, help="Min-Cost goal tau")
+        goal.add_argument("--budget", type=float, help="Max-Hit budget beta")
+        command.add_argument("--cost", default="L2", choices=sorted(_COSTS))
+        command.add_argument("--sense", default="min", choices=["min", "max"])
+        # Choices come from the solver registry, so a third-party solver
+        # registered before main() is immediately addressable.
+        command.add_argument("--method", default="efficient",
+                             choices=list(registered_solvers()))
+        command.add_argument("--adjust", action="append", default=[],
+                             metavar="COL:LO:HI",
+                             help="bound a column's adjustment, e.g. price:-80:0")
+        command.add_argument("--freeze", action="append", default=[], metavar="COL",
+                             help="forbid adjusting a column")
+
     improve = sub.add_parser("improve", help="run a Min-Cost or Max-Hit IQ")
-    improve.add_argument("objects", help="object CSV (numeric attribute columns)")
-    improve.add_argument("queries", help="query CSV (weight columns + final k column)")
-    improve.add_argument("--target", type=int, required=True, action="append",
-                         help="object row id to improve (repeatable)")
-    goal = improve.add_mutually_exclusive_group(required=True)
-    goal.add_argument("--reach", type=int, help="Min-Cost goal tau")
-    goal.add_argument("--budget", type=float, help="Max-Hit budget beta")
-    improve.add_argument("--cost", default="L2", choices=sorted(_COSTS))
-    improve.add_argument("--sense", default="min", choices=["min", "max"])
-    improve.add_argument("--method", default="efficient",
-                         choices=["efficient", "rta", "greedy", "random", "exhaustive"])
-    improve.add_argument("--adjust", action="append", default=[],
-                         metavar="COL:LO:HI",
-                         help="bound a column's adjustment, e.g. price:-80:0")
-    improve.add_argument("--freeze", action="append", default=[], metavar="COL",
-                         help="forbid adjusting a column")
+    add_iq_arguments(improve)
+
+    explain = sub.add_parser(
+        "explain", help="show the execution plan of an improve call, without running it"
+    )
+    add_iq_arguments(explain)
 
     hits = sub.add_parser("hits", help="report current hits per object")
     hits.add_argument("objects")
@@ -88,8 +103,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="CI mode: tiny scale, truncated sweeps")
     bench.add_argument("--out", default=None,
                        help="write the JSON payload to this path (e.g. BENCH_PR1.json)")
+    bench.add_argument("--check", default=None, metavar="BASELINE",
+                       help="compare against a baseline BENCH_*.json; exit 3 on regression")
 
-    lint = sub.add_parser("lint", help="project static analysis (rules RPR001-RPR005)")
+    lint = sub.add_parser("lint", help="project static analysis (rules RPR001-RPR006)")
     lint.add_argument("paths", nargs="*", default=["src/repro"],
                       help="files or directories to lint (default: src/repro)")
     lint.add_argument("--format", choices=["human", "json"], default="human")
@@ -201,6 +218,26 @@ def _cmd_improve(args, out) -> int:
     return 0 if multi.satisfied else 2
 
 
+def _cmd_explain(args, out) -> int:
+    dataset, queries = _load(args.objects, args.queries, args.sense)
+    engine = ImprovementQueryEngine(dataset, queries, mode="relevant")
+    cost = _COSTS[args.cost](dataset.dim)
+    space = _space(args, dataset)
+    for i, target in enumerate(args.target):
+        if i:
+            print(file=out)
+        plan = engine.explain(
+            target,
+            tau=args.reach,
+            budget=args.budget,
+            cost=cost,
+            space=space,
+            method=args.method,
+        )
+        print(plan.render(), file=out)
+    return 0
+
+
 def _cmd_hits(args, out) -> int:
     dataset, queries = _load(args.objects, args.queries, args.sense)
     engine = ImprovementQueryEngine(dataset, queries, mode="relevant")
@@ -241,6 +278,8 @@ def main(argv=None, out=None) -> int:
     try:
         if args.command == "improve":
             return _cmd_improve(args, out)
+        if args.command == "explain":
+            return _cmd_explain(args, out)
         if args.command == "hits":
             return _cmd_hits(args, out)
         if args.command == "demo":
@@ -257,6 +296,8 @@ def main(argv=None, out=None) -> int:
                 bench_args += ["--scale", args.scale]
             if args.out:
                 bench_args += ["--out", args.out]
+            if args.check:
+                bench_args += ["--check", args.check]
             return bench_main(bench_args)
         if args.command == "lint":
             from repro.analysis.cli import main as lint_main

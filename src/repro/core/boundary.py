@@ -1,0 +1,179 @@
+"""The sense/cost/strategy-space conversion boundary.
+
+Everything user-facing is expressed in the dataset's own attribute
+convention (``sense="min"`` or ``"max"``); the engine's planner and
+solvers work exclusively in the internal min-convention.  This module
+is the *only* place where the two conventions meet:
+
+* :func:`flip_cost` / :func:`flip_space` — the internal-space
+  equivalents of a cost function / strategy box defined on max-sense
+  strategies (both are involutions: applying them twice is the
+  identity, which the boundary property tests pin down).
+* :func:`internalize` / :func:`internalize_multi` — validate and
+  convert the cost/space arguments of one improvement query (or of a
+  combinatorial multi-target query) into internal convention.
+* :func:`externalize_result` / :func:`externalize_multi` — convert a
+  solver's internal-convention result back to the user's convention.
+
+The conversion rule is simple because the internal strategy is the
+negation of the external one under ``sense="max"``: symmetric costs
+are unchanged, the asymmetric cost swaps its up/down prices, callables
+are wrapped to negate their argument, and strategy boxes negate their
+interval.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.cost import (
+    AsymmetricLinearCost,
+    CallableCost,
+    CostFunction,
+    euclidean_cost,
+)
+from repro.core.objects import Dataset
+from repro.core.results import IQResult
+from repro.core.strategy import Strategy, StrategySpace
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.combinatorial import MultiTargetResult
+
+__all__ = [
+    "flip_cost",
+    "flip_space",
+    "internalize",
+    "internalize_multi",
+    "externalize_result",
+    "externalize_multi",
+    "describe_cost",
+    "describe_space",
+]
+
+
+def flip_cost(cost: CostFunction) -> CostFunction:
+    """Internal-space equivalent of a cost defined on max-sense strategies.
+
+    The internal strategy is the negation of the external one, so
+    symmetric costs are unchanged, the asymmetric cost swaps its up/down
+    prices, and callables are wrapped to negate their argument.
+    Applying :func:`flip_cost` twice yields a cost that agrees with the
+    original on every strategy (an involution up to wrapping).
+    """
+    if isinstance(cost, AsymmetricLinearCost):
+        return AsymmetricLinearCost(cost.dim, up=cost.down, down=cost.up)
+    if isinstance(cost, CallableCost):
+        inner = cost.fn
+        return CallableCost(cost.dim, lambda s: inner(-np.asarray(s, dtype=float)))
+    return cost  # L1 / L2 / LInf are symmetric in s -> -s
+
+
+def flip_space(space: StrategySpace | None) -> StrategySpace | None:
+    """Internal-space strategy box for a max-sense box (negated interval)."""
+    if space is None:
+        return None
+    return StrategySpace(space.dim, lower=-space.upper, upper=-space.lower)
+
+
+def internalize(
+    dataset: Dataset,
+    cost: CostFunction | None,
+    space: StrategySpace | None,
+) -> tuple[CostFunction, StrategySpace | None]:
+    """Validated internal-convention ``(cost, space)`` for one query.
+
+    ``cost`` defaults to the unweighted Euclidean cost; dimension
+    mismatches between either argument and the dataset raise
+    :class:`~repro.errors.ValidationError` here, before any solver runs.
+    """
+    cost = cost or euclidean_cost(dataset.dim)
+    if cost.dim != dataset.dim:
+        raise ValidationError(f"cost dim {cost.dim} != dataset dim {dataset.dim}")
+    if space is not None and space.dim != dataset.dim:
+        raise ValidationError(f"space dim {space.dim} != dataset dim {dataset.dim}")
+    if dataset.sense == "min":
+        return cost, space
+    return flip_cost(cost), flip_space(space)
+
+
+def internalize_multi(
+    dataset: Dataset,
+    targets: list[int],
+    costs: CostFunction | dict[int, CostFunction] | None,
+    spaces: StrategySpace | dict[int, StrategySpace] | None,
+) -> tuple[
+    CostFunction | dict[int, CostFunction],
+    StrategySpace | dict[int, StrategySpace] | None,
+]:
+    """Internal-convention cost/space maps for a combinatorial query."""
+    costs = costs or euclidean_cost(dataset.dim)
+    for cost in costs.values() if isinstance(costs, dict) else (costs,):
+        if cost.dim != dataset.dim:
+            raise ValidationError(f"cost dim {cost.dim} != dataset dim {dataset.dim}")
+    space_values = spaces.values() if isinstance(spaces, dict) else (spaces,)
+    for space in space_values:
+        if space is not None and space.dim != dataset.dim:
+            raise ValidationError(
+                f"space dim {space.dim} != dataset dim {dataset.dim}"
+            )
+    if dataset.sense == "min":
+        return costs, spaces
+    if isinstance(costs, dict):
+        costs = {t: flip_cost(c) for t, c in costs.items()}
+    else:
+        costs = flip_cost(costs)
+    if isinstance(spaces, dict):
+        spaces = {t: flip_space(s) for t, s in spaces.items()}
+    else:
+        spaces = flip_space(spaces)
+    return costs, spaces
+
+
+def externalize_result(dataset: Dataset, result: IQResult) -> IQResult:
+    """Convert a solver's internal-convention result to the user's."""
+    if dataset.sense == "min":
+        return result
+    internal = result.strategy
+    result.strategy = Strategy(
+        dataset.to_external_strategy(internal.vector), cost=internal.cost
+    )
+    return result
+
+
+def externalize_multi(dataset: Dataset, result: "MultiTargetResult") -> "MultiTargetResult":
+    """Convert a combinatorial internal-convention result to the user's."""
+    if dataset.sense == "min":
+        return result
+    result.strategies = {
+        t: Strategy(dataset.to_external_strategy(s.vector), cost=s.cost)
+        for t, s in result.strategies.items()
+    }
+    return result
+
+
+def describe_cost(cost: CostFunction) -> str:
+    """One-line rendering of an (internalized) cost for EXPLAIN output."""
+    name = type(cost).__name__
+    if isinstance(cost, AsymmetricLinearCost):
+        return f"{name}(dim={cost.dim}, up={_vec(cost.up)}, down={_vec(cost.down)})"
+    weights = getattr(cost, "weights", None)
+    if weights is not None and not np.all(weights == 1.0):
+        return f"{name}(dim={cost.dim}, weights={_vec(weights)})"
+    return f"{name}(dim={cost.dim})"
+
+
+def describe_space(space: StrategySpace | None) -> str:
+    """One-line rendering of an (internalized) strategy box for EXPLAIN."""
+    if space is None or (
+        np.all(np.isneginf(space.lower)) and np.all(np.isposinf(space.upper))
+    ):
+        return "unconstrained"
+    return f"box(lower={_vec(space.lower)}, upper={_vec(space.upper)})"
+
+
+def _vec(values: np.ndarray) -> str:
+    # ``v + 0.0`` collapses the negative zeros a sense flip produces.
+    return "[" + ", ".join(f"{float(v) + 0.0:g}" for v in values) + "]"

@@ -6,46 +6,55 @@ the maintenance operations behind one object::
     engine = ImprovementQueryEngine(dataset, queries)
     result = engine.min_cost(target=3, tau=25)          # Min-Cost IQ
     result = engine.max_hit(target=3, budget=2.0)       # Max-Hit IQ
+    plan = engine.explain(target=3, tau=25)             # plan only
 
-Everything user-facing is expressed in the dataset's own attribute
-convention (``sense="min"`` or ``"max"``); the engine converts costs,
-strategy bounds, and result strategies to/from the internal
-min-convention at this boundary.
+The engine itself is a thin façade over four explicit layers:
+
+* **planner** (:mod:`repro.core.plan`) — every query first builds a
+  frozen :class:`~repro.core.plan.ExecutionPlan`; :meth:`explain`
+  returns that plan without executing it.
+* **solver registry** (:mod:`repro.core.solvers`) — ``method="..."``
+  resolves through :func:`~repro.core.solvers.get_solver`; the five
+  paper schemes and any third-party solver dispatch identically.
+* **boundary** (:mod:`repro.core.boundary`) — everything user-facing is
+  expressed in the dataset's own attribute convention (``sense="min"``
+  or ``"max"``); costs, strategy bounds, and result strategies are
+  converted to/from the internal min-convention at this layer.
+* **epoch bus** (:attr:`~repro.core.subdomain.SubdomainIndex.epoch`) —
+  evaluators compare index epochs lazily, so mutating the index
+  directly through :mod:`repro.core.updates` (bypassing the engine's
+  wrappers) can never serve stale results.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.greedy import greedy_max_hit_iq, greedy_min_cost_iq
-from repro.baselines.random_search import random_max_hit_iq, random_min_cost_iq
 from repro.baselines.rta import RTAEvaluator
 from repro.core import updates
+from repro.core.boundary import (
+    externalize_multi,
+    externalize_result,
+    internalize,
+    internalize_multi,
+)
 from repro.core.combinatorial import (
     MultiTargetResult,
     combinatorial_max_hit,
     combinatorial_min_cost,
 )
-from repro.core.cost import (
-    AsymmetricLinearCost,
-    CallableCost,
-    CostFunction,
-    euclidean_cost,
-)
+from repro.core.cost import CostFunction
 from repro.core.ese import StrategyEvaluator
-from repro.core.exhaustive import exhaustive_max_hit, exhaustive_min_cost
-from repro.core.maxhit import max_hit_iq
-from repro.core.mincost import min_cost_iq
 from repro.core.objects import Dataset
+from repro.core.plan import ExecutionPlan, build_plan
 from repro.core.queries import QuerySet
 from repro.core.results import IQResult
-from repro.core.strategy import Strategy, StrategySpace
+from repro.core.solvers import Solver, get_solver
+from repro.core.strategy import StrategySpace
 from repro.core.subdomain import SubdomainIndex
 from repro.errors import ValidationError
 
 __all__ = ["ImprovementQueryEngine"]
-
-_METHODS = ("efficient", "rta", "greedy", "random", "exhaustive")
 
 
 class ImprovementQueryEngine:
@@ -94,6 +103,75 @@ class ImprovementQueryEngine:
         return np.flatnonzero(self.evaluator.hits_mask(target))
 
     # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        target: int,
+        tau: int | None = None,
+        budget: float | None = None,
+        cost: CostFunction | None = None,
+        space: StrategySpace | None = None,
+        method: str = "efficient",
+    ) -> ExecutionPlan:
+        """The plan a :meth:`min_cost` / :meth:`max_hit` call would run.
+
+        Exactly one of ``tau`` (Min-Cost) or ``budget`` (Max-Hit) picks
+        the query kind; the returned
+        :class:`~repro.core.plan.ExecutionPlan` is frozen and nothing is
+        executed.  An executed call with the same arguments runs exactly
+        this plan.
+        """
+        if (tau is None) == (budget is None):
+            raise ValidationError(
+                "explain needs exactly one of tau (min_cost) or budget (max_hit)"
+            )
+        if tau is not None:
+            return self._plan("min_cost", target, tau, cost, space, method)[0]
+        return self._plan("max_hit", target, float(budget), cost, space, method)[0]
+
+    def _plan(
+        self,
+        kind: str,
+        target: int,
+        goal: float,
+        cost: CostFunction | None,
+        space: StrategySpace | None,
+        method: str,
+    ) -> tuple[ExecutionPlan, CostFunction, StrategySpace | None]:
+        """Plan step: resolve the solver, internalize, snapshot the index."""
+        solver = get_solver(method)
+        cost_int, space_int = internalize(self.dataset, cost, space)
+        plan = build_plan(self.index, solver, kind, target, goal, cost_int, space_int)
+        return plan, cost_int, space_int
+
+    def _execute(
+        self,
+        kind: str,
+        target: int,
+        goal: float,
+        cost: CostFunction | None,
+        space: StrategySpace | None,
+        method: str,
+        kwargs: dict[str, object],
+    ) -> IQResult:
+        """Execute step: hand the planned solver its evaluator."""
+        plan, cost_int, space_int = self._plan(kind, target, goal, cost, space, method)
+        result = plan.solver.run(
+            kind, self._evaluator_for(plan.solver), target, goal,
+            cost_int, space_int, **kwargs,
+        )
+        return externalize_result(self.dataset, result)
+
+    def _evaluator_for(self, solver: Solver) -> StrategyEvaluator:
+        """The evaluation engine a solver declares ("rta" or ESE default)."""
+        if solver.evaluator == "rta":
+            if self._rta_evaluator is None:
+                self._rta_evaluator = RTAEvaluator(self.index)
+            return self._rta_evaluator
+        return self.evaluator
+
+    # ------------------------------------------------------------------
     # Improvement queries
     # ------------------------------------------------------------------
     def min_cost(
@@ -107,25 +185,13 @@ class ImprovementQueryEngine:
     ) -> IQResult:
         """Min-Cost IQ: cheapest strategy with ``H(target + s) >= tau``.
 
-        ``method`` selects the processing scheme of §6.1:
-        ``"efficient"`` (Efficient-IQ, the paper's contribution),
+        ``method`` selects the processing scheme of §6.1 by registry
+        name: ``"efficient"`` (Efficient-IQ, the paper's contribution),
         ``"rta"``, ``"greedy"``, ``"random"``, or ``"exhaustive"``
-        (exact, tiny workloads only).
+        (exact, tiny workloads only) — plus any solver registered via
+        :func:`repro.core.solvers.register_solver`.
         """
-        cost_int, space_int = self._internalize(cost, space)
-        if method == "efficient":
-            result = min_cost_iq(self.evaluator, target, tau, cost_int, space_int, **kwargs)
-        elif method == "rta":
-            result = min_cost_iq(self._rta(), target, tau, cost_int, space_int, **kwargs)
-        elif method == "greedy":
-            result = greedy_min_cost_iq(self.evaluator, target, tau, cost_int, space_int, **kwargs)
-        elif method == "random":
-            result = random_min_cost_iq(self.evaluator, target, tau, cost_int, space_int, **kwargs)
-        elif method == "exhaustive":
-            result = exhaustive_min_cost(self.evaluator, target, tau, cost_int, space_int, **kwargs)
-        else:
-            raise ValidationError(f"method must be one of {_METHODS}, got {method!r}")
-        return self._externalize(result)
+        return self._execute("min_cost", target, tau, cost, space, method, kwargs)
 
     def max_hit(
         self,
@@ -137,20 +203,7 @@ class ImprovementQueryEngine:
         **kwargs: object,
     ) -> IQResult:
         """Max-Hit IQ: maximize ``H(target + s)`` with ``Cost(s) <= budget``."""
-        cost_int, space_int = self._internalize(cost, space)
-        if method == "efficient":
-            result = max_hit_iq(self.evaluator, target, budget, cost_int, space_int, **kwargs)
-        elif method == "rta":
-            result = max_hit_iq(self._rta(), target, budget, cost_int, space_int, **kwargs)
-        elif method == "greedy":
-            result = greedy_max_hit_iq(self.evaluator, target, budget, cost_int, space_int, **kwargs)
-        elif method == "random":
-            result = random_max_hit_iq(self.evaluator, target, budget, cost_int, space_int, **kwargs)
-        elif method == "exhaustive":
-            result = exhaustive_max_hit(self.evaluator, target, budget, cost_int, space_int, **kwargs)
-        else:
-            raise ValidationError(f"method must be one of {_METHODS}, got {method!r}")
-        return self._externalize(result)
+        return self._execute("max_hit", target, budget, cost, space, method, kwargs)
 
     # ------------------------------------------------------------------
     # Combinatorial (multi-target) improvement (§5.1)
@@ -164,9 +217,9 @@ class ImprovementQueryEngine:
         **kwargs: object,
     ) -> MultiTargetResult:
         """Combinatorial Min-Cost IQ over several targets (Def. 5)."""
-        costs_int, spaces_int = self._internalize_multi(targets, costs, spaces)
+        costs_int, spaces_int = internalize_multi(self.dataset, targets, costs, spaces)
         result = combinatorial_min_cost(self.index, list(targets), tau, costs_int, spaces_int, **kwargs)
-        return self._externalize_multi(result)
+        return externalize_multi(self.dataset, result)
 
     def max_hit_multi(
         self,
@@ -177,116 +230,29 @@ class ImprovementQueryEngine:
         **kwargs: object,
     ) -> MultiTargetResult:
         """Combinatorial Max-Hit IQ over several targets (Def. 6)."""
-        costs_int, spaces_int = self._internalize_multi(targets, costs, spaces)
+        costs_int, spaces_int = internalize_multi(self.dataset, targets, costs, spaces)
         result = combinatorial_max_hit(self.index, list(targets), budget, costs_int, spaces_int, **kwargs)
-        return self._externalize_multi(result)
+        return externalize_multi(self.dataset, result)
 
     # ------------------------------------------------------------------
     # Workload / dataset maintenance (§4.3)
     # ------------------------------------------------------------------
+    # No manual cache invalidation here: every mutation bumps the
+    # index's epoch and the evaluators re-sync lazily, whether the
+    # mutation came through these wrappers or straight from
+    # repro.core.updates.
     def add_query(self, weights: "np.typing.ArrayLike", k: int) -> int:
         """Add a top-k query to the workload (§4.3); returns its id."""
-        query_id = updates.add_query(self.index, np.asarray(weights, dtype=float), k)
-        self._invalidate()
-        return query_id
+        return updates.add_query(self.index, np.asarray(weights, dtype=float), k)
 
     def remove_query(self, query_id: int) -> None:
         """Remove a query (§4.3); ids above it shift down."""
         updates.remove_query(self.index, query_id)
-        self._invalidate()
 
     def add_object(self, attributes: "np.typing.ArrayLike") -> int:
         """Add an object (§4.3); returns its id."""
-        object_id = updates.add_object(self.index, np.asarray(attributes, dtype=float))
-        self._invalidate()
-        return object_id
+        return updates.add_object(self.index, np.asarray(attributes, dtype=float))
 
     def remove_object(self, object_id: int) -> None:
         """Remove an object (§4.3); ids above it shift down."""
         updates.remove_object(self.index, object_id)
-        self._invalidate()
-
-    def _invalidate(self) -> None:
-        self.evaluator.invalidate()
-        self._rta_evaluator = None
-
-    # ------------------------------------------------------------------
-    # Convention conversion
-    # ------------------------------------------------------------------
-    def _rta(self) -> RTAEvaluator:
-        if self._rta_evaluator is None:
-            self._rta_evaluator = RTAEvaluator(self.index)
-        return self._rta_evaluator
-
-    def _internalize(
-        self, cost: CostFunction | None, space: StrategySpace | None
-    ) -> tuple[CostFunction, StrategySpace | None]:
-        dataset = self.dataset
-        cost = cost or euclidean_cost(dataset.dim)
-        if cost.dim != dataset.dim:
-            raise ValidationError(f"cost dim {cost.dim} != dataset dim {dataset.dim}")
-        if dataset.sense == "min":
-            return cost, space
-        return _flip_cost(cost), _flip_space(space)
-
-    def _internalize_multi(
-        self,
-        targets: list[int],
-        costs: CostFunction | dict[int, CostFunction] | None,
-        spaces: StrategySpace | dict[int, StrategySpace] | None,
-    ) -> tuple[
-        CostFunction | dict[int, CostFunction],
-        StrategySpace | dict[int, StrategySpace] | None,
-    ]:
-        dataset = self.dataset
-        costs = costs or euclidean_cost(dataset.dim)
-        if dataset.sense == "min":
-            return costs, spaces
-        if isinstance(costs, dict):
-            costs = {t: _flip_cost(c) for t, c in costs.items()}
-        else:
-            costs = _flip_cost(costs)
-        if isinstance(spaces, dict):
-            spaces = {t: _flip_space(s) for t, s in spaces.items()}
-        else:
-            spaces = _flip_space(spaces)
-        return costs, spaces
-
-    def _externalize(self, result: IQResult) -> IQResult:
-        if self.dataset.sense == "min":
-            return result
-        internal = result.strategy
-        result.strategy = Strategy(
-            self.dataset.to_external_strategy(internal.vector), cost=internal.cost
-        )
-        return result
-
-    def _externalize_multi(self, result: MultiTargetResult) -> MultiTargetResult:
-        if self.dataset.sense == "min":
-            return result
-        result.strategies = {
-            t: Strategy(self.dataset.to_external_strategy(s.vector), cost=s.cost)
-            for t, s in result.strategies.items()
-        }
-        return result
-
-
-def _flip_cost(cost: CostFunction) -> CostFunction:
-    """Internal-space equivalent of a cost defined on max-sense strategies.
-
-    The internal strategy is the negation of the external one, so
-    symmetric costs are unchanged, the asymmetric cost swaps its up/down
-    prices, and callables are wrapped to negate their argument.
-    """
-    if isinstance(cost, AsymmetricLinearCost):
-        return AsymmetricLinearCost(cost.dim, up=cost.down, down=cost.up)
-    if isinstance(cost, CallableCost):
-        return CallableCost(cost.dim, lambda s: cost.fn(-np.asarray(s, dtype=float)))
-    return cost  # L1 / L2 / LInf are symmetric in s -> -s
-
-
-def _flip_space(space: StrategySpace | None) -> StrategySpace | None:
-    """Internal-space strategy box for a max-sense box (negated interval)."""
-    if space is None:
-        return None
-    return StrategySpace(space.dim, lower=-space.upper, upper=-space.lower)

@@ -45,10 +45,12 @@ class StrategyEvaluator:
     def __init__(self, index: SubdomainIndex) -> None:
         self.index = index
         self._target_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-        # Any index mutation (repro.core.updates) invalidates the
-        # threshold cache automatically; a stale cache would silently
-        # return wrong hit counts after an object update.
-        index.subscribe_mutations(self.invalidate)
+        # Epoch-based invalidation: the cache remembers which index
+        # epoch it was built at and is dropped lazily when the index
+        # reports a newer one — so any mutation, including a direct
+        # repro.core.updates call that bypasses every engine wrapper,
+        # invalidates it without anyone having to notify us.
+        self._epoch = index.epoch
         self.full_evaluations = 0  #: vectorized H computations
         self.incremental_evaluations = 0  #: affected-subspace H computations
         self.affected_retrieved = 0  #: query points pulled from affected subspaces
@@ -56,8 +58,19 @@ class StrategyEvaluator:
     # ------------------------------------------------------------------
     # Threshold cache
     # ------------------------------------------------------------------
+    def _sync(self) -> None:
+        """Drop state built at an older index epoch (lazy invalidation)."""
+        if self._epoch != self.index.epoch:
+            self._target_cache.clear()
+            self._epoch = self.index.epoch
+            self._refresh()
+
+    def _refresh(self) -> None:
+        """Hook for subclasses holding extra epoch-scoped state."""
+
     def thresholds(self, target: int) -> tuple[np.ndarray, np.ndarray]:
         """Cached ``(kth_ids, theta)`` for a target (see Eq. 6)."""
+        self._sync()
         cached = self._target_cache.get(target)
         if cached is None:
             cached = self.index.kth_other(target)
@@ -65,7 +78,7 @@ class StrategyEvaluator:
         return cached
 
     def invalidate(self, target: int | None = None) -> None:
-        """Drop cached thresholds (after workload/object updates)."""
+        """Drop cached thresholds eagerly (epoch comparison does this lazily)."""
         if target is None:
             self._target_cache.clear()
         else:

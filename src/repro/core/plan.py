@@ -1,0 +1,170 @@
+"""Execution planning for improvement queries.
+
+Every ``engine.min_cost`` / ``engine.max_hit`` call is processed in two
+explicit steps: a *plan* step that resolves the solver through the
+registry, internalizes the cost/space arguments at the boundary layer,
+and snapshots the index statistics the solver will run against; and an
+*execute* step that hands the plan's solver the chosen evaluator.
+``engine.explain(...)`` (and SQL ``EXPLAIN IMPROVE ...``) returns the
+plan of the first step without running the second, so a plan is also
+the inspection surface: what would run, against which index, with which
+candidate-generation scheme, and with which fallback caveats.
+
+:class:`ExecutionPlan` is frozen — a plan describes one query at one
+index epoch and is never mutated; re-planning after an index mutation
+yields a plan with a newer ``epoch``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.boundary import describe_cost, describe_space
+from repro.core.cost import CostFunction
+from repro.core.solvers import QUERY_KINDS, Solver
+from repro.core.strategy import StrategySpace
+from repro.core.subdomain import SubdomainIndex
+from repro.errors import ValidationError
+
+__all__ = ["ExecutionPlan", "PLAN_FIELDS", "build_plan"]
+
+#: Ordered field names every plan rendering (CLI, SQL, bench JSON)
+#: exposes; kept in lock-step with :meth:`ExecutionPlan.to_dict`.
+PLAN_FIELDS = (
+    "kind",
+    "solver",
+    "evaluator",
+    "target",
+    "goal",
+    "sense",
+    "index_mode",
+    "partition_method",
+    "num_subdomains",
+    "num_hyperplanes",
+    "epoch",
+    "candidate_method",
+    "cost",
+    "space",
+    "notes",
+)
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How one improvement query will be (or was) processed.
+
+    ``cost`` and ``space`` describe the *internalized* arguments — what
+    the solver actually receives after the boundary layer's sense
+    conversion — so an EXPLAIN under ``sense="max"`` shows e.g. the
+    swapped asymmetric prices.  ``notes`` carries fallback caveats
+    (relevant-mode prefix depth, RTA's membership fallback, ...).
+    """
+
+    kind: str  #: "min_cost" | "max_hit"
+    solver: Solver = field(compare=False)  #: the registered solver (singleton)
+    target: int = 0
+    goal: float = 0.0  #: tau (min_cost) or budget (max_hit)
+    sense: str = "min"
+    index_mode: str = "exact"
+    partition_method: str = "vectorized"
+    num_subdomains: int = 0
+    num_hyperplanes: int = 0
+    epoch: int = 0  #: index epoch the plan was built against
+    cost: str = ""  #: internalized cost, rendered
+    space: str = "unconstrained"  #: internalized strategy box, rendered
+    notes: tuple[str, ...] = ()
+
+    @property
+    def solver_name(self) -> str:
+        return self.solver.name
+
+    @property
+    def evaluator(self) -> str:
+        """Evaluation engine behind the solver ("ese" | "rta")."""
+        return self.solver.evaluator
+
+    @property
+    def candidate_method(self) -> str:
+        return self.solver.candidate_method
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready plan fields, in :data:`PLAN_FIELDS` order."""
+        values: dict[str, object] = {
+            "kind": self.kind,
+            "solver": self.solver_name,
+            "evaluator": self.evaluator,
+            "target": self.target,
+            "goal": self.goal,
+            "sense": self.sense,
+            "index_mode": self.index_mode,
+            "partition_method": self.partition_method,
+            "num_subdomains": self.num_subdomains,
+            "num_hyperplanes": self.num_hyperplanes,
+            "epoch": self.epoch,
+            "candidate_method": self.candidate_method,
+            "cost": self.cost,
+            "space": self.space,
+            "notes": list(self.notes),
+        }
+        return values
+
+    def rows(self) -> list[tuple[str, str]]:
+        """``(field, rendered value)`` pairs for tabular display."""
+        out: list[tuple[str, str]] = []
+        for name, value in self.to_dict().items():
+            if isinstance(value, list):
+                rendered = "; ".join(str(item) for item in value)
+            elif isinstance(value, float) and float(value).is_integer():
+                rendered = str(int(value))
+            else:
+                rendered = str(value)
+            out.append((name, rendered))
+        return out
+
+    def render(self) -> str:
+        """Multi-line ``field = value`` text block (the CLI's EXPLAIN)."""
+        width = max(len(name) for name in PLAN_FIELDS)
+        return "\n".join(f"{name:<{width}}  {value}" for name, value in self.rows())
+
+
+def build_plan(
+    index: SubdomainIndex,
+    solver: Solver,
+    kind: str,
+    target: int,
+    goal: float,
+    cost: CostFunction,
+    space: StrategySpace | None,
+    extra_notes: tuple[str, ...] = (),
+) -> ExecutionPlan:
+    """Assemble the frozen plan for one query against one index state.
+
+    ``cost`` and ``space`` must already be internalized (the engine's
+    boundary step does this); the index statistics and ``epoch`` are
+    snapshotted here, so a stale plan is detectable by comparing its
+    ``epoch`` against ``index.epoch``.
+    """
+    if kind not in QUERY_KINDS:
+        raise ValidationError(f"kind must be one of {QUERY_KINDS}, got {kind!r}")
+    index.dataset._check_id(target)
+    notes = list(solver.notes) + list(extra_notes)
+    if index.mode == "relevant":
+        notes.append(
+            f"relevant-mode index: rankings below depth k+{index.margin} fall "
+            f"back to direct evaluation"
+        )
+    return ExecutionPlan(
+        kind=kind,
+        solver=solver,
+        target=int(target),
+        goal=float(goal),
+        sense=index.dataset.sense,
+        index_mode=index.mode,
+        partition_method=index.partition_method,
+        num_subdomains=index.num_subdomains,
+        num_hyperplanes=index.num_hyperplanes,
+        epoch=index.epoch,
+        cost=describe_cost(cost),
+        space=describe_space(space),
+        notes=tuple(notes),
+    )

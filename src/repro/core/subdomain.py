@@ -241,6 +241,7 @@ class SubdomainIndex:
         self.partition_method = partition_method
         self.representative_evaluations = 0  #: full rankings computed so far
         self._mutation_hooks: list = []  #: weak refs to invalidation callbacks
+        self._epoch = 0  #: bumped by every mutation (see :attr:`epoch`)
 
         matrix = dataset.matrix
         if mode == "exact":
@@ -373,16 +374,28 @@ class SubdomainIndex:
         self._boundaries_ready = False
 
     # ------------------------------------------------------------------
-    # Mutation notification
+    # Mutation notification: the epoch bus
     # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Monotonically increasing mutation counter.
+
+        Every maintenance operation (:mod:`repro.core.updates`) bumps it
+        via :meth:`notify_mutation`.  Consumers caching state derived
+        from the index (the ESE threshold cache, the RTA snapshot)
+        record the epoch they were built at and lazily rebuild when it
+        moved — so mutating the index directly, without going through
+        any engine wrapper, can never serve stale results.
+        """
+        return self._epoch
+
     def subscribe_mutations(self, callback: "Callable[[], None]") -> None:
         """Register a callback fired after every index mutation.
 
-        Consumers caching per-target state derived from the index (the
-        ESE threshold cache, notably) subscribe here so a direct
-        :mod:`repro.core.updates` call can never leave them stale.
-        Callbacks are held weakly: a garbage-collected subscriber is
-        dropped silently.
+        The epoch bus makes polling consumers (epoch comparison) the
+        default; push-style consumers that must react *eagerly* to a
+        mutation subscribe here.  Callbacks are held weakly: a
+        garbage-collected subscriber is dropped silently.
         """
         try:
             ref = weakref.WeakMethod(callback)
@@ -391,7 +404,8 @@ class SubdomainIndex:
         self._mutation_hooks.append(ref)
 
     def notify_mutation(self) -> None:
-        """Fire every live mutation callback (called by ``updates``)."""
+        """Bump the epoch, then fire every live callback (``updates`` calls this)."""
+        self._epoch += 1
         live = []
         for ref in self._mutation_hooks:
             callback = ref()

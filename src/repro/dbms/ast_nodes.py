@@ -20,6 +20,7 @@ __all__ = [
     "CreateImprovementIndex",
     "AdjustClause",
     "Improve",
+    "ExplainImprove",
 ]
 
 
@@ -141,3 +142,10 @@ class Improve:
     adjust: list = field(default_factory=list)  #: [AdjustClause, ...]
     method: str = "efficient"
     apply: bool = False
+
+
+@dataclass(frozen=True)
+class ExplainImprove:
+    """EXPLAIN IMPROVE ... — plan the wrapped IMPROVE without running it."""
+
+    statement: Improve

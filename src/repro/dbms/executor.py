@@ -115,6 +115,8 @@ class Database:
             return ResultSet([], [], status=f"CREATE IMPROVEMENT INDEX {stmt.name}")
         if isinstance(stmt, ast.Improve):
             return self.improvements.improve(stmt, self._matching_row_ids)
+        if isinstance(stmt, ast.ExplainImprove):
+            return self.improvements.explain(stmt.statement, self._matching_row_ids)
         raise SQLExecutionError(f"unsupported statement {type(stmt).__name__}")
 
     # ------------------------------------------------------------------

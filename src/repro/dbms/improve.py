@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.cost import L1Cost, L2Cost, LInfCost
 from repro.core.engine import ImprovementQueryEngine
 from repro.core.objects import Dataset
+from repro.core.plan import PLAN_FIELDS
 from repro.core.queries import QuerySet
 from repro.core.strategy import StrategySpace
 from repro.dbms import ast_nodes as ast
@@ -122,10 +123,11 @@ class ImprovementService:
         return definition.engine
 
     # ------------------------------------------------------------------
-    def improve(self, stmt: ast.Improve, matching_row_ids):
-        """Execute an IMPROVE statement; returns its ResultSet."""
-        from repro.dbms.executor import ResultSet  # local import to avoid a cycle
+    def _prepare(self, stmt: ast.Improve, matching_row_ids):
+        """Shared IMPROVE/EXPLAIN prelude: resolve index, targets, args.
 
+        Returns ``(definition, table, targets, engine, cost, space)``.
+        """
         definition = self._indexes.get(stmt.index)
         if definition is None:
             raise SQLCatalogError(f"no improvement index {stmt.index!r}")
@@ -148,7 +150,38 @@ class ImprovementService:
         dim = len(definition.attribute_columns)
         cost = cost_cls(dim)
         space = self._space(stmt.adjust, definition, dim)
+        return definition, table, targets, engine, cost, space
 
+    def explain(self, stmt: ast.Improve, matching_row_ids):
+        """EXPLAIN IMPROVE: one plan row per target, nothing executed.
+
+        The plan fields are exactly those an executed IMPROVE with the
+        same clauses would run (``engine.explain`` builds both).
+        """
+        from repro.dbms.executor import ResultSet  # local import to avoid a cycle
+
+        _, _, targets, engine, cost, space = self._prepare(stmt, matching_row_ids)
+        columns = ["rowid"] + list(PLAN_FIELDS)
+        rows = []
+        for target in targets:
+            plan = engine.explain(
+                target,
+                tau=stmt.reach,
+                budget=stmt.budget,
+                cost=cost,
+                space=space,
+                method=stmt.method,
+            )
+            rows.append([target] + [value for _, value in plan.rows()])
+        return ResultSet(columns, rows, status=f"EXPLAIN IMPROVE {len(targets)}")
+
+    def improve(self, stmt: ast.Improve, matching_row_ids):
+        """Execute an IMPROVE statement; returns its ResultSet."""
+        from repro.dbms.executor import ResultSet  # local import to avoid a cycle
+
+        definition, table, targets, engine, cost, space = self._prepare(
+            stmt, matching_row_ids
+        )
         columns = (
             ["rowid"]
             + [f"delta_{c}" for c in definition.attribute_columns]

@@ -4,6 +4,7 @@ Grammar (informal)::
 
     statement   := create_table | drop | insert | select | update
                  | delete | show | describe | create_iq_index | improve
+                 | explain_improve
     expr        := or_expr
     or_expr     := and_expr (OR and_expr)*
     and_expr    := not_expr (AND not_expr)*
@@ -129,6 +130,14 @@ class _Parser:
             return ast.Describe(self.identifier())
         if self.at_keyword("IMPROVE"):
             return self.improve()
+        if self.at_keyword("EXPLAIN"):
+            self.advance()
+            if not self.at_keyword("IMPROVE"):
+                raise SQLSyntaxError("EXPLAIN supports only IMPROVE statements")
+            statement = self.improve()
+            if statement.apply:
+                raise SQLSyntaxError("EXPLAIN IMPROVE cannot take APPLY")
+            return ast.ExplainImprove(statement=statement)
         raise SQLSyntaxError(f"unexpected token {self.peek().value!r}")
 
     def create(self):

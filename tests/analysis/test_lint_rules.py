@@ -252,6 +252,64 @@ class TestParityCoverage:
 
 
 # ----------------------------------------------------------------------
+# RPR006: solver calls must go through the registry
+# ----------------------------------------------------------------------
+class TestSolverDispatch:
+    def test_triggers_on_direct_call(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "result = min_cost_iq(evaluator, 0, 5, cost)\n",
+            select=frozenset({"RPR006"}),
+        )
+        assert codes(findings) == ["RPR006"]
+        assert "get_solver" in findings[0].message
+
+    def test_triggers_on_attribute_call(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import repro.baselines.greedy as g\n"
+            "result = g.greedy_max_hit_iq(evaluator, 0, 1.0, cost)\n",
+            select=frozenset({"RPR006"}),
+        )
+        assert codes(findings) == ["RPR006"]
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "result = min_cost_iq(evaluator, 0, 5, cost)  # repro: noqa[RPR006]\n",
+            select=frozenset({"RPR006"}),
+        )
+        assert findings == []
+
+    def test_solvers_module_is_exempt(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "result = min_cost_iq(evaluator, 0, 5, cost)\n",
+            name="solvers.py",
+            select=frozenset({"RPR006"}),
+        )
+        assert findings == []
+
+    def test_reference_without_call_is_fine(self, tmp_path):
+        # reduction.py passes max_hit_iq as a default oracle argument;
+        # only *calls* bypass the registry.
+        findings = lint_source(
+            tmp_path,
+            "def reduce(oracle=max_hit_iq):\n    return oracle\n",
+            select=frozenset({"RPR006"}),
+        )
+        assert findings == []
+
+    def test_registry_dispatch_is_fine(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "result = get_solver('efficient').min_cost(evaluator, 0, 5, cost)\n",
+            select=frozenset({"RPR006"}),
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # Framework behaviour
 # ----------------------------------------------------------------------
 class TestFramework:

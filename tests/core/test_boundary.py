@@ -1,0 +1,192 @@
+"""Boundary-layer tests: sense conversion round-trips and error paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.boundary import (
+    describe_cost,
+    describe_space,
+    externalize_result,
+    flip_cost,
+    flip_space,
+    internalize,
+    internalize_multi,
+)
+from repro.core.cost import (
+    AsymmetricLinearCost,
+    CallableCost,
+    L1Cost,
+    L2Cost,
+    euclidean_cost,
+)
+from repro.core.objects import Dataset
+from repro.core.results import IQResult
+from repro.core.strategy import Strategy, StrategySpace
+from repro.errors import ValidationError
+
+DIM = 3
+
+finite = st.floats(-8.0, 8.0, allow_nan=False, allow_infinity=False)
+vectors = arrays(np.float64, (DIM,), elements=finite)
+positive = st.floats(0.125, 8.0, allow_nan=False, allow_infinity=False)
+prices = arrays(np.float64, (DIM,), elements=positive)
+
+
+def max_dataset(rows: int = 4) -> Dataset:
+    rng = np.random.default_rng(7)
+    return Dataset(rng.random((rows, DIM)), sense="max")
+
+
+class TestFlipRoundTrips:
+    @given(vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_flip_symmetric_cost_is_identity(self, s):
+        cost = L2Cost(DIM)
+        assert flip_cost(cost) is cost
+        assert flip_cost(cost)(s) == pytest.approx(cost(-s))
+
+    @given(prices, prices, vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_flip_asymmetric_twice_is_identity(self, up, down, s):
+        cost = AsymmetricLinearCost(DIM, up=up, down=down)
+        flipped = flip_cost(cost)
+        assert flipped(s) == pytest.approx(cost(-s))
+        twice = flip_cost(flipped)
+        assert twice(s) == pytest.approx(cost(s))
+
+    @given(vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_flip_callable_twice_agrees(self, s):
+        cost = CallableCost(DIM, lambda v: float(np.abs(v).sum()) + float(v.sum()) ** 2)
+        flipped = flip_cost(cost)
+        assert flipped(s) == pytest.approx(cost(-s))
+        assert flip_cost(flipped)(s) == pytest.approx(cost(s))
+
+    # StrategySpace requires the zero strategy to stay valid, so boxes
+    # are generated with lower <= 0 <= upper.
+    @given(prices, prices)
+    @settings(max_examples=50, deadline=None)
+    def test_flip_space_twice_is_identity(self, below, above):
+        space = StrategySpace(DIM, lower=-below, upper=above)
+        flipped = flip_space(space)
+        twice = flip_space(flipped)
+        np.testing.assert_allclose(twice.lower, space.lower)
+        np.testing.assert_allclose(twice.upper, space.upper)
+
+    @given(prices, prices)
+    @settings(max_examples=50, deadline=None)
+    def test_flipped_space_contains_negated_strategies(self, below, above):
+        space = StrategySpace(DIM, lower=-below, upper=above)
+        flipped = flip_space(space)
+        midpoint = (above - below) / 2
+        assert space.contains(midpoint)
+        assert flipped.contains(-midpoint)
+
+    def test_flip_space_none_passthrough(self):
+        assert flip_space(None) is None
+
+
+class TestInternalizeExternalize:
+    @given(vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_max_sense_cost_round_trip(self, s):
+        # Internal strategy = negated external one: the internalized cost
+        # must price the internal vector exactly as the user's cost
+        # prices the external vector.
+        dataset = max_dataset()
+        user_cost = AsymmetricLinearCost(
+            DIM, up=np.full(DIM, 2.0), down=np.full(DIM, 0.5)
+        )
+        cost_int, _ = internalize(dataset, user_cost, None)
+        internal = dataset.to_internal_strategy(s)
+        assert cost_int(internal) == pytest.approx(user_cost(s))
+
+    @given(vectors)
+    @settings(max_examples=50, deadline=None)
+    def test_max_sense_externalize_round_trip(self, s):
+        dataset = max_dataset()
+        internal = dataset.to_internal_strategy(s)
+        result = IQResult(
+            target=0,
+            strategy=Strategy(internal.copy(), cost=1.5),
+            hits_before=0,
+            hits_after=1,
+            total_cost=1.5,
+            satisfied=True,
+        )
+        external = externalize_result(dataset, result)
+        np.testing.assert_allclose(external.strategy.vector, s, atol=1e-12)
+        assert external.strategy.cost == pytest.approx(1.5)
+
+    def test_min_sense_is_passthrough(self):
+        dataset = Dataset(np.eye(DIM))
+        cost = L1Cost(DIM)
+        space = StrategySpace(DIM, lower=-np.ones(DIM), upper=np.ones(DIM))
+        cost_int, space_int = internalize(dataset, cost, space)
+        assert cost_int is cost
+        assert space_int is space
+
+    def test_default_cost_is_euclidean(self):
+        cost_int, _ = internalize(Dataset(np.eye(DIM)), None, None)
+        assert isinstance(cost_int, L2Cost)
+        assert cost_int.dim == DIM
+
+
+class TestDimMismatch:
+    def test_cost_dim_mismatch(self):
+        with pytest.raises(ValidationError, match="cost dim"):
+            internalize(Dataset(np.eye(DIM)), L2Cost(DIM + 1), None)
+
+    def test_space_dim_mismatch(self):
+        space = StrategySpace(DIM + 1)
+        with pytest.raises(ValidationError, match="space dim"):
+            internalize(Dataset(np.eye(DIM)), None, space)
+
+    def test_multi_cost_dim_mismatch(self):
+        with pytest.raises(ValidationError, match="cost dim"):
+            internalize_multi(
+                Dataset(np.eye(DIM)), [0, 1], {0: L2Cost(DIM), 1: L2Cost(2)}, None
+            )
+
+    def test_multi_space_dim_mismatch(self):
+        with pytest.raises(ValidationError, match="space dim"):
+            internalize_multi(
+                Dataset(np.eye(DIM)), [0, 1], None, {1: StrategySpace(DIM - 1)}
+            )
+
+
+class TestInternalizeMulti:
+    def test_max_sense_flips_dicts_and_keeps_keys(self):
+        dataset = max_dataset()
+        up, down = np.full(DIM, 3.0), np.ones(DIM)
+        costs = {0: AsymmetricLinearCost(DIM, up=up, down=down)}
+        spaces = {0: StrategySpace(DIM, lower=np.zeros(DIM), upper=np.ones(DIM))}
+        costs_int, spaces_int = internalize_multi(dataset, [0], costs, spaces)
+        np.testing.assert_allclose(costs_int[0].up, down)
+        np.testing.assert_allclose(costs_int[0].down, up)
+        np.testing.assert_allclose(spaces_int[0].lower, -np.ones(DIM))
+        np.testing.assert_allclose(spaces_int[0].upper, np.zeros(DIM))
+
+    def test_defaults_to_shared_euclidean(self):
+        costs_int, spaces_int = internalize_multi(Dataset(np.eye(DIM)), [0, 1], None, None)
+        assert isinstance(costs_int, L2Cost)
+        assert spaces_int is None
+
+
+class TestDescribe:
+    def test_describe_cost_variants(self):
+        assert describe_cost(euclidean_cost(2)) == "L2Cost(dim=2)"
+        weighted = L1Cost(2, weights=[1.0, 4.0])
+        assert "weights=[1, 4]" in describe_cost(weighted)
+        asym = AsymmetricLinearCost(2, up=[2.0, 2.0], down=[1.0, 1.0])
+        text = describe_cost(asym)
+        assert "up=[2, 2]" in text and "down=[1, 1]" in text
+
+    def test_describe_space_variants(self):
+        assert describe_space(None) == "unconstrained"
+        assert describe_space(StrategySpace(2)) == "unconstrained"
+        box = StrategySpace(2, lower=[-1.0, 0.0], upper=[1.0, 2.0])
+        assert describe_space(box) == "box(lower=[-1, 0], upper=[1, 2])"

@@ -137,7 +137,11 @@ class TestMaintenance:
         engine.hits(0)
         assert engine.evaluator._target_cache
         engine.add_query(rng.random(3), 1)
-        assert not engine.evaluator._target_cache
+        # Epoch-based invalidation is lazy: the mutation advances the
+        # index epoch, and the next read drops the stale cache.
+        assert engine.evaluator._epoch != engine.index.epoch
+        engine.hits(0)
+        assert engine.evaluator._epoch == engine.index.epoch
 
 
 class TestMultiTargetFacade:

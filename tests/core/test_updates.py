@@ -191,6 +191,7 @@ class TestEvaluatorInvalidation:
 
         index = build(rng)
         evaluator = StrategyEvaluator(index)
+        index.subscribe_mutations(evaluator.invalidate)
         hooks_with_evaluator = len(index._mutation_hooks)
         del evaluator
         updates.add_query(index, rng.random(2), 2)  # must not crash

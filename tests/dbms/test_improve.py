@@ -181,3 +181,50 @@ class TestErrors:
         )
         result = db.execute("IMPROVE cameras TARGET WHERE rowid = 0 USING idx BUDGET 0")
         assert result.column("hits_before")[0] >= 2  # hits q1 and q2 already
+
+
+class TestExplainImprove:
+    def test_one_plan_row_per_target(self, db):
+        result = db.execute(
+            "EXPLAIN IMPROVE cameras TARGET WHERE rowid < 2 USING idx REACH 3"
+        )
+        assert result.columns[0] == "rowid"
+        assert result.column("rowid") == [0, 1]
+        assert result.column("kind") == ["min_cost", "min_cost"]
+        assert result.column("solver") == ["efficient", "efficient"]
+        assert result.status == "EXPLAIN IMPROVE 2"
+
+    def test_plan_fields_match_engine_explain(self, db):
+        from repro.core.plan import PLAN_FIELDS
+
+        result = db.execute(
+            "EXPLAIN IMPROVE cameras TARGET WHERE rowid = 0 USING idx REACH 3 "
+            "COST L1 METHOD rta ADJUST price BETWEEN -100 AND 0"
+        )
+        assert result.columns == ["rowid"] + list(PLAN_FIELDS)
+        assert result.column("solver") == ["rta"]
+        assert result.column("evaluator") == ["rta"]
+        assert result.column("sense") == ["max"]
+        # The index is max-sense, so EXPLAIN shows the internalized
+        # (negated) adjustment interval the solver actually receives.
+        assert result.column("space") == ["box(lower=[0, 0, 0], upper=[0, 0, 100])"]
+
+    def test_explain_does_not_execute(self, db):
+        before = db.execute("SELECT * FROM cameras").rows
+        db.execute(
+            "EXPLAIN IMPROVE cameras TARGET WHERE rowid = 0 USING idx BUDGET 10"
+        )
+        assert db.execute("SELECT * FROM cameras").rows == before
+
+    def test_explain_budget_kind(self, db):
+        result = db.execute(
+            "EXPLAIN IMPROVE cameras TARGET WHERE rowid = 0 USING idx BUDGET 10"
+        )
+        assert result.column("kind") == ["max_hit"]
+        assert result.column("goal") == ["10"]
+
+    def test_explain_validates_like_improve(self, db):
+        with pytest.raises(SQLCatalogError):
+            db.execute("EXPLAIN IMPROVE cameras TARGET WHERE rowid = 0 USING nope REACH 2")
+        with pytest.raises(SQLExecutionError):
+            db.execute("EXPLAIN IMPROVE cameras TARGET WHERE rowid = 99 USING idx REACH 2")

@@ -136,3 +136,18 @@ class TestScripts:
     def test_garbage(self):
         with pytest.raises(SQLSyntaxError):
             parse("FLY ME TO THE MOON")
+
+
+class TestExplain:
+    def test_explain_improve_wraps_statement(self):
+        stmt = parse("EXPLAIN IMPROVE cars TARGET WHERE rowid = 0 USING idx REACH 5")
+        assert isinstance(stmt, ast.ExplainImprove)
+        assert stmt.statement.reach == 5
+
+    def test_explain_requires_improve(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("EXPLAIN SELECT * FROM cars")
+
+    def test_explain_rejects_apply(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("EXPLAIN IMPROVE cars TARGET WHERE rowid = 0 USING idx REACH 5 APPLY")

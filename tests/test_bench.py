@@ -181,3 +181,95 @@ class TestFiguresTiny:
 
         table = x3_updates_ablation(config)
         assert len(table.rows) == 4
+
+
+class TestPlanMetadata:
+    def test_record_plan_serialized_when_set(self):
+        record = BenchRecord(
+            "fig7", "target=0", {}, 1.0, 0.5, plan={"kind": "min_cost"}
+        )
+        assert record.to_dict()["plan"] == {"kind": "min_cost"}
+        bare = BenchRecord("fig4", "|D|=10", {}, 1.0, 0.5)
+        assert "plan" not in bare.to_dict()
+
+    def test_fig7_records_carry_plans(self, tmp_path):
+        from repro.bench.regression import run_regression
+
+        payload = run_regression(smoke=True)
+        for record in payload["records"]:
+            if record["figure"] == "fig7":
+                plan = record["plan"]
+                assert plan["kind"] == "min_cost"
+                assert plan["solver"] == "efficient"
+                assert plan["evaluator"] == "ese"
+            else:
+                assert "plan" not in record
+
+
+class TestRegressionCheck:
+    def make_payload(self, median, scale="tiny"):
+        return {
+            "schema": "repro-bench-regression/1",
+            "scale": scale,
+            "summary": {"fig4": {"points": 1, "min_speedup": median,
+                                 "median_speedup": median, "max_speedup": median}},
+        }
+
+    def test_no_regression(self):
+        from repro.bench.regression import check_regression
+
+        assert check_regression(self.make_payload(10.0), self.make_payload(10.0)) == []
+        # Generous floor: half the baseline still passes.
+        assert check_regression(self.make_payload(5.1), self.make_payload(10.0)) == []
+
+    def test_regression_detected(self):
+        from repro.bench.regression import check_regression
+
+        problems = check_regression(self.make_payload(2.0), self.make_payload(10.0))
+        assert problems and "fig4" in problems[0]
+
+    def test_scale_mismatch_is_a_problem(self):
+        from repro.bench.regression import check_regression
+
+        problems = check_regression(
+            self.make_payload(10.0, scale="bench"), self.make_payload(10.0, scale="tiny")
+        )
+        assert problems and "scale mismatch" in problems[0]
+
+    def test_missing_figure_is_a_problem(self):
+        from repro.bench.regression import check_regression
+
+        run = self.make_payload(10.0)
+        baseline = self.make_payload(10.0)
+        baseline["summary"]["fig9"] = baseline["summary"]["fig4"]
+        problems = check_regression(run, baseline)
+        assert problems and "fig9" in problems[0]
+
+    def test_unknown_schema_rejected(self):
+        from repro.bench.regression import check_regression
+
+        baseline = self.make_payload(10.0)
+        baseline["schema"] = "something-else/9"
+        problems = check_regression(self.make_payload(10.0), baseline)
+        assert problems and "schema" in problems[0]
+
+    def test_cli_check_exit_codes(self, tmp_path, capsys):
+        from repro.bench.regression import main, run_regression
+
+        baseline_path = tmp_path / "BASE.json"
+        run_regression(smoke=True, out=str(baseline_path))
+        assert main(["--smoke", "--check", str(baseline_path)]) == 0
+        assert "no regression" in capsys.readouterr().out
+
+        # An impossible baseline forces the regression exit code.
+        inflated = json.loads(baseline_path.read_text())
+        for stats in inflated["summary"].values():
+            stats["median_speedup"] = 1e9
+        bad_path = tmp_path / "INFLATED.json"
+        bad_path.write_text(json.dumps(inflated))
+        assert main(["--smoke", "--check", str(bad_path)]) == 3
+
+    def test_cli_check_unreadable_baseline(self, tmp_path):
+        from repro.bench.regression import main
+
+        assert main(["--smoke", "--check", str(tmp_path / "missing.json")]) == 1

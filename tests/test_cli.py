@@ -125,3 +125,41 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestExplain:
+    def test_explain_prints_plan_without_running(self, market_files):
+        objects, queries = market_files
+        code, out = run(
+            ["explain", objects, queries, "--target", "3", "--reach", "5",
+             "--method", "rta"]
+        )
+        assert code == 0
+        assert "kind" in out and "min_cost" in out
+        assert "solver" in out and "rta" in out
+        assert "epoch" in out
+        assert "satisfied" not in out  # nothing executed
+
+    def test_explain_multiple_targets(self, market_files):
+        objects, queries = market_files
+        code, out = run(
+            ["explain", objects, queries, "--target", "0", "--target", "1",
+             "--budget", "0.5"]
+        )
+        assert code == 0
+        assert out.count("max_hit") == 2
+
+    def test_explain_shows_internalized_space(self, market_files):
+        objects, queries = market_files
+        code, out = run(
+            ["explain", objects, queries, "--target", "0", "--reach", "4",
+             "--adjust", "price:-1:0"]
+        )
+        assert code == 0
+        assert "box(" in out
+
+    def test_explain_rejects_unknown_method(self, market_files):
+        objects, queries = market_files
+        with pytest.raises(SystemExit):
+            run(["explain", objects, queries, "--target", "0", "--reach", "4",
+                 "--method", "quantum"])
