@@ -11,7 +11,7 @@ import sys
 from pathlib import Path
 from typing import IO
 
-import repro.analysis.rules  # noqa: F401  (registers RPR001-RPR005)
+import repro.analysis.rules  # noqa: F401  (registers RPR001-RPR007)
 from repro.analysis.framework import (
     LintConfig,
     lint_paths,
@@ -28,7 +28,7 @@ def build_parser() -> argparse.ArgumentParser:
     """The ``repro lint`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="Project-specific static analysis (rules RPR001-RPR005).",
+        description="Project-specific static analysis (rules RPR001-RPR007).",
     )
     parser.add_argument(
         "paths",

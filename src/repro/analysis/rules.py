@@ -1,4 +1,4 @@
-"""Project-specific lint rules RPR001-RPR006.
+"""Project-specific lint rules RPR001-RPR007.
 
 Each rule encodes a discipline the paper's correctness depends on; see
 DESIGN.md ("Static analysis") for the full catalog with rationale.
@@ -21,6 +21,7 @@ __all__ = [
     "MutableDefaultRule",
     "ParityCoverageRule",
     "SolverDispatchRule",
+    "ParallelImportRule",
     "PARITY_PAIRS",
 ]
 
@@ -390,3 +391,43 @@ class SolverDispatchRule(Rule):
                     f"direct call to solver function {name}(); dispatch "
                     f"through repro.core.solvers.get_solver(...) instead",
                 )
+
+
+@register_rule
+class ParallelImportRule(Rule):
+    """RPR007: process-pool primitives live only in ``repro/parallel/``.
+
+    ``multiprocessing`` and ``concurrent.futures`` carry sharp edges —
+    resource-tracker bookkeeping, start-method portability, pickling of
+    module globals — that ``repro.parallel`` centralizes (shared-memory
+    attach, worker-count resolution, fork-sharing an engine).  Any other
+    module importing them directly bypasses those guards; it must go
+    through the ``repro.parallel`` API instead.  Files whose path
+    contains a ``parallel`` component are exempt.
+    """
+
+    code = "RPR007"
+    title = "multiprocessing imported outside repro/parallel/"
+
+    _FORBIDDEN_ROOTS = frozenset({"multiprocessing", "concurrent"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield RPR007 findings: multiprocessing imports outside the layer."""
+        if "parallel" in ctx.path.resolve().parts:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+                names = [node.module]
+            else:
+                continue
+            for name in names:
+                if name.split(".")[0] in self._FORBIDDEN_ROOTS:
+                    yield ctx.finding(
+                        node,
+                        self,
+                        f"import of {name}: process-pool primitives are "
+                        f"owned by repro.parallel; use its pool/batch API "
+                        f"instead",
+                    )

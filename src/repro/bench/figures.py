@@ -30,6 +30,7 @@ from repro.data.synthetic import generate
 from repro.data.workloads import generate_queries
 from repro.index.dominant_graph import DominantGraph
 from repro.index.rtree import RTree
+from repro.parallel import IQRequest, resolve_workers, run_batch
 
 __all__ = [
     "fig4_indexing_objects",
@@ -192,8 +193,22 @@ def fig6_indexing_real(config: BenchConfig | None = None) -> TableResult:
 # ----------------------------------------------------------------------
 # Figures 7-12: IQ processing time and strategy quality
 # ----------------------------------------------------------------------
-def _run_schemes(dataset: Dataset, queries: QuerySet, config: BenchConfig):
-    """Average per-IQ time (ms) and cost-per-hit for each scheme."""
+def _run_schemes(
+    dataset: Dataset,
+    queries: QuerySet,
+    config: BenchConfig,
+    workers: int | None = None,
+):
+    """Average per-IQ time (ms) and cost-per-hit for each scheme.
+
+    With ``workers`` resolving to 2+ (argument or ``REPRO_WORKERS``),
+    each scheme's IQ sweep is evaluated through the
+    :func:`repro.parallel.batch.run_batch` driver instead of the serial
+    loop; reported times are then wall-clock-per-IQ of the batch.
+    """
+    pool_size = resolve_workers(workers)
+    if pool_size >= 2:
+        return _run_schemes_batch(dataset, queries, config, pool_size)
     index = SubdomainIndex(dataset, queries, mode=config.index_mode)
     ese = StrategyEvaluator(index)
     rta = RTAEvaluator(index)
@@ -249,7 +264,46 @@ def _run_schemes(dataset: Dataset, queries: QuerySet, config: BenchConfig):
     return times, qualities
 
 
-def _query_processing_table(title, axis_name, points, make_data, config, note):
+def _run_schemes_batch(
+    dataset: Dataset, queries: QuerySet, config: BenchConfig, workers: int
+):
+    """The parallel variant of :func:`_run_schemes`: same target pool and
+    schemes, each sweep submitted as one :func:`run_batch` call."""
+    from repro.core.engine import ImprovementQueryEngine
+
+    engine = ImprovementQueryEngine(dataset, queries, mode=config.index_mode)
+    rng = np.random.default_rng(config.seed + 7)
+    pool = rng.choice(dataset.n, size=min(dataset.n, 8 * config.iq_repeats), replace=False)
+    pool = sorted(pool, key=lambda t: engine.hits(int(t)))
+    targets = [int(t) for t in pool[: config.iq_repeats]]
+    tau = min(config.tau, queries.m)
+    methods = {
+        "Efficient-IQ": "efficient",
+        "RTA-IQ": "rta",
+        "Greedy": "greedy",
+        "Random": "random",
+    }
+    times = {}
+    qualities = {}
+    for scheme, method in methods.items():
+        options = (("seed", config.seed),) if method == "random" else ()
+        batch = [
+            IQRequest("min_cost", t, float(tau), method=method, options=options)
+            for t in targets
+        ] + [
+            IQRequest("max_hit", t, config.budget, method=method, options=options)
+            for t in targets
+        ]
+        results, seconds = time_call(run_batch, engine, batch, workers=workers)
+        times[scheme] = 1000.0 * seconds / len(batch)
+        finite = [r.cost_per_hit for r in results if np.isfinite(r.cost_per_hit)]
+        qualities[scheme] = float(np.mean(finite)) if finite else float("inf")
+    return times, qualities
+
+
+def _query_processing_table(
+    title, axis_name, points, make_data, config, note, workers=None
+):
     table = TableResult(
         title=title,
         columns=[axis_name]
@@ -259,7 +313,7 @@ def _query_processing_table(title, axis_name, points, make_data, config, note):
     )
     for value in points:
         dataset, queries = make_data(value)
-        times, qualities = _run_schemes(dataset, queries, config)
+        times, qualities = _run_schemes(dataset, queries, config, workers=workers)
         table.add(
             value,
             *[times[s] for s in SCHEMES],
@@ -276,7 +330,7 @@ _PROCESSING_NOTE = (
 
 
 def fig7_to_9_query_processing_objects(
-    kind: str, config: BenchConfig | None = None
+    kind: str, config: BenchConfig | None = None, workers: int | None = None
 ) -> TableResult:
     """Figures 7 (IN), 8 (CO), 9 (AC): sweep |D|."""
     config = config or load_config()
@@ -296,11 +350,12 @@ def fig7_to_9_query_processing_objects(
         make_data,
         config,
         _PROCESSING_NOTE,
+        workers=workers,
     )
 
 
 def fig10_to_11_query_processing_queries(
-    kind: str, config: BenchConfig | None = None
+    kind: str, config: BenchConfig | None = None, workers: int | None = None
 ) -> TableResult:
     """Figures 10 (UN), 11 (CL): sweep |Q|."""
     config = config or load_config()
@@ -320,10 +375,13 @@ def fig10_to_11_query_processing_queries(
         make_data,
         config,
         _PROCESSING_NOTE,
+        workers=workers,
     )
 
 
-def fig12_query_processing_real(config: BenchConfig | None = None) -> TableResult:
+def fig12_query_processing_real(
+    config: BenchConfig | None = None, workers: int | None = None
+) -> TableResult:
     """Figure 12: IQ processing time/quality on the simulated real datasets."""
     config = config or load_config()
     table = TableResult(
@@ -341,7 +399,7 @@ def fig12_query_processing_real(config: BenchConfig | None = None) -> TableResul
         dataset = make(config.real_sizes[name])
         m = max(10, int(dataset.n * config.real_query_fraction))
         queries = _queries("UN", m, dataset.dim, config)
-        times, qualities = _run_schemes(dataset, queries, config)
+        times, qualities = _run_schemes(dataset, queries, config, workers=workers)
         table.add(
             name,
             *[times[s] for s in SCHEMES],

@@ -14,7 +14,22 @@ of each optimized stage and records wall-clock plus speedup:
   ``method="auto"`` (batched closed form), per sampled target.  The two
   paths must agree on candidate ids, vectors, and costs.
 
-``run_regression`` drives all three and optionally writes a
+Three more figures cover the parallel execution layer (PR4), reusing
+the same record shape with *serial* in the ``literal_seconds`` slot and
+the optimized path in ``vectorized_seconds``:
+
+* **par_index** — serial vs worker-pool ``SubdomainIndex`` construction
+  at the fig7 configuration in ``mode="exact"`` (where construction is
+  the cost center), for each benched worker count; partitions must be
+  bit-for-bit identical.
+* **par_batch** — the fig7 IQ sweep evaluated serially vs through the
+  :func:`repro.parallel.batch.run_batch` driver against the shared
+  read-only index; per-request results must agree.
+* **persist** — a fresh ``mode="exact"`` build vs
+  :meth:`SubdomainIndex.load` of the saved ``.npz`` round-trip; the
+  restored index must serve identical answers.
+
+``run_regression`` drives all of them and optionally writes a
 ``BENCH_*.json`` file (schema documented in EXPERIMENTS.md).  The
 ``--smoke`` mode truncates every sweep and forces the tiny scale so CI
 can execute the whole harness in seconds.
@@ -25,6 +40,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
@@ -49,15 +66,22 @@ from repro.core.subdomain import SubdomainIndex
 from repro.data.synthetic import generate
 from repro.data.workloads import generate_queries
 from repro.errors import ReproError
+from repro.parallel import IQRequest, run_batch
 
 __all__ = [
     "bench_fig4_partition",
     "bench_fig5_partition",
     "bench_fig7_candidates",
+    "bench_par_index",
+    "bench_par_batch",
+    "bench_persist",
     "check_regression",
     "run_regression",
     "main",
 ]
+
+#: Default pool size for the parallel bench figures.
+DEFAULT_BENCH_WORKERS = 4
 
 #: A figure "regresses" when its median speedup falls below this
 #: fraction of the baseline's — generous, because the harness times
@@ -218,6 +242,167 @@ def bench_fig7_candidates(config: BenchConfig, targets: int | None = None) -> li
     return records
 
 
+def bench_par_index(
+    config: BenchConfig, workers: int = DEFAULT_BENCH_WORKERS
+) -> list[BenchRecord]:
+    """Parallel index construction: serial vs worker pool (fig7 config).
+
+    Runs in ``mode="exact"`` — the configuration where construction is
+    the cost center (the relevant-mode hyperplane budget is too small to
+    parallelize meaningfully).  One record per benched worker count,
+    each sharing the single serial reference timing; the worker count is
+    embedded in the record's plan metadata (``plan["workers"]``).
+    """
+    dataset, queries = _make_inputs(config.num_objects, config.num_queries, config)
+    serial, serial_seconds = time_call(SubdomainIndex, dataset, queries, mode="exact")
+    reference = _partition_fingerprint(serial)
+    cost = euclidean_cost(config.dimensions)
+    space = StrategySpace.unconstrained(config.dimensions)
+    tau = min(config.tau, queries.m)
+    solver = get_solver("efficient")
+    records = []
+    for count in sorted({2, workers}):
+        parallel, parallel_seconds = time_call(
+            SubdomainIndex, dataset, queries, mode="exact", workers=count
+        )
+        if _partition_fingerprint(parallel) != reference:
+            raise RegressionMismatch(
+                f"serial and parallel (workers={count}) partitions differ"
+            )
+        plan = build_plan(parallel, solver, "min_cost", 0, tau, cost, space)
+        del parallel  # keep the parent heap small before the next fork
+        records.append(
+            BenchRecord(
+                figure="par_index",
+                case=f"workers={count}",
+                config={
+                    "num_objects": config.num_objects,
+                    "num_queries": config.num_queries,
+                    "dimensions": config.dimensions,
+                    "index_mode": "exact",
+                    "workers": count,
+                    "seed": config.seed,
+                },
+                literal_seconds=serial_seconds,
+                vectorized_seconds=parallel_seconds,
+                plan=plan.to_dict(),
+            )
+        )
+    return records
+
+
+def bench_par_batch(
+    config: BenchConfig,
+    workers: int = DEFAULT_BENCH_WORKERS,
+    requests: int | None = None,
+) -> list[BenchRecord]:
+    """Batch IQ driver: serial loop vs fork pool on a shared index.
+
+    The fig7 IQ sweep shape: Min-Cost and Max-Hit calls over the
+    least-hit targets, one batch per worker count.  The engine is warmed
+    once (so every ranking prefix exists before either timed run, and
+    serial/parallel measure pure solve time), then the serial loop and
+    the pool evaluate identical request lists; per-request results must
+    agree on hits and cost.
+    """
+    from repro.core.engine import ImprovementQueryEngine
+
+    dataset, queries = _make_inputs(config.num_objects, config.num_queries, config)
+    # workers=0 pins the shared index to the serial reference build, so
+    # the records measure the batch driver alone even when REPRO_WORKERS
+    # is set in the environment.
+    engine = ImprovementQueryEngine(dataset, queries, mode=config.index_mode, workers=0)
+    rng = np.random.default_rng(config.seed + 7)
+    count = requests if requests else 4 * config.iq_repeats
+    pool = rng.choice(dataset.n, size=min(dataset.n, 8 * count), replace=False)
+    pool = sorted(pool, key=lambda t: engine.hits(int(t)))
+    targets = [int(t) for t in pool[:count]]
+    tau = min(config.tau, queries.m)
+    batch = [IQRequest("min_cost", t, float(tau)) for t in targets] + [
+        IQRequest("max_hit", t, config.budget) for t in targets
+    ]
+    run_batch(engine, batch, workers=0)  # warm-up: prefixes + caches
+    serial_results, serial_seconds = time_call(run_batch, engine, batch, workers=0)
+    solver = get_solver("efficient")
+    cost = euclidean_cost(config.dimensions)
+    space = StrategySpace.unconstrained(config.dimensions)
+    records = []
+    for pool_size in sorted({2, workers}):
+        parallel_results, parallel_seconds = time_call(
+            run_batch, engine, batch, workers=pool_size
+        )
+        for serial_result, parallel_result in zip(serial_results, parallel_results):
+            if not (
+                serial_result.hits_after == parallel_result.hits_after
+                and np.isclose(
+                    serial_result.total_cost,
+                    parallel_result.total_cost,
+                    atol=ATOL_PARITY,
+                )
+            ):
+                raise RegressionMismatch(
+                    f"serial and parallel batch results differ (workers={pool_size})"
+                )
+        plan = build_plan(
+            engine.index, solver, "min_cost", targets[0], tau, cost, space
+        )
+        records.append(
+            BenchRecord(
+                figure="par_batch",
+                case=f"workers={pool_size}",
+                config={
+                    "num_objects": config.num_objects,
+                    "num_queries": config.num_queries,
+                    "dimensions": config.dimensions,
+                    "index_mode": config.index_mode,
+                    "requests": len(batch),
+                    "workers": pool_size,
+                    "seed": config.seed,
+                },
+                literal_seconds=serial_seconds,
+                vectorized_seconds=parallel_seconds,
+                plan=plan.to_dict(),
+            )
+        )
+    return records
+
+
+def bench_persist(config: BenchConfig) -> list[BenchRecord]:
+    """Index persistence: fresh ``mode="exact"`` build vs npz reload.
+
+    Saves the built index, reloads it against the same inputs, verifies
+    the partitions and a probe object's hit count agree, and records
+    build time vs load time (the amortization repeated runs get).
+    """
+    dataset, queries = _make_inputs(config.num_objects, config.num_queries, config)
+    built, build_seconds = time_call(SubdomainIndex, dataset, queries, mode="exact")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench-index.npz"
+        built.save(path)
+        size_bytes = path.stat().st_size
+        loaded, load_seconds = time_call(SubdomainIndex.load, path, dataset, queries)
+    if _partition_fingerprint(built) != _partition_fingerprint(loaded):
+        raise RegressionMismatch("persisted index restored a different partition")
+    if built.hits(0) != loaded.hits(0):
+        raise RegressionMismatch("persisted index answers differ from the built index")
+    return [
+        BenchRecord(
+            figure="persist",
+            case="build-vs-load",
+            config={
+                "num_objects": config.num_objects,
+                "num_queries": config.num_queries,
+                "dimensions": config.dimensions,
+                "index_mode": "exact",
+                "file_bytes": int(size_bytes),
+                "seed": config.seed,
+            },
+            literal_seconds=build_seconds,
+            vectorized_seconds=load_seconds,
+        )
+    ]
+
+
 def check_regression(
     payload: dict, baseline: dict, min_ratio: float = CHECK_MIN_RATIO
 ) -> list[str]:
@@ -254,20 +439,31 @@ def check_regression(
 
 
 def run_regression(
-    scale: str | None = None, smoke: bool = False, out: str | None = None
+    scale: str | None = None,
+    smoke: bool = False,
+    out: str | None = None,
+    workers: int | None = None,
 ) -> dict:
-    """Run the full literal-vs-vectorized harness; returns the payload.
+    """Run the full serial-vs-optimized harness; returns the payload.
 
     ``smoke`` forces the tiny scale and truncates each sweep to its
     first two points / two targets (fast enough for CI); ``out`` writes
-    the JSON payload to the given path.
+    the JSON payload to the given path; ``workers`` sets the pool size
+    benched by the parallel figures (default
+    :data:`DEFAULT_BENCH_WORKERS`).
     """
     config = load_config("tiny" if smoke else scale)
     points = 2 if smoke else None
+    pool_size = workers if workers else DEFAULT_BENCH_WORKERS
     records = []
     records += bench_fig4_partition(config, points=points)
     records += bench_fig5_partition(config, points=points)
     records += bench_fig7_candidates(config, targets=points)
+    records += bench_par_index(config, workers=pool_size)
+    records += bench_par_batch(
+        config, workers=pool_size, requests=2 if smoke else None
+    )
+    records += bench_persist(config)
     if out:
         return write_bench_json(records, out, scale=config.name)
     return {
@@ -300,6 +496,16 @@ def main(argv=None) -> int:
         help="write the JSON payload to this path (e.g. BENCH_PR1.json)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "pool size benched by the parallel figures "
+            f"(default {DEFAULT_BENCH_WORKERS})"
+        ),
+    )
+    parser.add_argument(
         "--check",
         default=None,
         metavar="BASELINE",
@@ -322,7 +528,9 @@ def main(argv=None) -> int:
         if scale is None and not args.smoke:
             scale = baseline.get("scale")
     try:
-        payload = run_regression(scale=scale, smoke=args.smoke, out=args.out)
+        payload = run_regression(
+            scale=scale, smoke=args.smoke, out=args.out, workers=args.workers
+        )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

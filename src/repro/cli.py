@@ -41,6 +41,7 @@ from repro.core.engine import ImprovementQueryEngine
 from repro.core.queries import QuerySet
 from repro.core.solvers import registered_solvers
 from repro.core.strategy import StrategySpace
+from repro.core.subdomain import SubdomainIndex
 from repro.data.realworld import load_csv
 from repro.errors import ReproError, ValidationError
 
@@ -76,6 +77,17 @@ def build_parser() -> argparse.ArgumentParser:
                              help="bound a column's adjustment, e.g. price:-80:0")
         command.add_argument("--freeze", action="append", default=[], metavar="COL",
                              help="forbid adjusting a column")
+        add_index_arguments(command)
+
+    def add_index_arguments(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--workers", type=int, default=None, metavar="N",
+                             help="index-construction worker pool size "
+                                  "(default: REPRO_WORKERS env var, else serial)")
+        command.add_argument("--save-index", default=None, metavar="PATH",
+                             help="persist the built index to a .npz file")
+        command.add_argument("--load-index", default=None, metavar="PATH",
+                             help="restore a saved index instead of rebuilding "
+                                  "(fingerprints must match the CSVs)")
 
     improve = sub.add_parser("improve", help="run a Min-Cost or Max-Hit IQ")
     add_iq_arguments(improve)
@@ -90,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     hits.add_argument("queries")
     hits.add_argument("--sense", default="min", choices=["min", "max"])
     hits.add_argument("--top", type=int, default=10, help="rows to print")
+    add_index_arguments(hits)
 
     demo = sub.add_parser("demo", help="self-contained demo on generated data")
     demo.add_argument("--seed", type=int, default=0)
@@ -105,8 +118,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the JSON payload to this path (e.g. BENCH_PR1.json)")
     bench.add_argument("--check", default=None, metavar="BASELINE",
                        help="compare against a baseline BENCH_*.json; exit 3 on regression")
+    bench.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="pool size for the parallel bench figures (default 4)")
 
-    lint = sub.add_parser("lint", help="project static analysis (rules RPR001-RPR006)")
+    lint = sub.add_parser("lint", help="project static analysis (rules RPR001-RPR007)")
     lint.add_argument("paths", nargs="*", default=["src/repro"],
                       help="files or directories to lint (default: src/repro)")
     lint.add_argument("--format", choices=["human", "json"], default="human")
@@ -168,9 +183,23 @@ def _space(args, dataset) -> StrategySpace | None:
     return StrategySpace(dataset.dim, lower=lower, upper=upper)
 
 
+def _engine(args, dataset, queries) -> ImprovementQueryEngine:
+    """Build (or restore) the engine honoring the index CLI options."""
+    if getattr(args, "load_index", None):
+        index = SubdomainIndex.load(args.load_index, dataset, queries)
+        engine = ImprovementQueryEngine.from_index(index)
+    else:
+        engine = ImprovementQueryEngine(
+            dataset, queries, mode="relevant", workers=getattr(args, "workers", None)
+        )
+    if getattr(args, "save_index", None):
+        engine.index.save(args.save_index)
+    return engine
+
+
 def _cmd_improve(args, out) -> int:
     dataset, queries = _load(args.objects, args.queries, args.sense)
-    engine = ImprovementQueryEngine(dataset, queries, mode="relevant")
+    engine = _engine(args, dataset, queries)
     cost = _COSTS[args.cost](dataset.dim)
     space = _space(args, dataset)
     names = dataset.names or [f"col{j}" for j in range(dataset.dim)]
@@ -220,7 +249,7 @@ def _cmd_improve(args, out) -> int:
 
 def _cmd_explain(args, out) -> int:
     dataset, queries = _load(args.objects, args.queries, args.sense)
-    engine = ImprovementQueryEngine(dataset, queries, mode="relevant")
+    engine = _engine(args, dataset, queries)
     cost = _COSTS[args.cost](dataset.dim)
     space = _space(args, dataset)
     for i, target in enumerate(args.target):
@@ -240,7 +269,7 @@ def _cmd_explain(args, out) -> int:
 
 def _cmd_hits(args, out) -> int:
     dataset, queries = _load(args.objects, args.queries, args.sense)
-    engine = ImprovementQueryEngine(dataset, queries, mode="relevant")
+    engine = _engine(args, dataset, queries)
     counts = [(engine.hits(t), t) for t in range(dataset.n)]
     counts.sort(reverse=True)
     print(f"{'object':>8}  {'hits':>5}  of {queries.m} queries", file=out)
@@ -298,6 +327,8 @@ def main(argv=None, out=None) -> int:
                 bench_args += ["--out", args.out]
             if args.check:
                 bench_args += ["--check", args.check]
+            if args.workers is not None:
+                bench_args += ["--workers", str(args.workers)]
             return bench_main(bench_args)
         if args.command == "lint":
             from repro.analysis.cli import main as lint_main

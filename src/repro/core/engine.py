@@ -69,6 +69,12 @@ class ImprovementQueryEngine:
     mode, margin:
         Subdomain-index construction options (see
         :class:`~repro.core.subdomain.SubdomainIndex`).
+    workers:
+        Construction pool size (see
+        :class:`~repro.core.subdomain.SubdomainIndex`); ``None`` defers
+        to the ``REPRO_WORKERS`` environment variable, below 2 runs the
+        serial reference path.  Surfaced by :meth:`explain` as the
+        plan's ``workers`` field.
     """
 
     def __init__(
@@ -77,10 +83,23 @@ class ImprovementQueryEngine:
         queries: QuerySet,
         mode: str = "exact",
         margin: int = 2,
+        workers: int | None = None,
     ) -> None:
-        self.index = SubdomainIndex(dataset, queries, mode=mode, margin=margin)
+        self.index = SubdomainIndex(
+            dataset, queries, mode=mode, margin=margin, workers=workers
+        )
         self.evaluator = StrategyEvaluator(self.index)
         self._rta_evaluator: RTAEvaluator | None = None
+
+    @classmethod
+    def from_index(cls, index: SubdomainIndex) -> "ImprovementQueryEngine":
+        """Wrap an existing index (e.g. one restored by
+        :meth:`SubdomainIndex.load`) without rebuilding it."""
+        engine = cls.__new__(cls)
+        engine.index = index
+        engine.evaluator = StrategyEvaluator(index)
+        engine._rta_evaluator = None
+        return engine
 
     # ------------------------------------------------------------------
     @property

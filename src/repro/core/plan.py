@@ -42,6 +42,8 @@ PLAN_FIELDS = (
     "num_subdomains",
     "num_hyperplanes",
     "epoch",
+    "workers",
+    "index_memory",
     "candidate_method",
     "cost",
     "space",
@@ -70,6 +72,8 @@ class ExecutionPlan:
     num_subdomains: int = 0
     num_hyperplanes: int = 0
     epoch: int = 0  #: index epoch the plan was built against
+    workers: int = 0  #: construction pool size (0/1 = serial reference path)
+    index_memory: int = 0  #: index memory_estimate() in bytes at plan time
     cost: str = ""  #: internalized cost, rendered
     space: str = "unconstrained"  #: internalized strategy box, rendered
     notes: tuple[str, ...] = ()
@@ -101,6 +105,8 @@ class ExecutionPlan:
             "num_subdomains": self.num_subdomains,
             "num_hyperplanes": self.num_hyperplanes,
             "epoch": self.epoch,
+            "workers": self.workers,
+            "index_memory": self.index_memory,
             "candidate_method": self.candidate_method,
             "cost": self.cost,
             "space": self.space,
@@ -164,6 +170,8 @@ def build_plan(
         num_subdomains=index.num_subdomains,
         num_hyperplanes=index.num_hyperplanes,
         epoch=index.epoch,
+        workers=index.workers,
+        index_memory=index.memory_estimate(),
         cost=describe_cost(cost),
         space=describe_space(space),
         notes=tuple(notes),

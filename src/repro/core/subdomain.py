@@ -44,8 +44,10 @@ id.  Both are measure-zero events for continuous data.
 
 from __future__ import annotations
 
+import hashlib
 import weakref
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -58,8 +60,21 @@ from repro.geometry.arrangement import group_by_signature, signature_matrix
 from repro.geometry.hyperplane import EPS
 from repro.index.bloom import CountingBloomFilter
 from repro.index.rtree import RTree
+from repro.parallel.construction import parallel_partition
+from repro.parallel.pool import resolve_workers
 
-__all__ = ["Subdomain", "SubdomainIndex", "find_subdomains", "relevant_pairs"]
+__all__ = [
+    "Subdomain",
+    "SubdomainIndex",
+    "dataset_fingerprint",
+    "find_subdomains",
+    "queryset_fingerprint",
+    "relevant_pairs",
+]
+
+#: Schema tag written into every persisted index file; bumped whenever
+#: the on-disk layout changes so stale files fail loudly.
+INDEX_SCHEMA = "repro-subdomain-index/1"
 
 _MODES = ("exact", "relevant")
 _PARTITION_METHODS = ("vectorized", "literal")
@@ -84,6 +99,24 @@ class Subdomain:
     @property
     def size(self) -> int:
         return int(self.query_ids.shape[0])
+
+
+def dataset_fingerprint(dataset: Dataset) -> str:
+    """Content hash identifying a dataset (sense, shape, attributes)."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(dataset.sense.encode("utf-8"))
+    digest.update(repr(dataset.points.shape).encode("utf-8"))
+    digest.update(np.ascontiguousarray(dataset.points, dtype=float).tobytes())
+    return digest.hexdigest()
+
+
+def queryset_fingerprint(queries: QuerySet) -> str:
+    """Content hash identifying a workload (shape, weights, ks)."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(repr(queries.weights.shape).encode("utf-8"))
+    digest.update(np.ascontiguousarray(queries.weights, dtype=float).tobytes())
+    digest.update(np.ascontiguousarray(queries.ks, dtype=np.int64).tobytes())
+    return digest.hexdigest()
 
 
 def relevant_pairs(
@@ -211,6 +244,15 @@ class SubdomainIndex:
         :func:`find_subdomains` path builds the partition.  Both yield
         identical subdomains; the literal path exists as the executable
         specification and for benchmark baselines.
+    workers:
+        Worker-pool size for construction, resolved through
+        :func:`repro.parallel.pool.resolve_workers` (explicit argument >
+        ``REPRO_WORKERS`` environment variable > serial).  With 2 or
+        more workers the normals and the signature partition are built
+        by :func:`repro.parallel.construction.parallel_partition` —
+        bit-for-bit identical to the serial path, which stays the
+        default and the reference.  The literal partition method is
+        inherently sequential and always runs serial.
     """
 
     def __init__(
@@ -222,6 +264,7 @@ class SubdomainIndex:
         rtree_max_entries: int = 16,
         rtree_cls: type[RTree] = RTree,
         partition_method: str = "vectorized",
+        workers: int | None = None,
     ) -> None:
         if mode not in _MODES:
             raise ValidationError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -239,6 +282,9 @@ class SubdomainIndex:
         self.mode = mode
         self.margin = margin
         self.partition_method = partition_method
+        self.workers = resolve_workers(workers)
+        if partition_method == "literal":
+            self.workers = 0  # the literal BSP loop is the serial spec
         self.representative_evaluations = 0  #: full rankings computed so far
         self._mutation_hooks: list = []  #: weak refs to invalidation callbacks
         self._epoch = 0  #: bumped by every mutation (see :attr:`epoch`)
@@ -248,21 +294,30 @@ class SubdomainIndex:
             pairs = [(a, b) for a in range(dataset.n) for b in range(a + 1, dataset.n)]
         else:
             pairs = relevant_pairs(dataset, queries, margin)
-        self.pairs: list[tuple[int, int]] = []
-        rows = []
-        for a, b in pairs:
-            normal = matrix[a] - matrix[b]
-            if np.abs(normal).max(initial=0.0) <= EPS:
-                continue  # identical objects never switch rank
-            self.pairs.append((a, b))
-            rows.append(normal)
-        self.normals = (
-            np.vstack(rows) if rows else np.empty((0, dataset.dim), dtype=float)
-        )
+        groups: dict[bytes, np.ndarray] | None = None
+        if self.workers >= 2:
+            pair_array = np.asarray(pairs, dtype=np.intp).reshape(-1, 2)
+            keep_mask, self.normals, groups = parallel_partition(
+                matrix, pair_array, queries.weights, self.workers
+            )
+            self.pairs = [pairs[i] for i in np.flatnonzero(keep_mask)]
+        else:
+            self.pairs = []
+            rows = []
+            for a, b in pairs:
+                normal = matrix[a] - matrix[b]
+                if np.abs(normal).max(initial=0.0) <= EPS:
+                    continue  # identical objects never switch rank
+                self.pairs.append((a, b))
+                rows.append(normal)
+            self.normals = (
+                np.vstack(rows) if rows else np.empty((0, dataset.dim), dtype=float)
+            )
         self.pair_column = {pair: col for col, pair in enumerate(self.pairs)}
 
         self._rtree_cls = rtree_cls
-        self._build_partition()
+        self._rtree_max_entries = rtree_max_entries
+        self._build_partition(groups)
         self._build_rtree(rtree_max_entries)
         self._boundaries_ready = False
         self.bloom: CountingBloomFilter | None = None
@@ -270,21 +325,27 @@ class SubdomainIndex:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def _build_partition(self) -> None:
+    def _build_partition(self, groups: dict[bytes, np.ndarray] | None = None) -> None:
         # The full per-query signature matrix exists only while
         # grouping; the index at rest stores one signature per *cell*
         # plus a subdomain id per query — the paper's observation that
         # per-query storage is unnecessary ("mark this on the root-node
         # of the sub-tree instead of storing the same information for
-        # each query point").
-        if self.partition_method == "literal":
-            cells = find_subdomains(self.normals, self.queries.weights, method="literal")
-            groups = {
-                key: np.asarray(members, dtype=np.intp) for key, members in cells.items()
-            }
-        else:
-            signatures = signature_matrix(self.queries.weights, self.normals)
-            groups = group_by_signature(signatures)
+        # each query point").  A precomputed ``groups`` mapping (the
+        # merged output of the parallel construction) bypasses the
+        # serial signature pass.
+        if groups is None:
+            if self.partition_method == "literal":
+                cells = find_subdomains(
+                    self.normals, self.queries.weights, method="literal"
+                )
+                groups = {
+                    key: np.asarray(members, dtype=np.intp)
+                    for key, members in cells.items()
+                }
+            else:
+                signatures = signature_matrix(self.queries.weights, self.normals)
+                groups = group_by_signature(signatures)
         self.subdomains: list[Subdomain] = []
         self.subdomain_of = np.empty(self.queries.m, dtype=np.intp)
         for signature_key in sorted(groups):  # deterministic order
@@ -418,14 +479,168 @@ class SubdomainIndex:
         """Approximate index size in bytes (Figures 4-6 metric).
 
         One signature per populated cell, one subdomain id per query,
-        the lazily-evaluated ranking prefixes, and the query R-tree.
+        the lazily-evaluated ranking prefixes, the query R-tree, and the
+        boundary counting-bloom filter (zero until boundaries are first
+        registered — the filter is lazy).
         """
         signature_bytes = self.num_subdomains * self.num_hyperplanes
         prefix_bytes = sum(
             sub.prefix.size * 8 for sub in self.subdomains if sub.prefix is not None
         )
         structure = len(self.subdomains) * 96 + self.queries.m * 8
-        return self.rtree.memory_estimate() + signature_bytes + prefix_bytes + structure
+        bloom_bytes = self.bloom.memory_estimate() if self.bloom is not None else 0
+        return (
+            self.rtree.memory_estimate()
+            + signature_bytes
+            + prefix_bytes
+            + structure
+            + bloom_bytes
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: "str | Path") -> None:
+        """Persist the index to a versioned ``.npz`` file.
+
+        The file stores the partition (hyperplane pairs, normals, one
+        signature per cell, per-query subdomain ids, representatives),
+        every ranking prefix evaluated so far, the mutation epoch, and
+        content fingerprints of the dataset and the workload.
+        :meth:`load` validates the fingerprints, so a saved index can
+        never silently serve answers for different data.
+        """
+        path = Path(path)
+        h = self.num_hyperplanes
+        if self.subdomains:
+            signatures = np.frombuffer(
+                b"".join(sub.signature for sub in self.subdomains), dtype=np.int8
+            ).reshape(self.num_subdomains, h)
+        else:
+            signatures = np.empty((0, h), dtype=np.int8)
+        prefixes = [sub.prefix for sub in self.subdomains]
+        prefix_lengths = np.asarray(
+            [0 if p is None else p.shape[0] for p in prefixes], dtype=np.int64
+        )
+        evaluated = [p for p in prefixes if p is not None]
+        prefix_concat = (
+            np.concatenate(evaluated).astype(np.int64)
+            if evaluated
+            else np.empty(0, dtype=np.int64)
+        )
+        with open(path, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                schema=INDEX_SCHEMA,
+                mode=self.mode,
+                margin=np.int64(self.margin),
+                partition_method=self.partition_method,
+                rtree_max_entries=np.int64(self._rtree_max_entries),
+                epoch=np.int64(self._epoch),
+                pairs=np.asarray(self.pairs, dtype=np.int64).reshape(-1, 2),
+                normals=self.normals,
+                signatures=signatures,
+                subdomain_of=self.subdomain_of.astype(np.int64),
+                representatives=np.asarray(
+                    [sub.representative for sub in self.subdomains], dtype=np.int64
+                ),
+                prefix_lengths=prefix_lengths,
+                prefix_concat=prefix_concat,
+                dataset_fingerprint=dataset_fingerprint(self.dataset),
+                queries_fingerprint=queryset_fingerprint(self.queries),
+            )
+
+    @classmethod
+    def load(
+        cls, path: "str | Path", dataset: Dataset, queries: QuerySet
+    ) -> "SubdomainIndex":
+        """Restore a saved index against the *same* dataset and workload.
+
+        The stored fingerprints must match the provided ``dataset`` and
+        ``queries`` (a mismatch raises
+        :class:`~repro.errors.ValidationError`); the restored index
+        serves identical answers to the one that was saved, including
+        the already-evaluated ranking prefixes and the mutation epoch.
+        The R-tree is rebuilt by bulk load; boundary registration stays
+        lazy exactly as after a fresh construction.
+        """
+        path = Path(path)
+        if not path.exists():
+            raise ValidationError(f"no saved index at {path}")
+        with np.load(path, allow_pickle=False) as data:
+            schema = str(data["schema"][()])
+            if schema != INDEX_SCHEMA:
+                raise ValidationError(
+                    f"unsupported index schema {schema!r} (expected {INDEX_SCHEMA!r})"
+                )
+            if str(data["dataset_fingerprint"][()]) != dataset_fingerprint(dataset):
+                raise ValidationError(
+                    "saved index was built for a different dataset (fingerprint mismatch)"
+                )
+            if str(data["queries_fingerprint"][()]) != queryset_fingerprint(queries):
+                raise ValidationError(
+                    "saved index was built for a different workload (fingerprint mismatch)"
+                )
+            mode = str(data["mode"][()])
+            partition_method = str(data["partition_method"][()])
+            margin = int(data["margin"][()])
+            max_entries = int(data["rtree_max_entries"][()])
+            epoch = int(data["epoch"][()])
+            pairs = np.asarray(data["pairs"], dtype=np.intp)
+            normals = np.asarray(data["normals"], dtype=float)
+            signatures = np.asarray(data["signatures"], dtype=np.int8)
+            subdomain_of = np.asarray(data["subdomain_of"], dtype=np.intp)
+            representatives = np.asarray(data["representatives"], dtype=np.intp)
+            prefix_lengths = np.asarray(data["prefix_lengths"], dtype=np.intp)
+            prefix_concat = np.asarray(data["prefix_concat"], dtype=np.intp)
+        if mode not in _MODES or partition_method not in _PARTITION_METHODS:
+            raise ValidationError("saved index carries unknown mode/partition_method")
+
+        index = cls.__new__(cls)
+        index.dataset = dataset
+        index.queries = queries
+        index.mode = mode
+        index.margin = margin
+        index.partition_method = partition_method
+        index.workers = 0
+        index.representative_evaluations = 0
+        index._mutation_hooks = []
+        index._epoch = epoch
+        index.pairs = [(int(a), int(b)) for a, b in pairs]
+        index.normals = normals
+        index.pair_column = {pair: col for col, pair in enumerate(index.pairs)}
+        index.subdomain_of = subdomain_of
+        num_subdomains = signatures.shape[0]
+        # Stable argsort of the per-query subdomain ids reconstructs
+        # each cell's ascending member list without re-partitioning.
+        order = np.argsort(subdomain_of, kind="stable").astype(np.intp)
+        counts = np.bincount(subdomain_of, minlength=num_subdomains)
+        bounds = np.concatenate([[0], np.cumsum(counts)]).astype(np.intp)
+        prefix_starts = np.concatenate([[0], np.cumsum(prefix_lengths)]).astype(np.intp)
+        index.subdomains = []
+        for sid in range(num_subdomains):
+            length = int(prefix_lengths[sid]) if sid < prefix_lengths.shape[0] else 0
+            prefix = (
+                prefix_concat[prefix_starts[sid] : prefix_starts[sid] + length]
+                if length
+                else None
+            )
+            index.subdomains.append(
+                Subdomain(
+                    sid=sid,
+                    signature=signatures[sid].tobytes(),
+                    query_ids=order[bounds[sid] : bounds[sid + 1]],
+                    representative=int(representatives[sid]),
+                    prefix=prefix,
+                )
+            )
+        index._rtree_cls = RTree
+        index._rtree_max_entries = max_entries
+        index._build_rtree(max_entries)
+        index._boundaries_ready = False
+        index.bloom = None
+        index.validate()
+        return index
 
     # ------------------------------------------------------------------
     # Representative rankings

@@ -51,7 +51,9 @@ def signature_matrix(points: np.ndarray, normals: np.ndarray, tol: float = EPS) 
             f"dimension mismatch: points are {points.shape[1]}-D, normals {normals.shape[1]}-D"
         )
     values = points @ normals.T
-    return np.where(values <= tol, 1, -1).astype(np.int8)
+    # int8 scalars make np.where produce int8 directly — the (m, h)
+    # result never materializes at int64 width.
+    return np.where(values <= tol, np.int8(1), np.int8(-1))
 
 
 def group_by_signature(signatures: np.ndarray) -> dict[bytes, np.ndarray]:

@@ -71,6 +71,10 @@ class BloomFilter:
         fill = float(self._bits.mean())
         return fill**self.num_hashes
 
+    def memory_estimate(self) -> int:
+        """Approximate filter size in bytes (bit array + parameters)."""
+        return int(self._bits.nbytes) + 32
+
 
 class CountingBloomFilter(BloomFilter):
     """Bloom filter with 16-bit counters supporting removal."""
@@ -105,3 +109,7 @@ class CountingBloomFilter(BloomFilter):
     def estimated_false_positive_rate(self) -> float:
         fill = float((self._counters > 0).mean())
         return fill**self.num_hashes
+
+    def memory_estimate(self) -> int:
+        """Approximate filter size in bytes (counter array + parameters)."""
+        return int(self._counters.nbytes) + 32

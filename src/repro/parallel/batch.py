@@ -1,0 +1,141 @@
+"""The parallel batch IQ driver.
+
+The paper's experiment grids (fig. 7-9) evaluate *many* improvement
+queries against *one* index — many targets, or one target under a sweep
+of budgets/thresholds.  Each IQ only reads the index, so a batch
+parallelizes trivially once the index is shared.
+
+Sharing works by fork: the parent parks the engine and the request list
+in a module global and fork-starts the pool, so workers inherit the
+fully-built index through copy-on-write — no pickling of the index, the
+matrices, or the requests.  Only the request *index* travels to a
+worker and only the :class:`~repro.core.results.IQResult` travels back.
+On platforms without fork (or for fewer than two workers/requests) the
+driver degrades to the serial loop, which is also the reference the
+parity tests compare against.
+
+This module must not import :mod:`repro.core` at module level: the
+package ``__init__`` imports it, and :mod:`repro.core.subdomain` in
+turn imports :mod:`repro.parallel.construction` — engine-side imports
+happen lazily at call time instead.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ReproError, ValidationError
+from repro.parallel.pool import pool_start_method, resolve_workers
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.cost import CostFunction
+    from repro.core.engine import ImprovementQueryEngine
+    from repro.core.results import IQResult
+    from repro.core.strategy import StrategySpace
+
+__all__ = ["IQRequest", "run_batch"]
+
+
+@dataclass(frozen=True)
+class IQRequest:
+    """One improvement query of a batch.
+
+    ``goal`` is the kind-specific objective: the hit threshold ``tau``
+    for ``kind="min_cost"``, the cost budget for ``kind="max_hit"``.
+    ``options`` carries extra solver keyword arguments as key/value
+    pairs (a tuple so requests stay hashable).
+    """
+
+    kind: str  #: "min_cost" | "max_hit"
+    target: int  #: object to improve
+    goal: float  #: tau (min_cost) or budget (max_hit)
+    method: str = "efficient"  #: solver registry name
+    cost: "CostFunction | None" = None
+    space: "StrategySpace | None" = None
+    options: tuple[tuple[str, object], ...] = ()
+
+
+#: Fork-shared state: ``(engine, requests)`` parked here just before the
+#: pool starts so children inherit the read-only index copy-on-write.
+_SHARED: "tuple[ImprovementQueryEngine, tuple[IQRequest, ...]] | None" = None
+
+
+def _run_one(engine: "ImprovementQueryEngine", request: IQRequest) -> "IQResult":
+    """Execute one request against the engine (serial and worker path)."""
+    kwargs = dict(request.options)
+    if request.kind == "min_cost":
+        return engine.min_cost(
+            request.target,
+            int(request.goal),
+            cost=request.cost,
+            space=request.space,
+            method=request.method,
+            **kwargs,
+        )
+    return engine.max_hit(
+        request.target,
+        float(request.goal),
+        cost=request.cost,
+        space=request.space,
+        method=request.method,
+        **kwargs,
+    )
+
+
+def _batch_worker(index: int) -> "IQResult":
+    """Worker task: run the index-th request of the fork-shared batch."""
+    if _SHARED is None:
+        raise ReproError("batch worker started without fork-shared state")
+    engine, requests = _SHARED
+    return _run_one(engine, requests[index])
+
+
+def _validate_requests(requests: tuple[IQRequest, ...]) -> None:
+    from repro.core.solvers import QUERY_KINDS, get_solver
+
+    for request in requests:
+        if request.kind not in QUERY_KINDS:
+            raise ValidationError(
+                f"request kind must be one of {QUERY_KINDS}, got {request.kind!r}"
+            )
+        get_solver(request.method)  # unknown methods fail before the pool starts
+
+
+def run_batch(
+    engine: "ImprovementQueryEngine",
+    requests: "Sequence[IQRequest]",
+    workers: int | None = None,
+) -> "list[IQResult]":
+    """Evaluate a batch of improvement queries, results in request order.
+
+    ``workers`` resolves through
+    :func:`~repro.parallel.pool.resolve_workers` (argument >
+    ``REPRO_WORKERS`` > serial).  With fewer than two workers or
+    requests, or without the fork start method, the batch runs as the
+    serial reference loop; otherwise the engine is shared with a
+    fork-based pool copy-on-write and requests are evaluated
+    concurrently.  The index must not be mutated while a batch runs.
+    """
+    global _SHARED
+    batch = tuple(requests)
+    _validate_requests(batch)
+    count = resolve_workers(workers)
+    if count < 2 or len(batch) < 2 or pool_start_method() != "fork":
+        return [_run_one(engine, request) for request in batch]
+    if _SHARED is not None:
+        raise ReproError("run_batch is not reentrant: a batch is already running")
+    # Build lazily-constructed engine state the workers would otherwise
+    # each rebuild: representative prefixes are filled on first use, so
+    # touching nothing here is fine — CoW shares whatever exists now.
+    _SHARED = (engine, batch)
+    try:
+        context = get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=min(count, len(batch)), mp_context=context
+        ) as executor:
+            return list(executor.map(_batch_worker, range(len(batch))))
+    finally:
+        _SHARED = None

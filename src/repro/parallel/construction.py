@@ -1,0 +1,212 @@
+"""Multiprocess subdomain-partition construction.
+
+The two expensive stages of building the subdomain index (paper §4.1,
+Algorithm 1) are embarrassingly parallel over independent chunks:
+
+* **normals** — each hyperplane normal ``p_a - p_b`` depends on one
+  object pair only, so the pair list is chunked across workers;
+* **signatures** — each query point's sign vector depends on that point
+  and the full normal set only, so the query rows are chunked across
+  workers, each computing a *partial* signature matrix with the serial
+  :func:`~repro.geometry.arrangement.signature_matrix` helper and
+  grouping its rows locally (by raw signature bytes — the structured
+  ``np.unique(axis=0)`` the serial path uses costs seconds *per call*
+  at exact-mode hyperplane counts, which a per-chunk worker cannot
+  amortize).
+
+The object matrix ``D``, the pair list, and the query weights ``Q``
+travel to workers through :mod:`multiprocessing.shared_memory` (see
+:mod:`repro.parallel.shm`) — the matrices are never pickled.  The
+parent merges the per-chunk groups by signature key, offsetting local
+row indices by the chunk start; chunks are contiguous and merged in
+ascending order, so the global member lists come out ascending exactly
+like the serial :func:`~repro.geometry.arrangement.group_by_signature`
+output.  The serial path remains the reference: the parity tests assert
+the merged partition is bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.geometry.arrangement import signature_matrix
+from repro.geometry.hyperplane import EPS
+from repro.parallel.pool import pool_start_method
+from repro.parallel.shm import ArraySpec, SharedArrayStore, attach_array, chunk_bounds
+
+__all__ = ["parallel_partition"]
+
+#: Worker-process registry of the base shared arrays, installed by the
+#: pool initializer (module-level so spawn-started workers work too).
+_WORKER_ARRAYS: dict[str, np.ndarray] = {}
+
+
+def _init_worker(specs: dict[str, ArraySpec]) -> None:
+    """Pool initializer: map the parent's shared arrays into this worker."""
+    for key, spec in specs.items():
+        _WORKER_ARRAYS[key] = attach_array(spec)
+
+
+def _normals_task(task: tuple[int, int, float]) -> tuple[int, np.ndarray, np.ndarray]:
+    """Phase A: normals + degenerate-pair mask for one pair chunk.
+
+    Returns ``(start, keep_mask, kept_normals)`` where ``keep_mask``
+    marks pairs whose normal is non-degenerate — the same
+    ``|n|_inf > EPS`` test the serial constructor applies pair by pair.
+    """
+    start, stop, tol = task
+    matrix = _WORKER_ARRAYS["matrix"]
+    pairs = _WORKER_ARRAYS["pairs"]
+    chunk = pairs[start:stop]
+    normals = matrix[chunk[:, 0]] - matrix[chunk[:, 1]]
+    keep = np.abs(normals).max(axis=1, initial=0.0) > tol
+    return start, keep, normals[keep]
+
+
+def _group_rows(signatures: np.ndarray) -> dict[bytes, np.ndarray]:
+    """Group identical signature rows by their raw bytes.
+
+    Content-identical to
+    :func:`~repro.geometry.arrangement.group_by_signature` (same keys,
+    same ascending member arrays) but keyed by a plain bytes hash per
+    row instead of a structured ``np.unique(axis=0)``, whose fixed
+    per-call cost at exact-mode hyperplane counts (one dtype field per
+    column) is what a per-chunk worker cannot amortize.  Key *order*
+    differs (first occurrence vs lexicographic); the parent merge is
+    keyed by signature bytes and never depends on it.
+    """
+    rows = np.ascontiguousarray(signatures)
+    count = rows.shape[0]
+    if count == 0:
+        return {}
+    if rows.shape[1] == 0:
+        return {b"": np.arange(count, dtype=np.intp)}
+    stride = rows.shape[1] * rows.itemsize
+    data = rows.tobytes()
+    buckets: dict[bytes, list[int]] = {}
+    for i in range(count):
+        buckets.setdefault(data[i * stride : (i + 1) * stride], []).append(i)
+    return {
+        key: np.asarray(members, dtype=np.intp) for key, members in buckets.items()
+    }
+
+
+def _signature_task(
+    task: tuple[int, int, float, ArraySpec]
+) -> tuple[int, dict[bytes, np.ndarray]]:
+    """Phase B: partial signature partition for one query-row chunk.
+
+    Uses the serial :func:`signature_matrix` helper on the chunk's rows
+    against the full shared normal set (so per-element signs match the
+    serial path exactly) and groups them with :func:`_group_rows`.
+    """
+    start, stop, tol, normals_spec = task
+    weights = _WORKER_ARRAYS["weights"]
+    normals = attach_array(normals_spec)  # cached across tasks per worker
+    signatures = signature_matrix(weights[start:stop], normals, tol=tol)
+    return start, _group_rows(signatures)
+
+
+def parallel_partition(
+    matrix: np.ndarray,
+    pair_array: np.ndarray,
+    weights: np.ndarray,
+    workers: int,
+    tol: float = EPS,
+) -> tuple[np.ndarray, np.ndarray, dict[bytes, np.ndarray]]:
+    """Build the signature partition across a worker pool.
+
+    Parameters
+    ----------
+    matrix:
+        ``(n, d)`` object attribute matrix ``D``.
+    pair_array:
+        ``(p, 2)`` candidate object pairs (serial pair order).
+    weights:
+        ``(m, d)`` query weight matrix ``Q``.
+    workers:
+        Pool size; must be at least 2 (callers route smaller counts to
+        the serial path via :func:`~repro.parallel.pool.resolve_workers`).
+    tol:
+        Hyperplane side tolerance (the project-wide ``EPS``).
+
+    Returns
+    -------
+    ``(keep_mask, normals, groups)`` — the boolean mask of
+    non-degenerate pairs over ``pair_array`` rows, the ``(h, d)`` kept
+    normals in pair order, and the signature-bytes → ascending member
+    array mapping, all bit-for-bit identical to the serial construction.
+    """
+    workers = int(workers)
+    if workers < 2:
+        raise ValidationError(f"parallel_partition needs workers >= 2, got {workers}")
+    matrix = np.ascontiguousarray(np.atleast_2d(np.asarray(matrix, dtype=float)))
+    weights = np.ascontiguousarray(np.atleast_2d(np.asarray(weights, dtype=float)))
+    pair_array = np.ascontiguousarray(
+        np.asarray(pair_array, dtype=np.intp).reshape(-1, 2)
+    )
+    if matrix.shape[1] != weights.shape[1]:
+        raise ValidationError(
+            f"dimension mismatch: objects are {matrix.shape[1]}-D, "
+            f"queries {weights.shape[1]}-D"
+        )
+    if pair_array.size and int(pair_array.max(initial=0)) >= matrix.shape[0]:
+        raise ValidationError("pair_array references objects beyond the matrix")
+
+    num_pairs = pair_array.shape[0]
+    num_queries = weights.shape[0]
+    keep_mask = np.zeros(num_pairs, dtype=bool)
+    merged: dict[bytes, list[np.ndarray]] = {}
+    context = get_context(pool_start_method())
+    with SharedArrayStore() as store:
+        specs = {
+            "matrix": store.share(matrix),
+            "pairs": store.share(pair_array),
+            "weights": store.share(weights),
+        }
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(specs,),
+        ) as executor:
+            # Phase A: normals per pair chunk (ascending chunk starts).
+            normal_tasks = [
+                (start, stop, tol) for start, stop in chunk_bounds(num_pairs, workers)
+            ]
+            chunks: list[tuple[int, np.ndarray]] = []
+            for start, keep, kept in executor.map(_normals_task, normal_tasks):
+                keep_mask[start : start + keep.shape[0]] = keep
+                chunks.append((start, kept))
+            chunks.sort(key=lambda item: item[0])
+            rows = [kept for __, kept in chunks if kept.shape[0]]
+            normals = (
+                np.vstack(rows)
+                if rows
+                else np.empty((0, matrix.shape[1]), dtype=float)
+            )
+
+            # Phase B: partial partitions per query chunk, against the
+            # full normal set shared through the same store.
+            normals_spec = store.share(normals)
+            signature_tasks = [
+                (start, stop, tol, normals_spec)
+                for start, stop in chunk_bounds(num_queries, workers)
+            ]
+            partials = sorted(
+                executor.map(_signature_task, signature_tasks),
+                key=lambda item: item[0],
+            )
+            for start, groups in partials:
+                for key, members in groups.items():
+                    merged.setdefault(key, []).append(members + start)
+
+    merged_groups = {
+        key: np.concatenate(parts).astype(np.intp, copy=False)
+        for key, parts in merged.items()
+    }
+    return keep_mask, normals, merged_groups

@@ -1,0 +1,62 @@
+"""Worker-count resolution and pool/start-method helpers.
+
+Every parallel entry point resolves its worker count through
+:func:`resolve_workers` so the precedence is uniform project-wide: an
+explicit ``workers=`` argument wins, the ``REPRO_WORKERS`` environment
+variable is the ambient default, and anything below 2 selects the
+serial reference path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.errors import ValidationError
+
+__all__ = ["WORKERS_ENV", "pool_start_method", "resolve_workers"]
+
+#: Environment variable consulted when no explicit ``workers=`` is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve the effective worker count.
+
+    Precedence: explicit argument > ``REPRO_WORKERS`` env var > 0
+    (serial).  Counts below 2 mean "run the serial reference path";
+    negative counts and unparsable env values raise
+    :class:`~repro.errors.ValidationError`.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 0
+        try:
+            workers = int(raw)
+        except ValueError as exc:
+            raise ValidationError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from exc
+    else:
+        try:
+            workers = int(workers)
+        except (TypeError, ValueError) as exc:
+            raise ValidationError(f"workers must be an integer, got {workers!r}") from exc
+    if workers < 0:
+        raise ValidationError(f"workers must be non-negative, got {workers}")
+    return workers
+
+
+def pool_start_method() -> str:
+    """The start method pools use: ``fork`` when available, else default.
+
+    Fork keeps worker startup cheap and lets the batch driver share the
+    engine by copy-on-write; on platforms without it (Windows, some
+    macOS configs) the platform default is used and all task state must
+    travel through explicit shared memory or pickling.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return "fork"
+    return multiprocessing.get_start_method(allow_none=False)

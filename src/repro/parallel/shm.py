@@ -1,0 +1,129 @@
+"""Shared-memory array plumbing for the worker pool.
+
+The parent exports read-only numpy arrays into named
+:class:`multiprocessing.shared_memory.SharedMemory` segments and hands
+workers only the tiny :class:`ArraySpec` descriptors; workers re-map the
+same physical pages instead of unpickling array copies.  This is what
+lets index construction ship the object matrix ``D`` and the query
+weights ``Q`` to every worker for the cost of an ``mmap``.
+
+Lifecycle rules (the part that is easy to get wrong):
+
+* the parent owns every segment it created — :class:`SharedArrayStore`
+  is a context manager that closes *and unlinks* them on exit;
+* workers only ever *attach*.  Attached segments are deregistered from
+  the per-process ``resource_tracker`` (or opened with ``track=False``
+  on Python 3.13+) so a worker exiting cannot tear down segments the
+  parent still uses — the long-standing CPython pitfall bpo-38119.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["ArraySpec", "SharedArrayStore", "attach_array"]
+
+#: Worker-side registry of attached segments.  Segments must outlive the
+#: arrays mapped onto their buffers, so attachments are cached per name
+#: for the lifetime of the worker process (pools are short-lived).
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Pickle-friendly descriptor of one shared array (not its data)."""
+
+    name: str  #: shared-memory segment name
+    shape: tuple[int, ...]
+    dtype: str  #: numpy dtype string, e.g. ``"<f8"``
+
+
+class SharedArrayStore:
+    """Parent-side owner of shared-memory segments (context manager).
+
+    ``share(array)`` copies the array into a fresh segment and returns
+    the :class:`ArraySpec` workers use to attach; ``close()`` (or
+    leaving the ``with`` block) closes and unlinks every segment the
+    store created.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+
+    def share(self, array: np.ndarray) -> ArraySpec:
+        """Export one array into a new shared segment."""
+        array = np.ascontiguousarray(array)
+        segment = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+        self._segments.append(segment)
+        if array.nbytes:
+            view: np.ndarray = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+            view[...] = array
+        return ArraySpec(segment.name, tuple(array.shape), array.dtype.str)
+
+    def close(self) -> None:
+        """Close and unlink every segment this store created."""
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+        self._segments = []
+
+    def __enter__(self) -> "SharedArrayStore":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting ownership."""
+    try:
+        # Python 3.13+: never register with the resource tracker.
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        # Older Pythons register attachments with the resource tracker
+        # exactly like creations (bpo-38119), which double-books the
+        # segment: fork-pool workers share the parent's tracker, so the
+        # spurious registration (or un-registering it) desyncs the
+        # tracker from the parent's own create/unlink bookkeeping.
+        # Suppress registration for the attach only.
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register  # type: ignore[assignment]
+
+
+def attach_array(spec: ArraySpec) -> np.ndarray:
+    """Map a shared segment as a read-only ndarray (worker side, cached)."""
+    cached = _ATTACHED.get(spec.name)
+    if cached is not None:
+        return cached[1]
+    if any(side < 0 for side in spec.shape):
+        raise ValidationError(f"invalid shared-array shape {spec.shape}")
+    segment = _attach_segment(spec.name)
+    array: np.ndarray = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf)
+    array.setflags(write=False)
+    _ATTACHED[spec.name] = (segment, array)
+    return array
+
+
+def chunk_bounds(total: int, chunks: int) -> Iterator[tuple[int, int]]:
+    """Split ``range(total)`` into at most ``chunks`` contiguous slices."""
+    if total <= 0:
+        return
+    if chunks < 1:
+        raise ValidationError(f"chunks must be positive, got {chunks}")
+    step = -(-total // chunks)  # ceil division: balanced, order-preserving
+    for start in range(0, total, step):
+        yield start, min(total, start + step)

@@ -310,6 +310,55 @@ class TestSolverDispatch:
 
 
 # ----------------------------------------------------------------------
+# RPR007: multiprocessing stays inside repro/parallel/
+# ----------------------------------------------------------------------
+class TestParallelImport:
+    def test_triggers_on_multiprocessing_import(self, tmp_path):
+        findings = lint_source(
+            tmp_path, "import multiprocessing\n", select=frozenset({"RPR007"})
+        )
+        assert codes(findings) == ["RPR007"]
+        assert "repro.parallel" in findings[0].message
+
+    def test_triggers_on_submodule_and_from_imports(self, tmp_path):
+        source = """\
+        import concurrent.futures
+        from multiprocessing import shared_memory
+        from concurrent.futures import ProcessPoolExecutor
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR007"}))
+        assert codes(findings) == ["RPR007"]
+        assert len(findings) == 3
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import multiprocessing  # repro: noqa[RPR007]\n",
+            select=frozenset({"RPR007"}),
+        )
+        assert findings == []
+
+    def test_parallel_package_is_exempt(self, tmp_path):
+        package = tmp_path / "parallel"
+        package.mkdir()
+        findings = lint_source(
+            package,
+            "from concurrent.futures import ProcessPoolExecutor\n",
+            name="pool.py",
+            select=frozenset({"RPR007"}),
+        )
+        assert findings == []
+
+    def test_importing_the_layer_api_is_fine(self, tmp_path):
+        source = """\
+        from repro.parallel import run_batch, resolve_workers
+        import concurrentmap  # unrelated root sharing a prefix
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR007"}))
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # Framework behaviour
 # ----------------------------------------------------------------------
 class TestFramework:

@@ -62,10 +62,14 @@ class TestExplain:
     def test_matches_executed_call(self, engine):
         # An executed call runs exactly the plan explain reports: same
         # args produce the same plan fields before and after execution.
+        # index_memory is a live snapshot and may grow as execution
+        # evaluates ranking prefixes lazily; everything else is stable.
         plan_before = engine.explain(0, tau=5, method="greedy")
         engine.min_cost(0, tau=5, method="greedy")
         plan_after = engine.explain(0, tau=5, method="greedy")
-        assert plan_before.to_dict() == plan_after.to_dict()
+        before, after = plan_before.to_dict(), plan_after.to_dict()
+        assert after.pop("index_memory") >= before.pop("index_memory")
+        assert before == after
 
     def test_replanning_after_mutation_moves_epoch(self, engine, rng):
         old = engine.explain(0, tau=5)

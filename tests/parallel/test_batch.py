@@ -1,0 +1,102 @@
+"""The parallel batch driver must reproduce the serial loop exactly."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ImprovementQueryEngine
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.errors import ReproError, ValidationError
+from repro.parallel import IQRequest, run_batch
+from repro.parallel import batch as batch_module
+
+
+@pytest.fixture
+def engine(small_market):
+    objects, queries, ks = small_market
+    return ImprovementQueryEngine(Dataset(objects), QuerySet(queries, ks))
+
+
+def requests_for(engine, count=6):
+    targets = range(min(count, engine.dataset.n))
+    return [IQRequest("min_cost", t, 5.0) for t in targets] + [
+        IQRequest("max_hit", t, 0.8) for t in targets
+    ]
+
+
+def assert_results_match(serial, parallel):
+    assert len(serial) == len(parallel)
+    for ours, theirs in zip(serial, parallel):
+        assert ours.hits_after == theirs.hits_after
+        assert ours.total_cost == pytest.approx(theirs.total_cost)
+        assert np.allclose(ours.strategy.vector, theirs.strategy.vector)
+
+
+class TestParity:
+    def test_parallel_matches_serial_loop(self, engine):
+        batch = requests_for(engine)
+        serial = run_batch(engine, batch, workers=0)
+        parallel = run_batch(engine, batch, workers=2)
+        assert_results_match(serial, parallel)
+
+    def test_matches_direct_engine_calls(self, engine):
+        batch = [IQRequest("min_cost", 0, 5.0), IQRequest("max_hit", 1, 0.5)]
+        results = run_batch(engine, batch, workers=2)
+        direct_min = engine.min_cost(0, tau=5)
+        direct_max = engine.max_hit(1, budget=0.5)
+        assert results[0].hits_after == direct_min.hits_after
+        assert results[0].total_cost == pytest.approx(direct_min.total_cost)
+        assert results[1].hits_after == direct_max.hits_after
+
+    def test_methods_and_options_pass_through(self, engine):
+        batch = [
+            IQRequest("min_cost", 0, 5.0, method="greedy"),
+            IQRequest("max_hit", 1, 0.8, method="random", options=(("seed", 7),)),
+        ]
+        serial = run_batch(engine, batch, workers=0)
+        parallel = run_batch(engine, batch, workers=2)
+        assert_results_match(serial, parallel)
+        direct = engine.max_hit(1, budget=0.8, method="random", seed=7)
+        assert serial[1].hits_after == direct.hits_after
+
+
+class TestDispatch:
+    def test_results_in_request_order(self, engine):
+        batch = requests_for(engine)
+        results = run_batch(engine, batch, workers=3)
+        for request, result in zip(batch, results):
+            if request.kind == "min_cost":
+                assert result.hits_after >= request.goal or not result.satisfied
+
+    def test_empty_batch(self, engine):
+        assert run_batch(engine, [], workers=4) == []
+
+    def test_single_request_runs_serially(self, engine):
+        results = run_batch(engine, [IQRequest("min_cost", 0, 5.0)], workers=4)
+        assert len(results) == 1
+
+    def test_env_variable_selects_workers(self, engine, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        batch = requests_for(engine, count=2)
+        serial = run_batch(engine, batch, workers=0)
+        from_env = run_batch(engine, batch)
+        assert_results_match(serial, from_env)
+
+
+class TestValidation:
+    def test_unknown_kind_rejected_before_pool(self, engine):
+        with pytest.raises(ValidationError, match="kind"):
+            run_batch(engine, [IQRequest("median", 0, 5.0)], workers=2)
+
+    def test_unknown_method_rejected_before_pool(self, engine):
+        with pytest.raises(ValidationError):
+            run_batch(
+                engine,
+                [IQRequest("min_cost", 0, 5.0, method="quantum")] * 2,
+                workers=2,
+            )
+
+    def test_not_reentrant(self, engine, monkeypatch):
+        monkeypatch.setattr(batch_module, "_SHARED", (engine, ()))
+        with pytest.raises(ReproError, match="reentrant"):
+            run_batch(engine, requests_for(engine, count=2), workers=2)

@@ -1,0 +1,154 @@
+"""Parallel index construction must match the serial paths bit-for-bit."""
+
+import numpy as np
+import pytest
+
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.core.subdomain import SubdomainIndex, find_subdomains
+from repro.errors import ValidationError
+from repro.geometry.arrangement import group_by_signature, signature_matrix
+from repro.parallel.construction import _group_rows, parallel_partition
+
+
+def partition(index):
+    """Order-independent (signature, members) view of an index partition."""
+    return sorted((s.signature, s.query_ids.tolist()) for s in index.subdomains)
+
+
+def market(rng, n=25, m=30, d=3):
+    objects = rng.random((n, d))
+    weights = rng.random((m, d))
+    ks = rng.integers(1, 5, size=m)
+    return Dataset(objects), QuerySet(weights, ks)
+
+
+class TestIndexParity:
+    @pytest.mark.parametrize("mode", ["exact", "relevant"])
+    def test_parallel_matches_literal_and_vectorized(self, rng, mode):
+        # The three construction paths — literal BSP loop, vectorized
+        # sign-matrix, worker pool — must produce the identical
+        # partition in BOTH index modes.
+        dataset, queries = market(rng)
+        literal = SubdomainIndex(
+            dataset, queries, mode=mode, partition_method="literal"
+        )
+        vectorized = SubdomainIndex(dataset, queries, mode=mode)
+        reference = partition(literal)
+        assert partition(vectorized) == reference
+        for workers in (2, 3):
+            parallel = SubdomainIndex(dataset, queries, mode=mode, workers=workers)
+            assert partition(parallel) == reference
+            assert parallel.workers == workers
+            assert [tuple(p) for p in parallel.pairs] == [
+                tuple(p) for p in vectorized.pairs
+            ]
+            assert np.array_equal(parallel.normals, vectorized.normals)
+
+    @pytest.mark.parametrize("mode", ["exact", "relevant"])
+    def test_parallel_hits_match_serial(self, rng, mode):
+        dataset, queries = market(rng)
+        serial = SubdomainIndex(dataset, queries, mode=mode)
+        parallel = SubdomainIndex(dataset, queries, mode=mode, workers=2)
+        for target in range(dataset.n):
+            assert serial.hits(target) == parallel.hits(target)
+
+    def test_relevant_mode_literal_matches_vectorized_partition(self, rng):
+        # The mode="relevant" pair subset runs through the same
+        # partition machinery; the literal find_subdomains BSP over the
+        # relevant normals must agree with the vectorized grouping.
+        dataset, queries = market(rng, n=40)
+        index = SubdomainIndex(dataset, queries, mode="relevant")
+        literal = find_subdomains(
+            index.normals, queries.weights, method="literal"
+        )
+        vectorized = find_subdomains(
+            index.normals, queries.weights, method="vectorized"
+        )
+        assert {k: sorted(v) for k, v in literal.items()} == {
+            k: sorted(v) for k, v in vectorized.items()
+        }
+
+    def test_duplicate_objects_keep_mask_matches_serial(self, rng):
+        # Degenerate pairs (identical points) are dropped identically.
+        objects = rng.random((12, 3))
+        objects[5] = objects[2]
+        objects[9] = objects[2]
+        dataset = Dataset(objects)
+        queries = QuerySet(rng.random((8, 3)), ks=2)
+        serial = SubdomainIndex(dataset, queries, mode="exact")
+        parallel = SubdomainIndex(dataset, queries, mode="exact", workers=2)
+        assert parallel.pairs == serial.pairs
+        assert partition(parallel) == partition(serial)
+
+    def test_literal_method_forces_serial(self, rng):
+        # The literal BSP loop is the spec; a worker pool never runs it.
+        dataset, queries = market(rng)
+        index = SubdomainIndex(
+            dataset, queries, partition_method="literal", workers=4
+        )
+        assert index.workers == 0
+
+
+class TestParallelPartitionFunction:
+    def test_matches_serial_helpers(self, rng):
+        points = rng.random((10, 3))
+        weights = rng.random((15, 3))
+        pairs = np.array(
+            [(i, j) for i in range(10) for j in range(i + 1, 10)], dtype=np.intp
+        )
+        normals_all = points[pairs[:, 0]] - points[pairs[:, 1]]
+        keep, normals, groups = parallel_partition(points, pairs, weights, 2)
+        assert keep.all()
+        assert np.array_equal(normals, normals_all)
+        expected = group_by_signature(signature_matrix(weights, normals_all))
+        assert set(groups) == set(expected)
+        for key, members in expected.items():
+            assert groups[key].tolist() == members.tolist()
+
+    def test_empty_pairs_single_cell(self, rng):
+        weights = rng.random((6, 3))
+        keep, normals, groups = parallel_partition(
+            rng.random((4, 3)), np.empty((0, 2), dtype=np.intp), weights, 2
+        )
+        assert keep.shape == (0,)
+        assert normals.shape == (0, 3)
+        assert list(groups) == [b""]
+        assert groups[b""].tolist() == list(range(6))
+
+    def test_rejects_serial_worker_count(self, rng):
+        with pytest.raises(ValidationError, match="workers"):
+            parallel_partition(
+                rng.random((4, 3)), np.empty((0, 2), dtype=np.intp),
+                rng.random((3, 3)), 1,
+            )
+
+    def test_rejects_dimension_mismatch(self, rng):
+        with pytest.raises(ValidationError, match="dimension"):
+            parallel_partition(
+                rng.random((4, 3)), np.empty((0, 2), dtype=np.intp),
+                rng.random((3, 2)), 2,
+            )
+
+    def test_rejects_out_of_range_pairs(self, rng):
+        with pytest.raises(ValidationError, match="pair"):
+            parallel_partition(
+                rng.random((4, 3)), np.array([[0, 9]], dtype=np.intp),
+                rng.random((3, 3)), 2,
+            )
+
+
+class TestGroupRows:
+    def test_matches_group_by_signature_content(self, rng):
+        signatures = rng.choice(np.array([-1, 1], dtype=np.int8), size=(40, 7))
+        fast = _group_rows(signatures)
+        reference = group_by_signature(signatures)
+        assert set(fast) == set(reference)
+        for key, members in reference.items():
+            assert fast[key].tolist() == members.tolist()
+
+    def test_empty_inputs(self):
+        assert _group_rows(np.empty((0, 4), dtype=np.int8)) == {}
+        zero_cols = _group_rows(np.empty((3, 0), dtype=np.int8))
+        assert list(zero_cols) == [b""]
+        assert zero_cols[b""].tolist() == [0, 1, 2]

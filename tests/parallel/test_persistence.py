@@ -1,0 +1,135 @@
+"""Index persistence: the reloaded index must be indistinguishable."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ImprovementQueryEngine
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.core.subdomain import (
+    SubdomainIndex,
+    dataset_fingerprint,
+    queryset_fingerprint,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def market(small_market):
+    objects, queries, ks = small_market
+    return Dataset(objects), QuerySet(queries, ks)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mode", ["exact", "relevant"])
+    def test_identical_answers_without_reevaluation(self, market, tmp_path, mode):
+        dataset, queries = market
+        built = SubdomainIndex(dataset, queries, mode=mode)
+        expected = {t: built.hits(t) for t in range(dataset.n)}
+        path = tmp_path / "index.npz"
+        built.save(path)
+        loaded = SubdomainIndex.load(path, dataset, queries)
+        # Prefixes were persisted: answering must not recompute rankings.
+        assert {t: loaded.hits(t) for t in range(dataset.n)} == expected
+        assert loaded.representative_evaluations == 0
+        assert loaded.epoch == built.epoch
+        assert loaded.workers == 0
+
+    def test_partition_and_kth_other_survive(self, market, tmp_path):
+        dataset, queries = market
+        built = SubdomainIndex(dataset, queries)
+        built.hits(0)  # force some lazy prefixes before saving
+        path = tmp_path / "index.npz"
+        built.save(path)
+        loaded = SubdomainIndex.load(path, dataset, queries)
+        ours = sorted((s.signature, s.query_ids.tolist()) for s in built.subdomains)
+        theirs = sorted(
+            (s.signature, s.query_ids.tolist()) for s in loaded.subdomains
+        )
+        assert ours == theirs
+        kth_built = built.kth_other(0)
+        kth_loaded = loaded.kth_other(0)
+        assert np.array_equal(kth_built[0], kth_loaded[0])
+        assert np.allclose(kth_built[1], kth_loaded[1])
+
+    def test_engine_wraps_loaded_index(self, market, tmp_path):
+        dataset, queries = market
+        engine = ImprovementQueryEngine(dataset, queries)
+        path = tmp_path / "index.npz"
+        engine.index.save(path)
+        restored = ImprovementQueryEngine.from_index(
+            SubdomainIndex.load(path, dataset, queries)
+        )
+        fresh = engine.min_cost(0, tau=5)
+        reloaded = restored.min_cost(0, tau=5)
+        assert fresh.hits_after == reloaded.hits_after
+        assert fresh.total_cost == pytest.approx(reloaded.total_cost)
+        plan = restored.explain(0, tau=5)
+        assert plan.workers == 0
+
+    def test_save_appends_no_extension_magic(self, market, tmp_path):
+        # numpy's savez appends .npz to bare paths; saving must write
+        # exactly the requested file.
+        dataset, queries = market
+        index = SubdomainIndex(dataset, queries)
+        path = tmp_path / "index.bin"
+        index.save(path)
+        assert path.exists()
+        assert not (tmp_path / "index.bin.npz").exists()
+        loaded = SubdomainIndex.load(path, dataset, queries)
+        assert loaded.num_subdomains == index.num_subdomains
+
+
+class TestValidationOnLoad:
+    def test_missing_file_rejected(self, market, tmp_path):
+        dataset, queries = market
+        with pytest.raises(ValidationError):
+            SubdomainIndex.load(tmp_path / "absent.npz", dataset, queries)
+
+    def test_dataset_fingerprint_mismatch_rejected(self, market, tmp_path, rng):
+        dataset, queries = market
+        path = tmp_path / "index.npz"
+        SubdomainIndex(dataset, queries).save(path)
+        other = Dataset(rng.random((dataset.n, dataset.dim)))
+        with pytest.raises(ValidationError, match="fingerprint"):
+            SubdomainIndex.load(path, other, queries)
+
+    def test_queryset_fingerprint_mismatch_rejected(self, market, tmp_path, rng):
+        dataset, queries = market
+        path = tmp_path / "index.npz"
+        SubdomainIndex(dataset, queries).save(path)
+        other = QuerySet(rng.random((queries.m, dataset.dim)), ks=2)
+        with pytest.raises(ValidationError, match="fingerprint"):
+            SubdomainIndex.load(path, dataset, other)
+
+    def test_schema_mismatch_rejected(self, market, tmp_path):
+        dataset, queries = market
+        path = tmp_path / "index.npz"
+        SubdomainIndex(dataset, queries).save(path)
+        with np.load(path, allow_pickle=False) as data:
+            payload = {key: data[key] for key in data.files}
+        payload["schema"] = np.array("repro-subdomain-index/999")
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+        with pytest.raises(ValidationError, match="schema"):
+            SubdomainIndex.load(path, dataset, queries)
+
+
+class TestFingerprints:
+    def test_content_addressed(self, market, rng):
+        dataset, queries = market
+        same = Dataset(dataset.points.copy(), sense=dataset.sense)
+        assert dataset_fingerprint(dataset) == dataset_fingerprint(same)
+        moved = dataset.points.copy()
+        moved[0, 0] += 1e-6
+        assert dataset_fingerprint(dataset) != dataset_fingerprint(
+            Dataset(moved, sense=dataset.sense)
+        )
+        assert queryset_fingerprint(queries) == queryset_fingerprint(
+            QuerySet(queries.weights.copy(), queries.ks.copy())
+        )
+        other_ks = queries.ks.copy()
+        other_ks[0] = other_ks[0] + 1
+        assert queryset_fingerprint(queries) != queryset_fingerprint(
+            QuerySet(queries.weights.copy(), other_ks)
+        )

@@ -1,0 +1,78 @@
+"""Worker-count resolution and shared-memory plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.parallel import pool_start_method, resolve_workers
+from repro.parallel.shm import SharedArrayStore, attach_array, chunk_bounds
+
+
+class TestResolveWorkers:
+    def test_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 0
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) == 0
+
+    def test_environment_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers(None) == 5
+
+    def test_negative_rejected(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        with pytest.raises(ValidationError):
+            resolve_workers(-1)
+
+    def test_bad_environment_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValidationError, match="REPRO_WORKERS"):
+            resolve_workers(None)
+
+    def test_negative_environment_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "-2")
+        with pytest.raises(ValidationError):
+            resolve_workers(None)
+
+
+class TestPoolStartMethod:
+    def test_is_a_known_method(self):
+        assert pool_start_method() in ("fork", "forkserver", "spawn")
+
+
+class TestSharedArrayStore:
+    def test_share_attach_round_trip(self, rng):
+        array = rng.random((17, 3))
+        with SharedArrayStore() as store:
+            spec = store.share(array)
+            assert tuple(spec.shape) == array.shape
+            attached = attach_array(spec)
+            assert np.array_equal(attached, array)
+            assert not attached.flags.writeable
+
+    def test_int8_and_intp_arrays(self, rng):
+        signs = rng.choice(np.array([-1, 1], dtype=np.int8), size=(5, 9))
+        pairs = np.array([[0, 1], [1, 2]], dtype=np.intp)
+        with SharedArrayStore() as store:
+            assert np.array_equal(attach_array(store.share(signs)), signs)
+            assert np.array_equal(attach_array(store.share(pairs)), pairs)
+
+
+class TestChunkBounds:
+    def test_covers_range_contiguously(self):
+        bounds = list(chunk_bounds(10, 3))
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 10
+        for (__, stop), (start, __) in zip(bounds, bounds[1:]):
+            assert stop == start
+
+    def test_more_chunks_than_items(self):
+        bounds = list(chunk_bounds(2, 5))
+        assert all(stop > start for start, stop in bounds)
+        assert bounds[-1][1] == 2
+
+    def test_empty_total(self):
+        assert list(chunk_bounds(0, 4)) == []

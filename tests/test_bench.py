@@ -137,7 +137,7 @@ class TestRegressionHarness:
         assert path.exists()
         assert payload["scale"] == "tiny"
         figures = {record["figure"] for record in payload["records"]}
-        assert figures == {"fig4", "fig5", "fig7"}
+        assert figures == {"fig4", "fig5", "fig7", "par_index", "par_batch", "persist"}
         for record in payload["records"]:
             assert record["literal_seconds"] > 0
             assert record["vectorized_seconds"] > 0
@@ -202,6 +202,15 @@ class TestPlanMetadata:
                 assert plan["kind"] == "min_cost"
                 assert plan["solver"] == "efficient"
                 assert plan["evaluator"] == "ese"
+            elif record["figure"] == "par_index":
+                # The plan describes the parallel-built index, so its
+                # worker count must match the record's.
+                assert record["plan"]["workers"] == record["config"]["workers"]
+            elif record["figure"] == "par_batch":
+                # The batch bench shares one serially-built index across
+                # pool sizes; the plan reports that build.
+                assert record["plan"]["workers"] == 0
+                assert record["config"]["workers"] >= 2
             else:
                 assert "plan" not in record
 
