@@ -1,0 +1,10 @@
+"""Entry point: ``python -m repro.check`` == ``repro check``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.check.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""``repro check`` — run the differential correctness harness.
+
+Two phases, both deterministic:
+
+1. **Battery** — a fixed scenario per (IN/CO/AC) × (exact/relevant)
+   combination: a canonical op sequence replayed through every oracle
+   (invariants, update-vs-rebuild, ESE parity with tie-band probes, IQ
+   contracts).
+2. **Fuzz** — ``--fuzz N`` random scenarios derived from ``--seed``;
+   failures are shrunk to minimal op sequences and printed as
+   copy-pasteable :class:`~repro.check.differential.Scenario` reprs.
+
+Exit codes: 0 all oracles pass, 1 at least one divergence, 2 bad
+invocation.  Also runnable as ``python -m repro.check``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO
+
+from repro.check.differential import (
+    AddObject,
+    AddQuery,
+    Op,
+    RemoveObject,
+    RemoveQuery,
+    Scenario,
+)
+from repro.check.fuzz import FuzzFailure, fuzz, run_case
+from repro.data.synthetic import DATASET_KINDS
+
+__all__ = ["main", "build_parser", "battery_scenarios"]
+
+_MODES = ("exact", "relevant")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro check`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description=(
+            "Differential correctness harness: invariant oracles, "
+            "update-vs-rebuild and ESE-parity differentials, and a seeded "
+            "fuzz driver with counterexample shrinking."
+        ),
+    )
+    parser.add_argument(
+        "--fuzz",
+        type=int,
+        default=25,
+        metavar="N",
+        help="number of random fuzz scenarios to run (default: 25; 0 disables)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="base seed; every case derives deterministically from it (default: 0)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=["exact", "relevant", "both"],
+        default="both",
+        help="index mode(s) to exercise (default: both)",
+    )
+    parser.add_argument(
+        "--skip-battery",
+        action="store_true",
+        help="skip the deterministic IN/CO/AC battery and only fuzz",
+    )
+    return parser
+
+
+def _battery_ops(d: int) -> tuple[Op, ...]:
+    """A canonical op sequence touching all four maintenance paths."""
+    low = tuple(0.15 + 0.1 * j for j in range(d))
+    high = tuple(0.85 - 0.1 * j for j in range(d))
+    mid = tuple(0.5 for _ in range(d))
+    return (
+        AddObject(attributes=low),
+        AddQuery(weights=high, k=1),
+        AddObject(attributes=mid),
+        RemoveObject(slot=3),
+        AddQuery(weights=low, k=2),
+        RemoveQuery(slot=1),
+        AddObject(attributes=high),
+        RemoveObject(slot=5),
+    )
+
+
+def battery_scenarios(modes: tuple[str, ...]) -> list[Scenario]:
+    """The fixed battery: one scenario per dataset kind and index mode."""
+    out: list[Scenario] = []
+    for kind in DATASET_KINDS:
+        for mode in modes:
+            for d in (2, 3):
+                out.append(
+                    Scenario(
+                        kind=kind,
+                        mode=mode,
+                        n=9,
+                        m=11,
+                        d=d,
+                        seed=7,
+                        k_max=3,
+                        ops=_battery_ops(d),
+                    )
+                )
+    return out
+
+
+def _run_battery(modes: tuple[str, ...], out: IO[str]) -> list[FuzzFailure]:
+    failures: list[FuzzFailure] = []
+    for scenario in battery_scenarios(modes):
+        error = run_case(scenario)
+        status = "ok" if error is None else "FAIL"
+        print(
+            f"battery {scenario.kind}/{scenario.mode}/d={scenario.d}: {status}",
+            file=out,
+        )
+        if error is not None:
+            failures.append(FuzzFailure(scenario=scenario, error=error))
+    return failures
+
+
+def main(argv: "list[str] | None" = None, out: "IO[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.fuzz < 0:
+        parser.error(f"--fuzz must be non-negative, got {args.fuzz}")
+
+    modes: tuple[str, ...] = _MODES if args.mode == "both" else (args.mode,)
+    failures: list[FuzzFailure] = []
+
+    if not args.skip_battery:
+        failures.extend(_run_battery(modes, out))
+
+    if args.fuzz > 0:
+        fuzz_mode = None if args.mode == "both" else args.mode
+        fuzz_failures = fuzz(args.fuzz, seed=args.seed, mode=fuzz_mode)
+        print(
+            f"fuzz: {args.fuzz} cases, seed {args.seed}, mode {args.mode}: "
+            f"{len(fuzz_failures)} failure(s)",
+            file=out,
+        )
+        failures.extend(fuzz_failures)
+
+    if failures:
+        print(file=out)
+        for failure in failures:
+            print(failure.render(), file=out)
+        print(
+            f"\n{len(failures)} oracle failure(s); replay any scenario with\n"
+            "  PYTHONPATH=src python -c \"from repro.check import run_case; "
+            "from repro.check.differential import *; print(run_case(<repr>))\"",
+            file=out,
+        )
+        return 1
+    print("all correctness oracles passed", file=out)
+    return 0

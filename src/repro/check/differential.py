@@ -1,0 +1,420 @@
+"""Differential oracles: maintenance, ESE parity, and IQ contracts.
+
+Three behavioural equivalences, each checked by re-deriving the answer
+through an independent path and raising
+:class:`~repro.errors.CheckFailure` on divergence:
+
+* **update vs rebuild** (:func:`check_scenario`) — replay a
+  :class:`Scenario` (an op sequence over ``repro.core.updates``) and
+  compare the incrementally maintained index against a fresh build on
+  the final data: both must pass every invariant oracle, the
+  incremental partition must equal the fresh one (exact mode) or refine
+  it (relevant mode, whose arrangement keeps harmless stale
+  hyperplanes), and ``hits_mask`` must agree for every object — and
+  agree with a brute-force top-k evaluation away from tie bands.
+* **affected vs full ESE** (:func:`check_affected_parity`) —
+  ``evaluate_affected`` must produce the same mask as a full
+  ``hits_mask`` re-evaluation for random moves *and* for engineered
+  moves that land the target's score inside the tie band of a
+  threshold, where the id tie-break decides membership.
+* **IQ result contracts** (:func:`check_iq_contracts`) — a Min-Cost /
+  Max-Hit result's reported ``total_cost`` / ``hits_after`` /
+  ``satisfied`` fields must survive re-verification from scratch
+  (strategy re-costed, hits recounted on a fresh index of the improved
+  data and by brute force, budget/goal re-checked).
+
+Scenarios use ``sense="min"`` datasets, so external and internal
+strategy coordinates coincide and results can be re-checked without
+boundary conversion.  Removal ops name a *slot* resolved modulo the
+current id range at replay time, which keeps every subsequence of an op
+list replayable — the property the fuzz shrinker relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import EPS_COST, EPS_FEASIBILITY
+from repro.check.oracles import check_index_invariants
+from repro.core import updates
+from repro.core.cost import L2Cost
+from repro.core.engine import ImprovementQueryEngine
+from repro.core.ese import StrategyEvaluator
+from repro.core.objects import Dataset
+from repro.core.results import IQResult
+from repro.core.subdomain import _TIE_TOL, SubdomainIndex
+from repro.data.synthetic import generate
+from repro.data.workloads import uniform_queries
+from repro.errors import CheckFailure
+
+__all__ = [
+    "AddObject",
+    "AddQuery",
+    "RemoveObject",
+    "RemoveQuery",
+    "Scenario",
+    "brute_force_hits",
+    "check_affected_parity",
+    "check_iq_contracts",
+    "check_scenario",
+    "replay",
+]
+
+
+# ----------------------------------------------------------------------
+# Op sequence model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AddQuery:
+    """Insert a top-k query with the given weights."""
+
+    weights: tuple[float, ...]
+    k: int
+
+    def apply(self, index: SubdomainIndex) -> None:
+        """Apply this op to ``index`` via the maintenance layer."""
+        updates.add_query(index, np.asarray(self.weights, dtype=float), self.k)
+
+
+@dataclass(frozen=True)
+class RemoveQuery:
+    """Remove the query at ``slot % m`` (skipped when only one is left)."""
+
+    slot: int
+
+    def apply(self, index: SubdomainIndex) -> None:
+        """Apply this op to ``index`` via the maintenance layer."""
+        if index.queries.m <= 1:
+            return  # keep the workload non-empty
+        updates.remove_query(index, self.slot % index.queries.m)
+
+
+@dataclass(frozen=True)
+class AddObject:
+    """Insert an object with the given attribute vector."""
+
+    attributes: tuple[float, ...]
+
+    def apply(self, index: SubdomainIndex) -> None:
+        """Apply this op to ``index`` via the maintenance layer."""
+        updates.add_object(index, np.asarray(self.attributes, dtype=float))
+
+
+@dataclass(frozen=True)
+class RemoveObject:
+    """Remove the object at ``slot % n`` (skipped when only two are left)."""
+
+    slot: int
+
+    def apply(self, index: SubdomainIndex) -> None:
+        """Apply this op to ``index`` via the maintenance layer."""
+        if index.dataset.n <= 2:
+            return  # keep enough objects for rankings to mean anything
+        updates.remove_object(index, self.slot % index.dataset.n)
+
+
+Op = AddQuery | RemoveQuery | AddObject | RemoveObject
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A replayable correctness scenario: initial config + op sequence.
+
+    The repr is copy-pasteable: evaluating it and passing the result to
+    :func:`replay` (or :func:`check_scenario`) reproduces the exact
+    index state, because the initial data is derived from the seeds and
+    removal ops resolve ids modulo the current state.
+    """
+
+    kind: str = "IN"  #: synthetic dataset family (IN / CO / AC)
+    mode: str = "exact"  #: index mode (exact / relevant)
+    n: int = 8  #: initial object count
+    m: int = 10  #: initial query count
+    d: int = 2  #: dimensionality
+    seed: int = 0  #: data seed (queries use ``seed + 1``)
+    k_max: int = 3  #: per-query k drawn from [1, k_max]
+    ops: tuple[Op, ...] = field(default_factory=tuple)
+
+
+def replay(scenario: Scenario) -> SubdomainIndex:
+    """Build the initial index and apply the scenario's ops in order."""
+    dataset = Dataset(generate(scenario.kind, scenario.n, scenario.d, scenario.seed))
+    queries = uniform_queries(
+        scenario.m, scenario.d, seed=scenario.seed + 1, k_range=(1, scenario.k_max)
+    )
+    index = SubdomainIndex(dataset, queries, mode=scenario.mode)
+    for op in scenario.ops:
+        op.apply(index)
+    return index
+
+
+# ----------------------------------------------------------------------
+# Brute force reference
+# ----------------------------------------------------------------------
+def brute_force_hits(
+    matrix: np.ndarray, weights: np.ndarray, ks: np.ndarray, target: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reference membership mask, derived directly from the definition.
+
+    Returns ``(mask, ambiguous)``: ``mask[j]`` is True when ``target``
+    is among the ``ks[j]`` lowest-scoring objects at query ``j`` under
+    the lexicographic ``(score, id)`` order, and ``ambiguous[j]`` is
+    True when the target's score sits within the relative tie band of
+    the k-th-other threshold — positions where the float-exact brute
+    force and the banded Eq. 6 evaluator may legitimately disagree, so
+    callers compare masks only where ``~ambiguous``.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    weights = np.atleast_2d(np.asarray(weights, dtype=float))
+    n = matrix.shape[0]
+    m = weights.shape[0]
+    mask = np.zeros(m, dtype=bool)
+    ambiguous = np.zeros(m, dtype=bool)
+    ids = np.arange(n)
+    for j in range(m):
+        scores = matrix @ weights[j]
+        order = np.lexsort((ids, scores))
+        k = int(ks[j])
+        mask[j] = bool(np.any(order[: min(k, n)] == target))
+        others = order[order != target]
+        if k <= others.shape[0]:
+            theta = float(scores[others[k - 1]])
+            band = _TIE_TOL * max(1.0, abs(theta))
+            ambiguous[j] = abs(float(scores[target]) - theta) <= band
+        else:
+            mask[j] = True  # fewer than k other objects exist
+    return mask, ambiguous
+
+
+# ----------------------------------------------------------------------
+# Update-vs-rebuild differential
+# ----------------------------------------------------------------------
+def _cells(index: SubdomainIndex) -> set[tuple[int, ...]]:
+    return {tuple(np.asarray(sub.query_ids).tolist()) for sub in index.subdomains}
+
+
+def _check_partition_equivalence(
+    incremental: SubdomainIndex, fresh: SubdomainIndex
+) -> None:
+    """Exact mode: identical partitions.  Relevant mode: refinement.
+
+    A relevant-mode incremental index keeps hyperplanes whose objects
+    are no longer contenders; extra hyperplanes only split cells, so
+    every incremental cell must fall inside exactly one fresh cell.
+    """
+    if incremental.mode == "exact":
+        if _cells(incremental) != _cells(fresh):
+            raise CheckFailure(
+                "incremental exact-mode partition differs from a fresh build: "
+                f"{sorted(_cells(incremental))} vs {sorted(_cells(fresh))}"
+            )
+        return
+    for sub in incremental.subdomains:
+        fresh_sids = np.unique(fresh.subdomain_of[np.asarray(sub.query_ids, dtype=np.intp)])
+        if fresh_sids.shape[0] > 1:
+            raise CheckFailure(
+                "incremental relevant-mode partition does not refine the fresh "
+                f"build: cell {sub.sid} members {sub.query_ids.tolist()} span "
+                f"fresh cells {fresh_sids.tolist()}"
+            )
+
+
+def _check_hits_parity(incremental: SubdomainIndex, fresh: SubdomainIndex) -> None:
+    """Every object's hit mask agrees: incremental == fresh == brute force."""
+    weights = incremental.queries.weights
+    ks = incremental.queries.ks
+    matrix = incremental.dataset.matrix
+    for target in range(incremental.dataset.n):
+        mask_inc = incremental.hits_mask(target)
+        mask_fresh = fresh.hits_mask(target)
+        if not np.array_equal(mask_inc, mask_fresh):
+            diverging = np.flatnonzero(mask_inc != mask_fresh)
+            raise CheckFailure(
+                f"hits_mask({target}) differs between the maintained index and "
+                f"a fresh build at queries {diverging.tolist()}"
+            )
+        brute, ambiguous = brute_force_hits(matrix, weights, ks, target)
+        settled = ~ambiguous
+        if not np.array_equal(mask_inc[settled], brute[settled]):
+            diverging = np.flatnonzero(settled & (mask_inc != brute))
+            raise CheckFailure(
+                f"hits_mask({target}) differs from brute-force top-k membership "
+                f"at queries {diverging.tolist()}"
+            )
+
+
+def check_scenario(scenario: Scenario) -> SubdomainIndex:
+    """Replay a scenario and run the full update-vs-rebuild differential.
+
+    Returns the maintained index (so callers can run further oracles on
+    it); raises :class:`~repro.errors.CheckFailure` or
+    :class:`~repro.errors.IndexCorruptionError` on the first divergence.
+    """
+    index = replay(scenario)
+    check_index_invariants(index)
+    fresh = SubdomainIndex(
+        index.dataset, index.queries, mode=index.mode, margin=index.margin
+    )
+    check_index_invariants(fresh)
+    _check_partition_equivalence(index, fresh)
+    _check_hits_parity(index, fresh)
+    return index
+
+
+# ----------------------------------------------------------------------
+# Affected-subspace vs full ESE
+# ----------------------------------------------------------------------
+def _compare_affected(
+    evaluator: StrategyEvaluator,
+    target: int,
+    old_position: np.ndarray,
+    new_position: np.ndarray,
+    label: str,
+) -> None:
+    hits_affected, mask_affected = evaluator.evaluate_affected(
+        target, old_position, new_position
+    )
+    mask_full = evaluator.hits_mask(target, new_position)
+    if not np.array_equal(mask_affected, mask_full):
+        diverging = np.flatnonzero(mask_affected != mask_full)
+        raise CheckFailure(
+            f"evaluate_affected diverges from evaluate for target {target} on a "
+            f"{label} move at queries {diverging.tolist()}"
+        )
+    if hits_affected != int(mask_full.sum()):
+        raise CheckFailure(
+            f"evaluate_affected hit count {hits_affected} disagrees with its own "
+            f"mask for target {target} ({label} move)"
+        )
+
+
+def check_affected_parity(
+    index: SubdomainIndex,
+    rng: np.random.Generator,
+    targets: int = 2,
+    moves: int = 3,
+) -> None:
+    """``evaluate_affected`` ≡ full re-evaluation, tie bands included.
+
+    For each sampled target: ``moves`` random moves, then engineered
+    moves that place the target's score exactly on / just inside the
+    tie band of a query's threshold (where membership is decided by the
+    id tie-break and the raw hyperplane side never flips — the
+    ESE-parity bug's hiding spot).
+    """
+    evaluator = StrategyEvaluator(index)
+    n = index.dataset.n
+    d = index.dataset.dim
+    weights = index.queries.weights
+    chosen = rng.choice(n, size=min(targets, n), replace=False)
+    for target in (int(t) for t in chosen):
+        old = index.dataset.matrix[target].copy()
+        for __ in range(moves):
+            delta = rng.normal(0.0, 0.3, size=d)
+            _compare_affected(evaluator, target, old, old + delta, "random")
+        kth_ids, theta = evaluator.thresholds(target)
+        probed = 0
+        for j in range(weights.shape[0]):
+            if probed >= 2 or not np.isfinite(theta[j]):
+                continue
+            q = weights[j]
+            denom = float(q @ q)
+            if denom <= 0.0:
+                continue
+            band = _TIE_TOL * max(1.0, abs(float(theta[j])))
+            for frac in (0.0, 0.5, -0.5):
+                landing = float(theta[j]) + frac * band
+                new = old + q * ((landing - float(q @ old)) / denom)
+                _compare_affected(evaluator, target, old, new, "tie-band")
+            probed += 1
+
+
+# ----------------------------------------------------------------------
+# IQ result contracts
+# ----------------------------------------------------------------------
+def _recheck_hits(index: SubdomainIndex, result: IQResult, label: str) -> None:
+    """Recount ``hits_after`` on a fresh index of the improved data."""
+    improved = index.dataset.improved(result.target, result.strategy.vector)
+    fresh = SubdomainIndex(improved, index.queries, mode=index.mode, margin=index.margin)
+    recounted = int(fresh.hits_mask(result.target).sum())
+    if recounted != result.hits_after:
+        raise CheckFailure(
+            f"{label} result reports hits_after={result.hits_after} but a fresh "
+            f"index of the improved data counts {recounted}"
+        )
+    brute, ambiguous = brute_force_hits(
+        improved.matrix, index.queries.weights, index.queries.ks, result.target
+    )
+    mask_fresh = fresh.hits_mask(result.target)
+    settled = ~ambiguous
+    if not np.array_equal(mask_fresh[settled], brute[settled]):
+        diverging = np.flatnonzero(settled & (mask_fresh != brute))
+        raise CheckFailure(
+            f"{label} improved-data hit mask differs from brute force at "
+            f"queries {diverging.tolist()}"
+        )
+
+
+def _recheck_cost(index: SubdomainIndex, result: IQResult, label: str) -> None:
+    if abs(result.total_cost - result.strategy.cost) > EPS_FEASIBILITY:
+        raise CheckFailure(
+            f"{label} result total_cost={result.total_cost} disagrees with its "
+            f"strategy cost {result.strategy.cost}"
+        )
+    if result.total_cost < 0.0:
+        raise CheckFailure(f"{label} result reports negative cost {result.total_cost}")
+    recosted = L2Cost(index.dataset.dim)(
+        index.dataset.to_internal_strategy(result.strategy.vector)
+    )
+    if recosted > result.total_cost + EPS_FEASIBILITY:
+        raise CheckFailure(
+            f"{label} applied strategy re-costs to {recosted}, above the "
+            f"reported accumulated spend {result.total_cost}"
+        )
+
+
+def check_iq_contracts(index: SubdomainIndex, rng: np.random.Generator) -> None:
+    """Min-Cost / Max-Hit results must survive re-verification from scratch.
+
+    Runs one ``min_cost`` and one ``max_hit`` query through the engine
+    (L2 cost, a reachable goal / a small budget) and re-checks every
+    reported field: accumulated cost vs a re-costing of the applied
+    strategy, ``hits_after`` vs a fresh index of the improved data and
+    brute force, and the feasibility flag vs its documented meaning.
+    """
+    engine = ImprovementQueryEngine.from_index(index)
+    cost = L2Cost(index.dataset.dim)
+    target = int(rng.integers(index.dataset.n))
+    m = index.queries.m
+
+    tau = min(m, engine.hits(target) + 2)
+    if tau >= 1:
+        result = engine.min_cost(target, tau, cost=cost)
+        _recheck_cost(index, result, "min_cost")
+        _recheck_hits(index, result, "min_cost")
+        if result.satisfied != (result.hits_after >= tau):
+            raise CheckFailure(
+                f"min_cost satisfied={result.satisfied} contradicts "
+                f"hits_after={result.hits_after} vs tau={tau}"
+            )
+
+    budget = 0.25 * (1.0 + float(rng.random()))
+    result = engine.max_hit(target, budget, cost=cost)
+    _recheck_cost(index, result, "max_hit")
+    _recheck_hits(index, result, "max_hit")
+    if result.total_cost > budget + EPS_COST:
+        raise CheckFailure(
+            f"max_hit spent {result.total_cost} beyond budget {budget} plus the "
+            "once-only slack"
+        )
+    if not result.satisfied:
+        raise CheckFailure(
+            "max_hit returned satisfied=False; the best prefix is always within "
+            "budget by construction"
+        )
+    if result.hits_after < result.hits_before:
+        raise CheckFailure(
+            f"max_hit result lost hits: {result.hits_before} -> {result.hits_after}"
+        )

@@ -23,6 +23,10 @@ Subcommands
 ``sql``       start the interactive mini-DBMS shell.
 ``bench``     run the literal-vs-vectorized benchmark-regression harness
               (also available as ``python -m repro.bench``).
+``check``     run the differential correctness harness — invariant
+              oracles, update-vs-rebuild differentials, ESE parity, and
+              a seeded fuzz driver with counterexample shrinking (also
+              available as ``python -m repro.check``).
 
 Object CSVs have one numeric column per attribute.  Query CSVs have the
 matching weight columns plus a final ``k`` column.
@@ -120,6 +124,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compare against a baseline BENCH_*.json; exit 3 on regression")
     bench.add_argument("--workers", type=int, default=None, metavar="N",
                        help="pool size for the parallel bench figures (default 4)")
+
+    check = sub.add_parser(
+        "check", help="differential correctness harness (oracles + seeded fuzz)"
+    )
+    check.add_argument("--fuzz", type=int, default=25, metavar="N",
+                       help="random fuzz scenarios to run (default 25; 0 disables)")
+    check.add_argument("--seed", type=int, default=0, metavar="S",
+                       help="base seed; cases derive deterministically from it")
+    check.add_argument("--mode", choices=["exact", "relevant", "both"],
+                       default="both", help="index mode(s) to exercise")
+    check.add_argument("--skip-battery", action="store_true",
+                       help="skip the deterministic IN/CO/AC battery, only fuzz")
 
     lint = sub.add_parser("lint", help="project static analysis (rules RPR001-RPR007)")
     lint.add_argument("paths", nargs="*", default=["src/repro"],
@@ -330,6 +346,14 @@ def main(argv=None, out=None) -> int:
             if args.workers is not None:
                 bench_args += ["--workers", str(args.workers)]
             return bench_main(bench_args)
+        if args.command == "check":
+            from repro.check.cli import main as check_main
+
+            check_args = ["--fuzz", str(args.fuzz), "--seed", str(args.seed),
+                          "--mode", args.mode]
+            if args.skip_battery:
+                check_args.append("--skip-battery")
+            return check_main(check_args, out=out)
         if args.command == "lint":
             from repro.analysis.cli import main as lint_main
 

@@ -17,7 +17,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.constants import EPS_COST
 from repro.core.cost import CostFunction, L2Cost
 from repro.core.ese import StrategyEvaluator
 from repro.core.strategy import StrategySpace
@@ -95,7 +94,12 @@ def generate_candidates(
     ``space`` is the *remaining* strategy box (already shifted by the
     accumulated strategy).  ``max_cost`` drops candidates costlier than
     the remaining budget before the (comparatively expensive) batch hit
-    evaluation — the filter of §5.1 step 2.
+    evaluation — the filter of §5.1 step 2.  The comparison is exact
+    (``cost <= max_cost``): any numeric slack is the caller's to grant,
+    *once*, against the original budget — adding a per-iteration epsilon
+    here would let accumulated spend drift past the budget over many
+    iterations (the budget-accounting bug the correctness harness
+    guards).
 
     ``method="auto"`` (default) solves every weighted-L2 subproblem in
     one vectorized closed-form batch — bounded strategy boxes included,
@@ -155,7 +159,7 @@ def generate_candidates(
     matrix = vectors_all[keep]
     cost_arr = costs_all[keep]
     if max_cost is not None:
-        keep = cost_arr <= max_cost + EPS_COST
+        keep = cost_arr <= max_cost
         query_ids, matrix, cost_arr = query_ids[keep], matrix[keep], cost_arr[keep]
         if query_ids.size == 0:
             return CandidateBatch(

@@ -132,8 +132,11 @@ def _candidates(
                 )
             except InfeasibleError:
                 continue
-            if max_cost is not None and candidate.cost > max_cost + EPS_COST:
-                continue  # §5.1 step 2: drop over-budget candidates
+            if max_cost is not None and candidate.cost > max_cost:
+                # §5.1 step 2: drop over-budget candidates.  Exact
+                # comparison — the caller grants EPS_COST once against
+                # the original budget, never per iteration.
+                continue
             # Score: joint hits with the other targets frozen.
             scores = state.scores()
             scores[:, t] = state.weights @ (position + candidate.vector)
@@ -246,8 +249,9 @@ def combinatorial_max_hit(
     stalls = 0
 
     while total < budget and len(log) < max_rounds:
+        # Slack granted once against the original budget (see max_hit_iq).
         candidates = _candidates(
-            state, costs, spaces, applied, mask, margin, max_cost=budget - total
+            state, costs, spaces, applied, mask, margin, max_cost=(budget + EPS_COST) - total
         )
         best = _pick_best_ratio(candidates)
         if best is None:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.subdomain import _TIE_TOL, SubdomainIndex, _beats
+from repro.core.subdomain import _TIE_TOL, SubdomainIndex, _beats, _beats_batch
 from repro.errors import ValidationError
 from repro.index.rtree import Rect
 
@@ -37,6 +37,25 @@ __all__ = ["StrategyEvaluator"]
 
 #: Candidate-batch matrices are chunked to stay under this many floats.
 _CHUNK_BUDGET = 4_000_000
+
+
+def _slab_region(value: float, theta: float) -> int:
+    """Classify a query against one intersection hyperplane: -1 / 0 / +1.
+
+    ``value`` is the query's signed offset ``q . (position - p_l)`` and
+    ``theta`` the other object's score ``q . p_l``.  Region ``0`` is the
+    relative tie band that :func:`~repro.core.subdomain._beats` resolves
+    by object id; the affected-subspace retrieval must treat it as its
+    own region, because a move that enters or leaves the band changes
+    membership through the tie rule even when the raw sign of ``value``
+    never flips (the ESE-parity bug the correctness harness guards).
+    """
+    band = _TIE_TOL * max(1.0, abs(theta))
+    if value < -band:
+        return -1
+    if value > band:
+        return 1
+    return 0
 
 
 class StrategyEvaluator:
@@ -132,16 +151,12 @@ class StrategyEvaluator:
         c = positions.shape[0]
         out = np.empty(c, dtype=np.intp)
         chunk = max(1, _CHUNK_BUDGET // max(1, m))
-        always = np.isinf(theta)  # fewer than k other objects: free hit
-        finite_theta = np.where(always, 0.0, theta)
-        band = _TIE_TOL * np.maximum(1.0, np.abs(finite_theta))
-        tie_ok = target < kth_ids
         for start in range(0, c, chunk):
             block = positions[start : start + chunk]
             scores = weights @ block.T  # (m, b)
-            strict = scores < (finite_theta - band)[:, None]
-            tie = (np.abs(scores - finite_theta[:, None]) <= band[:, None]) & tie_ok[:, None]
-            out[start : start + block.shape[0]] = (always[:, None] | strict | tie).sum(axis=0)
+            out[start : start + block.shape[0]] = _beats_batch(
+                scores, theta, target, kth_ids
+            ).sum(axis=0)
         self.full_evaluations += c
         return out
 
@@ -159,6 +174,14 @@ class StrategyEvaluator:
         only if it lies strictly between them (Fact 1).  The retrieval
         runs through the R-tree with the slab conditions as the leaf
         predicate, exactly the range-query formulation of §4.1.
+
+        The slab test is widened by the same relative tie band that
+        :func:`~repro.core.subdomain._beats` applies (see
+        :func:`_slab_region`): a query whose score enters or leaves the
+        band changes membership through the id tie-break without the raw
+        side of either hyperplane flipping, so it must count as
+        affected for :meth:`evaluate_affected` to equal
+        :meth:`evaluate`.
         """
         dataset = self.index.dataset
         old_position = np.asarray(old_position, dtype=float)
@@ -179,11 +202,13 @@ class StrategyEvaluator:
                 query_id: int,
                 old_normal: np.ndarray = old_normal,
                 new_normal: np.ndarray = new_normal,
+                other: np.ndarray = matrix[l],
             ) -> bool:
                 point = np.asarray(rect.mins)
-                old_side = float(point @ old_normal) <= 0
-                new_side = float(point @ new_normal) <= 0
-                return old_side != new_side
+                theta_l = float(point @ other)
+                old_region = _slab_region(float(point @ old_normal), theta_l)
+                new_region = _slab_region(float(point @ new_normal), theta_l)
+                return old_region != new_region
 
             hits = self.index.rtree.search_where(domain, crosses)
             affected.update(hits)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.constants import EPS_FEASIBILITY
+from repro.constants import EPS_COST, EPS_FEASIBILITY
 from repro.core._search import CandidateBatch, SearchState, generate_candidates
 from repro.core.cost import CostFunction
 from repro.core.ese import StrategyEvaluator
@@ -64,9 +64,16 @@ def max_hit_iq(
     stalls = 0
     # Best snapshot seen so far: (hits, -spent) lexicographic max.
     best = (state.hits, 0.0, state.applied.copy())
+    # Numeric slack granted exactly once against the original budget: by
+    # induction every admitted candidate keeps ``spent <= allowance``,
+    # so total spend can never drift past ``budget + EPS_COST`` no
+    # matter how many iterations run (a per-iteration epsilon in the
+    # candidate filter used to accumulate unboundedly and could flip
+    # ``satisfied`` on a legitimate result).
+    allowance = budget + EPS_COST
 
     while state.spent < budget and len(records) < max_iterations:
-        remaining = budget - state.spent
+        remaining = allowance - state.spent
         batch = generate_candidates(
             evaluator,
             state,

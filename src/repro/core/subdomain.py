@@ -741,15 +741,30 @@ class SubdomainIndex:
 _TIE_TOL = EPS_TIE
 
 
-def _beats(scores: np.ndarray, theta: np.ndarray, target: int, kth_ids: np.ndarray) -> np.ndarray:
-    """Vectorized Eq. 6 with id tie-break: does the target make top-k?
+def _beats_batch(
+    scores: np.ndarray, theta: np.ndarray, target: int, kth_ids: np.ndarray
+) -> np.ndarray:
+    """Batched Eq. 6 with id tie-break: does the target make top-k?
 
-    An infinite threshold means fewer than k other objects exist, so the
-    target is always in the top-k.
+    The one and only implementation of the membership rule: ``scores``
+    is an ``(m, b)`` matrix of target scores (one column per candidate
+    position) and the result is the ``(m, b)`` boolean membership
+    matrix.  An infinite threshold means fewer than k other objects
+    exist, so the target is always in the top-k.  Single-position
+    callers go through :func:`_beats`, which delegates here — keeping
+    the rule in exactly one place so the vectorized candidate batches of
+    :meth:`~repro.core.ese.StrategyEvaluator.evaluate_many` can never
+    drift from the per-position path.
     """
     always = np.isinf(theta)
     finite_theta = np.where(always, 0.0, theta)
     band = _TIE_TOL * np.maximum(1.0, np.abs(finite_theta))
-    strict = scores < finite_theta - band
-    tie = (np.abs(scores - finite_theta) <= band) & (target < kth_ids)
-    return always | strict | tie
+    tie_ok = target < kth_ids
+    strict = scores < (finite_theta - band)[:, None]
+    tie = (np.abs(scores - finite_theta[:, None]) <= band[:, None]) & tie_ok[:, None]
+    return always[:, None] | strict | tie
+
+
+def _beats(scores: np.ndarray, theta: np.ndarray, target: int, kth_ids: np.ndarray) -> np.ndarray:
+    """Vectorized Eq. 6 for one candidate position (see :func:`_beats_batch`)."""
+    return _beats_batch(scores[:, None], theta, target, kth_ids)[:, 0]

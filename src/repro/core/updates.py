@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.subdomain import Subdomain, SubdomainIndex
+from repro.core.subdomain import Subdomain, SubdomainIndex, relevant_pairs
 from repro.errors import ValidationError
 from repro.geometry.arrangement import signature_matrix
 from repro.geometry.hyperplane import EPS
@@ -65,6 +65,10 @@ def add_query(index: SubdomainIndex, weights: np.ndarray, k: int) -> int:
     if sub.prefix is not None and k + 1 > sub.prefix.shape[0] and sub.prefix.shape[0] < index.dataset.n:
         sub.prefix = None  # deeper ranking now needed; re-evaluate lazily
     index.subdomain_of = np.append(index.subdomain_of, sid)
+    # A new query can pull objects into the contender set that the
+    # relevant-mode arrangement has never seen; close over them so the
+    # partition stays trustworthy at the new query's depth.
+    _extend_relevant_closure(index)
     index.mark_boundaries_dirty()
     index.notify_mutation()
     return query_id
@@ -166,32 +170,69 @@ def add_object(index: SubdomainIndex, attributes: np.ndarray) -> int:
     matrix = new_dataset.matrix
 
     if index.mode == "exact":
-        counterparts = list(range(object_id))
+        new_pairs = []
+        rows = []
+        for b in range(object_id):
+            normal = matrix[b] - matrix[object_id]  # pair (b, new), b < new
+            if np.abs(normal).max(initial=0.0) <= EPS:
+                continue
+            new_pairs.append((b, object_id))
+            rows.append(normal)
+        if rows:
+            _append_columns(index, new_pairs, np.vstack(rows))
     else:
-        # Relevant mode: pair the newcomer with the objects already
-        # participating in the arrangement (the contender set).
-        counterparts = sorted({i for pair in index.pairs for i in pair})
-    new_pairs = []
-    rows = []
-    for b in counterparts:
-        normal = matrix[b] - matrix[object_id]  # pair (b, new), b < new
-        if np.abs(normal).max(initial=0.0) <= EPS:
-            continue
-        new_pairs.append((b, object_id))
-        rows.append(normal)
-    if rows:
-        new_normals = np.vstack(rows)
-        index.normals = (
-            np.vstack([index.normals, new_normals]) if index.normals.size else new_normals
-        )
-        for pair in new_pairs:
-            index.pair_column[pair] = len(index.pairs)
-            index.pairs.append(pair)
-        _split_cells_on_new_columns(index, new_normals)
+        # Relevant mode: recompute the contender set on the post-insert
+        # data and close over every missing pair.  Deriving counterparts
+        # from the *existing* pair list (the pre-fix behaviour) silently
+        # left the newcomer without hyperplanes whenever the pair list
+        # was empty — or missed the contenders the newcomer displaces —
+        # and the partition went stale.
+        _extend_relevant_closure(index)
     _invalidate_prefixes(index)  # the new object changes every ranking
     index.mark_boundaries_dirty()
     index.notify_mutation()
     return object_id
+
+
+def _append_columns(
+    index: SubdomainIndex, new_pairs: list[tuple[int, int]], new_normals: np.ndarray
+) -> None:
+    """Append hyperplane columns and split the cells they cut through."""
+    index.normals = (
+        np.vstack([index.normals, new_normals]) if index.normals.size else new_normals
+    )
+    for pair in new_pairs:
+        index.pair_column[pair] = len(index.pairs)
+        index.pairs.append(pair)
+    _split_cells_on_new_columns(index, new_normals)
+
+
+def _extend_relevant_closure(index: SubdomainIndex) -> None:
+    """Grow a relevant-mode arrangement to the current contender closure.
+
+    Recomputes :func:`~repro.core.subdomain.relevant_pairs` on the
+    index's *current* data and appends every pair the arrangement is
+    missing.  New hyperplanes only refine the partition, so stale extra
+    pairs from earlier states are harmless and are kept; missing pairs
+    are exactly what lets two queries with different contender rankings
+    share a cell (and therefore a wrong k-th-other threshold).  No-op in
+    exact mode and when the arrangement is already closed.
+    """
+    if index.mode != "relevant":
+        return
+    matrix = index.dataset.matrix
+    new_pairs = []
+    rows = []
+    for a, b in relevant_pairs(index.dataset, index.queries, index.margin):
+        if (a, b) in index.pair_column:
+            continue
+        normal = matrix[a] - matrix[b]
+        if np.abs(normal).max(initial=0.0) <= EPS:
+            continue
+        new_pairs.append((a, b))
+        rows.append(normal)
+    if rows:
+        _append_columns(index, new_pairs, np.vstack(rows))
 
 
 def _split_cells_on_new_columns(index: SubdomainIndex, new_normals: np.ndarray) -> None:
@@ -263,6 +304,10 @@ def remove_object(index: SubdomainIndex, object_id: int) -> None:
     else:
         for sub in index.subdomains:
             sub.signature = reduced[sub.sid]
+    # Removing a top-ranked object promotes objects from below the
+    # margin depth into the contender set; close over their pairs so
+    # relevant-mode cells keep constant rankings at trusted depths.
+    _extend_relevant_closure(index)
     index.mark_boundaries_dirty()
     _invalidate_prefixes(index)
     index.notify_mutation()

@@ -46,6 +46,17 @@ class IndexCorruptionError(ReproError):
     """An index invariant was violated (internal consistency check)."""
 
 
+class CheckFailure(ReproError):
+    """A correctness-harness oracle found a divergence.
+
+    Raised by :mod:`repro.check` when a differential oracle disagrees —
+    an incrementally maintained index differs from a rebuild, the
+    affected-subspace evaluation differs from the full one, or an IQ
+    result's reported fields fail re-verification from scratch.  The
+    message carries enough context to replay the failing scenario.
+    """
+
+
 class SQLError(ReproError):
     """Base class for errors raised by the mini DBMS."""
 

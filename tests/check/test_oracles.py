@@ -1,0 +1,98 @@
+"""Invariant oracles: a healthy index passes, a corrupted one is caught."""
+
+import numpy as np
+import pytest
+
+from repro.check import check_index_invariants
+from repro.check.oracles import (
+    check_pair_consistency,
+    check_partition_cover,
+    check_prefixes,
+    check_signatures,
+)
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.core.subdomain import SubdomainIndex
+from repro.errors import IndexCorruptionError
+
+
+def build(rng, mode="exact", n=8, m=12, d=2):
+    dataset = Dataset(rng.random((n, d)))
+    queries = QuerySet(rng.random((m, d)), ks=rng.integers(1, 4, m))
+    return SubdomainIndex(dataset, queries, mode=mode)
+
+
+class TestHealthyIndex:
+    @pytest.mark.parametrize("mode", ["exact", "relevant"])
+    def test_fresh_index_passes(self, rng, mode):
+        check_index_invariants(build(rng, mode=mode))
+
+    def test_passes_after_prefix_materialisation(self, rng):
+        index = build(rng)
+        for target in range(index.dataset.n):
+            index.hits_mask(target)  # force lazy prefixes to exist
+        check_index_invariants(index)
+
+
+class TestCorruptionDetected:
+    def test_wrong_subdomain_of_entry(self, rng):
+        index = build(rng)
+        index.subdomain_of[0] = (index.subdomain_of[0] + 1) % index.num_subdomains
+        with pytest.raises(IndexCorruptionError):
+            check_partition_cover(index)
+
+    def test_duplicated_query_membership(self, rng):
+        index = build(rng)
+        sub = index.subdomains[0]
+        sub.query_ids = np.concatenate([sub.query_ids, sub.query_ids[:1]])
+        with pytest.raises(IndexCorruptionError):
+            check_partition_cover(index)
+
+    def test_foreign_representative(self, rng):
+        index = build(rng)
+        victim = next(s for s in index.subdomains if s.size < index.queries.m)
+        outsider = next(
+            j for j in range(index.queries.m) if j not in victim.query_ids
+        )
+        victim.representative = outsider
+        with pytest.raises(IndexCorruptionError):
+            check_partition_cover(index)
+
+    def test_tampered_signature_byte(self, rng):
+        index = build(rng)
+        victim = next(s for s in index.subdomains if len(s.signature) > 0)
+        raw = bytearray(victim.signature)
+        raw[0] = 1 if raw[0] != 1 else 255  # flip one side entry
+        victim.signature = bytes(raw)
+        with pytest.raises(IndexCorruptionError):
+            check_signatures(index)
+
+    def test_swapped_prefix_entries(self, rng):
+        index = build(rng)
+        index.hits_mask(0)  # materialise prefixes
+        victim = next(
+            s for s in index.subdomains if s.prefix is not None and s.prefix.size >= 2
+        )
+        victim.prefix = victim.prefix[::-1].copy()
+        with pytest.raises(IndexCorruptionError):
+            check_prefixes(index)
+
+    def test_stale_pair_column_mapping(self, rng):
+        index = build(rng)
+        a, b = index.pairs[0]
+        index.pair_column[(a, b)] = len(index.pairs) + 7
+        with pytest.raises(IndexCorruptionError):
+            check_pair_consistency(index)
+
+    def test_drifted_normal(self, rng):
+        index = build(rng)
+        index.normals[0] = index.normals[0] + 0.5
+        with pytest.raises(IndexCorruptionError):
+            check_pair_consistency(index)
+
+    def test_dropped_pair_entry(self, rng):
+        # A pair list shorter than the normal matrix is a length breach.
+        index = build(rng)
+        index.pairs.pop()
+        with pytest.raises(IndexCorruptionError):
+            check_pair_consistency(index)
