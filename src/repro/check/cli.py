@@ -71,6 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the deterministic IN/CO/AC battery and only fuzz",
     )
+    parser.add_argument(
+        "--skip-pooled",
+        action="store_true",
+        help="skip the pooled-vs-serial batch parity check",
+    )
     return parser
 
 
@@ -126,6 +131,66 @@ def _run_battery(modes: tuple[str, ...], out: IO[str]) -> list[FuzzFailure]:
     return failures
 
 
+def _result_mismatch(label: str, serial: object, pooled: object) -> "str | None":
+    """Field-exact comparison of two IQResults; None when identical."""
+    import numpy as np
+
+    for attr in ("target", "hits_before", "hits_after", "total_cost", "satisfied"):
+        a, b = getattr(serial, attr), getattr(pooled, attr)
+        if a != b:
+            return f"{label}: {attr} diverged (serial {a!r} vs pooled {b!r})"
+    sa = np.asarray(getattr(serial, "strategy").vector)
+    sb = np.asarray(getattr(pooled, "strategy").vector)
+    if not np.array_equal(sa, sb):
+        return f"{label}: strategy vector diverged (serial {sa} vs pooled {sb})"
+    return None
+
+
+def _run_pooled_parity(out: IO[str]) -> list[str]:
+    """Persistent-pool vs serial-reference differential (PC oracle).
+
+    The pool resolves its worker count from the ambient ``REPRO_WORKERS``
+    environment, so the same harness exercises the in-process serial
+    pool mode (workers < 2) and the forked pool (workers >= 2) — CI runs
+    both legs.  The sequence also mutates the index mid-stream so the
+    epoch-refresh path is under the differential too.
+    """
+    from repro.core.engine import ImprovementQueryEngine
+    from repro.core.objects import Dataset
+    from repro.data.synthetic import independent
+    from repro.data.workloads import uniform_queries
+    from repro.parallel import IQRequest, PersistentPool, run_batch
+
+    dataset = Dataset(independent(24, 3, seed=11))
+    queries = uniform_queries(18, 3, seed=12, k_range=(1, 4))
+    engine = ImprovementQueryEngine(dataset, queries, mode="relevant")
+    requests = tuple(
+        IQRequest("min_cost", target, 8) for target in range(0, 8, 2)
+    ) + tuple(IQRequest("max_hit", target, 0.4) for target in range(1, 8, 2))
+
+    failures: list[str] = []
+    with PersistentPool(engine) as pool:
+        for round_label in ("initial", "post-mutation"):
+            serial = run_batch(engine, requests, workers=0)
+            pooled = pool.run(requests)
+            for request, expect, got in zip(requests, serial, pooled):
+                label = f"pooled parity [{round_label}] {request.kind}@{request.target}"
+                mismatch = _result_mismatch(label, expect, got)
+                if mismatch is not None:
+                    failures.append(mismatch)
+            if round_label == "initial":
+                # Mutate through the engine: the pool must observe the
+                # epoch bump and re-fork instead of serving stale hits.
+                engine.add_query([0.2 + 0.1 * j for j in range(3)], 2)
+        status = "ok" if not failures else "FAIL"
+        print(
+            f"pooled parity (workers {pool.workers}, generation {pool.generation}): "
+            f"{status}",
+            file=out,
+        )
+    return failures
+
+
 def main(argv: "list[str] | None" = None, out: "IO[str] | None" = None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -136,9 +201,13 @@ def main(argv: "list[str] | None" = None, out: "IO[str] | None" = None) -> int:
 
     modes: tuple[str, ...] = _MODES if args.mode == "both" else (args.mode,)
     failures: list[FuzzFailure] = []
+    parity_failures: list[str] = []
 
     if not args.skip_battery:
         failures.extend(_run_battery(modes, out))
+
+    if not args.skip_pooled:
+        parity_failures = _run_pooled_parity(out)
 
     if args.fuzz > 0:
         fuzz_mode = None if args.mode == "both" else args.mode
@@ -150,12 +219,15 @@ def main(argv: "list[str] | None" = None, out: "IO[str] | None" = None) -> int:
         )
         failures.extend(fuzz_failures)
 
-    if failures:
+    if failures or parity_failures:
         print(file=out)
+        for parity_failure in parity_failures:
+            print(parity_failure, file=out)
         for failure in failures:
             print(failure.render(), file=out)
+        total = len(failures) + len(parity_failures)
         print(
-            f"\n{len(failures)} oracle failure(s); replay any scenario with\n"
+            f"\n{total} oracle failure(s); replay any scenario with\n"
             "  PYTHONPATH=src python -c \"from repro.check import run_case; "
             "from repro.check.differential import *; print(run_case(<repr>))\"",
             file=out,

@@ -19,6 +19,9 @@ Subcommands
               (the CLI face of ``engine.explain`` / SQL
               ``EXPLAIN IMPROVE``).
 ``hits``      report H(target) and the reverse top-k for each object.
+``serve``     long-lived batched IQ server: JSONL requests in (stdin or
+              ``--input`` file), JSONL responses out, served by a
+              persistent worker pool holding the built index.
 ``demo``      a self-contained run on generated data (no files needed).
 ``sql``       start the interactive mini-DBMS shell.
 ``bench``     run the literal-vs-vectorized benchmark-regression harness
@@ -84,9 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
         add_index_arguments(command)
 
     def add_index_arguments(command: argparse.ArgumentParser) -> None:
-        command.add_argument("--workers", type=int, default=None, metavar="N",
-                             help="index-construction worker pool size "
-                                  "(default: REPRO_WORKERS env var, else serial)")
+        command.add_argument("--workers", default=None, metavar="N",
+                             help="worker pool size: an integer, or 'auto' for "
+                                  "all cores (default: REPRO_WORKERS env var, "
+                                  "else serial)")
         command.add_argument("--save-index", default=None, metavar="PATH",
                              help="persist the built index to a .npz file")
         command.add_argument("--load-index", default=None, metavar="PATH",
@@ -107,6 +111,20 @@ def build_parser() -> argparse.ArgumentParser:
     hits.add_argument("--sense", default="min", choices=["min", "max"])
     hits.add_argument("--top", type=int, default=10, help="rows to print")
     add_index_arguments(hits)
+
+    serve = sub.add_parser(
+        "serve", help="long-lived JSONL improvement-query server (stdin -> stdout)"
+    )
+    serve.add_argument("objects")
+    serve.add_argument("queries")
+    serve.add_argument("--sense", default="min", choices=["min", "max"])
+    serve.add_argument("--input", default=None, metavar="PATH",
+                       help="read JSONL requests from this file instead of stdin")
+    serve.add_argument("--batch-size", type=int, default=None, metavar="N",
+                       help="max requests coalesced into one pool dispatch")
+    serve.add_argument("--max-queue", type=int, default=None, metavar="N",
+                       help="admission bound; requests beyond it are rejected")
+    add_index_arguments(serve)
 
     demo = sub.add_parser("demo", help="self-contained demo on generated data")
     demo.add_argument("--seed", type=int, default=0)
@@ -136,6 +154,8 @@ def build_parser() -> argparse.ArgumentParser:
                        default="both", help="index mode(s) to exercise")
     check.add_argument("--skip-battery", action="store_true",
                        help="skip the deterministic IN/CO/AC battery, only fuzz")
+    check.add_argument("--skip-pooled", action="store_true",
+                       help="skip the pooled-vs-serial batch parity check")
 
     lint = sub.add_parser("lint", help="project static analysis (rules RPR001-RPR007)")
     lint.add_argument("paths", nargs="*", default=["src/repro"],
@@ -294,6 +314,31 @@ def _cmd_hits(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    from repro.parallel.server import DEFAULT_BATCH_SIZE, DEFAULT_MAX_QUEUE, serve_stream
+
+    dataset, queries = _load(args.objects, args.queries, args.sense)
+    engine = _engine(args, dataset, queries)
+    batch_size = args.batch_size if args.batch_size is not None else DEFAULT_BATCH_SIZE
+    max_queue = args.max_queue if args.max_queue is not None else DEFAULT_MAX_QUEUE
+    if args.input is not None:
+        with open(args.input, "r", encoding="utf-8") as reader:
+            stats = serve_stream(engine, reader, out, workers=args.workers,
+                                 batch_size=batch_size, max_queue=max_queue)
+    else:
+        stats = serve_stream(engine, sys.stdin, out, workers=args.workers,
+                             batch_size=batch_size, max_queue=max_queue)
+    # Responses go to stdout (pure JSONL); the session summary to stderr.
+    print(
+        f"serve: {stats.served} served, {stats.failed} failed, "
+        f"{stats.rejected} rejected in {stats.seconds:.3f}s "
+        f"({stats.throughput:.1f} req/s, workers {stats.workers}, "
+        f"{stats.batches} batches, {stats.refreshes} refreshes)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_demo(args, out) -> int:
     from repro.data.synthetic import independent
     from repro.data.workloads import uniform_queries
@@ -327,6 +372,8 @@ def main(argv=None, out=None) -> int:
             return _cmd_explain(args, out)
         if args.command == "hits":
             return _cmd_hits(args, out)
+        if args.command == "serve":
+            return _cmd_serve(args, out)
         if args.command == "demo":
             return _cmd_demo(args, out)
         if args.command == "sql":
@@ -353,6 +400,8 @@ def main(argv=None, out=None) -> int:
                           "--mode", args.mode]
             if args.skip_battery:
                 check_args.append("--skip-battery")
+            if args.skip_pooled:
+                check_args.append("--skip-pooled")
             return check_main(check_args, out=out)
         if args.command == "lint":
             from repro.analysis.cli import main as lint_main

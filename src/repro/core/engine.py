@@ -28,6 +28,8 @@ The engine itself is a thin façade over four explicit layers:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.baselines.rta import RTAEvaluator
@@ -53,6 +55,9 @@ from repro.core.solvers import Solver, get_solver
 from repro.core.strategy import StrategySpace
 from repro.core.subdomain import SubdomainIndex
 from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.persistent import PersistentPool
 
 __all__ = ["ImprovementQueryEngine"]
 
@@ -83,7 +88,7 @@ class ImprovementQueryEngine:
         queries: QuerySet,
         mode: str = "exact",
         margin: int = 2,
-        workers: int | None = None,
+        workers: "int | str | None" = None,
     ) -> None:
         self.index = SubdomainIndex(
             dataset, queries, mode=mode, margin=margin, workers=workers
@@ -109,6 +114,30 @@ class ImprovementQueryEngine:
     @property
     def queries(self) -> QuerySet:
         return self.index.queries
+
+    @property
+    def epoch(self) -> int:
+        """The index's mutation epoch (see :class:`SubdomainIndex`).
+
+        Every consumer that caches derived state — the evaluators, the
+        persistent worker pool, the serving layer — keys its validity on
+        this counter, so a mutation through *any* path (engine wrappers
+        or :mod:`repro.core.updates` directly) invalidates them all.
+        """
+        return self.index.epoch
+
+    def pool(
+        self, workers: "int | str | None" = None, warm: bool = True
+    ) -> "PersistentPool":
+        """A :class:`~repro.parallel.persistent.PersistentPool` for this engine.
+
+        The pool forks workers holding the built index once and serves
+        repeated batches without per-call pool startup; see
+        :func:`repro.parallel.run_batch` (``pool=``) and ``repro serve``.
+        """
+        from repro.parallel.persistent import PersistentPool
+
+        return PersistentPool(self, workers=workers, warm=warm)
 
     # ------------------------------------------------------------------
     # Read-side queries

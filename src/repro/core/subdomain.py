@@ -264,7 +264,7 @@ class SubdomainIndex:
         rtree_max_entries: int = 16,
         rtree_cls: type[RTree] = RTree,
         partition_method: str = "vectorized",
-        workers: int | None = None,
+        workers: "int | str | None" = None,
     ) -> None:
         if mode not in _MODES:
             raise ValidationError(f"mode must be one of {_MODES}, got {mode!r}")

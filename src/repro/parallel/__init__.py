@@ -3,7 +3,7 @@
 Every use of :mod:`multiprocessing` / :mod:`concurrent.futures` in the
 project lives inside this package (lint rule RPR007 enforces it), so
 pool lifecycle, shared-memory hygiene, and platform quirks are handled
-in exactly one place.  Three integrated pieces:
+in exactly one place.  The integrated pieces:
 
 * :mod:`repro.parallel.construction` — multiprocess subdomain-index
   construction: the hyperplane set and the query points are chunked
@@ -11,34 +11,49 @@ in exactly one place.  Three integrated pieces:
   weights ``Q`` from :mod:`multiprocessing.shared_memory` (the matrices
   are never pickled); partial signature partitions are merged into
   subdomains in the parent.
-* :mod:`repro.parallel.batch` — the parallel batch IQ driver: many
+* :mod:`repro.parallel.batch` — the fork-per-call batch IQ driver: many
   Min-Cost / Max-Hit calls (many targets, or one target under many
   goals, as in the paper's experiment grids) evaluated across a
   fork-based pool against a read-only shared index.
+* :mod:`repro.parallel.persistent` — the persistent worker pool:
+  workers forked *once* holding the built index (hot matrices resident
+  in shared memory), alive across batches, with epoch-based
+  invalidation and crash recovery.  This is the driver for repeated
+  batches against one index.
+* :mod:`repro.parallel.server` — the batched IQ serving front end over
+  a persistent pool: JSONL request streams with coalescing, bounded
+  admission, and graceful shutdown (``repro serve``).
 * :mod:`repro.parallel.shm` / :mod:`repro.parallel.pool` — the
   substrate: shared-array bookkeeping and pool/context helpers.
 
 Worker-count resolution is uniform everywhere (:func:`resolve_workers`):
 an explicit ``workers=`` argument wins, the ``REPRO_WORKERS``
-environment variable is the ambient default, and values below 2 select
-the serial reference path.  The serial implementations remain the
-default and the executable specification; the parallel paths must
-produce bit-for-bit identical results (the parity tests assert it).
+environment variable is the ambient default (``auto`` = all cores), and
+values below 2 select the serial reference path.  The serial
+implementations remain the default and the executable specification;
+the parallel paths must produce bit-for-bit identical results (the
+parity tests assert it).
 """
 
 from __future__ import annotations
 
 from repro.parallel.batch import IQRequest, run_batch
 from repro.parallel.construction import parallel_partition
+from repro.parallel.persistent import PersistentPool
 from repro.parallel.pool import pool_start_method, resolve_workers
+from repro.parallel.server import IQServer, ServerStats, serve_stream
 from repro.parallel.shm import ArraySpec, SharedArrayStore
 
 __all__ = [
     "ArraySpec",
     "IQRequest",
+    "IQServer",
+    "PersistentPool",
+    "ServerStats",
     "SharedArrayStore",
     "parallel_partition",
     "pool_start_method",
     "resolve_workers",
     "run_batch",
+    "serve_stream",
 ]

@@ -8,11 +8,21 @@ parallelizes trivially once the index is shared.
 Sharing works by fork: the parent parks the engine and the request list
 in a module global and fork-starts the pool, so workers inherit the
 fully-built index through copy-on-write — no pickling of the index, the
-matrices, or the requests.  Only the request *index* travels to a
-worker and only the :class:`~repro.core.results.IQResult` travels back.
-On platforms without fork (or for fewer than two workers/requests) the
-driver degrades to the serial loop, which is also the reference the
-parity tests compare against.
+matrices, or the requests.  Workers receive *contiguous request chunks*
+(one chunk per worker, ``chunksize = ceil(len(batch) / workers)``)
+instead of one IPC round-trip per request, so per-task pickle and
+dispatch overhead amortizes over the chunk.  On platforms without fork
+(or for fewer than two workers/requests) the driver degrades to the
+serial loop, which is also the reference the parity tests compare
+against.
+
+This fork-per-call path pays pool startup on every ``run_batch`` call;
+callers issuing *repeated* batches against one index (the serving
+workload) should hold a
+:class:`~repro.parallel.persistent.PersistentPool` and either call its
+:meth:`~repro.parallel.persistent.PersistentPool.run` directly or pass
+it to :func:`run_batch` via ``pool=``, which amortizes worker startup
+and keeps per-worker evaluator state warm across batches.
 
 This module must not import :mod:`repro.core` at module level: the
 package ``__init__`` imports it, and :mod:`repro.core.subdomain` in
@@ -29,12 +39,14 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import ReproError, ValidationError
 from repro.parallel.pool import pool_start_method, resolve_workers
+from repro.parallel.shm import chunk_bounds
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.cost import CostFunction
     from repro.core.engine import ImprovementQueryEngine
     from repro.core.results import IQResult
     from repro.core.strategy import StrategySpace
+    from repro.parallel.persistent import PersistentPool
 
 __all__ = ["IQRequest", "run_batch"]
 
@@ -85,12 +97,17 @@ def _run_one(engine: "ImprovementQueryEngine", request: IQRequest) -> "IQResult"
     )
 
 
-def _batch_worker(index: int) -> "IQResult":
-    """Worker task: run the index-th request of the fork-shared batch."""
+def _batch_chunk(bounds: tuple[int, int]) -> "list[IQResult]":
+    """Worker task: run one contiguous slice of the fork-shared batch.
+
+    Chunked dispatch is what keeps IPC off the per-request path: one
+    pickle round-trip moves ``stop - start`` results, not one.
+    """
     if _SHARED is None:
         raise ReproError("batch worker started without fork-shared state")
     engine, requests = _SHARED
-    return _run_one(engine, requests[index])
+    start, stop = bounds
+    return [_run_one(engine, requests[index]) for index in range(start, stop)]
 
 
 def _validate_requests(requests: tuple[IQRequest, ...]) -> None:
@@ -107,7 +124,8 @@ def _validate_requests(requests: tuple[IQRequest, ...]) -> None:
 def run_batch(
     engine: "ImprovementQueryEngine",
     requests: "Sequence[IQRequest]",
-    workers: int | None = None,
+    workers: "int | None" = None,
+    pool: "PersistentPool | None" = None,
 ) -> "list[IQResult]":
     """Evaluate a batch of improvement queries, results in request order.
 
@@ -116,11 +134,21 @@ def run_batch(
     ``REPRO_WORKERS`` > serial).  With fewer than two workers or
     requests, or without the fork start method, the batch runs as the
     serial reference loop; otherwise the engine is shared with a
-    fork-based pool copy-on-write and requests are evaluated
-    concurrently.  The index must not be mutated while a batch runs.
+    fork-based pool copy-on-write and contiguous request chunks are
+    evaluated concurrently.  The index must not be mutated while a
+    batch runs.
+
+    Passing ``pool=`` dispatches through an existing
+    :class:`~repro.parallel.persistent.PersistentPool` instead (its
+    workers already hold the index; ``workers`` is ignored).  The pool
+    must have been created for the same engine.
     """
     global _SHARED
     batch = tuple(requests)
+    if pool is not None:
+        if pool.engine is not engine:
+            raise ValidationError("pool was created for a different engine")
+        return pool.run(batch)
     _validate_requests(batch)
     count = resolve_workers(workers)
     if count < 2 or len(batch) < 2 or pool_start_method() != "fork":
@@ -133,9 +161,9 @@ def run_batch(
     _SHARED = (engine, batch)
     try:
         context = get_context("fork")
-        with ProcessPoolExecutor(
-            max_workers=min(count, len(batch)), mp_context=context
-        ) as executor:
-            return list(executor.map(_batch_worker, range(len(batch))))
+        count = min(count, len(batch))
+        with ProcessPoolExecutor(max_workers=count, mp_context=context) as executor:
+            chunks = executor.map(_batch_chunk, chunk_bounds(len(batch), count))
+            return [result for chunk in chunks for result in chunk]
     finally:
         _SHARED = None

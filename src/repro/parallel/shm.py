@@ -31,7 +31,7 @@ __all__ = ["ArraySpec", "SharedArrayStore", "attach_array"]
 
 #: Worker-side registry of attached segments.  Segments must outlive the
 #: arrays mapped onto their buffers, so attachments are cached per name
-#: for the lifetime of the worker process (pools are short-lived).
+#: for the lifetime of the worker process.
 _ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
 
 
@@ -58,13 +58,28 @@ class SharedArrayStore:
 
     def share(self, array: np.ndarray) -> ArraySpec:
         """Export one array into a new shared segment."""
+        spec, __ = self.share_view(array)
+        return spec
+
+    def share_view(self, array: np.ndarray) -> "tuple[ArraySpec, np.ndarray]":
+        """Export one array and return a parent-side view of the segment.
+
+        The returned read-only ndarray maps the shared pages directly,
+        so a parent that *rebinds* its own hot matrices onto the view
+        (the persistent pool does) reads the exact physical memory its
+        fork-started workers inherit — the array is resident in shared
+        memory, not merely copy-on-write duplicated per fork generation.
+        The view must not outlive the store; callers that rebound live
+        state onto it copy the data back out before :meth:`close`.
+        """
         array = np.ascontiguousarray(array)
         segment = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
         self._segments.append(segment)
+        view: np.ndarray = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
         if array.nbytes:
-            view: np.ndarray = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
             view[...] = array
-        return ArraySpec(segment.name, tuple(array.shape), array.dtype.str)
+        view.setflags(write=False)
+        return ArraySpec(segment.name, tuple(array.shape), array.dtype.str), view
 
     def close(self) -> None:
         """Close and unlink every segment this store created."""

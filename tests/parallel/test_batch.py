@@ -83,6 +83,29 @@ class TestDispatch:
         assert_results_match(serial, from_env)
 
 
+class TestChunking:
+    def test_batch_chunk_runs_a_contiguous_slice(self, engine, monkeypatch):
+        batch = tuple(requests_for(engine, count=3))
+        monkeypatch.setattr(batch_module, "_SHARED", (engine, batch))
+        chunk = batch_module._batch_chunk((1, 4))
+        reference = [batch_module._run_one(engine, request) for request in batch[1:4]]
+        assert_results_match(reference, chunk)
+
+    def test_batch_chunk_without_shared_state_raises(self, monkeypatch):
+        monkeypatch.setattr(batch_module, "_SHARED", None)
+        with pytest.raises(ReproError, match="fork-shared"):
+            batch_module._batch_chunk((0, 1))
+
+    def test_chunks_cover_batch_once_per_worker(self, engine):
+        # The fallback path dispatches ceil(len/workers)-sized slices —
+        # one map task per worker, not one per request.
+        from repro.parallel.shm import chunk_bounds
+
+        batch = requests_for(engine, count=4)  # 8 requests
+        bounds = list(chunk_bounds(len(batch), 2))
+        assert bounds == [(0, 4), (4, 8)]
+
+
 class TestValidation:
     def test_unknown_kind_rejected_before_pool(self, engine):
         with pytest.raises(ValidationError, match="kind"):

@@ -9,6 +9,7 @@ from repro.core.subdomain import SubdomainIndex, find_subdomains
 from repro.errors import ValidationError
 from repro.geometry.arrangement import group_by_signature, signature_matrix
 from repro.parallel.construction import _group_rows, parallel_partition
+from repro.parallel.pool import resolve_workers
 
 
 def partition(index):
@@ -39,7 +40,8 @@ class TestIndexParity:
         for workers in (2, 3):
             parallel = SubdomainIndex(dataset, queries, mode=mode, workers=workers)
             assert partition(parallel) == reference
-            assert parallel.workers == workers
+            # Requests above the host's core count are clamped (floor 2).
+            assert parallel.workers == resolve_workers(workers)
             assert [tuple(p) for p in parallel.pairs] == [
                 tuple(p) for p in vectorized.pairs
             ]

@@ -1,0 +1,200 @@
+"""The persistent pool must reproduce the serial reference exactly —
+across batches, across index mutations, and across worker crashes."""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ImprovementQueryEngine
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.errors import ReproError, ValidationError
+from repro.parallel import IQRequest, PersistentPool, run_batch
+
+
+@pytest.fixture
+def engine(small_market):
+    objects, queries, ks = small_market
+    return ImprovementQueryEngine(Dataset(objects), QuerySet(queries, ks))
+
+
+def requests_for(engine, count=6):
+    targets = range(min(count, engine.dataset.n))
+    return [IQRequest("min_cost", t, 5.0) for t in targets] + [
+        IQRequest("max_hit", t, 0.8) for t in targets
+    ]
+
+
+def assert_results_match(serial, pooled):
+    assert len(serial) == len(pooled)
+    for ours, theirs in zip(serial, pooled):
+        assert ours.target == theirs.target
+        assert ours.hits_before == theirs.hits_before
+        assert ours.hits_after == theirs.hits_after
+        assert ours.total_cost == theirs.total_cost  # byte-identical, not approx
+        assert ours.satisfied == theirs.satisfied
+        assert np.array_equal(ours.strategy.vector, theirs.strategy.vector)
+
+
+class TestParity:
+    def test_pooled_matches_serial_reference(self, engine):
+        batch = requests_for(engine)
+        serial = run_batch(engine, batch, workers=0)
+        with PersistentPool(engine, workers=2) as pool:
+            assert_results_match(serial, pool.run(batch))
+
+    def test_serial_mode_pool_matches_reference(self, engine):
+        batch = requests_for(engine)
+        serial = run_batch(engine, batch, workers=0)
+        with PersistentPool(engine, workers=0) as pool:
+            assert pool.workers == 0
+            assert_results_match(serial, pool.run(batch))
+
+    def test_repeated_batches_stay_consistent(self, engine):
+        batch = requests_for(engine, count=3)
+        serial = run_batch(engine, batch, workers=0)
+        with PersistentPool(engine, workers=2) as pool:
+            first = pool.run(batch)
+            second = pool.run(batch)
+        assert_results_match(serial, first)
+        assert_results_match(first, second)
+        assert pool.generation == 1  # no refresh between clean batches
+
+    def test_run_batch_delegates_to_pool(self, engine):
+        batch = requests_for(engine, count=3)
+        serial = run_batch(engine, batch, workers=0)
+        with PersistentPool(engine, workers=2) as pool:
+            assert_results_match(serial, run_batch(engine, batch, pool=pool))
+
+    def test_run_batch_rejects_foreign_pool(self, engine, small_market):
+        objects, queries, ks = small_market
+        other = ImprovementQueryEngine(Dataset(objects), QuerySet(queries, ks))
+        with PersistentPool(other, workers=0) as pool:
+            with pytest.raises(ValidationError, match="different engine"):
+                run_batch(engine, requests_for(engine, count=2), pool=pool)
+
+    def test_engine_pool_factory(self, engine):
+        with engine.pool(workers=2) as pool:
+            assert pool.engine is engine
+            assert pool.workers == 2
+
+    def test_unwarmed_pool_still_agrees(self, engine):
+        batch = requests_for(engine, count=3)
+        serial = run_batch(engine, batch, workers=0)
+        with PersistentPool(engine, workers=2, warm=False) as pool:
+            assert_results_match(serial, pool.run(batch))
+
+
+class TestErrors:
+    def test_bad_request_surfaces_and_pool_survives(self, engine):
+        good = requests_for(engine, count=2)
+        poisoned = good[:2] + [IQRequest("min_cost", 10_000, 5.0)] + good[2:]
+        with PersistentPool(engine, workers=2) as pool:
+            with pytest.raises(ReproError):
+                pool.run(poisoned)
+            # The worker that hit the error kept running; the pool is
+            # still the same fork generation and still serves.
+            assert pool.generation == 1
+            assert_results_match(run_batch(engine, good, workers=0), pool.run(good))
+
+    def test_run_outcomes_isolates_failures(self, engine):
+        batch = [
+            IQRequest("min_cost", 0, 5.0),
+            IQRequest("min_cost", 10_000, 5.0),  # out of range
+            IQRequest("max_hit", 1, 0.8),
+        ]
+        with PersistentPool(engine, workers=2) as pool:
+            outcomes = pool.run_outcomes(batch)
+        assert [ok for ok, __ in outcomes] == [True, False, True]
+        assert isinstance(outcomes[1][1], Exception)
+
+    def test_unknown_kind_rejected_before_dispatch(self, engine):
+        with PersistentPool(engine, workers=0) as pool:
+            with pytest.raises(ValidationError, match="kind"):
+                pool.run([IQRequest("median", 0, 5.0)])
+
+    def test_unknown_method_rejected_before_dispatch(self, engine):
+        with PersistentPool(engine, workers=0) as pool:
+            with pytest.raises(ValidationError):
+                pool.run([IQRequest("min_cost", 0, 5.0, method="quantum")])
+
+    def test_not_reentrant(self, engine):
+        with PersistentPool(engine, workers=0) as pool:
+            acquired = pool._lock.acquire(blocking=False)
+            assert acquired
+            try:
+                with pytest.raises(ReproError, match="reentrant"):
+                    pool.run(requests_for(engine, count=2))
+            finally:
+                pool._lock.release()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_final(self, engine):
+        pool = PersistentPool(engine, workers=2)
+        pool.close()
+        pool.close()
+        assert pool.closed
+        with pytest.raises(ReproError, match="closed"):
+            pool.run(requests_for(engine, count=2))
+        with pytest.raises(ReproError, match="closed"):
+            pool.refresh()
+
+    def test_context_manager_closes(self, engine):
+        with PersistentPool(engine, workers=0) as pool:
+            pass
+        assert pool.closed
+
+    def test_empty_batch(self, engine):
+        with PersistentPool(engine, workers=2) as pool:
+            assert pool.run([]) == []
+
+    def test_manual_refresh_bumps_generation(self, engine):
+        batch = requests_for(engine, count=2)
+        serial = run_batch(engine, batch, workers=0)
+        with PersistentPool(engine, workers=2) as pool:
+            pool.refresh()
+            assert pool.generation == 2
+            assert_results_match(serial, pool.run(batch))
+
+
+class TestEpoch:
+    def test_mutation_marks_pool_stale(self, engine):
+        with PersistentPool(engine, workers=2) as pool:
+            assert not pool.stale
+            engine.add_query(np.full(engine.dataset.dim, 0.5), 2)
+            assert pool.stale
+
+    def test_stale_pool_refreshes_and_serves_fresh_answers(self, engine):
+        batch = requests_for(engine, count=3)
+        with PersistentPool(engine, workers=2) as pool:
+            pool.run(batch)
+            engine.add_query(np.full(engine.dataset.dim, 0.5), 2)
+            serial = run_batch(engine, batch, workers=0)
+            pooled = pool.run(batch)  # must re-fork, not serve stale hits
+            assert pool.generation == 2
+            assert not pool.stale
+            assert_results_match(serial, pooled)
+
+    def test_direct_index_mutation_also_invalidates(self, engine):
+        from repro.core import updates
+
+        with PersistentPool(engine, workers=2) as pool:
+            updates.remove_object(engine.index, engine.dataset.n - 1)
+            assert pool.stale
+
+
+class TestCrashRecovery:
+    def test_killed_workers_are_replaced(self, engine):
+        batch = requests_for(engine, count=3)
+        serial = run_batch(engine, batch, workers=0)
+        with PersistentPool(engine, workers=2) as pool:
+            pool.run(batch)
+            for pid in list(pool._executor._processes):
+                os.kill(pid, signal.SIGKILL)
+            pooled = pool.run(batch)  # detects the broken pool, re-forks
+            assert pool.restarts == 1
+            assert pool.generation == 2
+            assert_results_match(serial, pooled)

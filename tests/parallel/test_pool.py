@@ -1,11 +1,18 @@
 """Worker-count resolution and shared-memory plumbing."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.errors import ValidationError
 from repro.parallel import pool_start_method, resolve_workers
 from repro.parallel.shm import SharedArrayStore, attach_array, chunk_bounds
+
+
+def ceiling():
+    """The clamp resolve_workers applies: cpu_count, never below 2."""
+    return max(2, os.cpu_count() or 1)
 
 
 class TestResolveWorkers:
@@ -15,12 +22,39 @@ class TestResolveWorkers:
 
     def test_explicit_argument_wins(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "8")
-        assert resolve_workers(3) == 3
+        assert resolve_workers(3) == min(3, ceiling())
         assert resolve_workers(0) == 0
 
     def test_environment_fallback(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "5")
-        assert resolve_workers(None) == 5
+        assert resolve_workers(None) == min(5, ceiling())
+
+    def test_serial_counts_pass_through_unclamped(self):
+        assert resolve_workers(0) == 0
+        assert resolve_workers(1) == 1
+
+    def test_oversized_request_clamped_to_cpu_ceiling(self):
+        assert resolve_workers(10_000) == ceiling()
+
+    def test_two_workers_always_allowed(self):
+        # The clamp floor: explicit parallelism exercises the pool even
+        # on a single-core host.
+        assert resolve_workers(2) == 2
+
+    def test_auto_means_all_cores(self, monkeypatch):
+        cpus = os.cpu_count() or 1
+        expected = cpus if cpus >= 2 else 0
+        assert resolve_workers("auto") == expected
+        monkeypatch.setenv("REPRO_WORKERS", "auto")
+        assert resolve_workers(None) == expected
+
+    def test_string_integers_accepted(self):
+        assert resolve_workers("0") == 0
+        assert resolve_workers("2") == 2
+
+    def test_bad_string_argument_rejected(self):
+        with pytest.raises(ValidationError, match="auto"):
+            resolve_workers("many")
 
     def test_negative_rejected(self, monkeypatch):
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
@@ -52,6 +86,15 @@ class TestSharedArrayStore:
             attached = attach_array(spec)
             assert np.array_equal(attached, array)
             assert not attached.flags.writeable
+
+    def test_share_view_maps_the_segment(self, rng):
+        array = rng.random((6, 4))
+        with SharedArrayStore() as store:
+            spec, view = store.share_view(array)
+            assert np.array_equal(view, array)
+            assert not view.flags.writeable
+            # The view and a fresh attachment read the same pages.
+            assert np.array_equal(attach_array(spec), view)
 
     def test_int8_and_intp_arrays(self, rng):
         signs = rng.choice(np.array([-1, 1], dtype=np.int8), size=(5, 9))

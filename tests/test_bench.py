@@ -137,10 +137,20 @@ class TestRegressionHarness:
         assert path.exists()
         assert payload["scale"] == "tiny"
         figures = {record["figure"] for record in payload["records"]}
-        assert figures == {"fig4", "fig5", "fig7", "par_index", "par_batch", "persist"}
+        assert figures == {
+            "fig4", "fig5", "fig7", "par_index", "par_batch", "serve", "persist",
+        }
         for record in payload["records"]:
             assert record["literal_seconds"] > 0
             assert record["vectorized_seconds"] > 0
+        assert payload["cpus"] >= 1
+        for record in payload["records"]:
+            if record["figure"] == "par_batch":
+                assert record["config"]["driver"] == "persistent"
+                assert record["config"]["resolved_workers"] >= 2
+            if record["figure"] == "serve":
+                assert record["config"]["throughput"] > 0
+                assert record["config"]["batches"] >= 1
 
     def test_cli_entry_point(self, capsys):
         from repro.bench.regression import main
@@ -204,8 +214,9 @@ class TestPlanMetadata:
                 assert plan["evaluator"] == "ese"
             elif record["figure"] == "par_index":
                 # The plan describes the parallel-built index, so its
-                # worker count must match the record's.
-                assert record["plan"]["workers"] == record["config"]["workers"]
+                # worker count must match the record's *resolved* count
+                # (requests above os.cpu_count() are clamped).
+                assert record["plan"]["workers"] == record["config"]["resolved_workers"]
             elif record["figure"] == "par_batch":
                 # The batch bench shares one serially-built index across
                 # pool sizes; the plan reports that build.
@@ -282,3 +293,48 @@ class TestRegressionCheck:
         from repro.bench.regression import main
 
         assert main(["--smoke", "--check", str(tmp_path / "missing.json")]) == 1
+
+    def make_pooled_payload(self, median, cpus, scale="bench"):
+        stats = {"points": 1, "min_speedup": median,
+                 "median_speedup": median, "max_speedup": median}
+        return {
+            "schema": "repro-bench-regression/1",
+            "scale": scale,
+            "cpus": cpus,
+            "summary": {"par_batch": dict(stats), "serve": dict(stats)},
+        }
+
+    def test_absolute_floor_enforced_on_multicore(self):
+        from repro.bench.regression import check_regression
+
+        # Both run and baseline slid under 1x: the relative ratio passes,
+        # but the absolute pooled floor must still flag it.
+        run = self.make_pooled_payload(0.6, cpus=4)
+        baseline = self.make_pooled_payload(0.7, cpus=4)
+        problems = check_regression(run, baseline)
+        assert len(problems) == 2
+        assert any("par_batch" in p and "absolute" in p for p in problems)
+        assert any("serve" in p for p in problems)
+
+    def test_absolute_floor_skipped_on_single_core(self):
+        from repro.bench.regression import check_regression
+
+        run = self.make_pooled_payload(0.6, cpus=1)
+        baseline = self.make_pooled_payload(0.7, cpus=1)
+        assert check_regression(run, baseline) == []
+
+    def test_absolute_floor_skipped_at_tiny_scale(self):
+        from repro.bench.regression import check_regression
+
+        # Smoke runs fork a pool for micro-batches where IPC overhead
+        # legitimately dominates, even on multi-core hosts.
+        run = self.make_pooled_payload(0.6, cpus=4, scale="tiny")
+        baseline = self.make_pooled_payload(0.7, cpus=4, scale="tiny")
+        assert check_regression(run, baseline) == []
+
+    def test_absolute_floor_passes_above_one(self):
+        from repro.bench.regression import check_regression
+
+        run = self.make_pooled_payload(1.8, cpus=4)
+        baseline = self.make_pooled_payload(1.6, cpus=4)
+        assert check_regression(run, baseline) == []

@@ -1,6 +1,7 @@
 """Tests for the command-line analytic tool."""
 
 import io
+import json
 
 import numpy as np
 import pytest
@@ -114,6 +115,60 @@ class TestHitsAndDemo:
         assert path.exists()
         printed = capsys.readouterr().out
         assert "fig4" in printed and "speedup" in printed
+
+
+class TestServe:
+    def write_requests(self, tmp_path, lines):
+        path = tmp_path / "requests.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_serve_jsonl_batch(self, market_files, tmp_path, capsys):
+        objects, queries = market_files
+        lines = [
+            json.dumps({"id": i, "kind": "min_cost", "target": i, "goal": 4})
+            for i in range(3)
+        ]
+        lines.append(json.dumps({"op": "shutdown"}))
+        code, out = run(
+            ["serve", objects, queries, "--input",
+             self.write_requests(tmp_path, lines), "--workers", "2"]
+        )
+        assert code == 0
+        answered = [json.loads(line) for line in out.splitlines()]
+        ids = sorted(r["id"] for r in answered if "id" in r)
+        assert ids == [0, 1, 2]
+        assert all(r["ok"] for r in answered)
+        assert "serve:" in capsys.readouterr().err  # summary goes to stderr
+
+    def test_serve_reports_errors_inline(self, market_files, tmp_path):
+        objects, queries = market_files
+        lines = [
+            json.dumps({"id": 0, "kind": "bogus", "target": 0, "goal": 1}),
+            json.dumps({"id": 1, "kind": "max_hit", "target": 1, "goal": 0.5}),
+        ]
+        code, out = run(
+            ["serve", objects, queries, "--input",
+             self.write_requests(tmp_path, lines)]
+        )
+        assert code == 0
+        answered = {r["id"]: r for r in [json.loads(line) for line in out.splitlines()]}
+        assert answered[0]["ok"] is False
+        assert answered[1]["ok"] is True
+
+    def test_serve_honors_batch_and_queue_flags(self, market_files, tmp_path):
+        objects, queries = market_files
+        lines = [
+            json.dumps({"id": i, "kind": "min_cost", "target": i, "goal": 3})
+            for i in range(4)
+        ]
+        code, out = run(
+            ["serve", objects, queries, "--input",
+             self.write_requests(tmp_path, lines),
+             "--batch-size", "2", "--max-queue", "8"]
+        )
+        assert code == 0
+        assert len(out.splitlines()) == 4
 
 
 class TestParser:
