@@ -11,7 +11,23 @@ RPR003    public ndarray-taking functions validate shape/dtype
 RPR004    no mutable default arguments
 RPR005    vectorized/literal implementation pairs are exercised by a
           parity test
+RPR006    solver functions dispatch through the registry
+RPR007    multiprocessing primitives live only in ``repro/parallel/``
+RPR008    no module-level mutable state reachable from worker entry
+          points (fork-safety; share via ``SharedArrayStore`` specs)
+RPR009    every shared-memory acquisition is released on all
+          control-flow paths (per-function CFG walk)
+RPR010    index-owned array writes outside ``updates.py`` notify the
+          epoch bus
+RPR011    no blocking calls while holding a lock
+          (``Condition.wait`` excepted)
 ========  ==============================================================
+
+RPR001-007 are per-file AST passes; RPR008-011 additionally consume the
+run-wide :class:`~repro.analysis.project.ProjectContext` (cross-file
+symbol table, call graph, worker reachability) and per-function
+:mod:`~repro.analysis.cfg` control-flow graphs built in
+:func:`lint_paths`' first pass.
 
 Run ``repro lint src/repro`` (or ``python -m repro.analysis``); suppress
 a single line with ``# repro: noqa[RPR001]``.
@@ -19,7 +35,8 @@ a single line with ``# repro: noqa[RPR001]``.
 
 from __future__ import annotations
 
-import repro.analysis.rules  # noqa: F401  (import registers the rules)
+import repro.analysis.concurrency  # noqa: F401  (import registers RPR008-011)
+import repro.analysis.rules  # noqa: F401  (import registers RPR001-007)
 from repro.analysis.cli import main
 from repro.analysis.framework import (
     FileContext,
@@ -31,6 +48,7 @@ from repro.analysis.framework import (
     register_rule,
     registered_rules,
 )
+from repro.analysis.project import ProjectContext
 from repro.analysis.rules import PARITY_PAIRS
 
 __all__ = [
@@ -38,6 +56,7 @@ __all__ = [
     "Finding",
     "LintConfig",
     "PARITY_PAIRS",
+    "ProjectContext",
     "Rule",
     "lint_file",
     "lint_paths",

@@ -1,0 +1,224 @@
+"""Per-function control-flow graphs for flow-sensitive lint rules.
+
+RPR009 has to decide whether a shared-memory acquisition is released on
+*every* control-flow path out of the acquiring function — a question a
+regex or a flat AST walk cannot answer, because the sanctioned patterns
+(``with`` blocks, ``try/finally`` reaching ``close()``) are exactly
+about paths, not occurrences.
+
+:func:`build_cfg` lowers one function body into a statement-level graph
+with two edge kinds:
+
+* **normal edges** — sequential flow, branch/loop structure, and the
+  ``try``-body → ``finally`` threading (a try body's normal exit runs
+  the ``finally`` before anything after the statement);
+* **exception edges** — every statement may raise, conservatively, so
+  each node gets an edge to the innermost enclosing handler entries and
+  ``finally`` entry (or straight to :data:`EXIT` when unprotected).
+  ``return`` and ``raise`` route through the innermost pending
+  ``finally``.
+
+Conservatism only ever *adds* paths, so a "some path escapes without
+releasing" verdict can over-report (a stricter rule) but an "all paths
+release" verdict is trustworthy for the patterns the project accepts:
+acquisition immediately followed by ``try: ... finally: x.close()``.
+
+``match`` statements and other exotic compounds are treated as opaque
+single nodes; none appear in this codebase, and an opaque node keeps
+the analysis conservative (its raise edge still reaches EXIT).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Sequence
+
+__all__ = ["EXIT", "ControlFlowGraph", "build_cfg"]
+
+#: Sentinel node id for "control left the function".
+EXIT = -1
+
+_TRY_TYPES: tuple[type, ...] = (ast.Try,)
+if hasattr(ast, "TryStar"):  # pragma: no branch - version dependent
+    _TRY_TYPES = (ast.Try, getattr(ast, "TryStar"))
+
+
+class ControlFlowGraph:
+    """Statement-level CFG of one function body."""
+
+    def __init__(self) -> None:
+        self.statements: list[ast.stmt] = []
+        self.normal: dict[int, set[int]] = {}
+        self.raising: dict[int, set[int]] = {}
+        self._node_of: dict[int, int] = {}
+
+    def node_of(self, stmt: ast.stmt) -> int | None:
+        """The node id of a statement, or None if it was not lowered."""
+        return self._node_of.get(id(stmt))
+
+    def can_escape(self, start: ast.stmt, releases: Callable[[ast.stmt], bool]) -> bool:
+        """Does some path from ``start`` reach EXIT without a release node?
+
+        The walk begins at ``start``'s *normal* successors — if the
+        acquiring statement itself raises, nothing was acquired and
+        there is nothing to release.
+        """
+        origin = self.node_of(start)
+        if origin is None:
+            return True  # not lowered: assume the worst
+        stack = list(self.normal[origin])
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node == EXIT:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            if releases(self.statements[node]):
+                continue
+            stack.extend(self.normal[node])
+            stack.extend(self.raising[node])
+        return False
+
+
+class _Builder:
+    """Recursive lowering of statement lists into the graph."""
+
+    def __init__(self) -> None:
+        self.cfg = ControlFlowGraph()
+
+    def _new_node(self, stmt: ast.stmt, on_raise: frozenset[int]) -> int:
+        cfg = self.cfg
+        node = len(cfg.statements)
+        cfg.statements.append(stmt)
+        cfg.normal[node] = set()
+        cfg.raising[node] = set(on_raise) if on_raise else {EXIT}
+        cfg._node_of[id(stmt)] = node
+        return node
+
+    def _connect(self, sources: "set[int]", target: int) -> None:
+        for source in sources:
+            self.cfg.normal[source].add(target)
+
+    def block(
+        self,
+        stmts: "Sequence[ast.stmt]",
+        entry: "set[int]",
+        on_raise: frozenset[int],
+        finally_stack: "tuple[int, ...]",
+        loop: "tuple[set[int], int] | None",
+    ) -> "set[int]":
+        """Lower a statement list; returns its normal-exit frontier.
+
+        ``entry`` holds the predecessor nodes flowing in, ``on_raise``
+        the targets an exception jumps to, ``finally_stack`` the pending
+        ``finally`` entries a ``return``/``raise`` must traverse
+        (innermost last), and ``loop`` is ``(break_sinks,
+        continue_target)`` when inside a loop.
+
+        An empty ``entry`` is *not* dead code: block entries reached
+        through raise edges or node-id targets (function entry, handler
+        bodies, ``finally`` bodies) have no normal predecessors yet.
+        Statements after a ``return``/``raise`` are still lowered — they
+        just receive no incoming edges, so escape walks never visit them.
+        """
+        frontier = set(entry)
+        for stmt in stmts:
+            frontier = self._statement(stmt, frontier, on_raise, finally_stack, loop)
+        return frontier
+
+    def _statement(
+        self,
+        stmt: ast.stmt,
+        entry: "set[int]",
+        on_raise: frozenset[int],
+        finally_stack: "tuple[int, ...]",
+        loop: "tuple[set[int], int] | None",
+    ) -> "set[int]":
+        node = self._new_node(stmt, on_raise)
+        self._connect(entry, node)
+
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            target = finally_stack[-1] if finally_stack else EXIT
+            self.cfg.normal[node].add(target)
+            return set()
+        if isinstance(stmt, ast.Break) and loop is not None:
+            loop[0].add(node)
+            return set()
+        if isinstance(stmt, ast.Continue) and loop is not None:
+            self.cfg.normal[node].add(loop[1])
+            return set()
+        if isinstance(stmt, ast.If):
+            body = self.block(stmt.body, {node}, on_raise, finally_stack, loop)
+            if stmt.orelse:
+                orelse = self.block(stmt.orelse, {node}, on_raise, finally_stack, loop)
+                return body | orelse
+            return body | {node}
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            break_sinks: "set[int]" = set()
+            body = self.block(
+                stmt.body, {node}, on_raise, finally_stack, (break_sinks, node)
+            )
+            self._connect(body, node)  # loop back edge
+            after: "set[int]" = {node}
+            if stmt.orelse:
+                after = self.block(stmt.orelse, {node}, on_raise, finally_stack, loop)
+            return after | break_sinks
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self.block(stmt.body, {node}, on_raise, finally_stack, loop)
+        if isinstance(stmt, _TRY_TYPES):
+            return self._try(stmt, node, on_raise, finally_stack, loop)
+        return {node}
+
+    def _try(
+        self,
+        stmt: "ast.Try",
+        node: int,
+        on_raise: frozenset[int],
+        finally_stack: "tuple[int, ...]",
+        loop: "tuple[set[int], int] | None",
+    ) -> "set[int]":
+        # Lower the finally body first so its entry node id is known to
+        # the try body and the handlers (their raise edges target it).
+        fin_entry: int | None = None
+        fin_frontier: "set[int]" = set()
+        if stmt.finalbody:
+            fin_entry = len(self.cfg.statements)
+            fin_frontier = self.block(
+                stmt.finalbody, set(), on_raise, finally_stack, loop
+            )
+            # The finally also re-propagates pending exceptions/returns.
+            for target in on_raise or {EXIT}:
+                self._connect(fin_frontier, target)
+
+        handler_entries: "list[int]" = []
+        handler_frontiers: "set[int]" = set()
+        inner_raise = frozenset({fin_entry}) if fin_entry is not None else on_raise
+        for handler in stmt.handlers:
+            handler_entries.append(len(self.cfg.statements))
+            handler_frontiers |= self.block(
+                handler.body, set(), inner_raise, finally_stack, loop
+            )
+
+        body_raise = frozenset(handler_entries) | inner_raise
+        body_stack = (
+            finally_stack + (fin_entry,) if fin_entry is not None else finally_stack
+        )
+        body = self.block(stmt.body, {node}, body_raise, body_stack, loop)
+        if stmt.orelse:
+            body = self.block(stmt.orelse, body, inner_raise, body_stack, loop)
+
+        if fin_entry is not None:
+            self._connect(body | handler_frontiers, fin_entry)
+            return set(fin_frontier)
+        return body | handler_frontiers
+
+
+def build_cfg(func: "ast.FunctionDef | ast.AsyncFunctionDef") -> ControlFlowGraph:
+    """Lower one function body into a :class:`ControlFlowGraph`."""
+    builder = _Builder()
+    frontier = builder.block(func.body, set(), frozenset({EXIT}), (), None)
+    for source in frontier:
+        builder.cfg.normal[source].add(EXIT)
+    return builder.cfg

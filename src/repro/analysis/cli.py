@@ -11,6 +11,7 @@ import sys
 from pathlib import Path
 from typing import IO
 
+import repro.analysis.concurrency  # noqa: F401  (registers RPR008-RPR011)
 import repro.analysis.rules  # noqa: F401  (registers RPR001-RPR007)
 from repro.analysis.framework import (
     LintConfig,
@@ -18,6 +19,7 @@ from repro.analysis.framework import (
     registered_rules,
     render_human,
     render_json,
+    render_sarif,
 )
 from repro.errors import ReproError
 
@@ -28,7 +30,7 @@ def build_parser() -> argparse.ArgumentParser:
     """The ``repro lint`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="Project-specific static analysis (rules RPR001-RPR007).",
+        description="Project-specific static analysis (rules RPR001-RPR011).",
     )
     parser.add_argument(
         "paths",
@@ -38,7 +40,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=["human", "json"],
+        choices=["human", "json", "sarif"],
         default="human",
         help="output format",
     )
@@ -106,6 +108,8 @@ def main(argv: list[str] | None = None, out: IO[str] | None = None) -> int:
 
     if args.format == "json":
         render_json(findings, checked, out)
+    elif args.format == "sarif":
+        render_sarif(findings, checked, out)
     else:
         render_human(findings, checked, out)
     return 1 if any(f.severity == "error" for f in findings) else 0

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Iterable, Iterator
 
+from repro.analysis.project import ProjectContext
 from repro.errors import ValidationError
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
     "lint_paths",
     "render_human",
     "render_json",
+    "render_sarif",
 ]
 
 #: ``# repro: noqa`` or ``# repro: noqa[RPR001,RPR002]`` anywhere in a line.
@@ -99,12 +101,25 @@ class LintConfig:
 
 
 class FileContext:
-    """One parsed source file plus its suppression map."""
+    """One parsed source file plus its suppression map.
 
-    def __init__(self, path: Path, source: str, config: LintConfig) -> None:
+    ``project`` is the run-wide :class:`ProjectContext` when the file was
+    linted as part of a multi-file run; single-file entry points get a
+    context built from just that file, so project-scoped rules degrade
+    to per-file behaviour instead of crashing.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        source: str,
+        config: LintConfig,
+        project: ProjectContext | None = None,
+    ) -> None:
         self.path = path
         self.source = source
         self.config = config
+        self.project = project
         self.tree: ast.Module = ast.parse(source, filename=str(path))
         self._noqa: dict[int, frozenset[str]] = {}
         for lineno, text in enumerate(source.splitlines(), start=1):
@@ -168,29 +183,44 @@ def registered_rules() -> list[Rule]:
     return [_REGISTRY[code] for code in sorted(_REGISTRY)]
 
 
-def lint_file(path: Path, config: LintConfig) -> list[Finding]:
-    """Apply every enabled rule to one file; syntax errors become findings."""
+def _parse_file(path: Path, config: LintConfig) -> "FileContext | Finding":
+    """Parse one file into a context, or a syntax-error finding."""
     source = path.read_text(encoding="utf-8")
     try:
-        ctx = FileContext(path, source, config)
+        return FileContext(path, source, config)
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=str(path),
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                rule="RPR000",
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
+        return Finding(
+            path=str(path),
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            rule="RPR000",
+            message=f"syntax error: {exc.msg}",
+        )
+
+
+def _apply_rules(ctx: FileContext) -> list[Finding]:
+    """Run every enabled rule over one parsed file, minus suppressions."""
     findings: list[Finding] = []
     for rule in registered_rules():
-        if not config.rule_enabled(rule.code):
+        if not ctx.config.rule_enabled(rule.code):
             continue
         for finding in rule.check(ctx):
             if not ctx.suppressed(finding.line, finding.rule):
                 findings.append(finding)
     return findings
+
+
+def lint_file(path: Path, config: LintConfig) -> list[Finding]:
+    """Apply every enabled rule to one file; syntax errors become findings.
+
+    The project context covers only this file, so cross-file rules see a
+    single-module project.
+    """
+    parsed = _parse_file(path, config)
+    if isinstance(parsed, Finding):
+        return [parsed]
+    parsed.project = ProjectContext.build([parsed])
+    return _apply_rules(parsed)
 
 
 def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
@@ -213,13 +243,28 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
 
 
 def lint_paths(paths: Iterable[Path], config: LintConfig | None = None) -> tuple[list[Finding], int]:
-    """Lint files/directories; returns (sorted findings, files checked)."""
+    """Lint files/directories; returns (sorted findings, files checked).
+
+    Runs in two passes: every target is parsed first so the project-wide
+    :class:`ProjectContext` (symbol table, call graph, worker
+    reachability) spans the whole run, then the rules are applied with
+    that shared context attached to each file.
+    """
     config = config or LintConfig()
     findings: list[Finding] = []
+    contexts: list[FileContext] = []
     checked = 0
     for path in iter_python_files(paths):
         checked += 1
-        findings.extend(lint_file(path, config))
+        parsed = _parse_file(path, config)
+        if isinstance(parsed, Finding):
+            findings.append(parsed)
+        else:
+            contexts.append(parsed)
+    project = ProjectContext.build(contexts)
+    for ctx in contexts:
+        ctx.project = project
+        findings.extend(_apply_rules(ctx))
     return sorted(findings), checked
 
 
@@ -242,6 +287,68 @@ def render_json(findings: list[Finding], checked: int, out: IO[str]) -> None:
         "rules": [
             {"code": rule.code, "title": rule.title, "severity": rule.severity}
             for rule in registered_rules()
+        ],
+    }
+    json.dump(payload, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+#: SARIF reserves ``"error"``/``"warning"``/``"note"`` result levels.
+_SARIF_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def render_sarif(findings: list[Finding], checked: int, out: IO[str]) -> None:
+    """Emit findings as a SARIF 2.1.0 log for code-scanning upload.
+
+    ``checked`` is accepted for interface parity with the other
+    renderers; SARIF has no standard slot for a file count, so it is
+    recorded as a run property.
+    """
+    rules = [
+        {
+            "id": rule.code,
+            "name": rule.title,
+            "shortDescription": {"text": rule.title},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS.get(rule.severity, "warning")
+            },
+        }
+        for rule in registered_rules()
+    ]
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": _SARIF_LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    payload = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "properties": {"checkedFiles": checked},
+                "results": results,
+            }
         ],
     }
     json.dump(payload, out, indent=2, sort_keys=True)

@@ -39,6 +39,7 @@ from repro.check.differential import (
 )
 from repro.check.fuzz import FuzzFailure, fuzz, run_case, shrink
 from repro.check.oracles import check_index_invariants
+from repro.check.sanitize import Sanitizer, shm_segments
 from repro.errors import CheckFailure
 
 __all__ = [
@@ -46,6 +47,8 @@ __all__ = [
     "AddQuery",
     "CheckFailure",
     "FuzzFailure",
+    "Sanitizer",
+    "shm_segments",
     "RemoveObject",
     "RemoveQuery",
     "Scenario",

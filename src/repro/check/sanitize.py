@@ -1,0 +1,117 @@
+"""Runtime resource sanitizer for the parallel/serving layer.
+
+The static rules (RPR008-011) prove properties of the *source*; this
+module checks the properties the source cannot show: did a run actually
+leave shared-memory segments behind in ``/dev/shm``, did anything rely
+on garbage collection to close a resource (``ResourceWarning``), did a
+worker die somewhere only ``faulthandler`` can report?
+
+:class:`Sanitizer` is a context manager used three ways:
+
+* ``repro check --sanitize`` wraps the whole differential battery;
+* the ``REPRO_SANITIZE=1`` pytest fixture (see ``tests/conftest.py``)
+  wraps every test;
+* ad-hoc, around any block touching :mod:`repro.parallel`.
+
+Inside the block, ``faulthandler`` is enabled and ``ResourceWarning``
+is promoted to an error; on exit a ``gc.collect()`` settles
+refcount-driven cleanup and the ``/dev/shm`` segment set is diffed
+against the entry snapshot.  Segments created *and still alive* across
+the block are leaks — a correctly scoped pool/store releases its
+segments before the block ends.
+
+``PYTHONDEVMODE=1`` cannot be enabled from inside a running
+interpreter; the CI sanitizer job sets it in the environment so
+allocator checks and default-on ResourceWarnings apply from process
+start.  This module's in-process promotion is the portable subset.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import gc
+import warnings
+from pathlib import Path
+
+from repro.errors import CheckFailure
+
+__all__ = ["SHM_DIR", "Sanitizer", "shm_segments"]
+
+#: Where Linux exposes POSIX shared memory as files.  The interpreter
+#: names its segments ``psm_<random>``; only those are ours to count.
+SHM_DIR = Path("/dev/shm")
+
+#: Prefix of segment names created by :mod:`multiprocessing.shared_memory`.
+_SEGMENT_PREFIX = "psm_"
+
+
+def shm_segments() -> frozenset[str]:
+    """Names of the live ``psm_*`` shared-memory segments on this host.
+
+    Returns the empty set on platforms without ``/dev/shm`` (macOS) —
+    the leak check degrades to a no-op there rather than failing.
+    """
+    try:
+        entries = list(SHM_DIR.iterdir())
+    except (FileNotFoundError, NotADirectoryError, PermissionError):
+        return frozenset()
+    return frozenset(
+        entry.name for entry in entries if entry.name.startswith(_SEGMENT_PREFIX)
+    )
+
+
+class Sanitizer:
+    """Context manager asserting a block leaks no shared-memory segments.
+
+    Usage::
+
+        with Sanitizer("pooled battery") as sanitizer:
+            ...  # anything touching repro.parallel
+        sanitizer.check()   # raises CheckFailure on leaked segments
+
+    Attributes
+    ----------
+    leaked:
+        Segment names created inside the block and still alive at exit
+        (populated by ``__exit__``; empty before then).
+    """
+
+    def __init__(self, label: str = "sanitize") -> None:
+        self.label = label
+        self.leaked: frozenset[str] = frozenset()
+        self._before: frozenset[str] = frozenset()
+        self._catcher: "warnings.catch_warnings | None" = None
+
+    def __enter__(self) -> "Sanitizer":
+        faulthandler.enable()
+        self._catcher = warnings.catch_warnings()
+        self._catcher.__enter__()
+        # A ResourceWarning means cleanup fell to the GC — the exact
+        # discipline failure RPR009 polices statically.
+        warnings.simplefilter("error", ResourceWarning)
+        self._before = shm_segments()
+        self.leaked = frozenset()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        # Settle refcount/GC cleanup first so only truly reachable (or
+        # truly orphaned) segments count as leaks, then restore the
+        # caller's warning filters.
+        gc.collect()
+        if self._catcher is not None:
+            self._catcher.__exit__(None, None, None)
+            self._catcher = None
+        self.leaked = shm_segments() - self._before
+        return False
+
+    def summary(self) -> str:
+        """One-line human report of the leak diff."""
+        if self.leaked:
+            names = ", ".join(sorted(self.leaked))
+            return f"sanitizer [{self.label}]: LEAKED {len(self.leaked)} shm segment(s): {names}"
+        return f"sanitizer [{self.label}]: no leaked shm segments"
+
+    def check(self) -> None:
+        """Raise :class:`CheckFailure` if the block leaked segments."""
+        if self.leaked:
+            raise CheckFailure(self.summary())

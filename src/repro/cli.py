@@ -156,11 +156,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the deterministic IN/CO/AC battery, only fuzz")
     check.add_argument("--skip-pooled", action="store_true",
                        help="skip the pooled-vs-serial batch parity check")
+    check.add_argument("--sanitize", action="store_true",
+                       help="run under the runtime resource sanitizer "
+                            "(faulthandler, ResourceWarning as error, "
+                            "zero leaked /dev/shm segments)")
 
-    lint = sub.add_parser("lint", help="project static analysis (rules RPR001-RPR007)")
+    lint = sub.add_parser("lint", help="project static analysis (rules RPR001-RPR011)")
     lint.add_argument("paths", nargs="*", default=["src/repro"],
                       help="files or directories to lint (default: src/repro)")
-    lint.add_argument("--format", choices=["human", "json"], default="human")
+    lint.add_argument("--format", choices=["human", "json", "sarif"], default="human")
     lint.add_argument("--select", default=None, metavar="CODES",
                       help="comma-separated rule codes to run")
     lint.add_argument("--ignore", default=None, metavar="CODES",
@@ -402,6 +406,8 @@ def main(argv=None, out=None) -> int:
                 check_args.append("--skip-battery")
             if args.skip_pooled:
                 check_args.append("--skip-pooled")
+            if args.sanitize:
+                check_args.append("--sanitize")
             return check_main(check_args, out=out)
         if args.command == "lint":
             from repro.analysis.cli import main as lint_main

@@ -103,7 +103,7 @@ def _batch_chunk(bounds: tuple[int, int]) -> "list[IQResult]":
     Chunked dispatch is what keeps IPC off the per-request path: one
     pickle round-trip moves ``stop - start`` results, not one.
     """
-    if _SHARED is None:
+    if _SHARED is None:  # repro: noqa[RPR008] (fork channel: parked pre-fork, read-only here)
         raise ReproError("batch worker started without fork-shared state")
     engine, requests = _SHARED
     start, stop = bounds

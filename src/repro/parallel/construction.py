@@ -36,7 +36,13 @@ from repro.errors import ValidationError
 from repro.geometry.arrangement import signature_matrix
 from repro.geometry.hyperplane import EPS
 from repro.parallel.pool import pool_start_method
-from repro.parallel.shm import ArraySpec, SharedArrayStore, attach_array, chunk_bounds
+from repro.parallel.shm import (
+    ArraySpec,
+    SharedArrayStore,
+    attach_array,
+    chunk_bounds,
+    detach_all,
+)
 
 __all__ = ["parallel_partition"]
 
@@ -46,7 +52,12 @@ _WORKER_ARRAYS: dict[str, np.ndarray] = {}
 
 
 def _init_worker(specs: dict[str, ArraySpec]) -> None:
-    """Pool initializer: map the parent's shared arrays into this worker."""
+    """Pool initializer: map the parent's shared arrays into this worker.
+
+    Attachments a forked worker inherited from the parent's own cache
+    describe segments of some earlier pool and are dropped first.
+    """
+    detach_all()
     for key, spec in specs.items():
         _WORKER_ARRAYS[key] = attach_array(spec)
 

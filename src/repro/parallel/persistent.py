@@ -48,7 +48,13 @@ import numpy as np
 from repro.errors import ReproError, ValidationError
 from repro.parallel.batch import IQRequest, _run_one, _validate_requests
 from repro.parallel.pool import pool_start_method, resolve_workers
-from repro.parallel.shm import ArraySpec, SharedArrayStore, attach_array, chunk_bounds
+from repro.parallel.shm import (
+    ArraySpec,
+    SharedArrayStore,
+    attach_array,
+    chunk_bounds,
+    detach_all,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.engine import ImprovementQueryEngine
@@ -75,8 +81,13 @@ def _init_pool_worker(token: str, specs: "dict[str, ArraySpec]") -> None:
     hot matrices are then swapped for attachments to the parent's
     shared segments, so the bulk of the index is resident in shared
     memory rather than duplicated per worker or per fork generation.
+
+    The inherited attachment cache is dropped first: its entries
+    describe the *previous* fork generation's segments, which the
+    parent unlinked before re-forking.
     """
-    engine = _POOL_ENGINES.get(token)
+    detach_all()
+    engine = _POOL_ENGINES.get(token)  # repro: noqa[RPR008] (fork channel: set pre-fork, read-only here)
     if engine is None:  # pragma: no cover - requires spawn-started worker
         return
     index = engine.index
@@ -86,7 +97,9 @@ def _init_pool_worker(token: str, specs: "dict[str, ArraySpec]") -> None:
         if spec is None:
             continue
         owner = index if owner_attr is None else getattr(index, owner_attr)
-        setattr(owner, array_attr, attach_array(spec))
+        # Swapping the inherited copy for the shared mapping changes no
+        # observable value, so the epoch bus stays silent by design.
+        setattr(owner, array_attr, attach_array(spec))  # repro: noqa[RPR010]
 
 
 def _sanitize_error(exc: Exception) -> Exception:
@@ -107,7 +120,7 @@ def _chunk_task(
     request cannot poison the chunk's siblings or the worker process —
     the pool survives and the caller decides whether to re-raise.
     """
-    engine = _POOL_ENGINES.get(token)
+    engine = _POOL_ENGINES.get(token)  # repro: noqa[RPR008] (fork channel: set pre-fork, read-only here)
     if engine is None:
         raise ReproError(
             f"persistent-pool worker has no engine for token {token!r} "
@@ -205,7 +218,14 @@ class PersistentPool:
     # Lifecycle
     # ------------------------------------------------------------------
     def _start(self) -> None:
-        """Begin a fork generation: share matrices, park state, fork."""
+        """Begin a fork generation: share matrices, park state, fork.
+
+        A failure after the store exists (a hot matrix that will not
+        export, executor creation itself) tears the partial generation
+        down before re-raising — otherwise the shared segments outlive
+        the exception until GC happens to collect the pool, which is
+        exactly the window the sanitizer harness flags as a leak.
+        """
         self._epoch = self._engine.index.epoch
         self.generation += 1
         if self._warm:
@@ -216,19 +236,23 @@ class PersistentPool:
             return
         index = self._engine.index
         self._store = SharedArrayStore()
-        specs: "dict[str, ArraySpec]" = {}
-        for owner_attr, array_attr in _HOT_ARRAYS:
-            owner = index if owner_attr is None else getattr(index, owner_attr)
-            specs[array_attr.lstrip("_")] = self._store.share(
-                np.asarray(getattr(owner, array_attr))
+        try:
+            specs: "dict[str, ArraySpec]" = {}
+            for owner_attr, array_attr in _HOT_ARRAYS:
+                owner = index if owner_attr is None else getattr(index, owner_attr)
+                specs[array_attr.lstrip("_")] = self._store.share(
+                    np.asarray(getattr(owner, array_attr))
+                )
+            _POOL_ENGINES[self._token] = self._engine
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._workers,
+                mp_context=get_context("fork"),
+                initializer=_init_pool_worker,
+                initargs=(self._token, specs),
             )
-        _POOL_ENGINES[self._token] = self._engine
-        self._executor = ProcessPoolExecutor(
-            max_workers=self._workers,
-            mp_context=get_context("fork"),
-            initializer=_init_pool_worker,
-            initargs=(self._token, specs),
-        )
+        except BaseException:
+            self._teardown()
+            raise
 
     def _teardown(self) -> None:
         """End the current fork generation (workers first, then segments)."""

@@ -164,6 +164,11 @@ class IQServer:
     request stream ends and is not reentrant.
     """
 
+    #: Seconds :meth:`serve` waits for the reader thread after the
+    #: dispatch loop ends; a reader wedged in blocking input past this
+    #: is abandoned (daemon) rather than wedging the pool shutdown.
+    READER_JOIN_GRACE = 5.0
+
     def __init__(
         self,
         pool: PersistentPool,
@@ -184,6 +189,7 @@ class IQServer:
         self._done = False
         self._serving = False
         self._stats = ServerStats()
+        self._reader_error: "Exception | None" = None
 
     @property
     def pool(self) -> PersistentPool:
@@ -197,8 +203,10 @@ class IQServer:
         if writer is None:  # pragma: no cover - serve() always binds first
             raise ReproError("IQServer has no response writer bound")
         with self._write_lock:
-            writer.write(json.dumps(payload) + "\n")
-            writer.flush()
+            # The write lock exists to serialize exactly this I/O: the
+            # reader thread and the dispatch loop interleave responses.
+            writer.write(json.dumps(payload) + "\n")  # repro: noqa[RPR011]
+            writer.flush()  # repro: noqa[RPR011]
 
     def _emit_error(self, request_id: object, error: Exception) -> None:
         self._emit(
@@ -209,13 +217,26 @@ class IQServer:
     # Reader thread: parse, admit or reject, answer control ops
     # ------------------------------------------------------------------
     def _read_loop(self, reader: "Iterable[str]") -> None:
+        """Reader-thread body: parse lines until EOF, shutdown, or failure.
+
+        A reader that *dies* (broken pipe, a writer whose far end
+        vanished mid-response, a poisoned iterable) must not take the
+        responses it already owed silently with it: the exception is
+        captured for :meth:`serve` to surface after the queue drains,
+        and ``_done`` is always signalled so the dispatch loop can
+        finish instead of waiting forever.
+        """
         try:
             for line in reader:
+                if self._done:
+                    break  # dispatch loop failed: stop consuming input
                 text = line.strip()
                 if not text:
                     continue
                 if self._handle_line(text):
                     break
+        except Exception as exc:  # noqa: BLE001 - surfaced by serve() after drain
+            self._reader_error = exc
         finally:
             with self._cond:
                 self._done = True
@@ -253,19 +274,26 @@ class IQServer:
             self._stats.failed += 1
             self._emit_error(request_id, exc)
             return False
+        # Decide admission under the lock; emit the rejection after
+        # releasing it.  The rejection response is pipe I/O, and writing
+        # it while holding the admission lock would stall the dispatch
+        # loop (and every other producer) on one slow client (RPR011).
+        rejected = False
         with self._cond:
             if len(self._queue) >= self._max_queue:
                 self._stats.rejected += 1
-                self._emit_error(
-                    request_id,
-                    ReproError(
-                        f"server queue full ({self._max_queue} requests pending); "
-                        "retry after responses drain"
-                    ),
-                )
-                return False
-            self._queue.append(_Pending(request_id, request))
-            self._cond.notify_all()
+                rejected = True
+            else:
+                self._queue.append(_Pending(request_id, request))
+                self._cond.notify_all()
+        if rejected:
+            self._emit_error(
+                request_id,
+                ReproError(
+                    f"server queue full ({self._max_queue} requests pending); "
+                    "retry after responses drain"
+                ),
+            )
         return False
 
     # ------------------------------------------------------------------
@@ -327,6 +355,7 @@ class IQServer:
         self._stats = ServerStats(workers=self._pool.workers)
         self._writer = writer
         self._done = False
+        self._reader_error = None
         self._queue.clear()
         started = time.perf_counter()
         thread = threading.Thread(target=self._read_loop, args=(reader,), daemon=True)
@@ -338,9 +367,24 @@ class IQServer:
                     break  # queue empty and reader done: drained
                 self._serve_batch(batch)
         finally:
-            thread.join()
+            # Signal the reader first: if the dispatch loop is exiting
+            # on an exception, the reader must stop admitting work.  A
+            # reader blocked inside ``next(reader)`` (a pipe with no
+            # more input ever coming) cannot be interrupted, so the
+            # join is bounded — the daemon thread dies with the
+            # process instead of wedging the caller's finally blocks
+            # (and the pool shutdown behind them) forever.
+            with self._cond:
+                self._done = True
+                self._cond.notify_all()
+            thread.join(timeout=self.READER_JOIN_GRACE)
             self._stats.seconds = time.perf_counter() - started
             self._serving = False
+        if self._reader_error is not None:
+            raise ReproError(
+                f"server request reader failed mid-stream: "
+                f"{type(self._reader_error).__name__}: {self._reader_error}"
+            ) from self._reader_error
         return self._stats
 
 

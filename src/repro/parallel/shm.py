@@ -19,6 +19,7 @@ Lifecycle rules (the part that is easy to get wrong):
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 from typing import Iterator
@@ -27,12 +28,31 @@ import numpy as np
 
 from repro.errors import ValidationError
 
-__all__ = ["ArraySpec", "SharedArrayStore", "attach_array"]
+__all__ = [
+    "ArraySpec",
+    "SharedArrayStore",
+    "attach_array",
+    "attached_segments",
+    "detach_all",
+    "detach_array",
+]
 
 #: Worker-side registry of attached segments.  Segments must outlive the
-#: arrays mapped onto their buffers, so attachments are cached per name
-#: for the lifetime of the worker process.
-_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+#: arrays mapped onto their buffers, so attachments are cached per
+#: segment name, keyed together with the :class:`ArraySpec` they were
+#: attached under — a cache hit is only valid for the *same* spec, and a
+#: name reused with a different layout evicts the stale entry instead of
+#: serving a wrong-shape view of whatever lives there now.
+_ATTACHED: dict[str, tuple[ArraySpec, shared_memory.SharedMemory, np.ndarray]] = {}
+
+#: Segments evicted from the cache while their ndarray view (or a slice
+#: of it) was still referenced elsewhere.  numpy views do *not* export
+#: the underlying memoryview buffer, so ``SharedMemory.close()`` on such
+#: a segment would not raise — it would silently unmap pages the live
+#: view still reads (a segfault on next access).  Parking the handle
+#: keeps the mapping alive for the life of the process instead; the
+#: cost is bounded by eviction count, and eviction is rare.
+_ZOMBIES: list[shared_memory.SharedMemory] = []
 
 
 @dataclass(frozen=True)
@@ -82,10 +102,19 @@ class SharedArrayStore:
         return ArraySpec(segment.name, tuple(array.shape), array.dtype.str), view
 
     def close(self) -> None:
-        """Close and unlink every segment this store created."""
+        """Close and unlink every segment this store created.
+
+        Same-process attachments to this store's segments (the serial
+        path and tests attach in the parent) are evicted first, so the
+        worker-side cache can never serve a view of an unlinked segment.
+        """
         for segment in self._segments:
+            detach_array(segment.name)
             try:
                 segment.close()
+            except BufferError:  # pragma: no cover - non-numpy buffer export
+                _ZOMBIES.append(segment)
+            try:
                 segment.unlink()
             except FileNotFoundError:  # pragma: no cover - already unlinked
                 pass
@@ -120,17 +149,72 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
 
 
 def attach_array(spec: ArraySpec) -> np.ndarray:
-    """Map a shared segment as a read-only ndarray (worker side, cached)."""
+    """Map a shared segment as a read-only ndarray (worker side, cached).
+
+    A cache hit is honoured only when the cached entry was attached
+    under the *same* spec; a segment name reused with a different
+    shape/dtype (generations of pools recycle names eventually) evicts
+    the stale entry and re-attaches instead of serving a wrong-layout
+    view of the new segment's bytes.
+    """
     cached = _ATTACHED.get(spec.name)
     if cached is not None:
-        return cached[1]
+        if cached[0] == spec:
+            return cached[2]
+        detach_array(spec.name)
     if any(side < 0 for side in spec.shape):
         raise ValidationError(f"invalid shared-array shape {spec.shape}")
     segment = _attach_segment(spec.name)
     array: np.ndarray = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf)
     array.setflags(write=False)
-    _ATTACHED[spec.name] = (segment, array)
+    _ATTACHED[spec.name] = (spec, segment, array)
     return array
+
+
+def detach_array(name: str) -> bool:
+    """Evict one cached attachment; returns False if it was not cached.
+
+    The segment is closed only when the cache held the *last* reference
+    to its ndarray.  Any external reference — a caller's binding, a
+    slice, an engine attribute rebound onto the view — keeps the chain
+    of ``.base`` references to the cached array alive, so a refcount
+    above the cache's own bookkeeping means closing would unmap memory
+    someone still reads; the segment is parked in ``_ZOMBIES`` instead.
+    """
+    entry = _ATTACHED.pop(name, None)
+    if entry is None:
+        return False
+    __, segment, array = entry
+    # Live references at this point when nobody else holds the array:
+    # the entry tuple, the local ``array``, and getrefcount's argument.
+    if sys.getrefcount(array) <= 3:
+        del array, entry
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - defensive
+            _ZOMBIES.append(segment)
+    else:
+        _ZOMBIES.append(segment)
+    return True
+
+
+def detach_all() -> int:
+    """Evict every cached attachment; returns how many were evicted.
+
+    Worker initializers call this first: a fork-started worker inherits
+    the parent's cache, whose entries describe the *previous* pool
+    generation's segments — stale state the re-fork exists to replace.
+    """
+    count = 0
+    for name in list(_ATTACHED):
+        if detach_array(name):
+            count += 1
+    return count
+
+
+def attached_segments() -> frozenset[str]:
+    """Names of the segments currently held by the attachment cache."""
+    return frozenset(_ATTACHED)
 
 
 def chunk_bounds(total: int, chunks: int) -> Iterator[tuple[int, int]]:

@@ -45,6 +45,49 @@ def test_json_format(tmp_path):
     assert {r["code"] for r in payload["rules"]} >= {"RPR001", "RPR005"}
 
 
+def test_sarif_format(tmp_path):
+    path = write(tmp_path, "assert True\n")
+    code, output = run([path, "--format", "sarif"])
+    assert code == 1
+    payload = json.loads(output)
+    assert payload["version"] == "2.1.0"
+    run_record = payload["runs"][0]
+    assert run_record["tool"]["driver"]["name"] == "repro-lint"
+    assert run_record["properties"]["checkedFiles"] == 1
+    rule_ids = {rule["id"] for rule in run_record["tool"]["driver"]["rules"]}
+    assert rule_ids >= {"RPR001", "RPR008", "RPR009", "RPR010", "RPR011"}
+    (result,) = run_record["results"]
+    assert result["ruleId"] == "RPR002"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == path
+    assert location["region"]["startLine"] == 1
+
+
+def test_sarif_clean_run_exits_zero_with_empty_results(tmp_path):
+    path = write(tmp_path, "X = 1\n")
+    code, output = run([path, "--format", "sarif"])
+    assert code == 0
+    payload = json.loads(output)
+    assert payload["runs"][0]["results"] == []
+
+
+def test_sarif_output_is_deterministic(tmp_path):
+    path = write(tmp_path, "TOL = 1e-9\nassert True\n")
+    first = run([path, "--format", "sarif"])
+    second = run([path, "--format", "sarif"])
+    assert first == second
+
+
+def test_human_and_json_formats_unchanged_by_sarif_support(tmp_path):
+    path = write(tmp_path, "TOL = 1e-9\n")
+    __, human = run([path, "--format", "human"])
+    assert f"{path}:1:" in human and "finding(s)" in human
+    __, as_json = run([path, "--format", "json"])
+    payload = json.loads(as_json)
+    assert set(payload) == {"checked_files", "findings", "rules"}
+    assert payload["findings"][0]["rule"] == "RPR001"
+
+
 def test_select_limits_rules(tmp_path):
     path = write(tmp_path, "TOL = 1e-9\nassert True\n")
     code, output = run([path, "--select", "RPR002"])

@@ -1,0 +1,414 @@
+"""The project-wide concurrency rules (RPR008-011): trigger and noqa
+fixtures per rule, cross-file reachability, and the meta-test asserting
+``src/repro`` itself carries zero unsuppressed findings."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import LintConfig, lint_file, lint_paths
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def lint_source(tmp_path, source, name="mod.py", **config):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return lint_file(path, LintConfig(**config))
+
+
+def lint_tree(tmp_path, sources, **config):
+    """Write several modules and lint them as one run (shared project)."""
+    for name, source in sources.items():
+        path = tmp_path / name
+        path.write_text(textwrap.dedent(source))
+    findings, __ = lint_paths([tmp_path], LintConfig(**config))
+    return findings
+
+
+def codes(findings):
+    return sorted({f.rule for f in findings})
+
+
+# ----------------------------------------------------------------------
+# RPR008: fork-shared mutable globals reachable from worker code
+# ----------------------------------------------------------------------
+class TestForkSafety:
+    POOL_WITH_GLOBAL = """\
+    from concurrent.futures import ProcessPoolExecutor
+
+    _CACHE = {}
+
+    def _init_worker(token):
+        value = _CACHE.get(token)
+        return value
+
+    def start():
+        return ProcessPoolExecutor(max_workers=2, initializer=_init_worker)
+    """
+
+    def test_triggers_on_global_in_initializer(self, tmp_path):
+        findings = lint_source(
+            tmp_path, self.POOL_WITH_GLOBAL, select=frozenset({"RPR008"})
+        )
+        assert codes(findings) == ["RPR008"]
+        assert "_CACHE" in findings[0].message
+        assert "_init_worker" in findings[0].message
+        # Flagged at the textually-first reference so one noqa covers it.
+        assert findings[0].line == 6
+
+    def test_noqa_on_first_reference_suppresses(self, tmp_path):
+        source = self.POOL_WITH_GLOBAL.replace(
+            "value = _CACHE.get(token)",
+            "value = _CACHE.get(token)  # repro: noqa[RPR008]",
+        )
+        assert lint_source(tmp_path, source, select=frozenset({"RPR008"})) == []
+
+    def test_triggers_on_submitted_task_function(self, tmp_path):
+        source = """\
+        _RESULTS = []
+
+        def task(chunk):
+            _RESULTS.append(chunk)
+
+        def dispatch(executor, chunks):
+            return [executor.submit(task, chunk) for chunk in chunks]
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR008"}))
+        assert codes(findings) == ["RPR008"]
+        assert "task" in findings[0].message
+
+    def test_triggers_transitively_through_helpers(self, tmp_path):
+        source = """\
+        from multiprocessing import Process
+
+        _STATE = {}
+
+        def helper():
+            return _STATE
+
+        def entry():
+            return helper()
+
+        def start():
+            return Process(target=entry)
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR008"}))
+        assert codes(findings) == ["RPR008"]
+        assert "helper" in findings[0].message
+
+    def test_lambda_entry_is_flagged(self, tmp_path):
+        source = """\
+        from concurrent.futures import ProcessPoolExecutor
+
+        def start():
+            return ProcessPoolExecutor(initializer=lambda: None)
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR008"}))
+        assert codes(findings) == ["RPR008"]
+        assert "lambda" in findings[0].message
+
+    def test_attach_registry_is_exempt(self, tmp_path):
+        source = """\
+        from concurrent.futures import ProcessPoolExecutor
+
+        _ARRAYS = {}
+
+        def _init_worker(specs):
+            for key, spec in specs.items():
+                _ARRAYS[key] = attach_array(spec)
+
+        def start():
+            return ProcessPoolExecutor(initializer=_init_worker)
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR008"})) == []
+
+    def test_global_unused_by_workers_passes(self, tmp_path):
+        source = """\
+        from concurrent.futures import ProcessPoolExecutor
+
+        _PARENT_ONLY = {}
+
+        def _init_worker(token):
+            return token
+
+        def start():
+            _PARENT_ONLY["x"] = 1
+            return ProcessPoolExecutor(initializer=_init_worker)
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR008"})) == []
+
+    def test_cross_file_entry_point_reaches_worker_module(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "worker.py": """\
+                _SEEN = []
+
+                def init_worker(token):
+                    _SEEN.append(token)
+                """,
+                "driver.py": """\
+                from concurrent.futures import ProcessPoolExecutor
+
+                from worker import init_worker
+
+                def start():
+                    return ProcessPoolExecutor(initializer=init_worker)
+                """,
+            },
+            select=frozenset({"RPR008"}),
+        )
+        assert codes(findings) == ["RPR008"]
+        assert findings[0].path.endswith("worker.py")
+
+
+# ----------------------------------------------------------------------
+# RPR009: shared-memory lifecycle on every control-flow path
+# ----------------------------------------------------------------------
+class TestShmLifecycle:
+    def test_triggers_when_exception_edge_skips_close(self, tmp_path):
+        source = """\
+        from multiprocessing.shared_memory import SharedMemory
+
+        def export(payload):
+            segment = SharedMemory(create=True, size=8)
+            segment.buf[: len(payload)] = payload
+            segment.close()
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR009"}))
+        assert codes(findings) == ["RPR009"]
+        assert "'segment'" in findings[0].message
+
+    def test_triggers_on_early_return(self, tmp_path):
+        source = """\
+        def build(flag):
+            store = SharedArrayStore()
+            if flag:
+                return None
+            store.close()
+            return store
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR009"}))
+        assert codes(findings) == ["RPR009"]
+
+    def test_triggers_on_discarded_acquisition(self, tmp_path):
+        source = """\
+        def touch():
+            SharedMemory(create=True, size=8)
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR009"}))
+        assert codes(findings) == ["RPR009"]
+        assert "discarded" in findings[0].message
+
+    def test_try_finally_passes(self, tmp_path):
+        source = """\
+        def export(payload):
+            segment = SharedMemory(create=True, size=8)
+            try:
+                segment.buf[: len(payload)] = payload
+            finally:
+                segment.close()
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR009"})) == []
+
+    def test_with_statement_passes(self, tmp_path):
+        source = """\
+        def export(payload):
+            with SharedArrayStore() as store:
+                return store.share(payload)
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR009"})) == []
+
+    def test_ownership_transfer_passes(self, tmp_path):
+        source = """\
+        def adopt(registry):
+            segment = SharedMemory(create=True, size=8)
+            registry["segment"] = segment
+            return registry
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR009"})) == []
+
+    def test_attach_without_create_passes(self, tmp_path):
+        source = """\
+        def attach(name):
+            segment = SharedMemory(name=name)
+            return segment
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR009"})) == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        source = """\
+        def leak_on_purpose():
+            store = SharedArrayStore()  # repro: noqa[RPR009]
+            return store
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR009"})) == []
+
+
+# ----------------------------------------------------------------------
+# RPR010: epoch discipline for index-owned array writes
+# ----------------------------------------------------------------------
+class TestEpochDiscipline:
+    def test_triggers_on_silent_rebinding(self, tmp_path):
+        source = """\
+        def clobber(index, fresh):
+            index.normals = fresh
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR010"}))
+        assert codes(findings) == ["RPR010"]
+        assert "notify_mutation" in findings[0].message
+
+    def test_triggers_on_element_store(self, tmp_path):
+        source = """\
+        def poke(index, row, value):
+            index._weights[row] = value
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR010"}))
+        assert codes(findings) == ["RPR010"]
+
+    def test_triggers_on_setattr_rebinding(self, tmp_path):
+        source = """\
+        def swap(owner, name, array):
+            setattr(owner, name, array)
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR010"}))
+        assert codes(findings) == ["RPR010"]
+
+    def test_notify_mutation_in_scope_passes(self, tmp_path):
+        source = """\
+        def rebuild(index, fresh):
+            index.normals = fresh
+            notify_mutation(index)
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR010"})) == []
+
+    def test_self_writes_pass(self, tmp_path):
+        source = """\
+        class Owner:
+            def set_normals(self, fresh):
+                self.normals = fresh
+                self._weights[0] = 1.0
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR010"})) == []
+
+    def test_updates_module_is_exempt(self, tmp_path):
+        source = """\
+        def apply(index, fresh):
+            index.normals = fresh
+        """
+        findings = lint_source(
+            tmp_path, source, name="updates.py", select=frozenset({"RPR010"})
+        )
+        assert findings == []
+
+    def test_index_defining_module_is_exempt(self, tmp_path):
+        source = """\
+        class SubdomainIndex:
+            pass
+
+        def rebind(index, fresh):
+            index.normals = fresh
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR010"})) == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        source = """\
+        def swap(owner, array):
+            setattr(owner, "normals", array)  # repro: noqa[RPR010]
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR010"})) == []
+
+
+# ----------------------------------------------------------------------
+# RPR011: no blocking calls while holding a lock
+# ----------------------------------------------------------------------
+class TestBlockingUnderLock:
+    def test_triggers_on_io_under_lock(self, tmp_path):
+        source = """\
+        import threading
+
+        _LOCK = threading.Lock()
+
+        def emit(writer, text):
+            with _LOCK:
+                writer.write(text)
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR011"}))
+        assert codes(findings) == ["RPR011"]
+        assert "write()" in findings[0].message
+
+    def test_triggers_transitively_through_helper(self, tmp_path):
+        source = """\
+        import threading
+
+        _LOCK = threading.Lock()
+
+        def flush_out(writer):
+            writer.flush()
+
+        def emit(writer):
+            with _LOCK:
+                flush_out(writer)
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR011"}))
+        assert codes(findings) == ["RPR011"]
+        assert "flush_out" in findings[0].message
+
+    def test_condition_wait_is_sanctioned(self, tmp_path):
+        source = """\
+        def drain(cond, queue):
+            with cond:
+                while not queue:
+                    cond.wait()
+                cond.notify_all()
+                return queue.popleft()
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR011"})) == []
+
+    def test_compute_under_lock_passes(self, tmp_path):
+        source = """\
+        import threading
+
+        _LOCK = threading.Lock()
+
+        def admit(queue, item, bound):
+            with _LOCK:
+                if len(queue) < bound:
+                    queue.append(item)
+                    return True
+            return False
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR011"})) == []
+
+    def test_non_lock_context_managers_pass(self, tmp_path):
+        source = """\
+        def copy(src, dst):
+            with open(src) as handle:
+                dst.write(handle.read())
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR011"})) == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        source = """\
+        import threading
+
+        _LOCK = threading.Lock()
+
+        def emit(writer, text):
+            with _LOCK:
+                writer.write(text)  # repro: noqa[RPR011]
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR011"})) == []
+
+
+# ----------------------------------------------------------------------
+# Meta: the library itself holds the concurrency invariants
+# ----------------------------------------------------------------------
+class TestLibraryIsClean:
+    def test_src_repro_has_zero_unsuppressed_findings(self):
+        findings, checked = lint_paths(
+            [REPO_SRC],
+            LintConfig(select=frozenset({"RPR008", "RPR009", "RPR010", "RPR011"})),
+        )
+        assert checked > 50  # the whole library, not a subset
+        assert findings == [], "\n".join(f.format_human() for f in findings)

@@ -1,0 +1,112 @@
+"""The runtime resource sanitizer: segment snapshots, leak detection,
+warning promotion, and the ``repro check --sanitize`` wiring."""
+
+import io
+import warnings
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.check import cli as check_cli
+from repro.check.sanitize import Sanitizer, shm_segments
+from repro.errors import CheckFailure
+
+
+class TestShmSegments:
+    def test_reflects_live_segments(self):
+        segment = shared_memory.SharedMemory(create=True, size=8)
+        try:
+            assert segment.name in shm_segments()
+        finally:
+            segment.close()
+            segment.unlink()
+        assert segment.name not in shm_segments()
+
+    def test_returns_frozenset(self):
+        assert isinstance(shm_segments(), frozenset)
+
+
+class TestSanitizer:
+    def test_clean_block_reports_no_leaks(self):
+        with Sanitizer("clean") as sanitizer:
+            segment = shared_memory.SharedMemory(create=True, size=8)
+            segment.close()
+            segment.unlink()
+        assert sanitizer.leaked == frozenset()
+        assert "no leaked shm segments" in sanitizer.summary()
+        sanitizer.check()  # must not raise
+
+    def test_detects_a_leaked_segment(self):
+        segment = None
+        try:
+            with Sanitizer("leaky") as sanitizer:
+                segment = shared_memory.SharedMemory(create=True, size=8)
+            assert segment.name in sanitizer.leaked
+            assert "LEAKED" in sanitizer.summary()
+            with pytest.raises(CheckFailure, match="LEAKED"):
+                sanitizer.check()
+        finally:
+            if segment is not None:
+                segment.close()
+                segment.unlink()
+
+    def test_preexisting_segments_are_not_blamed(self):
+        segment = shared_memory.SharedMemory(create=True, size=8)
+        try:
+            with Sanitizer("ambient") as sanitizer:
+                pass
+            assert segment.name not in sanitizer.leaked
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_resource_warnings_become_errors_inside_block(self):
+        with Sanitizer("warnings"):
+            with pytest.raises(ResourceWarning):
+                warnings.warn("cleanup fell to the GC", ResourceWarning)
+
+    def test_warning_filters_restored_after_block(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with Sanitizer("restore"):
+                pass
+            warnings.warn("back to ignored", ResourceWarning)  # must not raise
+
+
+class TestCheckCliSanitize:
+    SKIP_ALL = ["--fuzz", "0", "--skip-battery", "--skip-pooled"]
+
+    def test_sanitize_clean_run_exits_zero(self):
+        out = io.StringIO()
+        code = check_cli.main(["--sanitize", *self.SKIP_ALL], out=out)
+        assert code == 0
+        assert "no leaked shm segments" in out.getvalue()
+
+    def test_without_flag_no_sanitizer_line(self):
+        out = io.StringIO()
+        code = check_cli.main(self.SKIP_ALL, out=out)
+        assert code == 0
+        assert "sanitizer" not in out.getvalue()
+
+    def test_sanitize_turns_a_leak_into_exit_one(self, monkeypatch):
+        held = []
+
+        def leaky_execute(args, out):
+            held.append(shared_memory.SharedMemory(create=True, size=8))
+            return 0
+
+        monkeypatch.setattr(check_cli, "_execute", leaky_execute)
+        out = io.StringIO()
+        try:
+            code = check_cli.main(["--sanitize"], out=out)
+        finally:
+            for segment in held:
+                segment.close()
+                segment.unlink()
+        assert code == 1
+        assert "LEAKED" in out.getvalue()
+
+    def test_sanitize_preserves_inner_failure_code(self, monkeypatch):
+        monkeypatch.setattr(check_cli, "_execute", lambda args, out: 1)
+        code = check_cli.main(["--sanitize"], out=io.StringIO())
+        assert code == 1

@@ -186,6 +186,41 @@ class TestEpoch:
             assert pool.stale
 
 
+class TestStartFailure:
+    def test_failed_start_releases_shared_segments(self, engine, monkeypatch):
+        """A generation that fails mid-start must not orphan segments.
+
+        The exception's live traceback (held by ``excinfo``) references
+        the half-built pool, so refcount-driven ``__del__`` cleanup
+        cannot run before the leak check — without the explicit
+        teardown in ``_start`` the segments really are still there.
+        """
+        from repro.check.sanitize import shm_segments
+        from repro.parallel import persistent as persistent_mod
+
+        def refuse(*args, **kwargs):
+            raise RuntimeError("executor refused to start")
+
+        monkeypatch.setattr(persistent_mod, "ProcessPoolExecutor", refuse)
+        before = shm_segments()
+        with pytest.raises(RuntimeError, match="refused") as excinfo:
+            PersistentPool(engine, workers=2)
+        leaked = shm_segments() - before
+        assert leaked == frozenset(), sorted(leaked)
+        assert excinfo.value.args == ("executor refused to start",)
+
+    def test_failed_start_unregisters_engine(self, engine, monkeypatch):
+        from repro.parallel import persistent as persistent_mod
+
+        def refuse(*args, **kwargs):
+            raise RuntimeError("no workers today")
+
+        monkeypatch.setattr(persistent_mod, "ProcessPoolExecutor", refuse)
+        with pytest.raises(RuntimeError):
+            PersistentPool(engine, workers=2)
+        assert engine not in persistent_mod._POOL_ENGINES.values()
+
+
 class TestCrashRecovery:
     def test_killed_workers_are_replaced(self, engine):
         batch = requests_for(engine, count=3)

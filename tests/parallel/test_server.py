@@ -235,6 +235,60 @@ class TestLifecycle:
         assert serial_out.getvalue() == pooled_out.getvalue()
 
 
+class TestReaderFailure:
+    def test_reader_exception_surfaces_after_drain(self, engine):
+        """A dying client must not be silent: owed responses first, then raise."""
+
+        def lines():
+            yield request_line(0)
+            raise OSError("client pipe vanished mid-stream")
+
+        out = io.StringIO()
+        with pytest.raises(ReproError, match="reader failed mid-stream"):
+            serve_stream(engine, lines(), out, workers=0)
+        answered = responses(out)
+        assert [r["id"] for r in answered] == [0]
+        assert answered[0]["ok"] is True
+
+    def test_reader_kill_leaks_no_workers_or_segments(self, engine):
+        """The owned pool shuts down even when the reader dies (forked leg)."""
+        import gc
+        import multiprocessing
+
+        from repro.check.sanitize import shm_segments
+
+        before_children = {p.pid for p in multiprocessing.active_children()}
+        before_segments = shm_segments()
+
+        def lines():
+            yield request_line(0)
+            raise OSError("client went away")
+
+        with pytest.raises(ReproError, match="reader failed"):
+            serve_stream(engine, lines(), io.StringIO(), workers=2)
+        gc.collect()
+        leaked = shm_segments() - before_segments
+        assert leaked == frozenset(), sorted(leaked)
+        survivors = {p.pid for p in multiprocessing.active_children()} - before_children
+        assert survivors == set()
+
+    def test_server_survives_for_the_next_stream(self, engine):
+        """One failed stream must not wedge the server or its pool."""
+
+        def poisoned():
+            yield request_line(0)
+            raise ValueError("boom")
+
+        with PersistentPool(engine, workers=0) as pool:
+            server = IQServer(pool)
+            with pytest.raises(ReproError):
+                server.serve(poisoned(), io.StringIO())
+            out = io.StringIO()
+            stats = server.serve([request_line(1, target=1)], out)
+            assert stats.served == 1
+            assert responses(out)[0]["ok"] is True
+
+
 class TestParseRequest:
     def test_missing_fields_rejected(self):
         for payload in (

@@ -1,0 +1,110 @@
+"""Shared-memory plumbing: attachment cache discipline and store lifecycle.
+
+The attachment cache (``_ATTACHED``) is worker-side state keyed by
+segment name; these tests pin the two bugs it used to have — serving a
+stale wrong-layout view when a segment name is reused with a different
+spec, and never evicting entries when the owning store closed."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.parallel.shm import (
+    ArraySpec,
+    SharedArrayStore,
+    attach_array,
+    attached_segments,
+    chunk_bounds,
+    detach_all,
+    detach_array,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache():
+    """Each test starts and ends with an empty attachment cache."""
+    detach_all()
+    yield
+    detach_all()
+
+
+class TestAttachCache:
+    def test_same_spec_hits_cache(self):
+        with SharedArrayStore() as store:
+            spec = store.share(np.arange(6.0))
+            first = attach_array(spec)
+            second = attach_array(spec)
+            assert first is second
+            assert attached_segments() == {spec.name}
+
+    def test_spec_mismatch_evicts_and_reattaches(self):
+        with SharedArrayStore() as store:
+            spec = store.share(np.arange(4.0))
+            stale = attach_array(spec)
+            assert stale.shape == (4,)
+            # The same segment name arriving under a different layout
+            # must re-map, not serve the cached 1-D view of the bytes.
+            reshaped = ArraySpec(spec.name, (2, 2), spec.dtype)
+            fresh = attach_array(reshaped)
+            assert fresh.shape == (2, 2)
+            assert np.array_equal(fresh, np.arange(4.0).reshape(2, 2))
+
+    def test_attached_views_are_read_only(self):
+        with SharedArrayStore() as store:
+            spec = store.share(np.arange(3.0))
+            view = attach_array(spec)
+            with pytest.raises(ValueError):
+                view[0] = 99.0
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            attach_array(ArraySpec("psm_nope", (-1,), "<f8"))
+
+
+class TestEviction:
+    def test_detach_array_reports_presence(self):
+        with SharedArrayStore() as store:
+            spec = store.share(np.arange(2.0))
+            attach_array(spec)
+            assert detach_array(spec.name) is True
+            assert detach_array(spec.name) is False
+            assert attached_segments() == frozenset()
+
+    def test_store_close_evicts_same_process_attachments(self):
+        store = SharedArrayStore()
+        spec = store.share(np.arange(5.0))
+        attach_array(spec)
+        assert spec.name in attached_segments()
+        store.close()
+        # The cache may not keep serving views of an unlinked segment.
+        assert spec.name not in attached_segments()
+
+    def test_detach_all_counts_and_clears(self):
+        with SharedArrayStore() as store:
+            specs = [store.share(np.arange(float(n + 1))) for n in range(3)]
+            for spec in specs:
+                attach_array(spec)
+            assert detach_all() == 3
+            assert attached_segments() == frozenset()
+
+    def test_close_survives_live_views(self):
+        """A caller still holding a view must not break store.close()."""
+        store = SharedArrayStore()
+        spec = store.share(np.arange(8.0))
+        view = attach_array(spec)
+        store.close()  # BufferError path: parked, segment still unlinked
+        assert spec.name not in attached_segments()
+        assert view[3] == 3.0  # the mapping stays alive with the view
+
+
+class TestChunkBounds:
+    def test_covers_range_contiguously(self):
+        bounds = list(chunk_bounds(10, 3))
+        assert bounds[0][0] == 0 and bounds[-1][1] == 10
+        for (__, stop), (start, __) in zip(bounds, bounds[1:]):
+            assert stop == start
+
+    def test_empty_and_invalid(self):
+        assert list(chunk_bounds(0, 4)) == []
+        with pytest.raises(ValidationError):
+            list(chunk_bounds(5, 0))
