@@ -21,9 +21,12 @@ RPR010    index-owned array writes outside ``updates.py`` notify the
           epoch bus
 RPR011    no blocking calls while holding a lock
           (``Condition.wait`` excepted)
+RPR012    indexes are constructed through
+          ``repro.core.sharding.build_index`` (or the engine) outside
+          ``core/``, ``check/``, and the tests
 ========  ==============================================================
 
-RPR001-007 are per-file AST passes; RPR008-011 additionally consume the
+RPR001-007 and RPR012 are per-file AST passes; RPR008-011 additionally consume the
 run-wide :class:`~repro.analysis.project.ProjectContext` (cross-file
 symbol table, call graph, worker reachability) and per-function
 :mod:`~repro.analysis.cfg` control-flow graphs built in

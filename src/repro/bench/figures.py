@@ -209,7 +209,7 @@ def _run_schemes(
     pool_size = resolve_workers(workers)
     if pool_size >= 2:
         return _run_schemes_batch(dataset, queries, config, pool_size)
-    index = SubdomainIndex(dataset, queries, mode=config.index_mode)
+    index = SubdomainIndex(dataset, queries, mode=config.index_mode)  # repro: noqa[RPR012] (bench times raw construction)
     ese = StrategyEvaluator(index)
     rta = RTAEvaluator(index)
     rng = np.random.default_rng(config.seed + 7)
@@ -423,7 +423,7 @@ def fig13_dimensionality(config: BenchConfig | None = None) -> TableResult:
     for d in config.dim_sweep:
         dataset = _dataset("IN", config.num_objects, d, config)
         queries = _queries("UN", config.num_queries, d, config)
-        index = SubdomainIndex(dataset, queries, mode=config.index_mode)
+        index = SubdomainIndex(dataset, queries, mode=config.index_mode)  # repro: noqa[RPR012] (bench times raw construction)
         ese = StrategyEvaluator(index)
         cost = euclidean_cost(d)
         tau = min(config.tau, queries.m)
@@ -467,7 +467,7 @@ def x1_exhaustive_gap(config: BenchConfig | None = None) -> TableResult:
     for m in (6, 9, 12, 15):
         dataset = Dataset(rng.random((30, config.dimensions)))
         queries = QuerySet(rng.random((m, config.dimensions)), ks=2)
-        evaluator = StrategyEvaluator(SubdomainIndex(dataset, queries))
+        evaluator = StrategyEvaluator(SubdomainIndex(dataset, queries))  # repro: noqa[RPR012] (bench times raw construction)
         cost = euclidean_cost(config.dimensions)
         tau = max(2, m // 3)
         exact, exact_time = time_call(get_solver("exhaustive").min_cost, evaluator, 0, tau, cost)
@@ -495,7 +495,7 @@ def x2_ese_ablation(config: BenchConfig | None = None) -> TableResult:
     for m in config.query_sweep:
         dataset = _dataset("IN", config.num_objects, config.dimensions, config)
         queries = _queries("UN", m, config.dimensions, config)
-        index = SubdomainIndex(dataset, queries, mode=config.index_mode)
+        index = SubdomainIndex(dataset, queries, mode=config.index_mode)  # repro: noqa[RPR012] (bench times raw construction)
         ese = StrategyEvaluator(index)
         target = 0
         strategy = rng.normal(scale=0.1, size=config.dimensions)
@@ -588,7 +588,7 @@ def x3_updates_ablation(config: BenchConfig | None = None) -> TableResult:
     queries = _queries("UN", config.num_queries, config.dimensions, config)
 
     def fresh():
-        return SubdomainIndex(dataset, queries, mode=config.index_mode)
+        return SubdomainIndex(dataset, queries, mode=config.index_mode)  # repro: noqa[RPR012] (bench times raw construction)
 
     index = fresh()
     __, rebuild_time = time_call(fresh)

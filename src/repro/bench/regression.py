@@ -35,6 +35,24 @@ the optimized path in ``vectorized_seconds``:
   :meth:`SubdomainIndex.load` of the saved ``.npz`` round-trip; the
   restored index must serve identical answers.
 
+Two figures cover the sharded index layer (PR8), same record shape:
+
+* **shard_build** — one monolithic build (``literal_seconds``) vs a
+  K-shard :class:`~repro.core.sharding.ShardedSubdomainIndex` build
+  (``vectorized_seconds``) on the same inputs; every probe target's
+  Eq. 6 thresholds and hit mask must match the monolith float-exactly.
+* **shard_update** — incremental maintenance: rebuild the whole
+  K-shard index on the post-insert workload (``literal_seconds``) vs
+  routing one ``add_query`` into its owning shard
+  (``vectorized_seconds``).  The update touches exactly one shard, so
+  it must beat the rebuild outright *even on a single core* — the win
+  is work avoidance, not parallelism — which is why this figure gets
+  its own :data:`CHECK_SINGLE_CORE_FLOORS` entry.
+
+``par_index`` additionally records a ``shards=K`` case: serial vs
+worker-pool construction of the *sharded* index (one process group per
+shard), held to per-shard bit-identical partitions.
+
 ``run_regression`` drives all of them and optionally writes a
 ``BENCH_*.json`` file (schema documented in EXPERIMENTS.md).  The
 ``--smoke`` mode truncates every sweep and forces the tiny scale so CI
@@ -69,6 +87,7 @@ from repro.core.objects import Dataset
 from repro.core.plan import build_plan
 from repro.core.queries import QuerySet
 from repro.core.solvers import get_solver
+from repro.core.sharding import build_index
 from repro.core.strategy import StrategySpace
 from repro.core.subdomain import SubdomainIndex
 from repro.data.synthetic import generate
@@ -84,6 +103,8 @@ __all__ = [
     "bench_par_batch",
     "bench_serve",
     "bench_persist",
+    "bench_shard_build",
+    "bench_shard_update",
     "check_regression",
     "run_regression",
     "main",
@@ -91,6 +112,9 @@ __all__ = [
 
 #: Default pool size for the parallel bench figures.
 DEFAULT_BENCH_WORKERS = 4
+
+#: Default shard count for the sharded-index figures.
+DEFAULT_BENCH_SHARDS = 4
 
 #: A figure "regresses" when its median speedup falls below this
 #: fraction of the baseline's — generous, because the harness times
@@ -109,6 +133,13 @@ CHECK_ABSOLUTE_FLOORS = {"par_batch": 1.0, "serve": 1.0}
 
 #: Scales too small for the absolute pooled floors to be meaningful.
 CHECK_FLOOR_EXEMPT_SCALES = frozenset({"tiny"})
+
+#: Absolute floors enforced on *any* host, single-core included: these
+#: figures' advantage is work avoidance (maintain one touched shard
+#: instead of rebuilding all K), not parallelism, so a slide under 1x
+#: is a real regression everywhere.  Tiny scale stays exempt — there
+#: both sides are sub-millisecond timer noise.
+CHECK_SINGLE_CORE_FLOORS = {"shard_update": 1.0}
 
 
 class RegressionMismatch(AssertionError):
@@ -208,7 +239,7 @@ def bench_fig5_partition(config: BenchConfig, points: int | None = None) -> list
 def bench_fig7_candidates(config: BenchConfig, targets: int | None = None) -> list[BenchRecord]:
     """Figure 7 configuration: candidate generation, loop vs batch."""
     dataset, queries = _make_inputs(config.num_objects, config.num_queries, config)
-    index = SubdomainIndex(dataset, queries, mode=config.index_mode)
+    index = SubdomainIndex(dataset, queries, mode=config.index_mode)  # repro: noqa[RPR012] (bench times raw construction)
     evaluator = StrategyEvaluator(index)
     cost = euclidean_cost(config.dimensions)
     space = StrategySpace.unconstrained(config.dimensions)
@@ -265,7 +296,9 @@ def bench_fig7_candidates(config: BenchConfig, targets: int | None = None) -> li
 
 
 def bench_par_index(
-    config: BenchConfig, workers: int = DEFAULT_BENCH_WORKERS
+    config: BenchConfig,
+    workers: int = DEFAULT_BENCH_WORKERS,
+    shards: int = DEFAULT_BENCH_SHARDS,
 ) -> list[BenchRecord]:
     """Parallel index construction: serial vs worker pool (fig7 config).
 
@@ -273,7 +306,10 @@ def bench_par_index(
     the cost center (the relevant-mode hyperplane budget is too small to
     parallelize meaningfully).  One record per benched worker count,
     each sharing the single serial reference timing; the worker count is
-    embedded in the record's plan metadata (``plan["workers"]``).
+    embedded in the record's plan metadata (``plan["workers"]``).  A
+    final ``shards=K`` case builds the *sharded* index serially vs
+    through the worker pool (one process group per shard) and requires
+    per-shard bit-identical partitions.
     """
     dataset, queries = _make_inputs(config.num_objects, config.num_queries, config)
     serial, serial_seconds = time_call(SubdomainIndex, dataset, queries, mode="exact")
@@ -312,7 +348,157 @@ def bench_par_index(
                 plan=plan.to_dict(),
             )
         )
+    sharded_serial, sharded_serial_seconds = time_call(
+        build_index, dataset, queries, mode="exact", shards=shards, workers=0
+    )
+    sharded_parallel, sharded_parallel_seconds = time_call(
+        build_index, dataset, queries, mode="exact", shards=shards, workers=workers
+    )
+    for s in range(shards):
+        if _partition_fingerprint(sharded_serial.shard(s)) != _partition_fingerprint(
+            sharded_parallel.shard(s)
+        ):
+            raise RegressionMismatch(
+                f"serial and parallel sharded builds differ on shard {s}"
+            )
+    records.append(
+        BenchRecord(
+            figure="par_index",
+            case=f"shards={shards},workers={workers}",
+            config={
+                "num_objects": config.num_objects,
+                "num_queries": config.num_queries,
+                "dimensions": config.dimensions,
+                "index_mode": "exact",
+                "shards": shards,
+                "routing": sharded_parallel.routing,
+                "workers": workers,
+                "resolved_workers": sharded_parallel.workers,
+                "seed": config.seed,
+            },
+            literal_seconds=sharded_serial_seconds,
+            vectorized_seconds=sharded_parallel_seconds,
+        )
+    )
     return records
+
+
+def bench_shard_build(
+    config: BenchConfig, shards: int = DEFAULT_BENCH_SHARDS
+) -> list[BenchRecord]:
+    """Sharded build: monolithic vs K-shard partitioned construction.
+
+    Same inputs, both serial; every probe target's Eq. 6 thresholds and
+    hit mask must agree float-exactly (per-query quantities depend only
+    on that query's weights and the full object set, so sharding the
+    workload cannot change them).
+    """
+    dataset, queries = _make_inputs(config.num_objects, config.num_queries, config)
+    mono, mono_seconds = time_call(
+        SubdomainIndex, dataset, queries, mode=config.index_mode
+    )
+    sharded, sharded_seconds = time_call(
+        build_index, dataset, queries, mode=config.index_mode, shards=shards, workers=0
+    )
+    for target in range(min(dataset.n, 16)):
+        _, mono_theta = mono.kth_other(target)
+        _, sharded_theta = sharded.kth_other(target)
+        if not (
+            np.array_equal(mono_theta, sharded_theta)
+            and np.array_equal(mono.hits_mask(target), sharded.hits_mask(target))
+        ):
+            raise RegressionMismatch(
+                f"monolithic and {shards}-shard builds disagree on target {target}"
+            )
+    return [
+        BenchRecord(
+            figure="shard_build",
+            case=f"shards={shards}",
+            config={
+                "num_objects": config.num_objects,
+                "num_queries": config.num_queries,
+                "dimensions": config.dimensions,
+                "index_mode": config.index_mode,
+                "shards": shards,
+                "routing": sharded.routing,
+                "shard_sizes": list(sharded.shard_sizes),
+                "seed": config.seed,
+            },
+            literal_seconds=mono_seconds,
+            vectorized_seconds=sharded_seconds,
+        )
+    ]
+
+
+def bench_shard_update(
+    config: BenchConfig, shards: int = DEFAULT_BENCH_SHARDS
+) -> list[BenchRecord]:
+    """Incremental maintenance: touched-shard update vs full rebuild.
+
+    Builds a K-shard index, routes three ``add_query`` inserts into
+    their owning shards (``vectorized_seconds`` is the median single
+    insert, so one noisy timer sample cannot swing the figure), and
+    times a from-scratch sharded rebuild on the post-insert workload
+    (``literal_seconds``).  Each update leaves K-1 shards untouched, so
+    it must beat the rebuild outright even on a single core; the
+    maintained and rebuilt indexes must agree on every probe target's
+    thresholds and hit mask.
+    """
+    dataset, queries = _make_inputs(config.num_objects, config.num_queries, config)
+    maintained = build_index(
+        dataset, queries, mode=config.index_mode, shards=shards, workers=0
+    )
+    rng = np.random.default_rng(config.seed + 13)
+    epochs_before = maintained.shard_epochs
+    insert_seconds = []
+    for _ in range(3):
+        weights = rng.random(config.dimensions)
+        _, seconds = time_call(maintained.add_query, weights, 2)
+        insert_seconds.append(seconds)
+    update_seconds = sorted(insert_seconds)[1]
+    touched = sum(
+        1 for before, after in zip(epochs_before, maintained.shard_epochs)
+        if after != before
+    )
+    rebuilt, rebuild_seconds = time_call(
+        build_index,
+        dataset,
+        maintained.queries,
+        mode=config.index_mode,
+        shards=shards,
+        workers=0,
+    )
+    for target in range(min(dataset.n, 16)):
+        _, maintained_theta = maintained.kth_other(target)
+        _, rebuilt_theta = rebuilt.kth_other(target)
+        if not (
+            np.array_equal(maintained_theta, rebuilt_theta)
+            and np.array_equal(
+                maintained.hits_mask(target), rebuilt.hits_mask(target)
+            )
+        ):
+            raise RegressionMismatch(
+                f"updated and rebuilt sharded indexes disagree on target {target}"
+            )
+    return [
+        BenchRecord(
+            figure="shard_update",
+            case=f"shards={shards}",
+            config={
+                "num_objects": config.num_objects,
+                "num_queries": config.num_queries,
+                "dimensions": config.dimensions,
+                "index_mode": config.index_mode,
+                "shards": shards,
+                "routing": maintained.routing,
+                "inserts": len(insert_seconds),
+                "touched_shards": touched,
+                "seed": config.seed,
+            },
+            literal_seconds=rebuild_seconds,
+            vectorized_seconds=update_seconds,
+        )
+    ]
 
 
 def _bench_workload(
@@ -563,6 +749,18 @@ def check_regression(
                     f"absolute {absolute_floor:g}x floor — the pooled path "
                     "must beat serial on a multi-core host"
                 )
+    if payload.get("scale") not in CHECK_FLOOR_EXEMPT_SCALES:
+        for figure, absolute_floor in sorted(CHECK_SINGLE_CORE_FLOORS.items()):
+            stats = summary.get(figure)
+            if stats is None:
+                continue
+            median = float(stats["median_speedup"])
+            if median < absolute_floor:
+                problems.append(
+                    f"{figure}: median speedup {median:.2f}x is below the "
+                    f"absolute {absolute_floor:g}x floor — touched-shard "
+                    "maintenance must beat a full rebuild on any host"
+                )
     return problems
 
 
@@ -571,6 +769,7 @@ def run_regression(
     smoke: bool = False,
     out: str | None = None,
     workers: int | None = None,
+    shards: int | None = None,
 ) -> dict:
     """Run the full serial-vs-optimized harness; returns the payload.
 
@@ -578,16 +777,18 @@ def run_regression(
     first two points / two targets (fast enough for CI); ``out`` writes
     the JSON payload to the given path; ``workers`` sets the pool size
     benched by the parallel figures (default
-    :data:`DEFAULT_BENCH_WORKERS`).
+    :data:`DEFAULT_BENCH_WORKERS`); ``shards`` the shard count benched
+    by the sharded figures (default :data:`DEFAULT_BENCH_SHARDS`).
     """
     config = load_config("tiny" if smoke else scale)
     points = 2 if smoke else None
     pool_size = workers if workers else DEFAULT_BENCH_WORKERS
+    shard_count = shards if shards else DEFAULT_BENCH_SHARDS
     records = []
     records += bench_fig4_partition(config, points=points)
     records += bench_fig5_partition(config, points=points)
     records += bench_fig7_candidates(config, targets=points)
-    records += bench_par_index(config, workers=pool_size)
+    records += bench_par_index(config, workers=pool_size, shards=shard_count)
     records += bench_par_batch(
         config, workers=pool_size, requests=2 if smoke else None
     )
@@ -595,6 +796,8 @@ def run_regression(
         config, workers=pool_size, requests=2 if smoke else None
     )
     records += bench_persist(config)
+    records += bench_shard_build(config, shards=shard_count)
+    records += bench_shard_update(config, shards=shard_count)
     # The host's core count travels with the payload: --check only
     # enforces the absolute pooled floors when the run had real cores.
     extra = {"cpus": os.cpu_count() or 1}
@@ -641,6 +844,16 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "shard count benched by the sharded-index figures "
+            f"(default {DEFAULT_BENCH_SHARDS})"
+        ),
+    )
+    parser.add_argument(
         "--check",
         default=None,
         metavar="BASELINE",
@@ -664,7 +877,11 @@ def main(argv=None) -> int:
             scale = baseline.get("scale")
     try:
         payload = run_regression(
-            scale=scale, smoke=args.smoke, out=args.out, workers=args.workers
+            scale=scale,
+            smoke=args.smoke,
+            out=args.out,
+            workers=args.workers,
+            shards=args.shards,
         )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

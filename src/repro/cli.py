@@ -47,9 +47,11 @@ from repro.core.cost import L1Cost, L2Cost, LInfCost
 from repro.core.engine import ImprovementQueryEngine
 from repro.core.queries import QuerySet
 from repro.core.solvers import registered_solvers
+from repro.core.sharding import ShardedSubdomainIndex
 from repro.core.strategy import StrategySpace
 from repro.core.subdomain import SubdomainIndex
 from repro.data.realworld import load_csv
+from repro.index.router import registered_routers
 from repro.errors import ReproError, ValidationError
 
 __all__ = ["main", "build_parser"]
@@ -91,10 +93,19 @@ def build_parser() -> argparse.ArgumentParser:
                              help="worker pool size: an integer, or 'auto' for "
                                   "all cores (default: REPRO_WORKERS env var, "
                                   "else serial)")
+        command.add_argument("--shards", default=None, metavar="K",
+                             help="shard the index over K weight-space regions "
+                                  "('auto' picks from workload size and workers; "
+                                  "default: monolithic)")
+        command.add_argument("--router", default=None,
+                             choices=sorted(registered_routers()),
+                             help="shard routing policy (default: grid)")
         command.add_argument("--save-index", default=None, metavar="PATH",
-                             help="persist the built index to a .npz file")
+                             help="persist the built index (.npz file, or a "
+                                  "directory when sharded)")
         command.add_argument("--load-index", default=None, metavar="PATH",
-                             help="restore a saved index instead of rebuilding "
+                             help="restore a saved index instead of rebuilding: "
+                                  "a .npz file or a sharded index directory "
                                   "(fingerprints must match the CSVs)")
 
     improve = sub.add_parser("improve", help="run a Min-Cost or Max-Hit IQ")
@@ -142,6 +153,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compare against a baseline BENCH_*.json; exit 3 on regression")
     bench.add_argument("--workers", type=int, default=None, metavar="N",
                        help="pool size for the parallel bench figures (default 4)")
+    bench.add_argument("--shards", type=int, default=None, metavar="K",
+                       help="shard count for the sharding bench figures (default 4)")
 
     check = sub.add_parser(
         "check", help="differential correctness harness (oracles + seeded fuzz)"
@@ -160,8 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run under the runtime resource sanitizer "
                             "(faulthandler, ResourceWarning as error, "
                             "zero leaked /dev/shm segments)")
+    check.add_argument("--shards", type=int, default=None, metavar="K",
+                       help="also hold a K-shard index to monolithic parity "
+                            "(K=1 checks byte parity of the degenerate case)")
 
-    lint = sub.add_parser("lint", help="project static analysis (rules RPR001-RPR011)")
+    lint = sub.add_parser("lint", help="project static analysis (rules RPR001-RPR012)")
     lint.add_argument("paths", nargs="*", default=["src/repro"],
                       help="files or directories to lint (default: src/repro)")
     lint.add_argument("--format", choices=["human", "json", "sarif"], default="human")
@@ -225,12 +241,25 @@ def _space(args, dataset) -> StrategySpace | None:
 
 def _engine(args, dataset, queries) -> ImprovementQueryEngine:
     """Build (or restore) the engine honoring the index CLI options."""
-    if getattr(args, "load_index", None):
-        index = SubdomainIndex.load(args.load_index, dataset, queries)
+    load_path = getattr(args, "load_index", None)
+    if load_path:
+        # A sharded index persists as a directory (manifest + one npz
+        # per shard); the monolithic format stays a single .npz file.
+        from pathlib import Path
+
+        if Path(load_path).is_dir():
+            index = ShardedSubdomainIndex.load(load_path, dataset, queries)
+        else:
+            index = SubdomainIndex.load(load_path, dataset, queries)
         engine = ImprovementQueryEngine.from_index(index)
     else:
         engine = ImprovementQueryEngine(
-            dataset, queries, mode="relevant", workers=getattr(args, "workers", None)
+            dataset,
+            queries,
+            mode="relevant",
+            workers=getattr(args, "workers", None),
+            shards=getattr(args, "shards", None),
+            router=getattr(args, "router", None),
         )
     if getattr(args, "save_index", None):
         engine.index.save(args.save_index)
@@ -396,6 +425,8 @@ def main(argv=None, out=None) -> int:
                 bench_args += ["--check", args.check]
             if args.workers is not None:
                 bench_args += ["--workers", str(args.workers)]
+            if args.shards is not None:
+                bench_args += ["--shards", str(args.shards)]
             return bench_main(bench_args)
         if args.command == "check":
             from repro.check.cli import main as check_main
@@ -408,6 +439,8 @@ def main(argv=None, out=None) -> int:
                 check_args.append("--skip-pooled")
             if args.sanitize:
                 check_args.append("--sanitize")
+            if args.shards is not None:
+                check_args += ["--shards", str(args.shards)]
             return check_main(check_args, out=out)
         if args.command == "lint":
             from repro.analysis.cli import main as lint_main

@@ -51,10 +51,12 @@ from repro.core.objects import Dataset
 from repro.core.plan import ExecutionPlan, build_plan
 from repro.core.queries import QuerySet
 from repro.core.results import IQResult
+from repro.core.sharding import ShardedSubdomainIndex, build_index
 from repro.core.solvers import Solver, get_solver
 from repro.core.strategy import StrategySpace
 from repro.core.subdomain import SubdomainIndex
 from repro.errors import ValidationError
+from repro.index.router import ShardRouter
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.parallel.persistent import PersistentPool
@@ -80,6 +82,17 @@ class ImprovementQueryEngine:
         to the ``REPRO_WORKERS`` environment variable, below 2 runs the
         serial reference path.  Surfaced by :meth:`explain` as the
         plan's ``workers`` field.
+    shards:
+        Workload shard count for the index layer: ``None`` builds the
+        monolithic reference index, an integer builds that many shards,
+        and ``"auto"`` lets :func:`~repro.core.sharding.resolve_shards`
+        pick from the workload size and the resolved worker count.
+        Surfaced by :meth:`explain` as ``shards``/``routing``/
+        ``shard_sizes``.
+    router:
+        Shard routing policy (a name or a
+        :class:`~repro.index.router.ShardRouter`); only consulted when
+        the resolved shard count exceeds 1.
     """
 
     def __init__(
@@ -89,17 +102,28 @@ class ImprovementQueryEngine:
         mode: str = "exact",
         margin: int = 2,
         workers: "int | str | None" = None,
+        shards: "int | str | None" = None,
+        router: "str | ShardRouter | None" = None,
     ) -> None:
-        self.index = SubdomainIndex(
-            dataset, queries, mode=mode, margin=margin, workers=workers
+        self.index: "SubdomainIndex | ShardedSubdomainIndex" = build_index(
+            dataset,
+            queries,
+            mode=mode,
+            margin=margin,
+            shards=shards,
+            router=router,
+            workers=workers,
         )
         self.evaluator = StrategyEvaluator(self.index)
         self._rta_evaluator: RTAEvaluator | None = None
 
     @classmethod
-    def from_index(cls, index: SubdomainIndex) -> "ImprovementQueryEngine":
+    def from_index(
+        cls, index: "SubdomainIndex | ShardedSubdomainIndex"
+    ) -> "ImprovementQueryEngine":
         """Wrap an existing index (e.g. one restored by
-        :meth:`SubdomainIndex.load`) without rebuilding it."""
+        :meth:`SubdomainIndex.load` or
+        :meth:`ShardedSubdomainIndex.load`) without rebuilding it."""
         engine = cls.__new__(cls)
         engine.index = index
         engine.evaluator = StrategyEvaluator(index)

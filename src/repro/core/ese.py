@@ -29,7 +29,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.subdomain import _TIE_TOL, SubdomainIndex, _beats, _beats_batch
+from repro.core.sharding import IndexProtocol
+from repro.core.subdomain import _TIE_TOL, _beats, _beats_batch
 from repro.errors import ValidationError
 from repro.index.rtree import Rect
 
@@ -59,9 +60,16 @@ def _slab_region(value: float, theta: float) -> int:
 
 
 class StrategyEvaluator:
-    """ESE over a :class:`~repro.core.subdomain.SubdomainIndex`."""
+    """ESE over any :class:`~repro.core.sharding.IndexProtocol` index.
 
-    def __init__(self, index: SubdomainIndex) -> None:
+    Works identically over the monolithic
+    :class:`~repro.core.subdomain.SubdomainIndex` and the
+    :class:`~repro.core.sharding.ShardedSubdomainIndex`: thresholds come
+    from :meth:`kth_other` (merged per shard), the affected-subspace
+    retrieval from :meth:`affected_candidates` (fanned out per shard).
+    """
+
+    def __init__(self, index: IndexProtocol) -> None:
         self.index = index
         self._target_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         # Epoch-based invalidation: the cache remembers which index
@@ -210,7 +218,7 @@ class StrategyEvaluator:
                 new_region = _slab_region(float(point @ new_normal), theta_l)
                 return old_region != new_region
 
-            hits = self.index.rtree.search_where(domain, crosses)
+            hits = self.index.affected_candidates(domain, crosses)
             affected.update(hits)
         self.affected_retrieved += len(affected)
         return np.asarray(sorted(affected), dtype=np.intp)

@@ -21,9 +21,9 @@ from dataclasses import dataclass, field
 
 from repro.core.boundary import describe_cost, describe_space
 from repro.core.cost import CostFunction
+from repro.core.sharding import IndexProtocol
 from repro.core.solvers import QUERY_KINDS, Solver
 from repro.core.strategy import StrategySpace
-from repro.core.subdomain import SubdomainIndex
 from repro.errors import ValidationError
 
 __all__ = ["ExecutionPlan", "PLAN_FIELDS", "build_plan"]
@@ -43,6 +43,9 @@ PLAN_FIELDS = (
     "num_hyperplanes",
     "epoch",
     "workers",
+    "shards",
+    "routing",
+    "shard_sizes",
     "index_memory",
     "candidate_method",
     "cost",
@@ -73,6 +76,9 @@ class ExecutionPlan:
     num_hyperplanes: int = 0
     epoch: int = 0  #: index epoch the plan was built against
     workers: int = 0  #: construction pool size (0/1 = serial reference path)
+    shards: int = 1  #: index shard count (1 = monolithic)
+    routing: str = "none"  #: shard routing policy ("none" when monolithic)
+    shard_sizes: tuple[int, ...] = ()  #: workload queries per shard
     index_memory: int = 0  #: index memory_estimate() in bytes at plan time
     cost: str = ""  #: internalized cost, rendered
     space: str = "unconstrained"  #: internalized strategy box, rendered
@@ -106,6 +112,9 @@ class ExecutionPlan:
             "num_hyperplanes": self.num_hyperplanes,
             "epoch": self.epoch,
             "workers": self.workers,
+            "shards": self.shards,
+            "routing": self.routing,
+            "shard_sizes": list(self.shard_sizes),
             "index_memory": self.index_memory,
             "candidate_method": self.candidate_method,
             "cost": self.cost,
@@ -134,7 +143,7 @@ class ExecutionPlan:
 
 
 def build_plan(
-    index: SubdomainIndex,
+    index: IndexProtocol,
     solver: Solver,
     kind: str,
     target: int,
@@ -171,6 +180,9 @@ def build_plan(
         num_hyperplanes=index.num_hyperplanes,
         epoch=index.epoch,
         workers=index.workers,
+        shards=index.shards,
+        routing=index.routing,
+        shard_sizes=index.shard_sizes,
         index_memory=index.memory_estimate(),
         cost=describe_cost(cost),
         space=describe_space(space),

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import hashlib
 import weakref
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -55,11 +56,11 @@ import numpy as np
 from repro.constants import EPS_TIE
 from repro.core.objects import Dataset
 from repro.core.queries import QuerySet
-from repro.errors import ValidationError
+from repro.errors import IndexCorruptionError, ValidationError
 from repro.geometry.arrangement import group_by_signature, signature_matrix
 from repro.geometry.hyperplane import EPS
 from repro.index.bloom import CountingBloomFilter
-from repro.index.rtree import RTree
+from repro.index.rtree import Rect, RTree
 from repro.parallel.construction import parallel_partition
 from repro.parallel.pool import resolve_workers
 
@@ -325,6 +326,51 @@ class SubdomainIndex:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    @classmethod
+    def from_partition(
+        cls,
+        dataset: Dataset,
+        queries: QuerySet,
+        mode: str,
+        margin: int,
+        pairs: "list[tuple[int, int]]",
+        normals: np.ndarray,
+        groups: "dict[bytes, np.ndarray] | None",
+        rtree_max_entries: int = 16,
+        rtree_cls: type[RTree] = RTree,
+        partition_method: str = "vectorized",
+    ) -> "SubdomainIndex":
+        """Assemble an index from an externally computed hyperplane set.
+
+        The sharded builder computes pairs/normals once (or per shard,
+        in a worker) and hands them here together with the signature
+        ``groups``; everything downstream of the hyperplane pass —
+        partition assembly, R-tree, lazy boundaries — is identical to
+        :meth:`__init__`.  ``groups=None`` re-derives the partition
+        serially from ``normals``, which is the path worker processes
+        take when they ship only the hyperplane set.
+        """
+        index = cls.__new__(cls)
+        index.dataset = dataset
+        index.queries = queries
+        index.mode = mode
+        index.margin = margin
+        index.partition_method = partition_method
+        index.workers = 0
+        index.representative_evaluations = 0
+        index._mutation_hooks = []
+        index._epoch = 0
+        index.pairs = list(pairs)
+        index.normals = normals
+        index.pair_column = {pair: col for col, pair in enumerate(index.pairs)}
+        index._rtree_cls = rtree_cls
+        index._rtree_max_entries = rtree_max_entries
+        index._build_partition(groups)
+        index._build_rtree(rtree_max_entries)
+        index._boundaries_ready = False
+        index.bloom = None
+        return index
+
     def _build_partition(self, groups: dict[bytes, np.ndarray] | None = None) -> None:
         # The full per-query signature matrix exists only while
         # grouping; the index at rest stores one signature per *cell*
@@ -433,6 +479,68 @@ class SubdomainIndex:
     def mark_boundaries_dirty(self) -> None:
         """Invalidate the boundary registration after a mutation."""
         self._boundaries_ready = False
+
+    # ------------------------------------------------------------------
+    # IndexProtocol read surface (shared with ShardedSubdomainIndex)
+    # ------------------------------------------------------------------
+    #: A monolithic index is the one-shard degenerate case of the
+    #: sharded architecture; these attributes let every consumer
+    #: (planner, pool, EXPLAIN) treat both implementations uniformly.
+    shards: int = 1
+    routing: str = "none"
+
+    @property
+    def shard_sizes(self) -> tuple[int, ...]:
+        """Workload size per shard (the whole workload, monolithically)."""
+        return (self.queries.m,)
+
+    @property
+    def shard_epochs(self) -> tuple[int, ...]:
+        """Per-shard mutation counters (one shard: the global epoch)."""
+        return (self._epoch,)
+
+    def signature_of(self, query_id: int) -> bytes:
+        """Side-signature of the cell containing ``query_id``."""
+        return self.subdomains[int(self.subdomain_of[query_id])].signature
+
+    def cell_members(self, query_id: int) -> np.ndarray:
+        """Global query ids sharing ``query_id``'s subdomain (ascending)."""
+        return self.subdomains[int(self.subdomain_of[query_id])].query_ids
+
+    def shard(self, s: int) -> "SubdomainIndex":
+        """Shard ``s`` of the one-shard layout: the index itself."""
+        if s != 0:
+            raise ValidationError(f"shard id {s} out of range [0, 1)")
+        return self
+
+    def affected_candidates(
+        self, domain: Rect, predicate: "Callable[[Rect, int], bool]"
+    ) -> list[int]:
+        """Query ids inside ``domain`` whose weights satisfy ``predicate``.
+
+        The affected-subspace scan of ESE (§4.2), expressed on the index
+        rather than on its R-tree so a sharded index can fan the scan
+        out and merge.  ``predicate`` must be a pure function of the
+        weight vector — it is evaluated per shard with no cross-shard
+        state.
+        """
+        return self.rtree.search_where(domain, predicate)
+
+    def hot_arrays(self) -> "list[tuple[str, str, object, str]]":
+        """Construction-free arrays worth residing in shared memory.
+
+        Returns ``(key, group, owner, attribute)`` tuples: the pool
+        shares ``getattr(owner, attribute)`` under ``key`` within the
+        named :class:`~repro.parallel.shm.SharedArrayStore` group, and
+        each worker rebinds its own copy by matching keys against this
+        same method on its forked index.  Groups let the sharded index
+        re-share only the shards whose epoch moved.
+        """
+        return [
+            ("external", "global", self.dataset, "_external"),
+            ("weights", "global", self.queries, "_weights"),
+            ("normals", "global", self, "normals"),
+        ]
 
     # ------------------------------------------------------------------
     # Mutation notification: the epoch bus
@@ -567,32 +675,46 @@ class SubdomainIndex:
         path = Path(path)
         if not path.exists():
             raise ValidationError(f"no saved index at {path}")
-        with np.load(path, allow_pickle=False) as data:
-            schema = str(data["schema"][()])
-            if schema != INDEX_SCHEMA:
-                raise ValidationError(
-                    f"unsupported index schema {schema!r} (expected {INDEX_SCHEMA!r})"
-                )
-            if str(data["dataset_fingerprint"][()]) != dataset_fingerprint(dataset):
-                raise ValidationError(
-                    "saved index was built for a different dataset (fingerprint mismatch)"
-                )
-            if str(data["queries_fingerprint"][()]) != queryset_fingerprint(queries):
-                raise ValidationError(
-                    "saved index was built for a different workload (fingerprint mismatch)"
-                )
-            mode = str(data["mode"][()])
-            partition_method = str(data["partition_method"][()])
-            margin = int(data["margin"][()])
-            max_entries = int(data["rtree_max_entries"][()])
-            epoch = int(data["epoch"][()])
-            pairs = np.asarray(data["pairs"], dtype=np.intp)
-            normals = np.asarray(data["normals"], dtype=float)
-            signatures = np.asarray(data["signatures"], dtype=np.int8)
-            subdomain_of = np.asarray(data["subdomain_of"], dtype=np.intp)
-            representatives = np.asarray(data["representatives"], dtype=np.intp)
-            prefix_lengths = np.asarray(data["prefix_lengths"], dtype=np.intp)
-            prefix_concat = np.asarray(data["prefix_concat"], dtype=np.intp)
+        # A damaged file must surface as a typed ReproError, never as a
+        # bare zipfile/KeyError leaking numpy's storage format: BadZipFile
+        # and OSError/EOFError cover truncation and garbage bytes, KeyError
+        # a file written under a different key layout, and ValueError the
+        # pickled-object refusal path of allow_pickle=False.
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                schema = str(data["schema"][()])
+                if schema != INDEX_SCHEMA:
+                    raise ValidationError(
+                        f"unsupported index schema {schema!r} (expected {INDEX_SCHEMA!r})"
+                    )
+                if str(data["dataset_fingerprint"][()]) != dataset_fingerprint(dataset):
+                    raise ValidationError(
+                        "saved index was built for a different dataset (fingerprint mismatch)"
+                    )
+                if str(data["queries_fingerprint"][()]) != queryset_fingerprint(queries):
+                    raise ValidationError(
+                        "saved index was built for a different workload (fingerprint mismatch)"
+                    )
+                mode = str(data["mode"][()])
+                partition_method = str(data["partition_method"][()])
+                margin = int(data["margin"][()])
+                max_entries = int(data["rtree_max_entries"][()])
+                epoch = int(data["epoch"][()])
+                pairs = np.asarray(data["pairs"], dtype=np.intp)
+                normals = np.asarray(data["normals"], dtype=float)
+                signatures = np.asarray(data["signatures"], dtype=np.int8)
+                subdomain_of = np.asarray(data["subdomain_of"], dtype=np.intp)
+                representatives = np.asarray(data["representatives"], dtype=np.intp)
+                prefix_lengths = np.asarray(data["prefix_lengths"], dtype=np.intp)
+                prefix_concat = np.asarray(data["prefix_concat"], dtype=np.intp)
+        except KeyError as exc:
+            raise IndexCorruptionError(
+                f"saved index {path} is missing required field {exc.args[0]!r}"
+            ) from exc
+        except (zipfile.BadZipFile, EOFError, OSError, ValueError) as exc:
+            raise IndexCorruptionError(
+                f"saved index {path} is corrupt or truncated: {exc}"
+            ) from exc
         if mode not in _MODES or partition_method not in _PARTITION_METHODS:
             raise ValidationError("saved index carries unknown mode/partition_method")
 

@@ -1,0 +1,209 @@
+"""Weight-space shard routing for the sharded subdomain index.
+
+A :class:`ShardRouter` assigns every query weight vector to one of ``K``
+shards.  Routing is the contract the whole sharded architecture leans
+on, so routers obey two hard rules:
+
+* **pure per-point** — a vector's shard depends only on the vector and
+  the router's own frozen parameters, never on the rest of the workload.
+  This is what lets :meth:`ShardedSubdomainIndex.load
+  <repro.core.sharding.ShardedSubdomainIndex.load>` *recompute* the
+  assignment from the manifest instead of persisting one id per query,
+  and what keeps ``add_query`` routing consistent forever: the vector a
+  query was built under is the vector it is found under.
+* **deterministic** — byte-identical weights produce byte-identical
+  assignments across processes and platforms (the rendezvous policy
+  hashes the raw float bytes with :mod:`hashlib`, not :func:`hash`,
+  which is salted per process).
+
+Two policies ship, mirroring the two classic partitioning families:
+
+* :class:`GridRouter` (``"grid"``, the default) — uniform bins along
+  one axis of the weight domain, i.e. a weight-space *region* per shard
+  (the per-region precomputation of Chester et al.'s reverse top-k
+  index).  Neighbouring queries land in the same shard, which is what
+  makes relevant-mode per-shard hyperplane sets small.
+* :class:`RendezvousRouter` (``"rendezvous"``) — highest-random-weight
+  hashing of the vector bytes; no spatial locality, but near-perfect
+  balance on any workload shape and minimal movement when ``K`` changes.
+
+Third-party policies register through :func:`register_router` and are
+addressed by name everywhere a policy string is accepted (engine,
+manifest, CLI ``--router``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "GridRouter",
+    "RendezvousRouter",
+    "ShardRouter",
+    "get_router",
+    "register_router",
+    "registered_routers",
+]
+
+
+class ShardRouter:
+    """Base class for shard-assignment policies.
+
+    Subclasses implement :meth:`assign` as a pure function of the
+    weight vectors and the router's constructor parameters, and
+    :meth:`describe` so the persistence manifest can reconstruct the
+    router with :func:`get_router`.
+    """
+
+    #: Registry name of the policy (set by subclasses).
+    policy: str = ""
+
+    def assign(self, weights: np.ndarray, shards: int) -> np.ndarray:
+        """Shard id in ``[0, shards)`` for each ``(m, d)`` weight row."""
+        raise NotImplementedError
+
+    def assign_one(self, weights: np.ndarray, shards: int) -> int:
+        """Shard id for a single ``(d,)`` weight vector."""
+        return int(self.assign(np.asarray(weights, dtype=float)[None, :], shards)[0])
+
+    def describe(self) -> dict[str, object]:
+        """JSON-ready parameters; ``get_router(**describe())`` round-trips."""
+        return {"policy": self.policy}
+
+    @staticmethod
+    def _check(weights: np.ndarray, shards: int) -> np.ndarray:
+        if shards < 1:
+            raise ValidationError(f"shards must be positive, got {shards}")
+        weights = np.atleast_2d(np.asarray(weights, dtype=float))
+        if not np.isfinite(weights).all():
+            raise ValidationError("cannot route non-finite weight vectors")
+        return weights
+
+
+class GridRouter(ShardRouter):
+    """Uniform bins along one weight axis over a fixed interval.
+
+    ``shard = clip(floor((w[axis] - lo) / (hi - lo) * K))`` — a vector
+    exactly on an interior bin edge belongs to the *upper* bin (floor
+    semantics), mirroring the index's "ties count as above" rule for
+    hyperplanes; vectors outside ``[lo, hi]`` clamp into the end bins.
+    The bounds are frozen constructor parameters (defaults cover the
+    paper's normalized ``[0, 1]`` weight domain), never derived from
+    the workload — data-dependent bounds would change the assignment
+    function under updates and break recompute-on-load.
+    """
+
+    policy = "grid"
+
+    def __init__(self, axis: int = 0, lo: float = 0.0, hi: float = 1.0) -> None:
+        if not np.isfinite(lo) or not np.isfinite(hi) or hi <= lo:
+            raise ValidationError(f"grid bounds must satisfy lo < hi, got [{lo}, {hi}]")
+        if axis < 0:
+            raise ValidationError(f"grid axis must be non-negative, got {axis}")
+        self.axis = int(axis)
+        self.lo = float(lo)
+        self.hi = float(hi)
+
+    def assign(self, weights: np.ndarray, shards: int) -> np.ndarray:
+        """Bin each row's ``axis`` coordinate into ``shards`` uniform bins."""
+        weights = self._check(weights, shards)
+        if self.axis >= weights.shape[1]:
+            raise ValidationError(
+                f"grid axis {self.axis} out of range for {weights.shape[1]}-D weights"
+            )
+        scaled = (weights[:, self.axis] - self.lo) / (self.hi - self.lo)
+        bins = np.floor(scaled * shards).astype(np.intp)
+        return np.clip(bins, 0, shards - 1)
+
+    def describe(self) -> dict[str, object]:
+        """Parameters for the persistence manifest."""
+        return {"policy": self.policy, "axis": self.axis, "lo": self.lo, "hi": self.hi}
+
+
+class RendezvousRouter(ShardRouter):
+    """Highest-random-weight (rendezvous) hashing of the vector bytes.
+
+    Every ``(vector, shard)`` pair gets a deterministic score from a
+    keyed blake2b digest of the raw float bytes; the vector goes to the
+    arg-max shard.  Balance is near-uniform for any workload shape and
+    changing ``K`` moves only ``~1/K`` of the vectors — the standard
+    rendezvous properties.  No spatial locality: use the grid policy
+    when relevant-mode hyperplane locality matters more than balance.
+    """
+
+    policy = "rendezvous"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def assign(self, weights: np.ndarray, shards: int) -> np.ndarray:
+        """Arg-max rendezvous score per row; pure function of the bytes."""
+        weights = self._check(weights, shards)
+        out = np.empty(weights.shape[0], dtype=np.intp)
+        salt = self.seed.to_bytes(8, "little", signed=True)
+        for i, row in enumerate(np.ascontiguousarray(weights)):
+            row_bytes = row.tobytes()
+            best_shard = 0
+            best_score = b""
+            for shard in range(shards):
+                digest = hashlib.blake2b(
+                    row_bytes + shard.to_bytes(8, "little"),
+                    key=salt,
+                    digest_size=8,
+                ).digest()
+                if shard == 0 or digest > best_score:
+                    best_score = digest
+                    best_shard = shard
+            out[i] = best_shard
+        return out
+
+    def describe(self) -> dict[str, object]:
+        """Parameters for the persistence manifest."""
+        return {"policy": self.policy, "seed": self.seed}
+
+
+#: Policy-name registry; third parties add entries via :func:`register_router`.
+_ROUTERS: dict[str, Callable[..., ShardRouter]] = {}
+
+
+def register_router(policy: str, factory: Callable[..., ShardRouter]) -> None:
+    """Register a router factory under a policy name (last wins)."""
+    if not policy:
+        raise ValidationError("router policy name must be non-empty")
+    _ROUTERS[policy] = factory
+
+
+def registered_routers() -> tuple[str, ...]:
+    """The registered policy names, sorted."""
+    return tuple(sorted(_ROUTERS))
+
+
+def get_router(policy: "str | ShardRouter | None" = None, **params: object) -> ShardRouter:
+    """Resolve a policy name (or pass through a router instance).
+
+    ``None`` yields the default :class:`GridRouter`; keyword parameters
+    are forwarded to the policy factory, so a persistence manifest's
+    ``describe()`` dict reconstructs the saved router exactly:
+    ``get_router(**manifest["router"])``.
+    """
+    if isinstance(policy, ShardRouter):
+        if params:
+            raise ValidationError("cannot pass parameters alongside a router instance")
+        return policy
+    if policy is None:
+        policy = GridRouter.policy
+    factory = _ROUTERS.get(policy)
+    if factory is None:
+        raise ValidationError(
+            f"unknown router policy {policy!r}; registered: {registered_routers()}"
+        )
+    return factory(**params)
+
+
+register_router(GridRouter.policy, GridRouter)
+register_router(RendezvousRouter.policy, RendezvousRouter)

@@ -27,7 +27,7 @@ the merged partition is bit-for-bit identical.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from multiprocessing import get_context
 
 import numpy as np
@@ -44,7 +44,7 @@ from repro.parallel.shm import (
     detach_all,
 )
 
-__all__ = ["parallel_partition"]
+__all__ = ["parallel_partition", "parallel_shard_partition"]
 
 #: Worker-process registry of the base shared arrays, installed by the
 #: pool initializer (module-level so spawn-started workers work too).
@@ -221,3 +221,143 @@ def parallel_partition(
         for key, parts in merged.items()
     }
     return keep_mask, normals, merged_groups
+
+
+def _shard_normals_task(
+    task: tuple[ArraySpec, ArraySpec, float]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sharded phase A: normals + keep mask for one whole pair set."""
+    matrix_spec, pairs_spec, tol = task
+    matrix = attach_array(matrix_spec)
+    pairs = attach_array(pairs_spec)
+    normals = matrix[pairs[:, 0]] - matrix[pairs[:, 1]]
+    keep = np.abs(normals).max(axis=1, initial=0.0) > tol
+    return keep, np.ascontiguousarray(normals[keep])
+
+
+def _shard_signature_task(
+    task: tuple[int, ArraySpec, ArraySpec, float]
+) -> tuple[int, dict[bytes, np.ndarray]]:
+    """Sharded phase B: the full signature partition of one shard."""
+    shard, weights_spec, normals_spec, tol = task
+    weights = attach_array(weights_spec)
+    normals = attach_array(normals_spec)
+    return shard, _group_rows(signature_matrix(weights, normals, tol=tol))
+
+
+def parallel_shard_partition(
+    matrix: np.ndarray,
+    pair_arrays: "list[np.ndarray]",
+    weights_list: "list[np.ndarray]",
+    workers: int,
+    tol: float = EPS,
+) -> "list[tuple[np.ndarray, np.ndarray, dict[bytes, np.ndarray]]]":
+    """Build K independent shard partitions across one worker pool.
+
+    Unlike :func:`parallel_partition`, which chunks *one* partition's
+    rows across workers, the unit of parallelism here is the shard:
+    each shard's hyperplane pass (phase A) and signature pass (phase B)
+    runs as one task, so K shards build concurrently with zero merge
+    work in the parent — each task returns exactly the serial
+    construction's per-shard output.
+
+    Shared-memory layout: the object matrix lives in one ``global``
+    store every task attaches; each shard gets its *own*
+    :class:`~repro.parallel.shm.SharedArrayStore` holding that shard's
+    weight rows (and, in relevant mode, its pair set) so per-shard
+    segments come and go independently.  In exact mode every shard uses
+    the same ``C(n, 2)`` pair set: callers pass the *same* array object
+    per shard and phase A runs once, its normals reused by every
+    shard's phase B (deduplicated by object identity).
+
+    Parameters mirror :func:`parallel_partition` per shard:
+    ``pair_arrays[s]`` and ``weights_list[s]`` describe shard ``s``.
+    Returns one ``(keep_mask, normals, groups)`` triple per shard, in
+    shard order, each bit-for-bit identical to the serial build of that
+    shard.
+    """
+    workers = int(workers)
+    if workers < 2:
+        raise ValidationError(
+            f"parallel_shard_partition needs workers >= 2, got {workers}"
+        )
+    if len(pair_arrays) != len(weights_list):
+        raise ValidationError(
+            f"{len(pair_arrays)} pair sets for {len(weights_list)} shard workloads"
+        )
+    matrix = np.ascontiguousarray(np.atleast_2d(np.asarray(matrix, dtype=float)))
+    shards = len(weights_list)
+    context = get_context(pool_start_method())
+    out: "list[tuple[np.ndarray, np.ndarray, dict[bytes, np.ndarray]] | None]"
+    out = [None] * shards
+    with SharedArrayStore() as global_store:
+        matrix_spec = global_store.share(matrix)
+        shard_stores = [SharedArrayStore() for __ in range(shards)]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=({},),
+            ) as executor:
+                # Phase A once per *distinct* pair array (exact mode
+                # passes one shared object, so this is a single task).
+                normal_futures: "dict[int, Future[tuple[np.ndarray, np.ndarray]]]" = {}
+                pair_specs: dict[int, ArraySpec] = {}
+                for s, pairs in enumerate(pair_arrays):
+                    pairs = np.ascontiguousarray(
+                        np.asarray(pairs, dtype=np.intp).reshape(-1, 2)
+                    )
+                    if pairs.size and int(pairs.max(initial=0)) >= matrix.shape[0]:
+                        raise ValidationError(
+                            f"shard {s} pair set references objects beyond the matrix"
+                        )
+                    key = id(pair_arrays[s])
+                    if key not in normal_futures:
+                        store = global_store if shards > 1 and _is_shared(
+                            pair_arrays, s
+                        ) else shard_stores[s]
+                        pair_specs[key] = store.share(pairs)
+                        normal_futures[key] = executor.submit(
+                            _shard_normals_task, (matrix_spec, pair_specs[key], tol)
+                        )
+                normal_results = {
+                    key: future.result() for key, future in normal_futures.items()
+                }
+                normals_specs = {
+                    key: global_store.share(normals)
+                    for key, (__, normals) in normal_results.items()
+                }
+                signature_futures: "list[Future[tuple[int, dict[bytes, np.ndarray]]]]" = []
+                for s, weights in enumerate(weights_list):
+                    weights = np.ascontiguousarray(
+                        np.atleast_2d(np.asarray(weights, dtype=float))
+                    )
+                    if weights.shape[1] != matrix.shape[1] and weights.shape[0]:
+                        raise ValidationError(
+                            f"shard {s} weights are {weights.shape[1]}-D, "
+                            f"objects {matrix.shape[1]}-D"
+                        )
+                    weights_spec = shard_stores[s].share(weights)
+                    key = id(pair_arrays[s])
+                    signature_futures.append(
+                        executor.submit(
+                            _shard_signature_task,
+                            (s, weights_spec, normals_specs[key], tol),
+                        )
+                    )
+                for future in signature_futures:
+                    s, groups = future.result()
+                    key = id(pair_arrays[s])
+                    keep_mask, normals = normal_results[key]
+                    out[s] = (keep_mask, normals, groups)
+        finally:
+            for store in shard_stores:
+                store.close()
+    return [triple for triple in out if triple is not None]
+
+
+def _is_shared(pair_arrays: "list[np.ndarray]", s: int) -> bool:
+    """Is shard ``s``'s pair array the same object as another shard's?"""
+    target = id(pair_arrays[s])
+    return sum(1 for pairs in pair_arrays if id(pairs) == target) > 1

@@ -9,11 +9,13 @@ across the lifetime of an index:
 * **fork once** — workers are forked holding the fully-built engine
   (index, warm representative prefixes, evaluator caches) and stay
   alive across :meth:`run` calls;
-* **shm-resident hot matrices** — the object matrix ``D``, the query
-  weights ``Q``, and the hyperplane normals are exported into
-  :class:`~repro.parallel.shm.SharedArrayStore` segments once per pool
-  generation; each worker's initializer rebinds its inherited engine
-  onto the shared pages, so every worker (and every post-crash fork
+* **shm-resident hot matrices** — the index enumerates its own
+  shared-memory plan (:meth:`SubdomainIndex.hot_arrays`): the object
+  matrix ``D``, the query weights ``Q``, and the hyperplane normals —
+  per shard, for a sharded index — are exported into
+  :class:`~repro.parallel.shm.SharedArrayStore` segments, one store per
+  *group*; each worker's initializer rebinds its inherited engine onto
+  the shared pages, so every worker (and every post-crash fork
   generation) reads the same physical memory instead of per-process
   copies;
 * **chunked dispatch** — a batch travels as contiguous request slices
@@ -24,8 +26,12 @@ Consistency is epoch-based, like every other index consumer: the pool
 records :attr:`~repro.core.subdomain.SubdomainIndex.epoch` at fork time
 and compares lazily on every :meth:`run` — a mutated index can never be
 served from stale workers; the pool re-forks (a *refresh*) before
-dispatching.  A worker crash (:class:`BrokenProcessPool`) likewise
-triggers one refresh-and-retry before surfacing an error.
+dispatching.  Over a sharded index the refresh is *scoped*: the pool
+also snapshots the per-shard epochs, and re-exports only the ``global``
+group plus the shard groups whose epoch moved — workers still re-fork,
+but the segment copy cost is bounded by what actually mutated.  A
+worker crash (:class:`BrokenProcessPool`) likewise triggers one full
+refresh-and-retry before surfacing an error.
 
 The serial loop stays the executable reference: a pool resolved to
 fewer than two workers (or a platform without fork) executes requests
@@ -69,18 +75,16 @@ Outcome = "tuple[bool, IQResult | Exception]"
 #: lifetime so lazily-forked workers inherit it whenever they start.
 _POOL_ENGINES: "dict[str, ImprovementQueryEngine]" = {}
 
-#: The engine attributes exported into shared memory per generation:
-#: ``(owner attribute path, array attribute)`` pairs on the index.
-_HOT_ARRAYS = (("dataset", "_external"), ("queries", "_weights"), (None, "normals"))
-
-
 def _init_pool_worker(token: str, specs: "dict[str, ArraySpec]") -> None:
     """Worker initializer: rebind the inherited engine onto shared pages.
 
-    The engine object graph arrives by fork (copy-on-write); the three
-    hot matrices are then swapped for attachments to the parent's
-    shared segments, so the bulk of the index is resident in shared
-    memory rather than duplicated per worker or per fork generation.
+    The engine object graph arrives by fork (copy-on-write); the hot
+    matrices — enumerated by the index's *own*
+    :meth:`~repro.core.subdomain.SubdomainIndex.hot_arrays` plan, so a
+    sharded index rebinds every shard's weight subset and normals too —
+    are swapped for attachments to the parent's shared segments, so the
+    bulk of the index is resident in shared memory rather than
+    duplicated per worker or per fork generation.
 
     The inherited attachment cache is dropped first: its entries
     describe the *previous* fork generation's segments, which the
@@ -90,16 +94,13 @@ def _init_pool_worker(token: str, specs: "dict[str, ArraySpec]") -> None:
     engine = _POOL_ENGINES.get(token)  # repro: noqa[RPR008] (fork channel: set pre-fork, read-only here)
     if engine is None:  # pragma: no cover - requires spawn-started worker
         return
-    index = engine.index
-    for (owner_attr, array_attr) in _HOT_ARRAYS:
-        key = array_attr.lstrip("_")
+    for key, _group, owner, attr in engine.index.hot_arrays():
         spec = specs.get(key)
         if spec is None:
             continue
-        owner = index if owner_attr is None else getattr(index, owner_attr)
         # Swapping the inherited copy for the shared mapping changes no
         # observable value, so the epoch bus stays silent by design.
-        setattr(owner, array_attr, attach_array(spec))  # repro: noqa[RPR010]
+        setattr(owner, attr, attach_array(spec))  # repro: noqa[RPR010]
 
 
 def _sanitize_error(exc: Exception) -> Exception:
@@ -178,13 +179,17 @@ class PersistentPool:
         self._forked = self._workers >= 2 and pool_start_method() == "fork"
         self._warm = warm
         self._token = f"repro-pool-{os.getpid()}-{id(self):x}"
-        self._store: "SharedArrayStore | None" = None
+        self._stores: "dict[str, SharedArrayStore]" = {}  #: one store per group
+        self._specs: "dict[str, dict[str, ArraySpec]]" = {}  #: group -> key -> spec
         self._executor: "ProcessPoolExecutor | None" = None
         self._epoch = -1
+        self._shard_epochs: "tuple[int, ...]" = ()
         self._lock = threading.Lock()
         self._closed = False
         self.generation = 0  #: fork generations started (bumps on refresh)
         self.restarts = 0  #: refreshes forced by worker crashes
+        self.partial_refreshes = 0  #: refreshes that kept some shard segments
+        self.shards_reshared = 0  #: shard groups re-exported across refreshes
         self._start()
 
     # ------------------------------------------------------------------
@@ -220,49 +225,104 @@ class PersistentPool:
     def _start(self) -> None:
         """Begin a fork generation: share matrices, park state, fork.
 
-        A failure after the store exists (a hot matrix that will not
+        Hot arrays come from the index's own
+        :meth:`~repro.core.subdomain.SubdomainIndex.hot_arrays` plan,
+        one :class:`SharedArrayStore` per group; a key whose group
+        survived a scoped refresh keeps its existing segment (the
+        owning shard's epoch never moved, so the bytes are current).
+
+        A failure after any store exists (a hot matrix that will not
         export, executor creation itself) tears the partial generation
         down before re-raising — otherwise the shared segments outlive
         the exception until GC happens to collect the pool, which is
         exactly the window the sanitizer harness flags as a leak.
         """
-        self._epoch = self._engine.index.epoch
+        index = self._engine.index
+        self._epoch = index.epoch
+        self._shard_epochs = tuple(index.shard_epochs)
         self.generation += 1
         if self._warm:
-            index = self._engine.index
-            for sid in range(index.num_subdomains):
-                index.prefix(sid)
+            for s in range(index.shards):
+                shard = index.shard(s)
+                for sid in range(shard.num_subdomains):
+                    shard.prefix(sid)
         if not self._forked:
             return
-        index = self._engine.index
-        self._store = SharedArrayStore()
         try:
-            specs: "dict[str, ArraySpec]" = {}
-            for owner_attr, array_attr in _HOT_ARRAYS:
-                owner = index if owner_attr is None else getattr(index, owner_attr)
-                specs[array_attr.lstrip("_")] = self._store.share(
-                    np.asarray(getattr(owner, array_attr))
+            for key, group, owner, attr in index.hot_arrays():
+                if key in self._specs.get(group, {}):
+                    continue  # segment survived a scoped refresh untouched
+                store = self._stores.get(group)
+                if store is None:
+                    store = self._stores[group] = SharedArrayStore()
+                self._specs.setdefault(group, {})[key] = store.share(
+                    np.asarray(getattr(owner, attr))
                 )
             _POOL_ENGINES[self._token] = self._engine
+            flat_specs = {
+                key: spec
+                for group_specs in self._specs.values()
+                for key, spec in group_specs.items()
+            }
             self._executor = ProcessPoolExecutor(
                 max_workers=self._workers,
                 mp_context=get_context("fork"),
                 initializer=_init_pool_worker,
-                initargs=(self._token, specs),
+                initargs=(self._token, flat_specs),
             )
         except BaseException:
             self._teardown()
             raise
 
-    def _teardown(self) -> None:
-        """End the current fork generation (workers first, then segments)."""
+    def _teardown(self, groups: "set[str] | None" = None) -> None:
+        """End the current fork generation (workers first, then segments).
+
+        ``groups`` scopes the segment teardown to the named store
+        groups — a stale refresh passes only ``global`` plus the moved
+        shard groups, keeping unmutated shards' segments alive across
+        the re-fork; ``None`` closes everything.
+        """
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
         _POOL_ENGINES.pop(self._token, None)
-        if self._store is not None:
-            self._store.close()
-            self._store = None
+        doomed = set(self._stores) if groups is None else groups & set(self._stores)
+        for group in doomed:
+            self._stores.pop(group).close()
+            self._specs.pop(group, None)
+
+    def _stale_groups(self) -> "set[str] | None":
+        """Store groups invalidated by mutations since the last fork.
+
+        The ``global`` group is always stale — every mutation kind
+        touches the object matrix or the global weights; a ``shard:<s>``
+        group is stale only when that shard's epoch moved.  ``None``
+        means the shard topology itself changed and nothing can be
+        scoped (re-share everything).
+        """
+        current = tuple(self._engine.index.shard_epochs)
+        if len(current) != len(self._shard_epochs):
+            return None
+        moved = {"global"}
+        moved.update(
+            f"shard:{s}"
+            for s, (old, new) in enumerate(zip(self._shard_epochs, current))
+            if old != new
+        )
+        return moved
+
+    def _refresh_stale(self) -> None:
+        """Re-fork against the mutated index, re-sharing only moved groups."""
+        doomed = self._stale_groups()
+        if doomed is not None and self._stores:
+            kept = set(self._stores) - doomed
+            if kept:
+                self.partial_refreshes += 1
+            self.shards_reshared += sum(
+                1 for g in doomed if g in self._stores and g.startswith("shard:")
+            )
+        self._teardown(doomed)
+        self._start()
 
     def refresh(self) -> None:
         """Tear down and re-fork against the engine's *current* index."""
@@ -330,9 +390,9 @@ class PersistentPool:
         try:
             if self.stale:
                 # Epoch moved: the forked workers hold a pre-mutation
-                # index.  Re-fork rather than serve stale answers.
-                self._teardown()
-                self._start()
+                # index.  Re-fork rather than serve stale answers,
+                # re-sharing only the segment groups that mutated.
+                self._refresh_stale()
             if not batch:
                 return []
             if not self._forked:

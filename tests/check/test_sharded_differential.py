@@ -1,0 +1,45 @@
+"""The sharded differential axis: scenario replay parity and boundary probes."""
+
+import pytest
+
+from repro.check import AddObject, AddQuery, RemoveObject, RemoveQuery, Scenario
+from repro.check.differential import (
+    check_shard_boundary_ties,
+    check_sharded_scenario,
+)
+from repro.core.sharding import ShardedSubdomainIndex
+
+
+def full_ops(d=2):
+    return (
+        AddObject(attributes=tuple(0.3 + 0.1 * j for j in range(d))),
+        AddQuery(weights=tuple(0.7 - 0.1 * j for j in range(d)), k=2),
+        RemoveObject(slot=2),
+        RemoveQuery(slot=4),
+        AddObject(attributes=tuple(0.6 for _ in range(d))),
+    )
+
+
+class TestShardedScenario:
+    @pytest.mark.parametrize("mode", ["exact", "relevant"])
+    def test_scripted_scenario_passes(self, mode):
+        scenario = Scenario(
+            kind="IN", mode=mode, n=7, m=12, d=2, seed=3, ops=full_ops()
+        )
+        index = check_sharded_scenario(scenario, shards=3)
+        assert isinstance(index, ShardedSubdomainIndex)
+        assert index.shards == 3
+        assert index.queries.m == 12  # 12 initial + 1 add - 1 removal
+
+    def test_empty_op_sequence_passes(self):
+        scenario = Scenario(kind="CO", mode="relevant", n=6, m=10, d=3, seed=5)
+        check_sharded_scenario(scenario, shards=2)
+
+
+class TestBoundaryTies:
+    def test_boundary_probe_passes(self):
+        check_shard_boundary_ties(shards=4, seed=0)
+
+    def test_boundary_probe_other_widths(self):
+        check_shard_boundary_ties(shards=2, seed=7)
+        check_shard_boundary_ties(shards=5, seed=7)

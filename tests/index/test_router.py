@@ -1,0 +1,145 @@
+"""Shard routers: determinism, purity, registry, and policy semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.index.router import (
+    GridRouter,
+    RendezvousRouter,
+    ShardRouter,
+    get_router,
+    register_router,
+    registered_routers,
+)
+
+
+def weights(m=40, d=3, seed=5):
+    rng = np.random.default_rng(seed)
+    w = rng.random((m, d))
+    return w / w.sum(axis=1, keepdims=True)
+
+
+class TestGridRouter:
+    def test_bins_cover_the_domain(self):
+        router = GridRouter()
+        ids = router.assign(weights(), 4)
+        assert ids.shape == (40,)
+        assert ids.min() >= 0 and ids.max() <= 3
+
+    def test_interior_edge_belongs_to_the_upper_bin(self):
+        router = GridRouter()
+        w = np.array([[0.25, 0.75], [0.5, 0.5], [0.75, 0.25]])
+        assert router.assign(w, 4).tolist() == [1, 2, 3]
+
+    def test_out_of_range_values_clamp_into_end_bins(self):
+        router = GridRouter()
+        w = np.array([[-0.5, 1.5], [1.5, -0.5]])
+        assert router.assign(w, 4).tolist() == [0, 3]
+
+    def test_assign_one_matches_batch_assign(self):
+        router = GridRouter(axis=1)
+        w = weights()
+        batch = router.assign(w, 5)
+        for i, row in enumerate(w):
+            assert router.assign_one(row, 5) == batch[i]
+
+    def test_pure_per_point(self):
+        router = GridRouter()
+        w = weights()
+        full = router.assign(w, 4)
+        shuffled = router.assign(w[::-1], 4)
+        assert np.array_equal(full[::-1], shuffled)
+
+    def test_describe_round_trips_through_get_router(self):
+        router = GridRouter(axis=2, lo=0.1, hi=0.9)
+        clone = get_router(**router.describe())
+        assert isinstance(clone, GridRouter)
+        assert (clone.axis, clone.lo, clone.hi) == (2, 0.1, 0.9)
+
+    def test_rejects_bad_bounds_axis_and_vectors(self):
+        with pytest.raises(ValidationError):
+            GridRouter(lo=1.0, hi=0.0)
+        with pytest.raises(ValidationError):
+            GridRouter(axis=-1)
+        with pytest.raises(ValidationError):
+            GridRouter(axis=7).assign(weights(d=3), 4)
+        with pytest.raises(ValidationError):
+            GridRouter().assign(np.array([[np.nan, 0.5]]), 2)
+        with pytest.raises(ValidationError):
+            GridRouter().assign(weights(), 0)
+
+
+class TestRendezvousRouter:
+    def test_deterministic_across_instances(self):
+        w = weights()
+        a = RendezvousRouter(seed=3).assign(w, 4)
+        b = RendezvousRouter(seed=3).assign(w, 4)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_the_assignment(self):
+        w = weights(m=200)
+        a = RendezvousRouter(seed=0).assign(w, 4)
+        b = RendezvousRouter(seed=1).assign(w, 4)
+        assert not np.array_equal(a, b)
+
+    def test_roughly_balanced(self):
+        counts = np.bincount(
+            RendezvousRouter().assign(weights(m=400), 4), minlength=4
+        )
+        assert counts.min() > 0
+        assert counts.max() < 400  # no shard swallows the workload
+
+    def test_changing_k_moves_only_a_fraction(self):
+        w = weights(m=400)
+        router = RendezvousRouter()
+        at4 = router.assign(w, 4)
+        at5 = router.assign(w, 5)
+        moved = int(np.count_nonzero(at4 != at5))
+        # Rendezvous property: ~1/K of vectors move; allow slack.
+        assert moved < 400 // 2
+
+    def test_describe_round_trips(self):
+        clone = get_router(**RendezvousRouter(seed=9).describe())
+        assert isinstance(clone, RendezvousRouter)
+        assert clone.seed == 9
+
+
+class TestRegistry:
+    def test_builtin_policies_registered(self):
+        names = registered_routers()
+        assert "grid" in names and "rendezvous" in names
+        assert names == tuple(sorted(names))
+
+    def test_default_policy_is_grid(self):
+        assert isinstance(get_router(), GridRouter)
+
+    def test_instance_passes_through(self):
+        router = GridRouter(axis=1)
+        assert get_router(router) is router
+
+    def test_instance_with_params_rejected(self):
+        with pytest.raises(ValidationError):
+            get_router(GridRouter(), axis=1)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValidationError, match="unknown router policy"):
+            get_router("no-such-policy")
+
+    def test_third_party_registration(self):
+        class EverythingToZero(ShardRouter):
+            policy = "zero-test"
+
+            def assign(self, w, shards):
+                w = self._check(w, shards)
+                return np.zeros(w.shape[0], dtype=np.intp)
+
+        register_router("zero-test", EverythingToZero)
+        try:
+            router = get_router("zero-test")
+            assert router.assign_one([0.9, 0.1], 4) == 0
+            assert "zero-test" in registered_routers()
+        finally:
+            from repro.index.router import _ROUTERS
+
+            _ROUTERS.pop("zero-test", None)

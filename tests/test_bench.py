@@ -139,6 +139,7 @@ class TestRegressionHarness:
         figures = {record["figure"] for record in payload["records"]}
         assert figures == {
             "fig4", "fig5", "fig7", "par_index", "par_batch", "serve", "persist",
+            "shard_build", "shard_update",
         }
         for record in payload["records"]:
             assert record["literal_seconds"] > 0
@@ -151,6 +152,11 @@ class TestRegressionHarness:
             if record["figure"] == "serve":
                 assert record["config"]["throughput"] > 0
                 assert record["config"]["batches"] >= 1
+            if record["figure"] == "shard_build":
+                assert record["config"]["shards"] >= 2
+                assert sum(record["config"]["shard_sizes"]) > 0
+            if record["figure"] == "shard_update":
+                assert record["config"]["touched_shards"] >= 1
 
     def test_cli_entry_point(self, capsys):
         from repro.bench.regression import main
@@ -213,6 +219,11 @@ class TestPlanMetadata:
                 assert plan["solver"] == "efficient"
                 assert plan["evaluator"] == "ese"
             elif record["figure"] == "par_index":
+                if "routing" in record["config"]:
+                    # The sharded case compares two sharded builds; no
+                    # single monolithic plan describes it.
+                    assert "plan" not in record
+                    continue
                 # The plan describes the parallel-built index, so its
                 # worker count must match the record's *resolved* count
                 # (requests above os.cpu_count() are clamped).
