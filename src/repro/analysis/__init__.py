@@ -24,9 +24,12 @@ RPR011    no blocking calls while holding a lock
 RPR012    indexes are constructed through
           ``repro.core.sharding.build_index`` (or the engine) outside
           ``core/``, ``check/``, and the tests
+RPR013    compiled kernel backends (numba, ...) import only inside
+          ``repro/native/``; every jitted kernel is registered via
+          ``register_native`` and names a pure-python twin
 ========  ==============================================================
 
-RPR001-007 and RPR012 are per-file AST passes; RPR008-011 additionally consume the
+RPR001-007, RPR012, and RPR013 are per-file AST passes; RPR008-011 additionally consume the
 run-wide :class:`~repro.analysis.project.ProjectContext` (cross-file
 symbol table, call graph, worker reachability) and per-function
 :mod:`~repro.analysis.cfg` control-flow graphs built in
@@ -39,7 +42,7 @@ a single line with ``# repro: noqa[RPR001]``.
 from __future__ import annotations
 
 import repro.analysis.concurrency  # noqa: F401  (import registers RPR008-011)
-import repro.analysis.rules  # noqa: F401  (import registers RPR001-007)
+import repro.analysis.rules  # noqa: F401  (import registers RPR001-007, RPR012-013)
 from repro.analysis.cli import main
 from repro.analysis.framework import (
     FileContext,

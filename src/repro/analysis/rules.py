@@ -1,4 +1,4 @@
-"""Project-specific lint rules RPR001-RPR007 and RPR012.
+"""Project-specific lint rules RPR001-RPR007, RPR012, and RPR013.
 
 Each rule encodes a discipline the paper's correctness depends on; see
 DESIGN.md ("Static analysis") for the full catalog with rationale.
@@ -23,6 +23,7 @@ __all__ = [
     "SolverDispatchRule",
     "ParallelImportRule",
     "IndexFactoryRule",
+    "NativeBackendRule",
     "PARITY_PAIRS",
 ]
 
@@ -474,4 +475,125 @@ class IndexFactoryRule(Rule):
                     f"direct {name}(...) construction; build indexes through "
                     f"repro.core.sharding.build_index(...) (or the engine) so "
                     f"shard routing stays a single decision",
+                )
+
+
+@register_rule
+class NativeBackendRule(Rule):
+    """RPR013: compiled kernel backends live in ``repro/native`` with twins.
+
+    The pure-python kernels are the executable reference; jitted
+    backends are an *optional accelerator* behind the
+    :mod:`repro.native` registry.  Three obligations keep that true:
+
+    * compiled-backend imports (numba, llvmlite, cython, ...) are only
+      legal in files whose path contains a ``native`` component — any
+      other module must dispatch through ``repro.native.kernel(...)``
+      so the import guard and fallback live in exactly one place;
+    * inside the native layer, every jitted function (decorated with
+      ``njit``/``jit``, directly or through an alias assigned from a
+      jit call) must also be registered with ``register_native`` —
+      an unregistered jitted kernel is unreachable by the backend
+      switch and invisible to the parity harness;
+    * every ``register_native("name")`` literal must name a kernel the
+      python registry already knows (checked against the runtime
+      :func:`repro.native.python_kernel_names`, RPR006-style), so a
+      native backend can never exist without its python twin.
+    """
+
+    code = "RPR013"
+    title = "compiled backend outside the native-registry discipline"
+
+    _COMPILED_ROOTS = frozenset({"numba", "llvmlite", "cython", "pyximport", "cffi"})
+    _JIT_NAMES = frozenset({"njit", "jit"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield RPR013 findings: stray compiled imports, twin-less kernels."""
+        parts = ctx.path.resolve().parts
+        if "native" not in parts:
+            yield from self._check_imports(ctx)
+            return
+        yield from self._check_jitted_defs(ctx)
+        yield from self._check_twin_names(ctx)
+
+    def _check_imports(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+                names = [node.module]
+            else:
+                continue
+            for name in names:
+                if name.split(".")[0] in self._COMPILED_ROOTS:
+                    yield ctx.finding(
+                        node,
+                        self,
+                        f"import of {name}: compiled kernel backends are "
+                        f"confined to repro/native/; dispatch through "
+                        f"repro.native.kernel(...) instead",
+                    )
+
+    def _jit_aliases(self, ctx: FileContext) -> set[str]:
+        """Names bound to a jit decorator factory, e.g. ``_jit = njit(...)``."""
+        aliases: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                targets = [node.target.id]
+                value = node.value
+            else:
+                continue
+            if isinstance(value, ast.Call) and _call_name(value) in self._JIT_NAMES:
+                aliases.update(targets)
+        return aliases
+
+    def _decorator_name(self, dec: ast.expr) -> str | None:
+        if isinstance(dec, ast.Call):
+            return _call_name(dec)
+        if isinstance(dec, ast.Name):
+            return dec.id
+        if isinstance(dec, ast.Attribute):
+            return dec.attr
+        return None
+
+    def _check_jitted_defs(self, ctx: FileContext) -> Iterator[Finding]:
+        jit_markers = self._JIT_NAMES | self._jit_aliases(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            names = [self._decorator_name(dec) for dec in node.decorator_list]
+            if not any(name in jit_markers for name in names):
+                continue
+            if "register_native" not in names:
+                yield ctx.finding(
+                    node,
+                    self,
+                    f"jitted function {node.name}() is not registered via "
+                    f"register_native(...); an unregistered kernel is "
+                    f"unreachable by the backend switch and skips the "
+                    f"parity harness",
+                )
+
+    def _check_twin_names(self, ctx: FileContext) -> Iterator[Finding]:
+        from repro.native import python_kernel_names
+
+        known = python_kernel_names()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or _call_name(node) != "register_native":
+                continue
+            if not node.args:
+                continue
+            arg = node.args[0]
+            if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+                continue
+            if arg.value not in known:
+                yield ctx.finding(
+                    node,
+                    self,
+                    f"register_native({arg.value!r}) has no pure-python twin; "
+                    f"register the canonical kernel with "
+                    f"register_kernel({arg.value!r}) first",
                 )

@@ -53,6 +53,20 @@ Two figures cover the sharded index layer (PR8), same record shape:
 worker-pool construction of the *sharded* index (one process group per
 shard), held to per-shard bit-identical partitions.
 
+Two figures cover the native-kernel and index-residency layer (PR9):
+
+* **native** — every registered hot-path kernel
+  (:mod:`repro.native`) timed under the pure-python backend
+  (``literal_seconds``) vs the resolved backend
+  (``vectorized_seconds``), outputs bit-exact; with numba absent the
+  resolved backend degrades to python and the figure documents the
+  fallback (~1x), with numba present ``--check`` holds the jitted
+  kernels to an absolute floor.
+* **mmap_load** — the same persisted index opened from the compressed
+  ``.npz`` layout (full decompression) vs the mmap layout (manifest +
+  ``.npy`` header opens) at each benched |D|; decompression grows with
+  index size while the mmap open stays roughly flat.
+
 ``run_regression`` drives all of them and optionally writes a
 ``BENCH_*.json`` file (schema documented in EXPERIMENTS.md).  The
 ``--smoke`` mode truncates every sweep and forces the tiny scale so CI
@@ -89,10 +103,12 @@ from repro.core.queries import QuerySet
 from repro.core.solvers import get_solver
 from repro.core.sharding import build_index
 from repro.core.strategy import StrategySpace
-from repro.core.subdomain import SubdomainIndex
+from repro.core.subdomain import _TIE_TOL, SubdomainIndex
 from repro.data.synthetic import generate
 from repro.data.workloads import generate_queries
 from repro.errors import ReproError
+from repro.index.mmapio import read_mmap_index
+from repro.native import get_kernel, native_available, resolve_backend
 from repro.parallel import IQRequest, PersistentPool, run_batch, serve_stream
 
 __all__ = [
@@ -105,6 +121,8 @@ __all__ = [
     "bench_persist",
     "bench_shard_build",
     "bench_shard_update",
+    "bench_native",
+    "bench_mmap_load",
     "check_regression",
     "run_regression",
     "main",
@@ -136,10 +154,18 @@ CHECK_FLOOR_EXEMPT_SCALES = frozenset({"tiny"})
 
 #: Absolute floors enforced on *any* host, single-core included: these
 #: figures' advantage is work avoidance (maintain one touched shard
-#: instead of rebuilding all K), not parallelism, so a slide under 1x
+#: instead of rebuilding all K; open mmap headers instead of
+#: decompressing every matrix), not parallelism, so a slide under 1x
 #: is a real regression everywhere.  Tiny scale stays exempt — there
 #: both sides are sub-millisecond timer noise.
-CHECK_SINGLE_CORE_FLOORS = {"shard_update": 1.0}
+CHECK_SINGLE_CORE_FLOORS = {"shard_update": 1.0, "mmap_load": 1.0}
+
+#: Absolute floor for the ``native`` kernel figure, enforced only when
+#: the payload records ``numba: true``: with the jit compiled, every
+#: kernel must at least match its numpy twin.  Without numba the figure
+#: times python against python and documents the graceful fallback
+#: (speedup ~1x by construction, no floor to enforce).
+CHECK_NATIVE_FLOORS = {"native": 1.0}
 
 
 class RegressionMismatch(AssertionError):
@@ -697,6 +723,158 @@ def bench_persist(config: BenchConfig) -> list[BenchRecord]:
     ]
 
 
+def bench_native(config: BenchConfig, kernel: str | None = None) -> list[BenchRecord]:
+    """Hot-path kernels: pure-python (numpy) twin vs resolved backend.
+
+    One record per registered kernel, timed on fig7-shaped inputs:
+    Eq. 6 membership tests (``beats_batch``) over a candidate batch,
+    arrangement classification (``signature_matrix``) over the
+    workload x hyperplane products, and the ESE slab test
+    (``slab_crossings``) over candidate x other-object score blocks.
+    The two backends must agree bit-exactly on every output.
+
+    With numba absent the "native" backend degrades to python, so the
+    figure times python against python (~1x by construction) — the run
+    still proves the fallback path executes.  With numba importable the
+    jitted kernels carry the figure and ``--check`` holds their median
+    speedup to :data:`CHECK_NATIVE_FLOORS` (the compile happens in an
+    untimed warm-up call).
+    """
+    requested, resolved = resolve_backend(kernel)
+    dataset, queries = _make_inputs(config.num_objects, config.num_queries, config)
+    index = SubdomainIndex(dataset, queries, mode=config.index_mode)  # repro: noqa[RPR012] (bench drives kernels directly)
+    rng = np.random.default_rng(config.seed + 23)
+    repeats = max(3, config.iq_repeats)
+
+    target = 0
+    kth_ids, theta = index.kth_other(target)
+    positions = rng.random((64, config.dimensions))
+    scores = queries.weights @ positions.T  # (m, c)
+    block = dataset.matrix[1 : 1 + 64]  # (b, d) other objects
+    slab_theta = queries.weights @ block.T
+    old_values = queries.weights @ (dataset.matrix[target] - block).T
+    new_values = queries.weights @ (dataset.matrix[target] + 0.05 - block).T
+    normals = index.normals if index.normals.size else rng.random((32, config.dimensions)) - 0.5
+    products = queries.weights @ normals.T
+
+    cases = {
+        "beats_batch": (scores, theta, target, kth_ids, _TIE_TOL),
+        "signature_matrix": (products, _TIE_TOL),
+        "slab_crossings": (old_values, new_values, slab_theta, _TIE_TOL),
+    }
+    records = []
+    for name, args in cases.items():
+        python_kernel = get_kernel(name, "python")
+        backend_kernel = get_kernel(name, resolved)
+        backend_kernel(*args)  # untimed warm-up: jit compilation happens here
+        python_out, python_seconds = time_call(
+            lambda fn=python_kernel, a=args: [fn(*a) for _ in range(repeats)]
+        )
+        backend_out, backend_seconds = time_call(
+            lambda fn=backend_kernel, a=args: [fn(*a) for _ in range(repeats)]
+        )
+        if not np.array_equal(np.asarray(python_out[-1]), np.asarray(backend_out[-1])):
+            raise RegressionMismatch(
+                f"kernel {name!r}: python and {resolved} backends disagree"
+            )
+        records.append(
+            BenchRecord(
+                figure="native",
+                case=name,
+                config={
+                    "num_objects": config.num_objects,
+                    "num_queries": config.num_queries,
+                    "dimensions": config.dimensions,
+                    "index_mode": config.index_mode,
+                    "kernel": requested,
+                    "resolved": resolved,
+                    "numba": native_available(),
+                    "repeats": repeats,
+                    "seed": config.seed,
+                },
+                literal_seconds=python_seconds,
+                vectorized_seconds=backend_seconds,
+            )
+        )
+    return records
+
+
+def bench_mmap_load(config: BenchConfig, points: int | None = None) -> list[BenchRecord]:
+    """Index residency: ``.npz`` decompression vs mmap open, per size.
+
+    For each benched |D| the same ``mode="exact"`` index is saved in
+    both layouts and the *array-materialization* stage is timed: a full
+    ``np.load`` + decompress of every ``.npz`` member (what the npz
+    loader must pay before validation can even finish) vs
+    :func:`~repro.index.mmapio.read_mmap_index` (manifest + ``.npy``
+    header opens; pages fault in lazily).  Decompression grows with the
+    index; the mmap open stays roughly flat — that contrast is the
+    figure.  Both layouts must restore byte-identical arrays and a
+    :meth:`SubdomainIndex.load` of each must serve identical answers.
+    """
+    sweep = config.object_sweep[:points] if points else config.object_sweep[:3]
+    repeats = 3
+    records = []
+    for n in sweep:
+        dataset, queries = _make_inputs(n, config.num_queries, config)
+        built = SubdomainIndex(dataset, queries, mode="exact")  # repro: noqa[RPR012] (bench times persistence layouts)
+        with tempfile.TemporaryDirectory() as tmp:
+            npz_path = Path(tmp) / "bench-index.npz"
+            mmap_path = Path(tmp) / "bench-index-mmap"
+            built.save(npz_path)
+            built.save(mmap_path, format="mmap")
+
+            def npz_open(path=npz_path):
+                with np.load(path) as payload:
+                    return {key: np.array(payload[key]) for key in payload.files}
+
+            npz_runs, npz_seconds = time_call(
+                lambda: [npz_open() for _ in range(repeats)]
+            )
+            mmap_runs, mmap_seconds = time_call(
+                lambda: [read_mmap_index(mmap_path) for _ in range(repeats)]
+            )
+            npz_arrays = npz_runs[-1]
+            _, mmap_arrays = mmap_runs[-1]
+            for key, mapped in mmap_arrays.items():
+                if not np.array_equal(npz_arrays[key], np.asarray(mapped)):
+                    raise RegressionMismatch(
+                        f"npz and mmap layouts disagree on array {key!r} (|D|={n})"
+                    )
+            npz_loaded = SubdomainIndex.load(npz_path, dataset, queries)
+            mmap_loaded = SubdomainIndex.load(mmap_path, dataset, queries)
+            if _partition_fingerprint(npz_loaded) != _partition_fingerprint(mmap_loaded):
+                raise RegressionMismatch(
+                    f"npz and mmap loads restored different partitions (|D|={n})"
+                )
+            if npz_loaded.hits(0) != mmap_loaded.hits(0):
+                raise RegressionMismatch(
+                    f"npz and mmap loads answer differently (|D|={n})"
+                )
+            npz_bytes = npz_path.stat().st_size
+            mmap_bytes = sum(f.stat().st_size for f in mmap_path.iterdir())
+            del mmap_loaded, mmap_arrays, mmap_runs  # maps die before the files do
+        records.append(
+            BenchRecord(
+                figure="mmap_load",
+                case=f"|D|={n}",
+                config={
+                    "num_objects": n,
+                    "num_queries": config.num_queries,
+                    "dimensions": config.dimensions,
+                    "index_mode": "exact",
+                    "npz_bytes": int(npz_bytes),
+                    "mmap_bytes": int(mmap_bytes),
+                    "repeats": repeats,
+                    "seed": config.seed,
+                },
+                literal_seconds=npz_seconds,
+                vectorized_seconds=mmap_seconds,
+            )
+        )
+    return records
+
+
 def check_regression(
     payload: dict, baseline: dict, min_ratio: float = CHECK_MIN_RATIO
 ) -> list[str]:
@@ -758,8 +936,22 @@ def check_regression(
             if median < absolute_floor:
                 problems.append(
                     f"{figure}: median speedup {median:.2f}x is below the "
-                    f"absolute {absolute_floor:g}x floor — touched-shard "
-                    "maintenance must beat a full rebuild on any host"
+                    f"absolute {absolute_floor:g}x floor — this figure's win "
+                    "is work avoidance, not parallelism, so it must hold "
+                    "on any host"
+                )
+    if payload.get("numba") and payload.get("scale") not in CHECK_FLOOR_EXEMPT_SCALES:
+        for figure, absolute_floor in sorted(CHECK_NATIVE_FLOORS.items()):
+            stats = summary.get(figure)
+            if stats is None:
+                continue
+            median = float(stats["median_speedup"])
+            if median < absolute_floor:
+                problems.append(
+                    f"{figure}: median speedup {median:.2f}x is below the "
+                    f"absolute {absolute_floor:g}x floor — with numba "
+                    "importable the jitted kernels must at least match "
+                    "their numpy twins"
                 )
     return problems
 
@@ -770,6 +962,7 @@ def run_regression(
     out: str | None = None,
     workers: int | None = None,
     shards: int | None = None,
+    kernel: str | None = None,
 ) -> dict:
     """Run the full serial-vs-optimized harness; returns the payload.
 
@@ -778,7 +971,9 @@ def run_regression(
     the JSON payload to the given path; ``workers`` sets the pool size
     benched by the parallel figures (default
     :data:`DEFAULT_BENCH_WORKERS`); ``shards`` the shard count benched
-    by the sharded figures (default :data:`DEFAULT_BENCH_SHARDS`).
+    by the sharded figures (default :data:`DEFAULT_BENCH_SHARDS`);
+    ``kernel`` the backend the native-kernel figure resolves against
+    (default: ``REPRO_KERNEL`` env var, else auto).
     """
     config = load_config("tiny" if smoke else scale)
     points = 2 if smoke else None
@@ -798,9 +993,17 @@ def run_regression(
     records += bench_persist(config)
     records += bench_shard_build(config, shards=shard_count)
     records += bench_shard_update(config, shards=shard_count)
-    # The host's core count travels with the payload: --check only
-    # enforces the absolute pooled floors when the run had real cores.
-    extra = {"cpus": os.cpu_count() or 1}
+    records += bench_native(config, kernel=kernel)
+    records += bench_mmap_load(config, points=points)
+    # The host's core count and numba availability travel with the
+    # payload: --check only enforces the absolute pooled floors when
+    # the run had real cores, and the native-kernel floor only when the
+    # jit was actually importable.
+    extra = {
+        "cpus": os.cpu_count() or 1,
+        "numba": native_available(),
+        "kernel": resolve_backend(kernel)[1],
+    }
     if out:
         return write_bench_json(records, out, scale=config.name, extra=extra)
     return {
@@ -854,6 +1057,13 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--kernel",
+        default=None,
+        choices=["python", "native", "auto"],
+        help="kernel backend the native-kernel figure resolves against "
+             "(default: $REPRO_KERNEL or auto)",
+    )
+    parser.add_argument(
         "--check",
         default=None,
         metavar="BASELINE",
@@ -882,6 +1092,7 @@ def main(argv=None) -> int:
             out=args.out,
             workers=args.workers,
             shards=args.shards,
+            kernel=args.kernel,
         )
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -49,9 +49,11 @@ from repro.core.queries import QuerySet
 from repro.core.solvers import registered_solvers
 from repro.core.sharding import ShardedSubdomainIndex
 from repro.core.strategy import StrategySpace
-from repro.core.subdomain import SubdomainIndex
+from repro.core.subdomain import INDEX_FORMATS, SubdomainIndex
 from repro.data.realworld import load_csv
+from repro.index.mmapio import MMAP_SCHEMA, directory_schema
 from repro.index.router import registered_routers
+from repro.native import KERNEL_BACKENDS
 from repro.errors import ReproError, ValidationError
 
 __all__ = ["main", "build_parser"]
@@ -100,12 +102,23 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--router", default=None,
                              choices=sorted(registered_routers()),
                              help="shard routing policy (default: grid)")
+        command.add_argument("--kernel", default=None, choices=list(KERNEL_BACKENDS),
+                             help="hot-path kernel backend: 'native' uses the "
+                                  "jitted kernels when numba is importable, "
+                                  "'auto' prefers native with a python fallback "
+                                  "(default: REPRO_KERNEL env var, else auto)")
         command.add_argument("--save-index", default=None, metavar="PATH",
                              help="persist the built index (.npz file, or a "
-                                  "directory when sharded)")
+                                  "directory when sharded or --index-format mmap)")
+        command.add_argument("--index-format", default="npz",
+                             choices=list(INDEX_FORMATS),
+                             help="--save-index layout: compressed .npz, or a "
+                                  "memory-mappable directory of raw .npy files "
+                                  "(O(1) open, zero-copy pool residency)")
         command.add_argument("--load-index", default=None, metavar="PATH",
                              help="restore a saved index instead of rebuilding: "
-                                  "a .npz file or a sharded index directory "
+                                  "a .npz file, a sharded index directory, or an "
+                                  "mmap index directory "
                                   "(fingerprints must match the CSVs)")
 
     improve = sub.add_parser("improve", help="run a Min-Cost or Max-Hit IQ")
@@ -155,6 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pool size for the parallel bench figures (default 4)")
     bench.add_argument("--shards", type=int, default=None, metavar="K",
                        help="shard count for the sharding bench figures (default 4)")
+    bench.add_argument("--kernel", default=None, choices=list(KERNEL_BACKENDS),
+                       help="kernel backend the timed figures run under "
+                            "(default: REPRO_KERNEL env var, else auto)")
 
     check = sub.add_parser(
         "check", help="differential correctness harness (oracles + seeded fuzz)"
@@ -176,8 +192,11 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--shards", type=int, default=None, metavar="K",
                        help="also hold a K-shard index to monolithic parity "
                             "(K=1 checks byte parity of the degenerate case)")
+    check.add_argument("--kernel", default=None, choices=list(KERNEL_BACKENDS),
+                       help="run the whole harness under this kernel backend "
+                            "and add a python-vs-backend parity phase")
 
-    lint = sub.add_parser("lint", help="project static analysis (rules RPR001-RPR012)")
+    lint = sub.add_parser("lint", help="project static analysis (rules RPR001-RPR013)")
     lint.add_argument("paths", nargs="*", default=["src/repro"],
                       help="files or directories to lint (default: src/repro)")
     lint.add_argument("--format", choices=["human", "json", "sarif"], default="human")
@@ -241,17 +260,22 @@ def _space(args, dataset) -> StrategySpace | None:
 
 def _engine(args, dataset, queries) -> ImprovementQueryEngine:
     """Build (or restore) the engine honoring the index CLI options."""
+    kernel = getattr(args, "kernel", None)
     load_path = getattr(args, "load_index", None)
     if load_path:
-        # A sharded index persists as a directory (manifest + one npz
-        # per shard); the monolithic format stays a single .npz file.
+        # Both directory layouts carry a manifest whose schema tag says
+        # which loader owns them (sharded npz/mmap vs monolithic mmap);
+        # a plain file is the monolithic .npz format.
         from pathlib import Path
 
         if Path(load_path).is_dir():
-            index = ShardedSubdomainIndex.load(load_path, dataset, queries)
+            if directory_schema(load_path) == MMAP_SCHEMA:
+                index = SubdomainIndex.load(load_path, dataset, queries)
+            else:
+                index = ShardedSubdomainIndex.load(load_path, dataset, queries)
         else:
             index = SubdomainIndex.load(load_path, dataset, queries)
-        engine = ImprovementQueryEngine.from_index(index)
+        engine = ImprovementQueryEngine.from_index(index, kernel=kernel)
     else:
         engine = ImprovementQueryEngine(
             dataset,
@@ -260,9 +284,10 @@ def _engine(args, dataset, queries) -> ImprovementQueryEngine:
             workers=getattr(args, "workers", None),
             shards=getattr(args, "shards", None),
             router=getattr(args, "router", None),
+            kernel=kernel,
         )
     if getattr(args, "save_index", None):
-        engine.index.save(args.save_index)
+        engine.index.save(args.save_index, format=getattr(args, "index_format", "npz"))
     return engine
 
 
@@ -366,7 +391,8 @@ def _cmd_serve(args, out) -> int:
         f"serve: {stats.served} served, {stats.failed} failed, "
         f"{stats.rejected} rejected in {stats.seconds:.3f}s "
         f"({stats.throughput:.1f} req/s, workers {stats.workers}, "
-        f"{stats.batches} batches, {stats.refreshes} refreshes)",
+        f"kernel {stats.kernel}, {stats.batches} batches, "
+        f"{stats.refreshes} refreshes)",
         file=sys.stderr,
     )
     return 0
@@ -427,6 +453,8 @@ def main(argv=None, out=None) -> int:
                 bench_args += ["--workers", str(args.workers)]
             if args.shards is not None:
                 bench_args += ["--shards", str(args.shards)]
+            if args.kernel is not None:
+                bench_args += ["--kernel", args.kernel]
             return bench_main(bench_args)
         if args.command == "check":
             from repro.check.cli import main as check_main
@@ -441,6 +469,8 @@ def main(argv=None, out=None) -> int:
                 check_args.append("--sanitize")
             if args.shards is not None:
                 check_args += ["--shards", str(args.shards)]
+            if args.kernel is not None:
+                check_args += ["--kernel", args.kernel]
             return check_main(check_args, out=out)
         if args.command == "lint":
             from repro.analysis.cli import main as lint_main

@@ -57,6 +57,7 @@ from repro.core.strategy import StrategySpace
 from repro.core.subdomain import SubdomainIndex
 from repro.errors import ValidationError
 from repro.index.router import ShardRouter
+from repro.native import resolve_backend, use_backend
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.parallel.persistent import PersistentPool
@@ -93,6 +94,16 @@ class ImprovementQueryEngine:
         Shard routing policy (a name or a
         :class:`~repro.index.router.ShardRouter`); only consulted when
         the resolved shard count exceeds 1.
+    kernel:
+        Hot-path kernel backend request: ``"python"`` (the canonical
+        numpy path), ``"native"`` (numba-jitted kernels, degrading
+        gracefully to python when numba is absent), or ``"auto"``
+        (native when available).  ``None`` defers to the
+        ``REPRO_KERNEL`` environment variable, then ``"auto"``.  The
+        engine pins its *resolved* backend around every execution, so
+        pooled workers and concurrent engines with different backends
+        stay deterministic; :meth:`explain` surfaces both the requested
+        and the resolved value.
     """
 
     def __init__(
@@ -104,7 +115,9 @@ class ImprovementQueryEngine:
         workers: "int | str | None" = None,
         shards: "int | str | None" = None,
         router: "str | ShardRouter | None" = None,
+        kernel: "str | None" = None,
     ) -> None:
+        self.kernel_requested, self.kernel_backend = resolve_backend(kernel)
         self.index: "SubdomainIndex | ShardedSubdomainIndex" = build_index(
             dataset,
             queries,
@@ -119,12 +132,15 @@ class ImprovementQueryEngine:
 
     @classmethod
     def from_index(
-        cls, index: "SubdomainIndex | ShardedSubdomainIndex"
+        cls,
+        index: "SubdomainIndex | ShardedSubdomainIndex",
+        kernel: "str | None" = None,
     ) -> "ImprovementQueryEngine":
         """Wrap an existing index (e.g. one restored by
         :meth:`SubdomainIndex.load` or
         :meth:`ShardedSubdomainIndex.load`) without rebuilding it."""
         engine = cls.__new__(cls)
+        engine.kernel_requested, engine.kernel_backend = resolve_backend(kernel)
         engine.index = index
         engine.evaluator = StrategyEvaluator(index)
         engine._rta_evaluator = None
@@ -168,11 +184,13 @@ class ImprovementQueryEngine:
     # ------------------------------------------------------------------
     def hits(self, target: int) -> int:
         """``H(target)``: how many workload queries the object hits now."""
-        return self.evaluator.hits(target)
+        with use_backend(self.kernel_backend):
+            return self.evaluator.hits(target)
 
     def reverse_top_k(self, target: int) -> np.ndarray:
         """Ids of the queries currently hit (a reverse top-k query [21])."""
-        return np.flatnonzero(self.evaluator.hits_mask(target))
+        with use_backend(self.kernel_backend):
+            return np.flatnonzero(self.evaluator.hits_mask(target))
 
     # ------------------------------------------------------------------
     # Planning
@@ -214,7 +232,10 @@ class ImprovementQueryEngine:
         """Plan step: resolve the solver, internalize, snapshot the index."""
         solver = get_solver(method)
         cost_int, space_int = internalize(self.dataset, cost, space)
-        plan = build_plan(self.index, solver, kind, target, goal, cost_int, space_int)
+        plan = build_plan(
+            self.index, solver, kind, target, goal, cost_int, space_int,
+            kernel=(self.kernel_requested, self.kernel_backend),
+        )
         return plan, cost_int, space_int
 
     def _execute(
@@ -227,12 +248,18 @@ class ImprovementQueryEngine:
         method: str,
         kwargs: dict[str, object],
     ) -> IQResult:
-        """Execute step: hand the planned solver its evaluator."""
+        """Execute step: hand the planned solver its evaluator.
+
+        The engine\'s resolved kernel backend is pinned for the whole
+        solver run, so every ``_beats_batch`` / slab-scan dispatch under
+        this call uses it regardless of the process-global default.
+        """
         plan, cost_int, space_int = self._plan(kind, target, goal, cost, space, method)
-        result = plan.solver.run(
-            kind, self._evaluator_for(plan.solver), target, goal,
-            cost_int, space_int, **kwargs,
-        )
+        with use_backend(plan.kernel_backend):
+            result = plan.solver.run(
+                kind, self._evaluator_for(plan.solver), target, goal,
+                cost_int, space_int, **kwargs,
+            )
         return externalize_result(self.dataset, result)
 
     def _evaluator_for(self, solver: Solver) -> StrategyEvaluator:
@@ -290,7 +317,8 @@ class ImprovementQueryEngine:
     ) -> MultiTargetResult:
         """Combinatorial Min-Cost IQ over several targets (Def. 5)."""
         costs_int, spaces_int = internalize_multi(self.dataset, targets, costs, spaces)
-        result = combinatorial_min_cost(self.index, list(targets), tau, costs_int, spaces_int, **kwargs)
+        with use_backend(self.kernel_backend):
+            result = combinatorial_min_cost(self.index, list(targets), tau, costs_int, spaces_int, **kwargs)
         return externalize_multi(self.dataset, result)
 
     def max_hit_multi(
@@ -303,7 +331,8 @@ class ImprovementQueryEngine:
     ) -> MultiTargetResult:
         """Combinatorial Max-Hit IQ over several targets (Def. 6)."""
         costs_int, spaces_int = internalize_multi(self.dataset, targets, costs, spaces)
-        result = combinatorial_max_hit(self.index, list(targets), budget, costs_int, spaces_int, **kwargs)
+        with use_backend(self.kernel_backend):
+            result = combinatorial_max_hit(self.index, list(targets), budget, costs_int, spaces_int, **kwargs)
         return externalize_multi(self.dataset, result)
 
     # ------------------------------------------------------------------

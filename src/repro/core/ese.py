@@ -33,6 +33,7 @@ from repro.core.sharding import IndexProtocol
 from repro.core.subdomain import _TIE_TOL, _beats, _beats_batch
 from repro.errors import ValidationError
 from repro.index.rtree import Rect
+from repro.native import kernel as _kernel
 
 __all__ = ["StrategyEvaluator"]
 
@@ -57,6 +58,17 @@ def _slab_region(value: float, theta: float) -> int:
     if value > band:
         return 1
     return 0
+
+
+def _inside_domain(rect: Rect, query_id: int) -> bool:
+    """Domain-only R-tree predicate: geometry filters, the kernel classifies.
+
+    :meth:`StrategyEvaluator.affected_queries` retrieves every query
+    point inside the workload domain with one scan, then runs the slab
+    test as a batched ``slab_crossings`` kernel pass — so the per-leaf
+    predicate accepts everything.
+    """
+    return True
 
 
 class StrategyEvaluator:
@@ -190,38 +202,44 @@ class StrategyEvaluator:
         side of either hyperplane flipping, so it must count as
         affected for :meth:`evaluate_affected` to equal
         :meth:`evaluate`.
+
+        The retrieval runs in two stages: one R-tree scan collects the
+        candidate query points inside the domain, then the slab
+        classification runs as one batched pass per chunk of other
+        objects through the ``slab_crossings`` kernel
+        (:mod:`repro.native`) instead of a per-candidate python closure
+        — the hottest loop of the incremental path.
         """
         dataset = self.index.dataset
         old_position = np.asarray(old_position, dtype=float)
         new_position = np.asarray(new_position, dtype=float)
-        others = [l for l in range(dataset.n) if l != target]
+        others = np.asarray(
+            [l for l in range(dataset.n) if l != target], dtype=np.intp
+        )
         domain = Rect.from_arrays(
             np.zeros(dataset.dim), np.ones(dataset.dim)
         ) if self.index.queries.normalized else self._workload_bbox()
-        matrix = dataset.matrix
-        affected: set[int] = set()
-
-        for l in others:
-            old_normal = old_position - matrix[l]
-            new_normal = new_position - matrix[l]
-
-            def crosses(
-                rect: Rect,
-                query_id: int,
-                old_normal: np.ndarray = old_normal,
-                new_normal: np.ndarray = new_normal,
-                other: np.ndarray = matrix[l],
-            ) -> bool:
-                point = np.asarray(rect.mins)
-                theta_l = float(point @ other)
-                old_region = _slab_region(float(point @ old_normal), theta_l)
-                new_region = _slab_region(float(point @ new_normal), theta_l)
-                return old_region != new_region
-
-            hits = self.index.affected_candidates(domain, crosses)
-            affected.update(hits)
-        self.affected_retrieved += len(affected)
-        return np.asarray(sorted(affected), dtype=np.intp)
+        candidates = np.asarray(
+            self.index.affected_candidates(domain, _inside_domain), dtype=np.intp
+        )
+        candidates.sort()  # ascending ids, like the set-union formulation
+        if candidates.size == 0 or others.size == 0:
+            return np.empty(0, dtype=np.intp)
+        points = self.index.queries.weights[candidates]  # (c, d)
+        crossing = _kernel("slab_crossings")
+        mask = np.zeros(candidates.shape[0], dtype=bool)
+        # Chunk the (c, b) slab matrices like evaluate_many chunks its
+        # score blocks, so huge workloads never materialize c x (n-1).
+        chunk = max(1, _CHUNK_BUDGET // max(1, candidates.shape[0]))
+        for start in range(0, others.shape[0], chunk):
+            block = dataset.matrix[others[start : start + chunk]]  # (b, d)
+            theta = points @ block.T  # (c, b) other-object scores
+            old_values = points @ (old_position - block).T
+            new_values = points @ (new_position - block).T
+            mask |= crossing(old_values, new_values, theta, _TIE_TOL).any(axis=1)
+        affected = candidates[mask]
+        self.affected_retrieved += int(affected.shape[0])
+        return affected
 
     def evaluate_affected(
         self,

@@ -43,6 +43,8 @@ PLAN_FIELDS = (
     "num_hyperplanes",
     "epoch",
     "workers",
+    "kernel",
+    "kernel_backend",
     "shards",
     "routing",
     "shard_sizes",
@@ -76,6 +78,8 @@ class ExecutionPlan:
     num_hyperplanes: int = 0
     epoch: int = 0  #: index epoch the plan was built against
     workers: int = 0  #: construction pool size (0/1 = serial reference path)
+    kernel: str = "auto"  #: requested kernel backend (--kernel / REPRO_KERNEL)
+    kernel_backend: str = "python"  #: resolved backend the kernels dispatch to
     shards: int = 1  #: index shard count (1 = monolithic)
     routing: str = "none"  #: shard routing policy ("none" when monolithic)
     shard_sizes: tuple[int, ...] = ()  #: workload queries per shard
@@ -112,6 +116,8 @@ class ExecutionPlan:
             "num_hyperplanes": self.num_hyperplanes,
             "epoch": self.epoch,
             "workers": self.workers,
+            "kernel": self.kernel,
+            "kernel_backend": self.kernel_backend,
             "shards": self.shards,
             "routing": self.routing,
             "shard_sizes": list(self.shard_sizes),
@@ -151,13 +157,17 @@ def build_plan(
     cost: CostFunction,
     space: StrategySpace | None,
     extra_notes: tuple[str, ...] = (),
+    kernel: tuple[str, str] = ("auto", "python"),
 ) -> ExecutionPlan:
     """Assemble the frozen plan for one query against one index state.
 
     ``cost`` and ``space`` must already be internalized (the engine's
     boundary step does this); the index statistics and ``epoch`` are
     snapshotted here, so a stale plan is detectable by comparing its
-    ``epoch`` against ``index.epoch``.
+    ``epoch`` against ``index.epoch``.  ``kernel`` is the engine's
+    ``(requested, resolved)`` backend pair — EXPLAIN shows both so a
+    ``native`` request that degraded to python (numba absent) is
+    visible.
     """
     if kind not in QUERY_KINDS:
         raise ValidationError(f"kind must be one of {QUERY_KINDS}, got {kind!r}")
@@ -180,6 +190,8 @@ def build_plan(
         num_hyperplanes=index.num_hyperplanes,
         epoch=index.epoch,
         workers=index.workers,
+        kernel=kernel[0],
+        kernel_backend=kernel[1],
         shards=index.shards,
         routing=index.routing,
         shard_sizes=index.shard_sizes,

@@ -46,6 +46,7 @@ import numpy as np
 from repro.core.objects import Dataset
 from repro.core.queries import QuerySet
 from repro.core.subdomain import (
+    INDEX_FORMATS,
     SubdomainIndex,
     dataset_fingerprint,
     queryset_fingerprint,
@@ -183,8 +184,8 @@ class IndexProtocol(Protocol):
         """Shared-memory residency plan: ``(key, group, owner, attr)``."""
         ...
 
-    def save(self, path: "str | Path") -> None:
-        """Persist the index (.npz file or sharded directory)."""
+    def save(self, path: "str | Path", format: str = "npz") -> None:
+        """Persist the index (.npz file / sharded or mmap directory)."""
         ...
 
 
@@ -719,16 +720,22 @@ class ShardedSubdomainIndex:
     # ------------------------------------------------------------------
     # Persistence: per-shard directory with a versioned manifest
     # ------------------------------------------------------------------
-    def save(self, path: "str | Path") -> None:
-        """Persist to a directory: ``manifest.json`` + one npz per shard.
+    def save(self, path: "str | Path", format: str = "npz") -> None:
+        """Persist to a directory: ``manifest.json`` + one entry per shard.
 
-        Shard files use the unchanged monolithic format, so a single
-        shard is independently loadable with
-        :meth:`SubdomainIndex.load`.  The manifest carries the router
-        parameters (the assignment is *recomputed* at load, never
-        stored per query) and per-shard statistics so a lazily loaded
-        index can answer EXPLAIN without touching shard files.
+        Shard entries use the unchanged monolithic formats — a ``.npz``
+        file per shard by default, or one mmap subdirectory per shard
+        with ``format="mmap"`` — so a single shard stays independently
+        loadable with :meth:`SubdomainIndex.load` (which auto-detects
+        either layout).  The manifest carries the router parameters
+        (the assignment is *recomputed* at load, never stored per
+        query), the shard layout, and per-shard statistics so a lazily
+        loaded index can answer EXPLAIN without touching shard files.
         """
+        if format not in INDEX_FORMATS:
+            raise ValidationError(
+                f"unknown index format {format!r}; choose from {INDEX_FORMATS}"
+            )
         path = Path(path)
         if path.exists() and not path.is_dir():
             raise ValidationError(f"sharded index path {path} exists and is not a directory")
@@ -736,8 +743,8 @@ class ShardedSubdomainIndex:
         entries = []
         for s in range(self.shards):
             shard = self.shard(s)
-            filename = f"shard-{s:04d}.npz"
-            shard.save(path / filename)
+            filename = f"shard-{s:04d}.npz" if format == "npz" else f"shard-{s:04d}"
+            shard.save(path / filename, format=format)
             entries.append(
                 {
                     "file": filename,
@@ -750,6 +757,7 @@ class ShardedSubdomainIndex:
             )
         manifest = {
             "schema": SHARDED_SCHEMA,
+            "layout": format,
             "shards": self.shards,
             "mode": self.mode,
             "margin": self.margin,

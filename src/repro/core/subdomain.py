@@ -60,7 +60,9 @@ from repro.errors import IndexCorruptionError, ValidationError
 from repro.geometry.arrangement import group_by_signature, signature_matrix
 from repro.geometry.hyperplane import EPS
 from repro.index.bloom import CountingBloomFilter
+from repro.index.mmapio import read_mmap_index, write_mmap_index
 from repro.index.rtree import Rect, RTree
+from repro.native import kernel as _kernel
 from repro.parallel.construction import parallel_partition
 from repro.parallel.pool import resolve_workers
 
@@ -76,6 +78,11 @@ __all__ = [
 #: Schema tag written into every persisted index file; bumped whenever
 #: the on-disk layout changes so stale files fail loudly.
 INDEX_SCHEMA = "repro-subdomain-index/1"
+
+#: Accepted ``save(format=...)`` values: the compressed single-file
+#: ``.npz`` layout and the memory-mapped directory layout
+#: (:mod:`repro.index.mmapio`).
+INDEX_FORMATS = ("npz", "mmap")
 
 _MODES = ("exact", "relevant")
 _PARTITION_METHODS = ("vectorized", "literal")
@@ -608,17 +615,8 @@ class SubdomainIndex:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: "str | Path") -> None:
-        """Persist the index to a versioned ``.npz`` file.
-
-        The file stores the partition (hyperplane pairs, normals, one
-        signature per cell, per-query subdomain ids, representatives),
-        every ranking prefix evaluated so far, the mutation epoch, and
-        content fingerprints of the dataset and the workload.
-        :meth:`load` validates the fingerprints, so a saved index can
-        never silently serve answers for different data.
-        """
-        path = Path(path)
+    def _persist_payload(self) -> "tuple[dict[str, object], dict[str, np.ndarray]]":
+        """``(metadata, arrays)`` shared by the ``.npz`` and mmap writers."""
         h = self.num_hyperplanes
         if self.subdomains:
             signatures = np.frombuffer(
@@ -636,27 +634,106 @@ class SubdomainIndex:
             if evaluated
             else np.empty(0, dtype=np.int64)
         )
+        metadata: dict[str, object] = {
+            "mode": self.mode,
+            "margin": int(self.margin),
+            "partition_method": self.partition_method,
+            "rtree_max_entries": int(self._rtree_max_entries),
+            "epoch": int(self._epoch),
+            "dataset_fingerprint": dataset_fingerprint(self.dataset),
+            "queries_fingerprint": queryset_fingerprint(self.queries),
+        }
+        arrays: dict[str, np.ndarray] = {
+            "pairs": np.asarray(self.pairs, dtype=np.int64).reshape(-1, 2),
+            "normals": np.asarray(self.normals, dtype=float),
+            "signatures": signatures,
+            "subdomain_of": self.subdomain_of.astype(np.int64),
+            "representatives": np.asarray(
+                [sub.representative for sub in self.subdomains], dtype=np.int64
+            ),
+            "prefix_lengths": prefix_lengths,
+            "prefix_concat": prefix_concat,
+        }
+        return metadata, arrays
+
+    def save(self, path: "str | Path", format: str = "npz") -> None:
+        """Persist the index: versioned ``.npz`` file or mmap directory.
+
+        Both layouts store the partition (hyperplane pairs, normals,
+        one signature per cell, per-query subdomain ids,
+        representatives), every ranking prefix evaluated so far, the
+        mutation epoch, and content fingerprints of the dataset and the
+        workload — :meth:`load` validates the fingerprints, so a saved
+        index can never silently serve answers for different data.
+        ``format="npz"`` writes the compressed single file;
+        ``format="mmap"`` writes the raw-``.npy`` directory layout of
+        :mod:`repro.index.mmapio`, which :meth:`load` reopens in O(1)
+        via read-only memory maps.
+        """
+        if format not in INDEX_FORMATS:
+            raise ValidationError(
+                f"unknown index format {format!r}; choose from {INDEX_FORMATS}"
+            )
+        path = Path(path)
+        metadata, arrays = self._persist_payload()
+        if format == "mmap":
+            write_mmap_index(path, metadata, arrays)
+            return
         with open(path, "wb") as handle:
             np.savez_compressed(
                 handle,
                 schema=INDEX_SCHEMA,
-                mode=self.mode,
-                margin=np.int64(self.margin),
-                partition_method=self.partition_method,
-                rtree_max_entries=np.int64(self._rtree_max_entries),
-                epoch=np.int64(self._epoch),
-                pairs=np.asarray(self.pairs, dtype=np.int64).reshape(-1, 2),
-                normals=self.normals,
-                signatures=signatures,
-                subdomain_of=self.subdomain_of.astype(np.int64),
-                representatives=np.asarray(
-                    [sub.representative for sub in self.subdomains], dtype=np.int64
-                ),
-                prefix_lengths=prefix_lengths,
-                prefix_concat=prefix_concat,
-                dataset_fingerprint=dataset_fingerprint(self.dataset),
-                queries_fingerprint=queryset_fingerprint(self.queries),
+                mode=str(metadata["mode"]),
+                margin=np.int64(int(metadata["margin"])),  # type: ignore[call-overload]
+                partition_method=str(metadata["partition_method"]),
+                rtree_max_entries=np.int64(int(metadata["rtree_max_entries"])),  # type: ignore[call-overload]
+                epoch=np.int64(int(metadata["epoch"])),  # type: ignore[call-overload]
+                dataset_fingerprint=str(metadata["dataset_fingerprint"]),
+                queries_fingerprint=str(metadata["queries_fingerprint"]),
+                **arrays,
             )
+
+    @classmethod
+    def _check_metadata(
+        cls,
+        metadata: "dict[str, object]",
+        origin: Path,
+        dataset: Dataset,
+        queries: QuerySet,
+    ) -> None:
+        """Validate loaded header metadata before any payload is touched.
+
+        Missing fields are corruption (the container is damaged or
+        written under a different key layout); an intact header naming
+        different data or unknown enum values is a validation failure.
+        """
+        required = (
+            "mode",
+            "margin",
+            "partition_method",
+            "rtree_max_entries",
+            "epoch",
+            "dataset_fingerprint",
+            "queries_fingerprint",
+        )
+        for key in required:
+            if key not in metadata:
+                raise IndexCorruptionError(
+                    f"saved index {origin} is missing required field {key!r}"
+                )
+        if str(metadata["dataset_fingerprint"]) != dataset_fingerprint(dataset):
+            raise ValidationError(
+                "saved index was built for a different dataset (fingerprint mismatch)"
+            )
+        if str(metadata["queries_fingerprint"]) != queryset_fingerprint(queries):
+            raise ValidationError(
+                "saved index was built for a different workload (fingerprint mismatch)"
+            )
+        if (
+            str(metadata["mode"]) not in _MODES
+            or str(metadata["partition_method"]) not in _PARTITION_METHODS
+        ):
+            raise ValidationError("saved index carries unknown mode/partition_method")
 
     @classmethod
     def load(
@@ -664,22 +741,65 @@ class SubdomainIndex:
     ) -> "SubdomainIndex":
         """Restore a saved index against the *same* dataset and workload.
 
-        The stored fingerprints must match the provided ``dataset`` and
-        ``queries`` (a mismatch raises
-        :class:`~repro.errors.ValidationError`); the restored index
-        serves identical answers to the one that was saved, including
-        the already-evaluated ranking prefixes and the mutation epoch.
-        The R-tree is rebuilt by bulk load; boundary registration stays
-        lazy exactly as after a fresh construction.
+        Accepts both persisted layouts: a ``.npz`` file or a mmap
+        directory (detected by ``path`` being a directory).  The stored
+        fingerprints must match the provided ``dataset`` and ``queries``
+        (a mismatch raises :class:`~repro.errors.ValidationError`), and
+        the header is validated *before* any payload matrix is
+        decompressed or faulted in — a stale or mismatched file fails
+        in O(metadata), not O(index).  The restored index serves
+        identical answers to the one that was saved, including the
+        already-evaluated ranking prefixes and the mutation epoch.  The
+        R-tree is rebuilt by bulk load; boundary registration stays lazy
+        exactly as after a fresh construction.
+
+        A mmap load keeps the heavy matrices as read-only memory maps
+        (O(1) open, page-cache shared across forked workers) and copies
+        only ``subdomain_of``, which the update paths write in place;
+        every other mutation rebinds, so the file on disk can never be
+        modified through a loaded index.
         """
         path = Path(path)
         if not path.exists():
             raise ValidationError(f"no saved index at {path}")
+        if path.is_dir():
+            metadata, arrays = read_mmap_index(path)
+            cls._check_metadata(metadata, path, dataset, queries)
+            for key in (
+                "pairs",
+                "normals",
+                "signatures",
+                "subdomain_of",
+                "representatives",
+                "prefix_lengths",
+                "prefix_concat",
+            ):
+                if key not in arrays:
+                    raise IndexCorruptionError(
+                        f"saved index {path} is missing required field {key!r}"
+                    )
+            return cls._restore(
+                dataset,
+                queries,
+                metadata,
+                normals=np.asarray(arrays["normals"], dtype=float),
+                signatures=np.asarray(arrays["signatures"], dtype=np.int8),
+                pairs=np.asarray(arrays["pairs"], dtype=np.intp),
+                # The one array the update paths write in place
+                # (cell-merge renumbering) — everything else stays a
+                # read-only map.
+                subdomain_of=np.array(arrays["subdomain_of"], dtype=np.intp),
+                representatives=np.asarray(arrays["representatives"], dtype=np.intp),
+                prefix_lengths=np.asarray(arrays["prefix_lengths"], dtype=np.intp),
+                prefix_concat=np.asarray(arrays["prefix_concat"], dtype=np.intp),
+            )
         # A damaged file must surface as a typed ReproError, never as a
         # bare zipfile/KeyError leaking numpy's storage format: BadZipFile
         # and OSError/EOFError cover truncation and garbage bytes, KeyError
         # a file written under a different key layout, and ValueError the
-        # pickled-object refusal path of allow_pickle=False.
+        # pickled-object refusal path of allow_pickle=False.  The header
+        # scalars are read and validated first; npz members decompress on
+        # access, so a rejected file never pays for its payload matrices.
         try:
             with np.load(path, allow_pickle=False) as data:
                 schema = str(data["schema"][()])
@@ -687,22 +807,19 @@ class SubdomainIndex:
                     raise ValidationError(
                         f"unsupported index schema {schema!r} (expected {INDEX_SCHEMA!r})"
                     )
-                if str(data["dataset_fingerprint"][()]) != dataset_fingerprint(dataset):
-                    raise ValidationError(
-                        "saved index was built for a different dataset (fingerprint mismatch)"
-                    )
-                if str(data["queries_fingerprint"][()]) != queryset_fingerprint(queries):
-                    raise ValidationError(
-                        "saved index was built for a different workload (fingerprint mismatch)"
-                    )
-                mode = str(data["mode"][()])
-                partition_method = str(data["partition_method"][()])
-                margin = int(data["margin"][()])
-                max_entries = int(data["rtree_max_entries"][()])
-                epoch = int(data["epoch"][()])
-                pairs = np.asarray(data["pairs"], dtype=np.intp)
+                metadata = {
+                    "mode": str(data["mode"][()]),
+                    "margin": int(data["margin"][()]),
+                    "partition_method": str(data["partition_method"][()]),
+                    "rtree_max_entries": int(data["rtree_max_entries"][()]),
+                    "epoch": int(data["epoch"][()]),
+                    "dataset_fingerprint": str(data["dataset_fingerprint"][()]),
+                    "queries_fingerprint": str(data["queries_fingerprint"][()]),
+                }
+                cls._check_metadata(metadata, path, dataset, queries)
                 normals = np.asarray(data["normals"], dtype=float)
                 signatures = np.asarray(data["signatures"], dtype=np.int8)
+                pairs = np.asarray(data["pairs"], dtype=np.intp)
                 subdomain_of = np.asarray(data["subdomain_of"], dtype=np.intp)
                 representatives = np.asarray(data["representatives"], dtype=np.intp)
                 prefix_lengths = np.asarray(data["prefix_lengths"], dtype=np.intp)
@@ -715,8 +832,40 @@ class SubdomainIndex:
             raise IndexCorruptionError(
                 f"saved index {path} is corrupt or truncated: {exc}"
             ) from exc
-        if mode not in _MODES or partition_method not in _PARTITION_METHODS:
-            raise ValidationError("saved index carries unknown mode/partition_method")
+        return cls._restore(
+            dataset,
+            queries,
+            metadata,
+            normals=normals,
+            signatures=signatures,
+            pairs=pairs,
+            subdomain_of=subdomain_of,
+            representatives=representatives,
+            prefix_lengths=prefix_lengths,
+            prefix_concat=prefix_concat,
+        )
+
+    @classmethod
+    def _restore(
+        cls,
+        dataset: Dataset,
+        queries: QuerySet,
+        metadata: "dict[str, object]",
+        *,
+        normals: np.ndarray,
+        signatures: np.ndarray,
+        pairs: np.ndarray,
+        subdomain_of: np.ndarray,
+        representatives: np.ndarray,
+        prefix_lengths: np.ndarray,
+        prefix_concat: np.ndarray,
+    ) -> "SubdomainIndex":
+        """Rebuild an index object from validated persisted state."""
+        mode = str(metadata["mode"])
+        partition_method = str(metadata["partition_method"])
+        margin = int(metadata["margin"])  # type: ignore[call-overload]
+        max_entries = int(metadata["rtree_max_entries"])  # type: ignore[call-overload]
+        epoch = int(metadata["epoch"])  # type: ignore[call-overload]
 
         index = cls.__new__(cls)
         index.dataset = dataset
@@ -868,8 +1017,8 @@ def _beats_batch(
 ) -> np.ndarray:
     """Batched Eq. 6 with id tie-break: does the target make top-k?
 
-    The one and only implementation of the membership rule: ``scores``
-    is an ``(m, b)`` matrix of target scores (one column per candidate
+    The one and only statement of the membership rule: ``scores`` is an
+    ``(m, b)`` matrix of target scores (one column per candidate
     position) and the result is the ``(m, b)`` boolean membership
     matrix.  An infinite threshold means fewer than k other objects
     exist, so the target is always in the top-k.  Single-position
@@ -877,14 +1026,12 @@ def _beats_batch(
     the rule in exactly one place so the vectorized candidate batches of
     :meth:`~repro.core.ese.StrategyEvaluator.evaluate_many` can never
     drift from the per-position path.
+
+    Dispatches through the kernel registry (:mod:`repro.native`): the
+    canonical implementation is the ``beats_batch`` python kernel, and
+    the active backend may swap in its float-exact numba twin.
     """
-    always = np.isinf(theta)
-    finite_theta = np.where(always, 0.0, theta)
-    band = _TIE_TOL * np.maximum(1.0, np.abs(finite_theta))
-    tie_ok = target < kth_ids
-    strict = scores < (finite_theta - band)[:, None]
-    tie = (np.abs(scores - finite_theta[:, None]) <= band[:, None]) & tie_ok[:, None]
-    return always[:, None] | strict | tie
+    return _kernel("beats_batch")(scores, theta, target, kth_ids, _TIE_TOL)
 
 
 def _beats(scores: np.ndarray, theta: np.ndarray, target: int, kth_ids: np.ndarray) -> np.ndarray:

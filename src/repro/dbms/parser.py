@@ -288,6 +288,7 @@ class _Parser:
         cost = "L2"
         adjust = []
         method = "efficient"
+        kernel = None
         apply = False
         while True:
             if self.accept_keyword("REACH"):
@@ -298,6 +299,8 @@ class _Parser:
                 cost = self.identifier().upper()
             elif self.accept_keyword("METHOD"):
                 method = self.identifier().lower()
+            elif self.accept_keyword("KERNEL"):
+                kernel = self.identifier().lower()
             elif self.accept_keyword("APPLY"):
                 apply = True
             elif self.accept_keyword("ADJUST"):
@@ -315,6 +318,7 @@ class _Parser:
             cost=cost,
             adjust=adjust,
             method=method,
+            kernel=kernel,
             apply=apply,
         )
 

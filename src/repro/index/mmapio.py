@@ -1,0 +1,158 @@
+"""Memory-mapped index persistence: raw ``.npy`` files + JSON manifest.
+
+The ``.npz`` layout (PR 4) decompresses every matrix into fresh pages
+on load — open time and resident memory both grow linearly with index
+size, and every pool worker pays again unless the parent copies the
+arrays into shared memory.  The mmap layout trades a directory for a
+single file:
+
+* one uncompressed ``.npy`` per persisted matrix, opened with
+  ``np.load(..., mmap_mode="r")`` so the open itself is O(1) — pages
+  fault in lazily and live in the OS page cache;
+* a ``manifest.json`` carrying the schema tag, the index metadata, the
+  dataset/workload fingerprints, and per-array ``{file, dtype, shape}``
+  entries so corruption is detected *before* any matrix is touched.
+
+Because the maps are read-only, forked ``PersistentPool`` workers share
+the hot matrices through the page cache for free — the pool skips its
+shared-memory export for mmap-backed arrays entirely.  Mutating code
+never writes through the maps: update paths rebind index arrays (the
+read-only mapping makes an accidental in-place write raise instead of
+silently corrupting the file on disk).
+
+Error typing follows the ``.npz`` convention: a missing / truncated /
+unparseable file raises :class:`~repro.errors.IndexCorruptionError`; an
+intact directory that belongs to different data or a different schema
+version raises :class:`~repro.errors.ValidationError`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import IndexCorruptionError, ValidationError
+
+__all__ = [
+    "MMAP_SCHEMA",
+    "MANIFEST_NAME",
+    "directory_schema",
+    "write_mmap_index",
+    "read_mmap_index",
+]
+
+#: Schema tag of the memory-mapped monolithic-index layout; bumped
+#: whenever the on-disk layout changes so stale directories fail loudly.
+MMAP_SCHEMA = "repro-subdomain-index-mmap/1"
+
+#: Manifest file name shared with the sharded layout — the ``schema``
+#: field inside distinguishes the two directory formats.
+MANIFEST_NAME = "manifest.json"
+
+
+def directory_schema(path: "str | Path") -> str | None:
+    """The ``schema`` tag of a persisted-index directory, if readable.
+
+    Returns ``None`` for anything that is not a directory carrying a
+    parseable manifest — callers use this to route a ``--load-index``
+    directory to the sharded or the mmap loader without guessing.
+    """
+    manifest = Path(path) / MANIFEST_NAME
+    try:
+        payload = json.loads(manifest.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    schema = payload.get("schema") if isinstance(payload, dict) else None
+    return schema if isinstance(schema, str) else None
+
+
+def write_mmap_index(
+    path: "str | Path",
+    metadata: Mapping[str, object],
+    arrays: Mapping[str, np.ndarray],
+) -> None:
+    """Persist ``arrays`` as raw ``.npy`` files under a manifest.
+
+    ``metadata`` is copied into the manifest verbatim next to the
+    schema tag and the per-array catalog; keys may not collide with
+    ``schema`` / ``arrays``.
+    """
+    root = Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+    catalog: dict[str, dict[str, object]] = {}
+    for key, array in arrays.items():
+        filename = f"{key}.npy"
+        np.save(root / filename, np.ascontiguousarray(array))
+        catalog[key] = {
+            "file": filename,
+            "dtype": str(array.dtype),
+            "shape": list(array.shape),
+        }
+    manifest: dict[str, object] = {"schema": MMAP_SCHEMA, **metadata, "arrays": catalog}
+    (root / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def _manifest(root: Path) -> dict[str, object]:
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise IndexCorruptionError(f"mmap index {root} has no {MANIFEST_NAME}")
+    try:
+        payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise IndexCorruptionError(f"mmap index manifest {manifest_path} is unreadable: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise IndexCorruptionError(f"mmap index manifest {manifest_path} is not an object")
+    return payload
+
+
+def read_mmap_index(
+    path: "str | Path",
+) -> tuple[dict[str, object], dict[str, np.ndarray]]:
+    """Open a mmap-layout directory as ``(metadata, arrays)``.
+
+    The manifest is validated first — schema tag, array catalog, and
+    each catalog entry's dtype/shape against the ``.npy`` header — so
+    every corruption surfaces as a typed error before a single matrix
+    page is faulted in.  The returned arrays are read-only
+    ``np.memmap`` views; the metadata dict is the manifest minus the
+    ``schema``/``arrays`` bookkeeping keys.
+    """
+    root = Path(path)
+    payload = _manifest(root)
+    schema = payload.get("schema")
+    if schema != MMAP_SCHEMA:
+        raise ValidationError(
+            f"unsupported mmap index schema {schema!r} (expected {MMAP_SCHEMA!r})"
+        )
+    catalog = payload.get("arrays")
+    if not isinstance(catalog, dict):
+        raise IndexCorruptionError(f"mmap index {root} manifest is missing the array catalog")
+    arrays: dict[str, np.ndarray] = {}
+    for key, entry in catalog.items():
+        if not isinstance(entry, dict) or "file" not in entry:
+            raise IndexCorruptionError(f"mmap index {root} catalog entry {key!r} is malformed")
+        array_path = root / str(entry["file"])
+        try:
+            array = np.load(array_path, mmap_mode="r", allow_pickle=False)
+        except FileNotFoundError as exc:
+            raise IndexCorruptionError(f"mmap index {root} is missing array file {key!r}") from exc
+        except (OSError, EOFError, ValueError) as exc:
+            raise IndexCorruptionError(
+                f"mmap index array {array_path} is corrupt or truncated: {exc}"
+            ) from exc
+        if str(array.dtype) != entry.get("dtype") or list(array.shape) != entry.get("shape"):
+            raise IndexCorruptionError(
+                f"mmap index array {key!r} disagrees with its manifest entry "
+                f"(got {array.dtype}/{array.shape}, manifest says "
+                f"{entry.get('dtype')}/{entry.get('shape')})"
+            )
+        arrays[key] = array
+    metadata = {
+        key: value for key, value in payload.items() if key not in ("schema", "arrays")
+    }
+    return metadata, arrays

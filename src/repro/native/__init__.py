@@ -1,0 +1,52 @@
+"""Native hot-path kernels: registry, canonical numpy, optional numba.
+
+Importing this package registers the pure-python kernels, attempts the
+guarded numba twins, and pins the process-wide default backend from
+``REPRO_KERNEL`` (``python`` | ``native`` | ``auto``, default auto).
+The python path stays canonical: ``repro check`` differentials always
+compare the native backend against it, and lint rule RPR013 keeps
+compiled-backend imports confined to this package.
+"""
+
+from __future__ import annotations
+
+from repro.native import jit as _jit  # registers compiled twins when available
+from repro.native import kernels as _kernels  # registers the canonical kernels
+from repro.native.registry import (
+    KERNEL_BACKENDS,
+    active_backend,
+    get_kernel,
+    kernel,
+    native_available,
+    native_kernel_names,
+    python_kernel_names,
+    register_kernel,
+    register_native,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "NUMBA_AVAILABLE",
+    "active_backend",
+    "get_kernel",
+    "kernel",
+    "native_available",
+    "native_kernel_names",
+    "python_kernel_names",
+    "register_kernel",
+    "register_native",
+    "resolve_backend",
+    "set_backend",
+    "use_backend",
+]
+
+NUMBA_AVAILABLE = _jit.NUMBA_AVAILABLE
+
+del _jit, _kernels
+
+# Honour REPRO_KERNEL for processes that never construct an engine
+# (direct kernel imports, scripts); engines re-pin per execution.
+set_backend(resolve_backend()[1])

@@ -1,0 +1,92 @@
+"""Optional numba-jitted twins of the canonical kernels.
+
+This is the only module in the tree allowed to import a compiled
+backend (lint rule RPR013).  The import is guarded: when numba is
+absent the module degrades to a no-op and the registry keeps serving
+the pure-python kernels — nothing else in the library may notice.
+
+Every twin is a fused scalar loop over exactly the arithmetic the
+python kernel performs, in the same order, so the results are
+float-exact (bit-for-bit) against :mod:`repro.native.kernels`; the
+``repro check --kernel native`` differential leg and the parity tests
+hold that line.  ``cache=True`` persists the compiled artifacts next to
+this file so a warm process pays compilation once per machine, not once
+per run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.native.registry import register_native
+
+__all__ = ["NUMBA_AVAILABLE"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit  # type: ignore[import-not-found]  # repro: noqa[RPR013]
+
+    NUMBA_AVAILABLE = True
+except Exception:  # pragma: no cover - ImportError or a broken install
+    NUMBA_AVAILABLE = False
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+    _jit: Callable[[Callable[..., Any]], Callable[..., Any]] = njit(cache=True)
+
+    @register_native("beats_batch")
+    @_jit
+    def beats_batch(
+        scores: np.ndarray,
+        theta: np.ndarray,
+        target: int,
+        kth_ids: np.ndarray,
+        tie_tol: float,
+    ) -> np.ndarray:
+        rows, cols = scores.shape
+        out = np.empty((rows, cols), dtype=np.bool_)
+        for i in range(rows):
+            th = theta[i]
+            if np.isinf(th):
+                for j in range(cols):
+                    out[i, j] = True
+                continue
+            band = tie_tol * max(1.0, abs(th))
+            tie_ok = target < kth_ids[i]
+            cut = th - band
+            for j in range(cols):
+                value = scores[i, j]
+                out[i, j] = value < cut or (tie_ok and abs(value - th) <= band)
+        return out
+
+    @register_native("signature_matrix")
+    @_jit
+    def signature_matrix(values: np.ndarray, tol: float) -> np.ndarray:
+        rows, cols = values.shape
+        out = np.empty((rows, cols), dtype=np.int8)
+        for i in range(rows):
+            for j in range(cols):
+                out[i, j] = 1 if values[i, j] <= tol else -1
+        return out
+
+    @register_native("slab_crossings")
+    @_jit
+    def slab_crossings(
+        old_values: np.ndarray,
+        new_values: np.ndarray,
+        theta: np.ndarray,
+        tie_tol: float,
+    ) -> np.ndarray:
+        flat_theta = theta.ravel()
+        flat_old = old_values.ravel()
+        flat_new = new_values.ravel()
+        out = np.empty(flat_theta.shape[0], dtype=np.bool_)
+        for i in range(flat_theta.shape[0]):
+            band = tie_tol * max(1.0, abs(flat_theta[i]))
+            old = flat_old[i]
+            new = flat_new[i]
+            old_region = (1 if old > band else 0) - (1 if old < -band else 0)
+            new_region = (1 if new > band else 0) - (1 if new < -band else 0)
+            out[i] = old_region != new_region
+        return out.reshape(theta.shape)

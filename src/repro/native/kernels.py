@@ -1,0 +1,85 @@
+"""Canonical pure-numpy implementations of the hot-path kernels.
+
+These three loops dominate every profile of the engine (ROADMAP item
+3): the Eq. 6 dominance test, the arrangement signature classification,
+and the ESE affected-queries slab classification.  Each is registered
+here as the ``python`` backend — the correctness reference the
+differential harness compares against — and may have a numba twin in
+:mod:`repro.native.jit` that must be float-exact against it.
+
+Every kernel takes its tolerance as an explicit argument (bound by the
+caller from :mod:`repro.constants`) so the compiled twins share the
+exact same constants without importing anything at compile time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.native.registry import register_kernel
+
+__all__ = ["beats_batch", "signature_matrix", "slab_crossings"]
+
+
+# Hot-path kernels validate at the dispatch site, not per call: the
+# compiled twins must share the exact same argument contract, and an
+# asarray/guard inside the loop body would be timed by every benchmark.
+@register_kernel("beats_batch")
+def beats_batch(  # repro: noqa[RPR003]
+    scores: np.ndarray,
+    theta: np.ndarray,
+    target: int,
+    kth_ids: np.ndarray,
+    tie_tol: float,
+) -> np.ndarray:
+    """Eq. 6 dominance over a ``(m, c)`` score block; see ``_beats_batch``.
+
+    ``scores[i, j]`` is candidate ``j``'s score at query ``i``; the
+    target enters query ``i``'s top-k when it beats ``theta[i]``
+    strictly, ties within the relative band and wins the id tie-break
+    (``target < kth_ids[i]``), or the threshold is infinite (fewer than
+    k other objects — every position hits).
+    """
+    always = np.isinf(theta)
+    finite_theta = np.where(always, 0.0, theta)
+    band = tie_tol * np.maximum(1.0, np.abs(finite_theta))
+    tie_ok = target < kth_ids
+    strict = scores < (finite_theta - band)[:, None]
+    tie = (np.abs(scores - finite_theta[:, None]) <= band[:, None]) & tie_ok[:, None]
+    return always[:, None] | strict | tie
+
+
+@register_kernel("signature_matrix")
+def signature_matrix(values: np.ndarray, tol: float) -> np.ndarray:  # repro: noqa[RPR003]
+    """Classify hyperplane offsets into int8 side signatures.
+
+    ``values[i, j]`` is point ``i``'s signed offset against hyperplane
+    ``j`` (the ``points @ normals.T`` product computed by the caller —
+    both backends classify the *same* float64 products, which is what
+    keeps the native twin float-exact).  ``<= tol`` is the paper's
+    side-1 convention.
+    """
+    return np.where(values <= tol, np.int8(1), np.int8(-1))
+
+
+@register_kernel("slab_crossings")
+def slab_crossings(  # repro: noqa[RPR003]
+    old_values: np.ndarray,
+    new_values: np.ndarray,
+    theta: np.ndarray,
+    tie_tol: float,
+) -> np.ndarray:
+    """ESE slab scan: does a move cross either slab boundary (Eq. 4-5)?
+
+    Elementwise over matching shapes: ``old_values``/``new_values`` are
+    a query's signed offsets against the old/new intersection
+    hyperplane of one other object, ``theta`` that other object's score
+    at the query.  A query is affected when its tie-band region
+    (-1 / 0 / +1, same relative band as :func:`beats_batch`) differs
+    between the two hyperplanes — entering or leaving the band flips
+    membership through the id tie-break even when no raw sign changes.
+    """
+    band = tie_tol * np.maximum(1.0, np.abs(theta))
+    old_region = (old_values > band).astype(np.int8) - (old_values < -band).astype(np.int8)
+    new_region = (new_values > band).astype(np.int8) - (new_values < -band).astype(np.int8)
+    return old_region != new_region

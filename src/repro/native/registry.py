@@ -1,0 +1,213 @@
+"""The kernel registry: pure-python canon, optional compiled twins.
+
+Mirrors the solver registry (:mod:`repro.core.solvers`): implementations
+register under a short kernel name, callers fetch them by name, and the
+registry is the single source of truth for what exists.  Two backends
+are kept per kernel:
+
+* ``python`` — the canonical pure-numpy implementation registered with
+  :func:`register_kernel`.  This path defines correctness: the
+  differential harness (``repro check``) always compares against it,
+  and every compiled twin must be float-exact against it.
+* ``native`` — an optional compiled twin registered with
+  :func:`register_native` (today: numba ``@njit`` kernels in
+  :mod:`repro.native.jit`).  Registration *requires* the python twin to
+  exist already, so a compiled kernel can never ship without its
+  canonical reference — lint rule RPR013 enforces the same invariant
+  statically.
+
+Backend selection resolves ``explicit argument > REPRO_KERNEL
+environment variable > "auto"``; ``auto`` means "native when available,
+python otherwise", and a ``native`` request degrades gracefully to
+python when no compiled backend imported (the resolved backend is
+reported next to the requested one in ``ExecutionPlan``/EXPLAIN so the
+degradation is visible, never silent).
+
+The hot-path contract is :func:`kernel`: one dict lookup returning the
+active backend's callable.  The active backend is process-global state
+— engines pin their resolved backend around every execution with
+:func:`use_backend`, which also makes pooled workers deterministic (the
+engine object forked into each worker carries its resolved backend).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "register_kernel",
+    "register_native",
+    "python_kernel_names",
+    "native_kernel_names",
+    "native_available",
+    "get_kernel",
+    "kernel",
+    "active_backend",
+    "set_backend",
+    "use_backend",
+    "resolve_backend",
+]
+
+#: Accepted values for ``--kernel`` / ``REPRO_KERNEL``.
+KERNEL_BACKENDS = ("python", "native", "auto")
+
+KernelFunc = Callable[..., Any]
+
+_PYTHON: dict[str, KernelFunc] = {}
+_NATIVE: dict[str, KernelFunc] = {}
+
+#: The resolved backend the next :func:`kernel` call dispatches to.
+_BACKEND = "python"
+
+#: ``name -> callable`` snapshot for the active backend (one dict lookup
+#: on the hot path; rebuilt whenever the backend or registry changes).
+_ACTIVE: dict[str, KernelFunc] = {}
+
+
+def _rebuild_active() -> None:
+    for name, func in _PYTHON.items():
+        native = _NATIVE.get(name)
+        _ACTIVE[name] = native if (_BACKEND == "native" and native is not None) else func
+
+
+def register_kernel(name: str) -> Callable[[KernelFunc], KernelFunc]:
+    """Register ``func`` as the canonical pure-python kernel ``name``."""
+
+    def decorator(func: KernelFunc) -> KernelFunc:
+        if name in _PYTHON:
+            raise ValidationError(f"duplicate kernel name {name!r}")
+        _PYTHON[name] = func
+        _rebuild_active()
+        return func
+
+    return decorator
+
+
+def register_native(name: str) -> Callable[[KernelFunc], KernelFunc]:
+    """Register ``func`` as the compiled twin of python kernel ``name``.
+
+    Refuses a twin whose canonical python kernel is not registered yet:
+    the python path must exist first, because it is what ``repro
+    check`` verifies the compiled path against.
+    """
+
+    def decorator(func: KernelFunc) -> KernelFunc:
+        if name not in _PYTHON:
+            raise ValidationError(
+                f"native kernel {name!r} has no registered pure-python twin; "
+                f"register the canonical implementation first"
+            )
+        if name in _NATIVE:
+            raise ValidationError(f"duplicate native kernel {name!r}")
+        _NATIVE[name] = func
+        _rebuild_active()
+        return func
+
+    return decorator
+
+
+def python_kernel_names() -> tuple[str, ...]:
+    """Sorted names of every registered canonical kernel.
+
+    Also the hook lint rule RPR013 imports to verify that every
+    ``register_native(name)`` in the tree names a real python twin.
+    """
+    return tuple(sorted(_PYTHON))
+
+
+def native_kernel_names() -> tuple[str, ...]:
+    """Sorted names of every kernel with a compiled twin registered."""
+    return tuple(sorted(_NATIVE))
+
+
+def native_available() -> bool:
+    """Did a compiled backend import and register at least one twin?"""
+    return bool(_NATIVE)
+
+
+def get_kernel(name: str, backend: str | None = None) -> KernelFunc:
+    """Fetch one kernel implementation by name.
+
+    ``backend=None`` returns the active backend's callable; ``"python"``
+    and ``"native"`` force a specific one (``"native"`` falls back to
+    the python twin per-kernel when no compiled twin registered).
+    """
+    python = _PYTHON.get(name)
+    if python is None:
+        raise ValidationError(
+            f"unknown kernel {name!r}; registered kernels: {', '.join(python_kernel_names())}"
+        )
+    if backend is None:
+        return _ACTIVE[name]
+    if backend == "python":
+        return python
+    if backend == "native":
+        return _NATIVE.get(name, python)
+    raise ValidationError(f"unknown kernel backend {backend!r}; choose python or native")
+
+
+def kernel(name: str) -> KernelFunc:
+    """Hot-path dispatch: the active backend's callable for ``name``."""
+    try:
+        return _ACTIVE[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown kernel {name!r}; registered kernels: {', '.join(python_kernel_names())}"
+        ) from None
+
+
+def active_backend() -> str:
+    """The backend :func:`kernel` currently dispatches to."""
+    return _BACKEND
+
+
+def set_backend(backend: str) -> str:
+    """Pin the active backend to a *resolved* value (python/native).
+
+    ``auto`` is not accepted here — resolve it first with
+    :func:`resolve_backend` so requested-vs-resolved stays explicit.
+    """
+    if backend not in ("python", "native"):
+        raise ValidationError(
+            f"kernel backend must be 'python' or 'native', got {backend!r} "
+            f"(resolve 'auto' with resolve_backend first)"
+        )
+    global _BACKEND
+    _BACKEND = backend
+    _rebuild_active()
+    return backend
+
+
+@contextmanager
+def use_backend(backend: str) -> Iterator[str]:
+    """Temporarily pin the active backend, restoring the previous one."""
+    previous = _BACKEND
+    set_backend(backend)
+    try:
+        yield backend
+    finally:
+        set_backend(previous)
+
+
+def resolve_backend(requested: str | None = None) -> tuple[str, str]:
+    """Resolve a backend request to ``(requested, resolved)``.
+
+    Resolution order: explicit ``requested`` argument, then the
+    ``REPRO_KERNEL`` environment variable, then ``"auto"``.  ``auto``
+    and an unavailable ``native`` both resolve to whatever actually
+    runs, so the pair is exactly what EXPLAIN reports.
+    """
+    req = requested or os.environ.get("REPRO_KERNEL", "") or "auto"
+    req = req.lower()
+    if req not in KERNEL_BACKENDS:
+        raise ValidationError(
+            f"unknown kernel backend {req!r}; choose from {', '.join(KERNEL_BACKENDS)}"
+        )
+    if req == "python":
+        return req, "python"
+    return req, ("native" if native_available() else "python")

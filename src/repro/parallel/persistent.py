@@ -9,6 +9,12 @@ across the lifetime of an index:
 * **fork once** — workers are forked holding the fully-built engine
   (index, warm representative prefixes, evaluator caches) and stay
   alive across :meth:`run` calls;
+* **zero-copy residency for mmap-loaded indexes** — a hot array whose
+  buffer is a file-backed ``np.memmap`` (an index opened from the
+  ``mmap`` persistence layout) is *skipped* by the export: forked
+  workers inherit the read-only mapping and share its physical pages
+  through the OS page cache already, so a shared-memory copy would only
+  add memory;
 * **shm-resident hot matrices** — the index enumerates its own
   shared-memory plan (:meth:`SubdomainIndex.hot_arrays`): the object
   matrix ``D``, the query weights ``Q``, and the hyperplane normals —
@@ -74,6 +80,25 @@ Outcome = "tuple[bool, IQResult | Exception]"
 #: Fork-shared registry: token -> engine, set for the whole pool
 #: lifetime so lazily-forked workers inherit it whenever they start.
 _POOL_ENGINES: "dict[str, ImprovementQueryEngine]" = {}
+
+
+def _mmap_backed(array: np.ndarray) -> bool:
+    """True when the array's memory lives in a file-backed ``np.memmap``.
+
+    Arrays loaded through the mmap index layout are read-only views
+    whose buffer is the OS page cache; forked workers inherit the
+    mapping and share those physical pages for free, so exporting them
+    into a shared-memory segment would only *add* a copy.  ``np.asarray``
+    strips the ``memmap`` subclass, so the check walks the ``.base``
+    chain to the owning buffer instead of type-checking the array
+    itself.
+    """
+    base: "object | None" = array
+    while isinstance(base, np.ndarray):
+        if isinstance(base, np.memmap):
+            return True
+        base = base.base
+    return False
 
 def _init_pool_worker(token: str, specs: "dict[str, ArraySpec]") -> None:
     """Worker initializer: rebind the inherited engine onto shared pages.
@@ -190,6 +215,7 @@ class PersistentPool:
         self.restarts = 0  #: refreshes forced by worker crashes
         self.partial_refreshes = 0  #: refreshes that kept some shard segments
         self.shards_reshared = 0  #: shard groups re-exported across refreshes
+        self.mmap_resident = 0  #: hot arrays left page-cache-shared (no shm copy)
         self._start()
 
     # ------------------------------------------------------------------
@@ -249,15 +275,23 @@ class PersistentPool:
         if not self._forked:
             return
         try:
+            mmap_resident = 0
             for key, group, owner, attr in index.hot_arrays():
                 if key in self._specs.get(group, {}):
                     continue  # segment survived a scoped refresh untouched
+                array = np.asarray(getattr(owner, attr))
+                if _mmap_backed(array):
+                    # Already file-backed: forked workers inherit the
+                    # read-only mapping and share its pages through the
+                    # OS page cache — no spec means the worker
+                    # initializer leaves the inherited binding alone.
+                    mmap_resident += 1
+                    continue
                 store = self._stores.get(group)
                 if store is None:
                     store = self._stores[group] = SharedArrayStore()
-                self._specs.setdefault(group, {})[key] = store.share(
-                    np.asarray(getattr(owner, attr))
-                )
+                self._specs.setdefault(group, {})[key] = store.share(array)
+            self.mmap_resident = mmap_resident
             _POOL_ENGINES[self._token] = self._engine
             flat_specs = {
                 key: spec

@@ -91,6 +91,8 @@ class ServerStats:
     restarts: int = 0  #: pool re-forks forced by worker crashes
     seconds: float = 0.0  #: wall-clock time of the serve session
     workers: int = 0  #: resolved pool size (0/1 = serial reference)
+    kernel: str = "python"  #: resolved kernel backend the engine serves with
+    mmap_resident: int = 0  #: hot arrays served zero-copy from the page cache
 
     @property
     def throughput(self) -> float:
@@ -352,7 +354,11 @@ class IQServer:
         if self._serving:
             raise ReproError("IQServer.serve is not reentrant: a stream is being served")
         self._serving = True
-        self._stats = ServerStats(workers=self._pool.workers)
+        self._stats = ServerStats(
+            workers=self._pool.workers,
+            kernel=self._pool.engine.kernel_backend,
+            mmap_resident=self._pool.mmap_resident,
+        )
         self._writer = writer
         self._done = False
         self._reader_error = None

@@ -1,6 +1,7 @@
-"""The project-wide concurrency rules (RPR008-011): trigger and noqa
-fixtures per rule, cross-file reachability, and the meta-test asserting
-``src/repro`` itself carries zero unsuppressed findings."""
+"""The project-wide concurrency rules (RPR008-011) and the native-backend
+rule (RPR013): trigger and noqa fixtures per rule, cross-file
+reachability, and the meta-test asserting ``src/repro`` itself carries
+zero unsuppressed findings."""
 
 import textwrap
 from pathlib import Path
@@ -402,13 +403,126 @@ class TestBlockingUnderLock:
 
 
 # ----------------------------------------------------------------------
+# RPR013: compiled backends confined to repro/native, with python twins
+# ----------------------------------------------------------------------
+class TestNativeBackend:
+    def test_triggers_on_compiled_import_outside_native(self, tmp_path):
+        source = """\
+        import numba
+
+        def hot(values):
+            return numba.njit(lambda v: v)(values)
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR013"}))
+        assert codes(findings) == ["RPR013"]
+        assert "numba" in findings[0].message
+        assert "repro.native.kernel" in findings[0].message
+
+    def test_triggers_on_from_import_of_compiled_root(self, tmp_path):
+        source = """\
+        from llvmlite import binding
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR013"}))
+        assert codes(findings) == ["RPR013"]
+
+    def test_noqa_suppresses_guarded_import(self, tmp_path):
+        source = """\
+        import numba  # repro: noqa[RPR013]
+        """
+        assert lint_source(tmp_path, source, select=frozenset({"RPR013"})) == []
+
+    def test_compiled_import_allowed_inside_native(self, tmp_path):
+        (tmp_path / "native").mkdir()
+        source = """\
+        from numba import njit
+        """
+        findings = lint_source(
+            tmp_path, source, name="native/jit.py", select=frozenset({"RPR013"})
+        )
+        assert findings == []
+
+    def test_jitted_def_without_registration_triggers(self, tmp_path):
+        (tmp_path / "native").mkdir()
+        source = """\
+        from numba import njit
+
+        @njit(cache=True)
+        def rogue_kernel(values):
+            return values
+        """
+        findings = lint_source(
+            tmp_path, source, name="native/jit.py", select=frozenset({"RPR013"})
+        )
+        assert codes(findings) == ["RPR013"]
+        assert "rogue_kernel" in findings[0].message
+        assert "register_native" in findings[0].message
+
+    def test_jit_alias_assignment_is_tracked(self, tmp_path):
+        (tmp_path / "native").mkdir()
+        source = """\
+        from numba import njit
+
+        _jit = njit(cache=True, fastmath=False)
+
+        @_jit
+        def aliased_kernel(values):
+            return values
+        """
+        findings = lint_source(
+            tmp_path, source, name="native/jit.py", select=frozenset({"RPR013"})
+        )
+        assert codes(findings) == ["RPR013"]
+        assert "aliased_kernel" in findings[0].message
+
+    def test_registered_jitted_kernel_is_clean(self, tmp_path):
+        (tmp_path / "native").mkdir()
+        source = """\
+        from numba import njit
+
+        from repro.native.registry import register_native
+
+        @register_native("beats_batch")
+        @njit(cache=True)
+        def beats_batch_native(scores, theta, target, kth_ids, tie_tol):
+            return scores < theta
+        """
+        findings = lint_source(
+            tmp_path, source, name="native/jit.py", select=frozenset({"RPR013"})
+        )
+        assert findings == []
+
+    def test_register_native_without_python_twin_triggers(self, tmp_path):
+        (tmp_path / "native").mkdir()
+        source = """\
+        from numba import njit
+
+        from repro.native.registry import register_native
+
+        @register_native("made_up_kernel")
+        @njit(cache=True)
+        def made_up_kernel(values):
+            return values
+        """
+        findings = lint_source(
+            tmp_path, source, name="native/jit.py", select=frozenset({"RPR013"})
+        )
+        assert codes(findings) == ["RPR013"]
+        assert "made_up_kernel" in findings[0].message
+        assert "pure-python twin" in findings[0].message
+
+
+# ----------------------------------------------------------------------
 # Meta: the library itself holds the concurrency invariants
 # ----------------------------------------------------------------------
 class TestLibraryIsClean:
     def test_src_repro_has_zero_unsuppressed_findings(self):
         findings, checked = lint_paths(
             [REPO_SRC],
-            LintConfig(select=frozenset({"RPR008", "RPR009", "RPR010", "RPR011"})),
+            LintConfig(
+                select=frozenset(
+                    {"RPR008", "RPR009", "RPR010", "RPR011", "RPR013"}
+                )
+            ),
         )
         assert checked > 50  # the whole library, not a subset
         assert findings == [], "\n".join(f.format_human() for f in findings)

@@ -4,7 +4,6 @@ import io
 
 import pytest
 
-import repro.core.ese as ese
 from repro.check import AddObject, RemoveQuery, Scenario, fuzz, run_case, shrink
 from repro.check.cli import main as check_main
 from repro.check.fuzz import FuzzFailure, random_scenario
@@ -26,10 +25,7 @@ class TestFuzzDriver:
         for case in range(6):
             assert random_scenario(0, case, mode="relevant").mode == "relevant"
 
-    def test_run_case_returns_message_not_raises(self, monkeypatch):
-        monkeypatch.setattr(
-            ese, "_slab_region", lambda value, theta: 1 if value > 0 else -1
-        )
+    def test_run_case_returns_message_not_raises(self, tie_band_blind):
         failures = [
             error
             for case in range(12)
@@ -40,10 +36,7 @@ class TestFuzzDriver:
 
 
 class TestShrinker:
-    def test_shrunk_scenario_still_fails(self, monkeypatch):
-        monkeypatch.setattr(
-            ese, "_slab_region", lambda value, theta: 1 if value > 0 else -1
-        )
+    def test_shrunk_scenario_still_fails(self, tie_band_blind):
         scenario, error = next(
             (s, e)
             for s in (random_scenario(0, case) for case in range(12))
@@ -83,18 +76,12 @@ class TestCanary:
     cannot slip past a green ``repro check`` run.
     """
 
-    def test_fuzz_finds_reverted_tie_band_fix(self, monkeypatch):
-        monkeypatch.setattr(
-            ese, "_slab_region", lambda value, theta: 1 if value > 0 else -1
-        )
+    def test_fuzz_finds_reverted_tie_band_fix(self, tie_band_blind):
         failures = fuzz(12, seed=0, stop_after=1)
         assert failures
         assert "evaluate_affected" in failures[0].error
 
-    def test_battery_finds_reverted_tie_band_fix(self, monkeypatch):
-        monkeypatch.setattr(
-            ese, "_slab_region", lambda value, theta: 1 if value > 0 else -1
-        )
+    def test_battery_finds_reverted_tie_band_fix(self, tie_band_blind):
         out = io.StringIO()
         code = check_main(["--fuzz", "0"], out=out)
         assert code == 1

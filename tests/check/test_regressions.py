@@ -3,15 +3,15 @@
 Each test pins one fix: the ESE-parity tie-band slab test, the
 relevant-mode ``add_object`` contender closure, the once-only Max-Hit
 budget slack, and the shared Eq. 6 kernel behind ``evaluate_many``.
-Where practical, the pre-fix behaviour is re-created in place (by
-monkeypatching the fixed predicate back to its old form) to show the
-test really distinguishes the two.
+Where practical, the pre-fix behaviour is re-created in place (the
+``tie_band_blind`` fixture patches the registered ``slab_crossings``
+kernel back to its old sign-only form) to show the test really
+distinguishes the two.
 """
 
 import numpy as np
 import pytest
 
-import repro.core.ese as ese
 from repro.constants import EPS_COST
 from repro.core import updates
 from repro.core._search import SearchState, generate_candidates
@@ -55,15 +55,12 @@ class TestAffectedTieBandParity:
         assert np.array_equal(mask, full)
         assert hits == int(full.sum())
 
-    def test_raw_sign_predicate_misses_the_entry(self, monkeypatch):
+    def test_raw_sign_predicate_misses_the_entry(self, tie_band_blind):
         # Re-create the pre-fix predicate: affected iff the raw sign of
         # the slab test flips.  The engineered move keeps the sign, so
         # the old code skips the query and diverges from a full pass.
         evaluator = StrategyEvaluator(tie_band_instance())
         old, new = self.tie_band_move(evaluator, 0, 0)
-        monkeypatch.setattr(
-            ese, "_slab_region", lambda value, theta: 1 if value > 0 else -1
-        )
         __, mask = evaluator.evaluate_affected(0, old, new)
         full = evaluator.hits_mask(0, new)
         assert not np.array_equal(mask, full)  # the bug this PR fixes

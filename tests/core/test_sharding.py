@@ -222,6 +222,29 @@ class TestShardedPersistence:
             )
         loaded.validate()
 
+    def test_mmap_layout_round_trip(self, tmp_path, inputs):
+        dataset, queries = inputs
+        sharded = ShardedSubdomainIndex(dataset, queries, shards=3, mode="relevant")
+        sharded.save(tmp_path / "idx", format="mmap")
+        # shard entries become per-shard mmap directories, and the
+        # manifest records which layout it wrote
+        assert (tmp_path / "idx" / "shard-0000").is_dir()
+        assert not (tmp_path / "idx" / "shard-0000.npz").exists()
+        manifest = json.loads((tmp_path / "idx" / "manifest.json").read_text())
+        assert manifest["layout"] == "mmap"
+        loaded = ShardedSubdomainIndex.load(tmp_path / "idx", dataset, queries)
+        for target in range(dataset.n):
+            assert np.array_equal(
+                loaded.hits_mask(target), sharded.hits_mask(target)
+            )
+        loaded.validate()
+
+    def test_mmap_layout_rejects_unknown_format(self, tmp_path, inputs):
+        dataset, queries = inputs
+        sharded = ShardedSubdomainIndex(dataset, queries, shards=2, mode="relevant")
+        with pytest.raises(ValidationError, match="format"):
+            sharded.save(tmp_path / "idx", format="pickle")
+
     def test_lazy_load_defers_shard_files(self, tmp_path, inputs):
         dataset, queries = inputs
         sharded = ShardedSubdomainIndex(dataset, queries, shards=3, mode="relevant")

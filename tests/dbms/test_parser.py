@@ -109,6 +109,16 @@ class TestImprovementExtension:
         assert stmt.budget == 50.5 and stmt.reach is None
         assert stmt.cost == "L2" and not stmt.apply
 
+    def test_improve_kernel_clause(self):
+        stmt = parse(
+            "IMPROVE cars TARGET WHERE rowid = 0 USING idx REACH 5 KERNEL native"
+        )
+        assert stmt.kernel == "native"
+
+    def test_kernel_defaults_to_session_resolution(self):
+        stmt = parse("IMPROVE cars TARGET WHERE rowid = 0 USING idx REACH 5")
+        assert stmt.kernel is None
+
     def test_reach_and_budget_mutually_exclusive(self):
         with pytest.raises(SQLSyntaxError):
             parse("IMPROVE cars TARGET WHERE rowid = 0 USING idx REACH 5 BUDGET 2")

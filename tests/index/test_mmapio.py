@@ -1,0 +1,112 @@
+"""The raw mmap persistence layer: manifest-first validation, typed
+errors, and read-only zero-copy views (:mod:`repro.index.mmapio`)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexCorruptionError, ValidationError
+from repro.index.mmapio import (
+    MANIFEST_NAME,
+    MMAP_SCHEMA,
+    directory_schema,
+    read_mmap_index,
+    write_mmap_index,
+)
+
+
+@pytest.fixture
+def saved(tmp_path, rng):
+    metadata = {"mode": "exact", "epoch": 3, "dataset_fingerprint": "abc"}
+    arrays = {
+        "normals": rng.random((6, 3)),
+        "ids": np.arange(7, dtype=np.intp),
+        "flags": np.array([], dtype=np.int8),
+    }
+    root = tmp_path / "idx"
+    write_mmap_index(root, metadata, arrays)
+    return root, metadata, arrays
+
+
+class TestRoundTrip:
+    def test_metadata_and_arrays_survive_byte_exact(self, saved):
+        root, metadata, arrays = saved
+        got_meta, got_arrays = read_mmap_index(root)
+        assert got_meta == metadata
+        assert sorted(got_arrays) == sorted(arrays)
+        for key, array in arrays.items():
+            assert got_arrays[key].dtype == array.dtype
+            assert np.array_equal(got_arrays[key], array)
+
+    def test_arrays_come_back_as_readonly_maps(self, saved):
+        root, __, __ = saved
+        __, got = read_mmap_index(root)
+        normals = got["normals"]
+        assert isinstance(normals, np.memmap)
+        assert not normals.flags.writeable
+        with pytest.raises(ValueError):
+            normals[0, 0] = 99.0
+
+    def test_directory_schema_identifies_the_layout(self, saved, tmp_path):
+        root, __, __ = saved
+        assert directory_schema(root) == MMAP_SCHEMA
+        # anything without a parseable manifest routes elsewhere
+        assert directory_schema(tmp_path / "absent") is None
+        garbage = tmp_path / "garbage"
+        garbage.mkdir()
+        (garbage / MANIFEST_NAME).write_text("not json {")
+        assert directory_schema(garbage) is None
+
+
+class TestTypedErrors:
+    def test_missing_manifest_is_corruption(self, tmp_path):
+        root = tmp_path / "bare"
+        root.mkdir()
+        with pytest.raises(IndexCorruptionError, match=MANIFEST_NAME):
+            read_mmap_index(root)
+
+    def test_unparseable_manifest_is_corruption(self, saved):
+        root, __, __ = saved
+        (root / MANIFEST_NAME).write_text("}{ not json")
+        with pytest.raises(IndexCorruptionError, match="unreadable"):
+            read_mmap_index(root)
+
+    def test_schema_mismatch_is_validation_not_corruption(self, saved):
+        root, __, __ = saved
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        manifest["schema"] = "repro-subdomain-index-mmap/999"
+        (root / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ValidationError, match="schema"):
+            read_mmap_index(root)
+
+    def test_missing_array_file_is_corruption(self, saved):
+        root, __, __ = saved
+        (root / "normals.npy").unlink()
+        with pytest.raises(IndexCorruptionError, match="missing array file"):
+            read_mmap_index(root)
+
+    def test_truncated_array_file_is_corruption(self, saved):
+        root, __, __ = saved
+        path = root / "normals.npy"
+        path.write_bytes(path.read_bytes()[:70])
+        with pytest.raises(IndexCorruptionError, match="corrupt or truncated"):
+            read_mmap_index(root)
+
+    def test_header_manifest_disagreement_is_corruption(self, saved):
+        # Validation happens against the catalog *before* any payload
+        # page is trusted: a swapped file fails on dtype/shape.
+        root, __, __ = saved
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        manifest["arrays"]["normals"]["dtype"] = "float32"
+        (root / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(IndexCorruptionError, match="disagrees"):
+            read_mmap_index(root)
+
+    def test_malformed_catalog_entry_is_corruption(self, saved):
+        root, __, __ = saved
+        manifest = json.loads((root / MANIFEST_NAME).read_text())
+        manifest["arrays"]["normals"] = "normals.npy"
+        (root / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(IndexCorruptionError, match="malformed"):
+            read_mmap_index(root)

@@ -1,0 +1,205 @@
+"""Hot-path kernels: canonical behavior and float-exact backend parity.
+
+The parity classes compare ``get_kernel(name, "python")`` against
+``get_kernel(name, "native")`` with ``np.array_equal`` — bit-for-bit,
+never ``allclose``.  Where numba is absent the native fetch falls back
+to the canonical function and the comparison is trivially true; under
+the CI optional-deps job the same tests become a real differential
+against the jitted twins.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import EPS_TIE as _TIE_TOL
+from repro.core.engine import ImprovementQueryEngine
+from repro.core.objects import Dataset
+from repro.core.queries import QuerySet
+from repro.native import get_kernel, native_available
+
+
+def pair(name):
+    return get_kernel(name, "python"), get_kernel(name, "native")
+
+
+@pytest.fixture
+def market(small_market):
+    objects, queries, ks = small_market
+    return Dataset(objects), QuerySet(queries, ks)
+
+
+class TestBeatsBatch:
+    def test_infinite_threshold_always_hits(self):
+        python, __ = pair("beats_batch")
+        scores = np.array([[5.0, -5.0], [0.5, 0.4]])
+        theta = np.array([np.inf, 0.3])
+        kth = np.array([7, 1], dtype=np.intp)
+        out = python(scores, theta, 3, kth, _TIE_TOL)
+        assert out.dtype == np.bool_
+        assert out[0].all()  # fewer than k others: every position hits
+        assert not out[1].any()  # above a finite threshold: no hit
+
+    def test_strict_beat_below_band(self):
+        python, __ = pair("beats_batch")
+        theta = np.array([1.0])
+        band = _TIE_TOL * 1.0
+        scores = np.array([[1.0 - 2 * band, 1.0 + 2 * band]])
+        out = python(scores, theta, 0, np.array([9], dtype=np.intp), _TIE_TOL)
+        assert out.tolist() == [[True, False]]
+
+    def test_tie_band_uses_id_tie_break(self):
+        python, __ = pair("beats_batch")
+        theta = np.array([1.0, 1.0])
+        scores = np.full((2, 1), 1.0)  # exactly on the threshold
+        kth = np.array([5, 5], dtype=np.intp)
+        wins = python(scores, theta, 2, kth, _TIE_TOL)  # target 2 < kth 5
+        loses = python(scores, theta, 8, kth, _TIE_TOL)  # target 8 > kth 5
+        assert wins.all()
+        assert not loses.any()
+
+    def test_band_scales_relative_to_threshold(self):
+        # |theta| > 1 widens the band: a score off by theta*tol/2 still ties.
+        python, __ = pair("beats_batch")
+        theta = np.array([100.0])
+        near = 100.0 + 100.0 * _TIE_TOL / 2
+        out = python(
+            np.array([[near]]), theta, 0, np.array([9], dtype=np.intp), _TIE_TOL
+        )
+        assert out.all()
+
+    def test_empty_block(self):
+        python, native = pair("beats_batch")
+        scores = np.empty((0, 4))
+        theta = np.empty(0)
+        kth = np.empty(0, dtype=np.intp)
+        assert python(scores, theta, 0, kth, _TIE_TOL).shape == (0, 4)
+        assert native(scores, theta, 0, kth, _TIE_TOL).shape == (0, 4)
+
+
+class TestSignatureMatrix:
+    def test_side_convention(self):
+        python, __ = pair("signature_matrix")
+        values = np.array([[-1.0, 0.0, 1e-12, 1.0]])
+        out = python(values, 1e-9)
+        assert out.dtype == np.int8
+        assert out.tolist() == [[1, 1, 1, -1]]  # <= tol is side 1
+
+    def test_exactly_on_tolerance_is_side_one(self):
+        python, __ = pair("signature_matrix")
+        assert python(np.array([[1e-9]]), 1e-9).tolist() == [[1]]
+
+
+class TestSlabCrossings:
+    def test_region_change_detected_both_directions(self):
+        python, __ = pair("slab_crossings")
+        theta = np.array([1.0, 1.0, 1.0])
+        band = _TIE_TOL * 1.0
+        old = np.array([2 * band, 2 * band, -2 * band])
+        new = np.array([-2 * band, 2 * band, 0.0])
+        out = python(old, new, theta, _TIE_TOL)
+        assert out.dtype == np.bool_
+        # sign flip and band entry are crossings; unchanged region is not
+        assert out.tolist() == [True, False, True]
+
+    def test_entering_the_band_counts_without_sign_flip(self):
+        # The tie-band region (-1/0/+1) is what matters: moving from
+        # above the band to inside it flips membership through the id
+        # tie-break even though the raw sign never changes.
+        python, __ = pair("slab_crossings")
+        theta = np.array([1.0])
+        band = _TIE_TOL * 1.0
+        out = python(
+            np.array([2 * band]), np.array([band / 2]), theta, _TIE_TOL
+        )
+        assert out.tolist() == [True]
+
+    def test_empty(self):
+        python, native = pair("slab_crossings")
+        empty = np.empty(0)
+        assert python(empty, empty, empty, _TIE_TOL).shape == (0,)
+        assert native(empty, empty, empty, _TIE_TOL).shape == (0,)
+
+
+class TestBackendParity:
+    """Bit-for-bit equality between the backends on adversarial inputs."""
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_beats_batch_parity(self, rng, dtype):
+        python, native = pair("beats_batch")
+        scores = rng.normal(size=(40, 16)).astype(dtype)
+        theta = rng.normal(size=40).astype(dtype)
+        theta[::7] = np.inf  # sprinkle the fewer-than-k sentinel
+        kth = rng.integers(0, 20, size=40).astype(np.intp)
+        # plant exact ties and band-edge values where it hurts most
+        # (row 1: theta[0] is the planted infinity)
+        band = _TIE_TOL * np.maximum(1.0, np.abs(theta[1]))
+        scores[1, 0] = theta[1]
+        scores[1, 1] = theta[1] - band
+        scores[1, 2] = theta[1] + band
+        for target in (0, 10, 25):
+            ours = python(scores, theta, target, kth, _TIE_TOL)
+            theirs = native(scores, theta, target, kth, _TIE_TOL)
+            assert np.array_equal(ours, theirs)
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_signature_matrix_parity(self, rng, dtype):
+        python, native = pair("signature_matrix")
+        values = rng.normal(size=(30, 12)).astype(dtype)
+        values[0, :3] = [0.0, 1e-9, -1e-9]  # exact band edges
+        ours = python(values, 1e-9)
+        theirs = native(values, 1e-9)
+        assert ours.dtype == theirs.dtype == np.int8
+        assert np.array_equal(ours, theirs)
+
+    def test_slab_crossings_parity(self, rng):
+        python, native = pair("slab_crossings")
+        theta = rng.normal(size=64)
+        band = _TIE_TOL * np.maximum(1.0, np.abs(theta))
+        old = rng.normal(size=64)
+        new = rng.normal(size=64)
+        # saturate the region boundaries with exact hits
+        old[:4] = [band[0], -band[1], 0.0, 2 * band[3]]
+        new[:4] = [-band[0], band[1], 2 * band[2], band[3]]
+        assert np.array_equal(
+            python(old, new, theta, _TIE_TOL), native(old, new, theta, _TIE_TOL)
+        )
+
+
+class TestEngineKernelThreading:
+    def test_explain_reports_requested_and_resolved(self, market):
+        dataset, queries = market
+        engine = ImprovementQueryEngine(dataset, queries, kernel="native")
+        plan = engine.explain(0, tau=5)
+        assert plan.kernel == "native"
+        assert plan.kernel_backend == (
+            "native" if native_available() else "python"
+        )
+        as_dict = plan.to_dict()
+        assert as_dict["kernel"] == plan.kernel
+        assert as_dict["kernel_backend"] == plan.kernel_backend
+
+    def test_python_and_native_engines_agree_exactly(self, market):
+        dataset, queries = market
+        reference = ImprovementQueryEngine(dataset, queries, kernel="python")
+        candidate = ImprovementQueryEngine(dataset, queries, kernel="native")
+        for target in range(0, dataset.n, 5):
+            assert reference.hits(target) == candidate.hits(target)
+            ours = reference.min_cost(target, tau=5)
+            theirs = candidate.min_cost(target, tau=5)
+            assert ours.hits_after == theirs.hits_after
+            assert ours.total_cost == theirs.total_cost
+            assert np.array_equal(ours.strategy.vector, theirs.strategy.vector)
+
+    def test_from_index_accepts_kernel(self, market, tmp_path):
+        dataset, queries = market
+        built = ImprovementQueryEngine(dataset, queries)
+        built.index.save(tmp_path / "idx", format="mmap")
+        from repro.core.subdomain import SubdomainIndex
+
+        engine = ImprovementQueryEngine.from_index(
+            SubdomainIndex.load(tmp_path / "idx", dataset, queries),
+            kernel="python",
+        )
+        assert engine.kernel_requested == "python"
+        assert engine.kernel_backend == "python"
+        assert engine.hits(0) == built.hits(0)

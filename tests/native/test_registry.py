@@ -1,0 +1,126 @@
+"""The kernel registry: resolution order, pinning, twin discipline."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.native import (
+    KERNEL_BACKENDS,
+    active_backend,
+    get_kernel,
+    kernel,
+    native_available,
+    native_kernel_names,
+    python_kernel_names,
+    register_kernel,
+    register_native,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.native import registry as _registry
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    previous = active_backend()
+    yield
+    set_backend(previous)
+
+
+class TestResolution:
+    def test_explicit_argument_wins_over_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "native")
+        assert resolve_backend("python") == ("python", "python")
+
+    def test_environment_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "python")
+        assert resolve_backend() == ("python", "python")
+
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        requested, resolved = resolve_backend()
+        assert requested == "auto"
+        assert resolved == ("native" if native_available() else "python")
+
+    def test_native_degrades_visibly_not_silently(self):
+        requested, resolved = resolve_backend("native")
+        assert requested == "native"  # the request is preserved for EXPLAIN
+        assert resolved == ("native" if native_available() else "python")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError, match="fortran"):
+            resolve_backend("fortran")
+
+    def test_case_insensitive(self):
+        assert resolve_backend("PYTHON") == ("python", "python")
+
+
+class TestPinning:
+    def test_set_backend_rejects_auto(self):
+        # auto must be resolved first so requested-vs-resolved stays
+        # explicit; the active backend is always a concrete value.
+        with pytest.raises(ValidationError, match="auto"):
+            set_backend("auto")
+
+    def test_use_backend_restores_on_exit(self):
+        before = active_backend()
+        with use_backend("python"):
+            assert active_backend() == "python"
+        assert active_backend() == before
+
+    def test_use_backend_restores_on_exception(self):
+        before = active_backend()
+        with pytest.raises(RuntimeError):
+            with use_backend("python"):
+                raise RuntimeError("boom")
+        assert active_backend() == before
+
+    def test_kernel_dispatch_follows_the_pin(self):
+        with use_backend("python"):
+            assert kernel("beats_batch") is get_kernel("beats_batch", "python")
+
+
+class TestRegistryContract:
+    def test_canonical_kernels_are_registered(self):
+        names = python_kernel_names()
+        for expected in ("beats_batch", "signature_matrix", "slab_crossings"):
+            assert expected in names
+
+    def test_native_names_subset_of_python_names(self):
+        assert set(native_kernel_names()) <= set(python_kernel_names())
+
+    def test_backends_tuple_is_the_cli_contract(self):
+        assert KERNEL_BACKENDS == ("python", "native", "auto")
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValidationError, match="unknown kernel"):
+            get_kernel("made_up")
+        with pytest.raises(ValidationError, match="unknown kernel"):
+            kernel("made_up")
+
+    def test_native_twin_requires_python_kernel_first(self):
+        with pytest.raises(ValidationError, match="pure-python twin"):
+            register_native("orphan_twin")(lambda: None)
+
+    def test_duplicate_registrations_rejected(self):
+        name = "throwaway_kernel_for_tests"
+        try:
+            register_kernel(name)(lambda: "python")
+            with pytest.raises(ValidationError, match="duplicate"):
+                register_kernel(name)(lambda: "again")
+            register_native(name)(lambda: "native")
+            with pytest.raises(ValidationError, match="duplicate"):
+                register_native(name)(lambda: "again")
+        finally:
+            _registry._PYTHON.pop(name, None)
+            _registry._NATIVE.pop(name, None)
+            _registry._ACTIVE.pop(name, None)
+
+    def test_get_kernel_native_falls_back_per_kernel(self):
+        name = "python_only_kernel_for_tests"
+        try:
+            marker = register_kernel(name)(lambda: "python")
+            assert get_kernel(name, "native") is marker  # no twin: canonical
+        finally:
+            _registry._PYTHON.pop(name, None)
+            _registry._ACTIVE.pop(name, None)

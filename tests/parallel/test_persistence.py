@@ -115,6 +115,105 @@ class TestValidationOnLoad:
             SubdomainIndex.load(path, dataset, queries)
 
 
+class TestEagerMetadataValidation:
+    def test_header_rejected_before_payload_is_touched(self, market, tmp_path):
+        # Strip every payload matrix from the archive but leave the
+        # header scalars with a bogus fingerprint: a loader that
+        # validated lazily would crash on the missing arrays with a
+        # corruption error; the eager header check must win and type
+        # the failure as a ValidationError instead.
+        dataset, queries = market
+        path = tmp_path / "index.npz"
+        SubdomainIndex(dataset, queries).save(path)
+        header_keys = (
+            "schema",
+            "mode",
+            "margin",
+            "partition_method",
+            "rtree_max_entries",
+            "epoch",
+            "dataset_fingerprint",
+            "queries_fingerprint",
+        )
+        with np.load(path, allow_pickle=False) as data:
+            payload = {key: data[key] for key in header_keys}
+        payload["dataset_fingerprint"] = np.array("bogus")
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+        with pytest.raises(ValidationError, match="fingerprint"):
+            SubdomainIndex.load(path, dataset, queries)
+
+
+class TestMmapLayout:
+    @pytest.mark.parametrize("mode", ["exact", "relevant"])
+    def test_identical_answers_from_mmap_directory(self, market, tmp_path, mode):
+        dataset, queries = market
+        built = SubdomainIndex(dataset, queries, mode=mode)
+        expected = {t: built.hits(t) for t in range(dataset.n)}
+        path = tmp_path / "index.mmap"
+        built.save(path, format="mmap")
+        assert path.is_dir()
+        loaded = SubdomainIndex.load(path, dataset, queries)
+        assert {t: loaded.hits(t) for t in range(dataset.n)} == expected
+        assert loaded.representative_evaluations == 0
+        assert loaded.epoch == built.epoch
+
+    def test_save_rejects_unknown_format(self, market, tmp_path):
+        dataset, queries = market
+        index = SubdomainIndex(dataset, queries)
+        with pytest.raises(ValidationError, match="format"):
+            index.save(tmp_path / "index", format="pickle")
+
+    def test_loaded_maps_are_copy_on_write_safe(self, market, tmp_path):
+        # The file on disk can never be modified through a loaded
+        # index: read-only maps refuse in-place writes, and the one
+        # array the update paths do write in place (subdomain_of) is
+        # materialized as a private copy on load.
+        dataset, queries = market
+        SubdomainIndex(dataset, queries).save(tmp_path / "idx", format="mmap")
+        normals_bytes = (tmp_path / "idx" / "normals.npy").read_bytes()
+        renumber_bytes = (tmp_path / "idx" / "subdomain_of.npy").read_bytes()
+        loaded = SubdomainIndex.load(tmp_path / "idx", dataset, queries)
+        with pytest.raises(ValueError):
+            loaded.normals[0, 0] = 99.0
+        loaded.subdomain_of[:] = -1  # in-place renumber must stay private
+        assert (tmp_path / "idx" / "normals.npy").read_bytes() == normals_bytes
+        assert (
+            tmp_path / "idx" / "subdomain_of.npy"
+        ).read_bytes() == renumber_bytes
+
+    def test_pool_shares_mmap_arrays_through_page_cache(self, market, tmp_path):
+        # mmap-backed hot arrays must be skipped by the shared-memory
+        # export (forked workers inherit the page-cache mapping) while
+        # still producing byte-identical pooled answers.
+        from repro.parallel import IQRequest, PersistentPool, run_batch
+
+        dataset, queries = market
+        ImprovementQueryEngine(dataset, queries).index.save(
+            tmp_path / "idx", format="mmap"
+        )
+        engine = ImprovementQueryEngine.from_index(
+            SubdomainIndex.load(tmp_path / "idx", dataset, queries)
+        )
+        batch = [IQRequest("min_cost", t, 5.0) for t in range(4)] + [
+            IQRequest("max_hit", t, 0.8) for t in range(4)
+        ]
+        serial = run_batch(engine, batch, workers=0)
+        with PersistentPool(engine, workers=2) as pool:
+            if pool.workers == 0:  # non-fork host: residency path inert
+                pytest.skip("fork start method unavailable")
+            assert pool.mmap_resident >= 1
+            specs = {
+                key for group in pool._specs.values() for key in group
+            }
+            assert "normals" not in specs  # the mmap-backed hot array
+            pooled = pool.run(batch)
+        for ours, theirs in zip(serial, pooled):
+            assert ours.hits_after == theirs.hits_after
+            assert ours.total_cost == theirs.total_cost
+            assert np.array_equal(ours.strategy.vector, theirs.strategy.vector)
+
+
 class TestFingerprints:
     def test_content_addressed(self, market, rng):
         dataset, queries = market

@@ -58,7 +58,7 @@ class TestSingleCoreFloor:
         baseline = self.make_payload(0.9, cpus=1)
         problems = check_regression(run, baseline)
         assert len(problems) == 1
-        assert "shard_update" in problems[0] and "rebuild" in problems[0]
+        assert "shard_update" in problems[0] and "work avoidance" in problems[0]
 
     def test_floor_enforced_on_multicore_too(self):
         from repro.bench.regression import check_regression
