@@ -27,9 +27,12 @@ RPR012    indexes are constructed through
 RPR013    compiled kernel backends (numba, ...) import only inside
           ``repro/native/``; every jitted kernel is registered via
           ``register_native`` and names a pure-python twin
+RPR014    monotonic-clock reads (``perf_counter``, ``monotonic``, ...)
+          live only inside ``repro/observe/``; everything else times
+          through ``repro.observe.clock``
 ========  ==============================================================
 
-RPR001-007, RPR012, and RPR013 are per-file AST passes; RPR008-011 additionally consume the
+RPR001-007 and RPR012-014 are per-file AST passes; RPR008-011 additionally consume the
 run-wide :class:`~repro.analysis.project.ProjectContext` (cross-file
 symbol table, call graph, worker reachability) and per-function
 :mod:`~repro.analysis.cfg` control-flow graphs built in

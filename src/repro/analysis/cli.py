@@ -12,7 +12,7 @@ from pathlib import Path
 from typing import IO
 
 import repro.analysis.concurrency  # noqa: F401  (registers RPR008-RPR011)
-import repro.analysis.rules  # noqa: F401  (registers RPR001-RPR007, RPR012-RPR013)
+import repro.analysis.rules  # noqa: F401  (registers RPR001-RPR007, RPR012-RPR014)
 from repro.analysis.framework import (
     LintConfig,
     lint_paths,
@@ -30,7 +30,7 @@ def build_parser() -> argparse.ArgumentParser:
     """The ``repro lint`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="Project-specific static analysis (rules RPR001-RPR013).",
+        description="Project-specific static analysis (rules RPR001-RPR014).",
     )
     parser.add_argument(
         "paths",

@@ -1,4 +1,4 @@
-"""Project-specific lint rules RPR001-RPR007, RPR012, and RPR013.
+"""Project-specific lint rules RPR001-RPR007 and RPR012-RPR014.
 
 Each rule encodes a discipline the paper's correctness depends on; see
 DESIGN.md ("Static analysis") for the full catalog with rationale.
@@ -24,6 +24,7 @@ __all__ = [
     "ParallelImportRule",
     "IndexFactoryRule",
     "NativeBackendRule",
+    "TimingSourceRule",
     "PARITY_PAIRS",
 ]
 
@@ -597,3 +598,67 @@ class NativeBackendRule(Rule):
                     f"register the canonical kernel with "
                     f"register_kernel({arg.value!r}) first",
                 )
+
+
+@register_rule
+class TimingSourceRule(Rule):
+    """RPR014: monotonic-clock reads are confined to ``repro/observe``.
+
+    The RPR013 registry pattern applied to timing: ``repro.observe.clock``
+    is the library's single wall-clock seam (``now``/``Stopwatch``/
+    ``time_call``), and everything that measures time — the bench
+    harness, the serving stats, the ``EXPLAIN ANALYZE`` recorder —
+    imports it from there.  Flags any call to a monotonic/CPU clock
+    (``time.perf_counter``, ``time.monotonic``, ``process_time``, their
+    ``_ns`` variants, ``clock_gettime``) and any ``from time import``
+    of one of those names in a file whose path has no ``observe``
+    component.  One seam is what makes the "analyzed runs are
+    byte-identical to plain runs" contract auditable: every timing side
+    effect in the codebase is reachable from one module.
+    """
+
+    code = "RPR014"
+    title = "monotonic-clock call outside repro/observe"
+
+    _CLOCK_NAMES = frozenset(
+        {
+            "perf_counter",
+            "perf_counter_ns",
+            "monotonic",
+            "monotonic_ns",
+            "process_time",
+            "process_time_ns",
+            "thread_time",
+            "thread_time_ns",
+            "clock_gettime",
+            "clock_gettime_ns",
+        }
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield RPR014 findings: clock calls/imports outside the observe layer."""
+        if "observe" in ctx.path.resolve().parts:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and _call_name(node) in self._CLOCK_NAMES:
+                yield ctx.finding(
+                    node,
+                    self,
+                    f"{_call_name(node)}() read outside repro/observe; time "
+                    f"through repro.observe.clock (now/Stopwatch/time_call) "
+                    f"so every timing side effect stays behind one seam",
+                )
+            elif (
+                isinstance(node, ast.ImportFrom)
+                and node.level == 0
+                and node.module == "time"
+            ):
+                for alias in node.names:
+                    if alias.name in self._CLOCK_NAMES:
+                        yield ctx.finding(
+                            node,
+                            self,
+                            f"from time import {alias.name} outside "
+                            f"repro/observe; import the clock from "
+                            f"repro.observe.clock instead",
+                        )

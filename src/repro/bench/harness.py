@@ -1,41 +1,23 @@
-"""Timing and reporting utilities shared by every benchmark."""
+"""Timing and reporting utilities shared by every benchmark.
+
+``Stopwatch`` and ``time_call`` are re-exports of the observe layer's
+clock primitives (:mod:`repro.observe.clock`) — the bench harness
+predates that layer and every benchmark imports them from here, but the
+clock itself now lives behind the RPR014 seam like all other timing.
+"""
 
 from __future__ import annotations
 
 import json
-import time
 
 from repro.constants import EPS_TIME
+from repro.observe.clock import Stopwatch, time_call
 from dataclasses import dataclass, field
 
 __all__ = ["BenchRecord", "Stopwatch", "TableResult", "time_call", "write_bench_json"]
 
 #: Schema tag written into every BENCH_*.json file.
 BENCH_SCHEMA = "repro-bench-regression/1"
-
-
-class Stopwatch:
-    """Accumulating wall-clock timer (perf_counter based)."""
-
-    def __init__(self):
-        self.elapsed = 0.0
-        self._started = None
-
-    def __enter__(self):
-        self._started = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc):
-        self.elapsed += time.perf_counter() - self._started
-        self._started = None
-        return False
-
-
-def time_call(fn, *args, **kwargs):
-    """``(result, seconds)`` of one call."""
-    start = time.perf_counter()
-    result = fn(*args, **kwargs)
-    return result, time.perf_counter() - start
 
 
 @dataclass

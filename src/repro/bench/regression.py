@@ -67,6 +67,17 @@ Two figures cover the native-kernel and index-residency layer (PR9):
   ``.npy`` header opens) at each benched |D|; decompression grows with
   index size while the mmap open stays roughly flat.
 
+One figure covers the observability layer (PR10):
+
+* **analyze_overhead** — the fig7-shaped IQ sweep run through the plain
+  engine calls (``literal_seconds``) vs through ``engine.analyze``
+  (``vectorized_seconds``, the ``EXPLAIN ANALYZE`` path with the stage
+  recorder active and the stats store recording).  Results must be
+  byte-identical; the figure's "speedup" is plain/analyzed, so values
+  near 1x mean the observation layer is near-free, and the
+  :data:`CHECK_ANALYZE_FLOORS` gate fails ``--check`` if analyzed runs
+  ever cost more than double the plain ones.
+
 ``run_regression`` drives all of them and optionally writes a
 ``BENCH_*.json`` file (schema documented in EXPERIMENTS.md).  The
 ``--smoke`` mode truncates every sweep and forces the tiny scale so CI
@@ -123,6 +134,7 @@ __all__ = [
     "bench_shard_update",
     "bench_native",
     "bench_mmap_load",
+    "bench_analyze",
     "check_regression",
     "run_regression",
     "main",
@@ -159,6 +171,14 @@ CHECK_FLOOR_EXEMPT_SCALES = frozenset({"tiny"})
 #: is a real regression everywhere.  Tiny scale stays exempt — there
 #: both sides are sub-millisecond timer noise.
 CHECK_SINGLE_CORE_FLOORS = {"shard_update": 1.0, "mmap_load": 1.0}
+
+#: Absolute floor for the ``analyze_overhead`` figure, enforced on any
+#: host at non-smoke scales: the figure's speedup is plain/analyzed
+#: seconds, so 0.5 means an ``EXPLAIN ANALYZE`` run may cost at most
+#: twice its plain twin.  The observation layer is a no-op-guarded
+#: global read on the hot path; doubling a query's cost would mean the
+#: instrumentation escaped that design.
+CHECK_ANALYZE_FLOORS = {"analyze_overhead": 0.5}
 
 #: Absolute floor for the ``native`` kernel figure, enforced only when
 #: the payload records ``numba: true``: with the jit compiled, every
@@ -875,6 +895,76 @@ def bench_mmap_load(config: BenchConfig, points: int | None = None) -> list[Benc
     return records
 
 
+def bench_analyze(config: BenchConfig, requests: int | None = None) -> list[BenchRecord]:
+    """EXPLAIN ANALYZE overhead: plain engine calls vs analyzed calls.
+
+    The fig7-shaped IQ sweep (Min-Cost and Max-Hit over the least-hit
+    targets) executed twice: through the plain ``min_cost``/``max_hit``
+    API (``literal_seconds``) and through ``engine.analyze``
+    (``vectorized_seconds``) with the stage recorder active and the
+    stats store recording every run.  Each request pair must return
+    byte-identical strategies, hits, and costs — the differential that
+    ``repro check --analyze`` also enforces — and every executed plan
+    must actually carry observations (non-zero total wall-clock).
+    """
+    engine, batch, _ = _bench_workload(config, requests)
+
+    def plain():
+        return [
+            engine.min_cost(r.target, int(r.goal))
+            if r.kind == "min_cost"
+            else engine.max_hit(r.target, r.goal)
+            for r in batch
+        ]
+
+    def analyzed():
+        return [
+            engine.analyze(r.target, tau=int(r.goal))
+            if r.kind == "min_cost"
+            else engine.analyze(r.target, budget=r.goal)
+            for r in batch
+        ]
+
+    plain()  # warm-up: evaluator prefixes + caches
+    plain_results, plain_seconds = time_call(plain)
+    analyzed_results, analyzed_seconds = time_call(analyzed)
+    for request, plain_result, (analyzed_result, executed) in zip(
+        batch, plain_results, analyzed_results
+    ):
+        if not (
+            plain_result.hits_after == analyzed_result.hits_after
+            and plain_result.total_cost == analyzed_result.total_cost
+            and np.array_equal(
+                plain_result.strategy.vector, analyzed_result.strategy.vector
+            )
+        ):
+            raise RegressionMismatch(
+                f"plain and analyzed results differ "
+                f"({request.kind}, target={request.target})"
+            )
+        if executed.total_seconds <= 0.0:
+            raise RegressionMismatch(
+                f"analyzed run recorded no wall-clock "
+                f"({request.kind}, target={request.target})"
+            )
+    return [
+        BenchRecord(
+            figure="analyze_overhead",
+            case=f"requests={len(batch)}",
+            config={
+                "num_objects": config.num_objects,
+                "num_queries": config.num_queries,
+                "dimensions": config.dimensions,
+                "index_mode": config.index_mode,
+                "requests": len(batch),
+                "seed": config.seed,
+            },
+            literal_seconds=plain_seconds,
+            vectorized_seconds=analyzed_seconds,
+        )
+    ]
+
+
 def check_regression(
     payload: dict, baseline: dict, min_ratio: float = CHECK_MIN_RATIO
 ) -> list[str]:
@@ -940,6 +1030,18 @@ def check_regression(
                     "is work avoidance, not parallelism, so it must hold "
                     "on any host"
                 )
+    if payload.get("scale") not in CHECK_FLOOR_EXEMPT_SCALES:
+        for figure, absolute_floor in sorted(CHECK_ANALYZE_FLOORS.items()):
+            stats = summary.get(figure)
+            if stats is None:
+                continue
+            median = float(stats["median_speedup"])
+            if median < absolute_floor:
+                problems.append(
+                    f"{figure}: median speedup {median:.2f}x is below the "
+                    f"absolute {absolute_floor:g}x floor — EXPLAIN ANALYZE "
+                    "must not cost more than double the plain run"
+                )
     if payload.get("numba") and payload.get("scale") not in CHECK_FLOOR_EXEMPT_SCALES:
         for figure, absolute_floor in sorted(CHECK_NATIVE_FLOORS.items()):
             stats = summary.get(figure)
@@ -995,6 +1097,7 @@ def run_regression(
     records += bench_shard_update(config, shards=shard_count)
     records += bench_native(config, kernel=kernel)
     records += bench_mmap_load(config, points=points)
+    records += bench_analyze(config, requests=2 if smoke else None)
     # The host's core count and numba availability travel with the
     # payload: --check only enforces the absolute pooled floors when
     # the run had real cores, and the native-kernel floor only when the

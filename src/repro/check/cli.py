@@ -110,6 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: off — the ambient REPRO_KERNEL resolution applies)"
         ),
     )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help=(
+            "add the EXPLAIN ANALYZE differential: analyzed runs must be "
+            "byte-identical to their plain counterparts across the engine "
+            "API (every query kind and multi-target), the pooled batch "
+            "front end, the SQL shell, and the CLI (default: off)"
+        ),
+    )
     return parser
 
 
@@ -263,6 +273,170 @@ def _run_pooled_parity(out: IO[str]) -> list[str]:
     return failures
 
 
+def _run_analyze_parity(out: IO[str]) -> list[str]:
+    """EXPLAIN ANALYZE differential (AN oracle): analysis never perturbs.
+
+    The observe layer only reads clocks and counts, so an analyzed run
+    must return results byte-identical to its plain counterpart on every
+    surface:
+
+    - **engine** — ``analyze``/``analyze_multi`` vs ``min_cost`` /
+      ``max_hit`` / the combinatorial calls, field-exact per target;
+    - **pooled** — a plain :class:`PersistentPool` batch vs per-request
+      serial ``analyze`` runs (the pool resolves ``REPRO_WORKERS``, so
+      CI's serial and forked legs both pass through here);
+    - **SQL** — an ``IMPROVE`` statement re-run after an interleaved
+      ``EXPLAIN ANALYZE IMPROVE`` must yield the same rows;
+    - **CLI** — ``repro improve`` output re-captured after
+      ``repro explain --analyze`` must be byte-identical.
+
+    Every executed plan must also carry a positive ``total_seconds`` —
+    an analyzed run that observed nothing is its own failure.
+    """
+    import io
+    import tempfile
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.cli import main as cli_main
+    from repro.core.engine import ImprovementQueryEngine
+    from repro.core.objects import Dataset
+    from repro.data.synthetic import independent
+    from repro.data.workloads import uniform_queries
+    from repro.dbms import Database
+    from repro.parallel import IQRequest, PersistentPool
+
+    failures: list[str] = []
+    dataset = Dataset(independent(24, 3, seed=11))
+    queries = uniform_queries(18, 3, seed=12, k_range=(1, 4))
+    engine = ImprovementQueryEngine(dataset, queries, mode="relevant")
+
+    def check_executed(label: str, executed) -> None:
+        if executed.total_seconds <= 0.0:
+            failures.append(f"{label}: executed plan observed no wall-clock")
+
+    # Engine leg: every query kind, plain vs analyzed, field-exact.
+    requests = tuple(
+        IQRequest("min_cost", target, 8) for target in range(0, 8, 2)
+    ) + tuple(IQRequest("max_hit", target, 0.4) for target in range(1, 8, 2))
+    analyzed_results = []
+    for request in requests:
+        label = f"analyze parity [engine] {request.kind}@{request.target}"
+        if request.kind == "min_cost":
+            plain = engine.min_cost(request.target, request.goal)
+            analyzed, executed = engine.analyze(request.target, tau=request.goal)
+        else:
+            plain = engine.max_hit(request.target, request.goal)
+            analyzed, executed = engine.analyze(request.target, budget=request.goal)
+        mismatch = _result_mismatch(label, plain, analyzed)
+        if mismatch is not None:
+            failures.append(mismatch)
+        check_executed(label, executed)
+        analyzed_results.append(analyzed)
+
+    # Multi-target leg: the joint combinatorial loop under analysis.
+    targets = [1, 4, 6]
+    plain_multi = engine.min_cost_multi(targets, 6)
+    analyzed_multi, plans = engine.analyze_multi(targets, tau=6)
+    for attr in ("hits_before", "hits_after", "total_cost", "satisfied"):
+        a, b = getattr(plain_multi, attr), getattr(analyzed_multi, attr)
+        if a != b:
+            failures.append(
+                f"analyze parity [multi] {attr} diverged (plain {a!r} vs analyzed {b!r})"
+            )
+    for target in targets:
+        sa = np.asarray(plain_multi.strategies[target].vector)
+        sb = np.asarray(analyzed_multi.strategies[target].vector)
+        if not np.array_equal(sa, sb):
+            failures.append(
+                f"analyze parity [multi] strategy@{target} diverged ({sa} vs {sb})"
+            )
+    for plan in plans:
+        check_executed(f"analyze parity [multi] plan@{plan.target}", plan)
+
+    # Pooled leg: plain pooled batch vs the serial analyzed results.
+    with PersistentPool(engine) as pool:
+        pooled = pool.run(requests)
+        for request, expect, got in zip(requests, analyzed_results, pooled):
+            label = f"analyze parity [pooled] {request.kind}@{request.target}"
+            mismatch = _result_mismatch(label, got, expect)
+            if mismatch is not None:
+                failures.append(mismatch)
+        workers = pool.workers
+
+    # SQL leg: IMPROVE rows unchanged across an EXPLAIN ANALYZE run.
+    sql_objects = independent(12, 3, seed=21)
+    workload = uniform_queries(9, 3, seed=22, k_range=(1, 3))
+    db = Database()
+    db.run_script(
+        "CREATE TABLE objs (a FLOAT, b FLOAT, c FLOAT);"
+        + "INSERT INTO objs VALUES "
+        + ", ".join(
+            f"({row[0]:.6f}, {row[1]:.6f}, {row[2]:.6f})" for row in sql_objects
+        )
+        + "; CREATE TABLE prefs (wa FLOAT, wb FLOAT, wc FLOAT, k INT);"
+        + "INSERT INTO prefs VALUES "
+        + ", ".join(
+            f"({w[0]:.6f}, {w[1]:.6f}, {w[2]:.6f}, {int(k)})"
+            for w, k in zip(workload.weights, workload.ks)
+        )
+        + "; CREATE IMPROVEMENT INDEX idx ON objs (a, b, c)"
+        "  USING QUERIES prefs (wa, wb, wc, k);"
+    )
+    improve_sql = "IMPROVE objs TARGET WHERE rowid = 0 USING idx REACH 3"
+    before = db.execute(improve_sql).rows
+    analyzed_rs = db.execute("EXPLAIN ANALYZE " + improve_sql)
+    after = db.execute(improve_sql).rows
+    if before != after:
+        failures.append("analyze parity [sql]: IMPROVE rows changed across EXPLAIN ANALYZE")
+    # Plan rows arrive pre-rendered as strings (plan.rows() formatting).
+    total_column = [float(v) for v in analyzed_rs.column("total_seconds")]
+    if not total_column or any(v <= 0.0 for v in total_column):
+        failures.append("analyze parity [sql]: EXPLAIN ANALYZE observed no wall-clock")
+
+    # CLI leg: improve output byte-identical across an --analyze run.
+    with tempfile.TemporaryDirectory(prefix="repro-check-") as tmp:
+        objects_csv = Path(tmp) / "objects.csv"
+        queries_csv = Path(tmp) / "queries.csv"
+        objects_csv.write_text(
+            "a,b,c\n"
+            + "".join(
+                f"{row[0]:.6f},{row[1]:.6f},{row[2]:.6f}\n" for row in sql_objects
+            ),
+            encoding="utf-8",
+        )
+        queries_csv.write_text(
+            "wa,wb,wc,k\n"
+            + "".join(
+                f"{w[0]:.6f},{w[1]:.6f},{w[2]:.6f},{int(k)}\n"
+                for w, k in zip(workload.weights, workload.ks)
+            ),
+            encoding="utf-8",
+        )
+        improve_argv = [
+            "improve", str(objects_csv), str(queries_csv), "--target", "0",
+            "--reach", "3",
+        ]
+        first = io.StringIO()
+        cli_main(improve_argv, out=first)
+        cli_main(
+            ["explain", str(objects_csv), str(queries_csv), "--target", "0",
+             "--reach", "3", "--analyze"],
+            out=io.StringIO(),
+        )
+        second = io.StringIO()
+        cli_main(improve_argv, out=second)
+        if first.getvalue() != second.getvalue():
+            failures.append(
+                "analyze parity [cli]: improve output changed across explain --analyze"
+            )
+
+    status = "ok" if not failures else "FAIL"
+    print(f"analyze parity (workers {workers}): {status}", file=out)
+    return failures
+
+
 def _run_kernel_parity(kernel: str, out: IO[str]) -> list[str]:
     """Kernel differential: python backend vs resolved backend (KP oracle).
 
@@ -366,6 +540,9 @@ def _execute(args: argparse.Namespace, out: "IO[str]") -> int:
 
         if not args.skip_pooled:
             parity_failures = _run_pooled_parity(out)
+
+        if getattr(args, "analyze", False):
+            parity_failures = parity_failures + _run_analyze_parity(out)
 
         if kernel is not None:
             parity_failures = parity_failures + _run_kernel_parity(kernel, out)

@@ -80,9 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--cost", default="L2", choices=sorted(_COSTS))
         command.add_argument("--sense", default="min", choices=["min", "max"])
         # Choices come from the solver registry, so a third-party solver
-        # registered before main() is immediately addressable.
+        # registered before main() is immediately addressable; "auto"
+        # defers the choice to the recorded-stats feedback planner.
         command.add_argument("--method", default="efficient",
-                             choices=list(registered_solvers()))
+                             choices=list(registered_solvers()) + ["auto"])
         command.add_argument("--adjust", action="append", default=[],
                              metavar="COL:LO:HI",
                              help="bound a column's adjustment, e.g. price:-80:0")
@@ -120,6 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
                                   "a .npz file, a sharded index directory, or an "
                                   "mmap index directory "
                                   "(fingerprints must match the CSVs)")
+        command.add_argument("--stats", default=None, metavar="PATH",
+                             help="persist per-run EXPLAIN ANALYZE stats in this "
+                                  "JSON file; METHOD/KERNEL 'auto' consult it "
+                                  "(default: REPRO_STATS env var, else in-memory)")
 
     improve = sub.add_parser("improve", help="run a Min-Cost or Max-Hit IQ")
     add_iq_arguments(improve)
@@ -128,6 +133,10 @@ def build_parser() -> argparse.ArgumentParser:
         "explain", help="show the execution plan of an improve call, without running it"
     )
     add_iq_arguments(explain)
+    explain.add_argument("--analyze", action="store_true",
+                         help="EXPLAIN ANALYZE: actually run the query (results "
+                              "discarded, byte-identical to improve) and append "
+                              "the observed per-stage timings and counters")
 
     hits = sub.add_parser("hits", help="report current hits per object")
     hits.add_argument("objects")
@@ -195,8 +204,11 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--kernel", default=None, choices=list(KERNEL_BACKENDS),
                        help="run the whole harness under this kernel backend "
                             "and add a python-vs-backend parity phase")
+    check.add_argument("--analyze", action="store_true",
+                       help="also hold EXPLAIN ANALYZE runs byte-identical to "
+                            "their plain counterparts (engine, SQL, CLI, pooled)")
 
-    lint = sub.add_parser("lint", help="project static analysis (rules RPR001-RPR013)")
+    lint = sub.add_parser("lint", help="project static analysis (rules RPR001-RPR014)")
     lint.add_argument("paths", nargs="*", default=["src/repro"],
                       help="files or directories to lint (default: src/repro)")
     lint.add_argument("--format", choices=["human", "json", "sarif"], default="human")
@@ -346,17 +358,36 @@ def _cmd_explain(args, out) -> int:
     engine = _engine(args, dataset, queries)
     cost = _COSTS[args.cost](dataset.dim)
     space = _space(args, dataset)
-    for i, target in enumerate(args.target):
+    targets = args.target
+    if len(targets) == 1:
+        target = targets[0]
+        if args.analyze:
+            _, executed = engine.analyze(
+                target, tau=args.reach, budget=args.budget,
+                cost=cost, space=space, method=args.method,
+            )
+            plans = (executed,)
+        else:
+            plans = (
+                engine.explain(
+                    target, tau=args.reach, budget=args.budget,
+                    cost=cost, space=space, method=args.method,
+                ),
+            )
+    else:
+        if args.method != "efficient":
+            raise ValidationError("multi-target improve supports --method efficient only")
+        if args.analyze:
+            _, plans = engine.analyze_multi(
+                targets, tau=args.reach, budget=args.budget, costs=cost, spaces=space
+            )
+        else:
+            plans = engine.explain_multi(
+                targets, tau=args.reach, budget=args.budget, costs=cost, spaces=space
+            )
+    for i, plan in enumerate(plans):
         if i:
             print(file=out)
-        plan = engine.explain(
-            target,
-            tau=args.reach,
-            budget=args.budget,
-            cost=cost,
-            space=space,
-            method=args.method,
-        )
         print(plan.render(), file=out)
     return 0
 
@@ -390,9 +421,10 @@ def _cmd_serve(args, out) -> int:
     print(
         f"serve: {stats.served} served, {stats.failed} failed, "
         f"{stats.rejected} rejected in {stats.seconds:.3f}s "
-        f"({stats.throughput:.1f} req/s, workers {stats.workers}, "
-        f"kernel {stats.kernel}, {stats.batches} batches, "
-        f"{stats.refreshes} refreshes)",
+        f"({stats.throughput:.1f} req/s, "
+        f"{stats.avg_request_seconds * 1000:.2f} ms/req dispatch, "
+        f"workers {stats.workers}, kernel {stats.kernel}, "
+        f"{stats.batches} batches, {stats.refreshes} refreshes)",
         file=sys.stderr,
     )
     return 0
@@ -425,6 +457,10 @@ def main(argv=None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if getattr(args, "stats", None):
+            from repro.observe import configure_store
+
+            configure_store(args.stats)
         if args.command == "improve":
             return _cmd_improve(args, out)
         if args.command == "explain":
@@ -467,6 +503,8 @@ def main(argv=None, out=None) -> int:
                 check_args.append("--skip-pooled")
             if args.sanitize:
                 check_args.append("--sanitize")
+            if args.analyze:
+                check_args.append("--analyze")
             if args.shards is not None:
                 check_args += ["--shards", str(args.shards)]
             if args.kernel is not None:

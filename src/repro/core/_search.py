@@ -21,6 +21,7 @@ from repro.core.cost import CostFunction, L2Cost
 from repro.core.ese import StrategyEvaluator
 from repro.core.strategy import StrategySpace
 from repro.errors import InfeasibleError, ValidationError
+from repro.observe import stage, tally
 from repro.optimize.hit_cost import (
     DEFAULT_MARGIN,
     min_cost_to_hit,
@@ -112,6 +113,19 @@ def generate_candidates(
         raise ValidationError(
             f"method must be one of {_CANDIDATE_METHODS}, got {method!r}"
         )
+    with stage("candidates"):
+        return _generate_candidates(evaluator, state, cost, space, margin, max_cost, method)
+
+
+def _generate_candidates(
+    evaluator: StrategyEvaluator,
+    state: SearchState,
+    cost: CostFunction,
+    space: StrategySpace,
+    margin: float,
+    max_cost: float | None,
+    method: str,
+) -> CandidateBatch:
     index = evaluator.index
     weights = index.queries.weights
     __, theta = evaluator.thresholds(state.target)
@@ -168,5 +182,8 @@ def generate_candidates(
                 costs=cost_arr,
                 hits=np.empty(0, dtype=np.intp),
             )
-    hits = evaluator.evaluate_many(state.target, position + matrix)
+    tally("candidates", int(query_ids.size))
+    tally("evaluations", int(query_ids.size))
+    with stage("evaluate"):
+        hits = evaluator.evaluate_many(state.target, position + matrix)
     return CandidateBatch(query_ids=query_ids, vectors=matrix, costs=cost_arr, hits=hits)

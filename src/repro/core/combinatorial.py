@@ -31,6 +31,7 @@ from repro.core.cost import CostFunction
 from repro.core.strategy import Strategy, StrategySpace
 from repro.core.sharding import IndexProtocol
 from repro.errors import InfeasibleError, ValidationError
+from repro.observe import stage, tally
 from repro.optimize.hit_cost import DEFAULT_MARGIN, min_cost_to_hit
 
 __all__ = ["MultiTargetResult", "combinatorial_min_cost", "combinatorial_max_hit"]
@@ -190,7 +191,9 @@ def combinatorial_min_cost(
     stalls = 0
 
     while int(mask.sum()) < tau and len(log) < max_rounds:
-        candidates = _candidates(state, costs, spaces, applied, mask, margin, None)
+        with stage("candidates"):
+            candidates = _candidates(state, costs, spaces, applied, mask, margin, None)
+        tally("candidates", len(candidates))
         best = _pick_best_ratio(candidates)
         if best is None:
             break
@@ -203,7 +206,10 @@ def combinatorial_min_cost(
         applied[t] = applied[t] + vector
         spent[t] += cost_value
         state.matrix[t] = state.matrix[t] + vector
-        mask = state.joint_mask()
+        tally("iterations")
+        tally("evaluations")
+        with stage("evaluate"):
+            mask = state.joint_mask()
         log.append((t, j, cost_value))
         stalls = stalls + 1 if int(mask.sum()) <= before else 0
         if stalls >= 2:
@@ -250,9 +256,11 @@ def combinatorial_max_hit(
 
     while total < budget and len(log) < max_rounds:
         # Slack granted once against the original budget (see max_hit_iq).
-        candidates = _candidates(
-            state, costs, spaces, applied, mask, margin, max_cost=(budget + EPS_COST) - total
-        )
+        with stage("candidates"):
+            candidates = _candidates(
+                state, costs, spaces, applied, mask, margin, max_cost=(budget + EPS_COST) - total
+            )
+        tally("candidates", len(candidates))
         best = _pick_best_ratio(candidates)
         if best is None:
             break  # §5.1 step 2: candidate set empty -> terminate
@@ -262,7 +270,10 @@ def combinatorial_max_hit(
         spent[t] += cost_value
         total += cost_value
         state.matrix[t] = state.matrix[t] + vector
-        mask = state.joint_mask()
+        tally("iterations")
+        tally("evaluations")
+        with stage("evaluate"):
+            mask = state.joint_mask()
         log.append((t, j, cost_value))
         stalls = stalls + 1 if int(mask.sum()) <= before else 0
         if stalls >= 2:

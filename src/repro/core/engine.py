@@ -42,22 +42,34 @@ from repro.core.boundary import (
 )
 from repro.core.combinatorial import (
     MultiTargetResult,
+    _normalize_per_target,
     combinatorial_max_hit,
     combinatorial_min_cost,
 )
 from repro.core.cost import CostFunction
 from repro.core.ese import StrategyEvaluator
 from repro.core.objects import Dataset
-from repro.core.plan import ExecutionPlan, build_plan
+from repro.core.plan import ExecutedPlan, ExecutionPlan, build_plan
 from repro.core.queries import QuerySet
 from repro.core.results import IQResult
 from repro.core.sharding import ShardedSubdomainIndex, build_index
-from repro.core.solvers import Solver, get_solver
+from repro.core.solvers import Solver, get_solver, registered_solvers
 from repro.core.strategy import StrategySpace
 from repro.core.subdomain import SubdomainIndex
 from repro.errors import ValidationError
 from repro.index.router import ShardRouter
-from repro.native import resolve_backend, use_backend
+from repro.native import native_available, resolve_backend, use_backend
+from repro.observe import (
+    StageRecorder,
+    choose_kernel,
+    choose_method,
+    default_store,
+    knob_advisories,
+    now,
+    observing,
+    stage,
+    workload_fingerprint,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.parallel.persistent import PersistentPool
@@ -220,6 +232,34 @@ class ImprovementQueryEngine:
             return self._plan("min_cost", target, tau, cost, space, method)[0]
         return self._plan("max_hit", target, float(budget), cost, space, method)[0]
 
+    def explain_multi(
+        self,
+        targets: list[int],
+        tau: int | None = None,
+        budget: float | None = None,
+        costs: "CostFunction | dict[int, CostFunction] | None" = None,
+        spaces: "StrategySpace | dict[int, StrategySpace] | None" = None,
+    ) -> tuple[ExecutionPlan, ...]:
+        """Per-target plans a multi-target call would run (nothing executes).
+
+        The combinatorial solver interleaves the targets in one joint
+        greedy loop (§5.1), so the plans share every index/kernel field
+        and differ only in ``target`` and per-target cost/space.
+        """
+        if (tau is None) == (budget is None):
+            raise ValidationError(
+                "explain_multi needs exactly one of tau (min_cost) or budget (max_hit)"
+            )
+        if tau is not None:
+            return self._plan_multi("min_cost", targets, tau, costs, spaces)[0]
+        return self._plan_multi("max_hit", targets, float(budget), costs, spaces)[0]
+
+    def _available_backends(self) -> tuple[str, ...]:
+        """Kernel backends the feedback rule may choose in this process."""
+        if native_available():
+            return ("python", "native")
+        return ("python",)
+
     def _plan(
         self,
         kind: str,
@@ -229,13 +269,36 @@ class ImprovementQueryEngine:
         space: StrategySpace | None,
         method: str,
     ) -> tuple[ExecutionPlan, CostFunction, StrategySpace | None]:
-        """Plan step: resolve the solver, internalize, snapshot the index."""
-        solver = get_solver(method)
-        cost_int, space_int = internalize(self.dataset, cost, space)
-        plan = build_plan(
-            self.index, solver, kind, target, goal, cost_int, space_int,
-            kernel=(self.kernel_requested, self.kernel_backend),
-        )
+        """Plan step: resolve the solver, internalize, snapshot the index.
+
+        ``method="auto"`` and an ``"auto"`` kernel request are resolved
+        here by the feedback rules (:mod:`repro.observe.feedback`)
+        against the recorded stats for this workload's fingerprint; each
+        resolution appends its stat-citing note to the plan.
+        """
+        with stage("plan"):
+            extra_notes: list[str] = []
+            kernel = (self.kernel_requested, self.kernel_backend)
+            if method == "auto" or self.kernel_requested == "auto":
+                fingerprint = workload_fingerprint(self.index, kind)
+                store = default_store()
+                if method == "auto":
+                    choice = choose_method(store, fingerprint, registered_solvers())
+                    method = choice.value
+                    extra_notes.append(choice.note)
+                if self.kernel_requested == "auto":
+                    kernel_choice = choose_kernel(
+                        store, fingerprint, self._available_backends()
+                    )
+                    if kernel_choice is not None:
+                        kernel = (self.kernel_requested, kernel_choice.value)
+                        extra_notes.append(kernel_choice.note)
+            solver = get_solver(method)
+            cost_int, space_int = internalize(self.dataset, cost, space)
+            plan = build_plan(
+                self.index, solver, kind, target, goal, cost_int, space_int,
+                extra_notes=tuple(extra_notes), kernel=kernel,
+            )
         return plan, cost_int, space_int
 
     def _execute(
@@ -248,19 +311,94 @@ class ImprovementQueryEngine:
         method: str,
         kwargs: dict[str, object],
     ) -> IQResult:
+        """Plan-then-run for one query (see :meth:`_run`)."""
+        plan, cost_int, space_int = self._plan(kind, target, goal, cost, space, method)
+        return self._run(plan, kind, target, goal, cost_int, space_int, kwargs)
+
+    def _run(
+        self,
+        plan: ExecutionPlan,
+        kind: str,
+        target: int,
+        goal: float,
+        cost_int: CostFunction,
+        space_int: StrategySpace | None,
+        kwargs: dict[str, object],
+    ) -> IQResult:
         """Execute step: hand the planned solver its evaluator.
 
-        The engine\'s resolved kernel backend is pinned for the whole
+        The plan\'s resolved kernel backend is pinned for the whole
         solver run, so every ``_beats_batch`` / slab-scan dispatch under
         this call uses it regardless of the process-global default.
         """
-        plan, cost_int, space_int = self._plan(kind, target, goal, cost, space, method)
         with use_backend(plan.kernel_backend):
-            result = plan.solver.run(
-                kind, self._evaluator_for(plan.solver), target, goal,
-                cost_int, space_int, **kwargs,
-            )
+            with stage("solve"):
+                result = plan.solver.run(
+                    kind, self._evaluator_for(plan.solver), target, goal,
+                    cost_int, space_int, **kwargs,
+                )
         return externalize_result(self.dataset, result)
+
+    def analyze(
+        self,
+        target: int,
+        tau: int | None = None,
+        budget: float | None = None,
+        cost: CostFunction | None = None,
+        space: StrategySpace | None = None,
+        method: str = "efficient",
+        **kwargs: object,
+    ) -> tuple[IQResult, ExecutedPlan]:
+        """EXPLAIN ANALYZE: run the query and return ``(result, plan+stats)``.
+
+        The result is byte-identical to the plain :meth:`min_cost` /
+        :meth:`max_hit` call (``repro check --analyze`` enforces this):
+        the observation layer only reads the clock and counts.  The
+        executed plan is recorded in the process stats store, which is
+        what future ``method="auto"`` requests consult.
+        """
+        if (tau is None) == (budget is None):
+            raise ValidationError(
+                "analyze needs exactly one of tau (min_cost) or budget (max_hit)"
+            )
+        kind = "min_cost" if tau is not None else "max_hit"
+        goal: float = tau if tau is not None else float(budget)  # type: ignore[assignment]
+        recorder = StageRecorder()
+        started = now()
+        with observing(recorder):
+            plan, cost_int, space_int = self._plan(
+                kind, target, goal, cost, space, method
+            )
+            result = self._run(plan, kind, target, goal, cost_int, space_int, kwargs)
+        total = now() - started
+        executed = self._record_run(kind, plan, recorder, total)
+        return result, executed
+
+    def _record_run(
+        self,
+        kind: str,
+        plan: ExecutionPlan,
+        recorder: StageRecorder,
+        total_seconds: float,
+        record: bool = True,
+    ) -> ExecutedPlan:
+        """Build the :class:`ExecutedPlan` and file it in the stats store."""
+        store = default_store()
+        fingerprint = workload_fingerprint(self.index, kind)
+        advisories = tuple(
+            choice.note for choice in knob_advisories(store, fingerprint)
+        )
+        executed = ExecutedPlan.from_plan(
+            plan,
+            fingerprint=fingerprint,
+            total_seconds=total_seconds,
+            stage_seconds=recorder.seconds,
+            counts=recorder.counts,
+            extra_notes=advisories,
+        )
+        if record:
+            store.record(executed)
+        return executed
 
     def _evaluator_for(self, solver: Solver) -> StrategyEvaluator:
         """The evaluation engine a solver declares ("rta" or ESE default)."""
@@ -307,6 +445,76 @@ class ImprovementQueryEngine:
     # ------------------------------------------------------------------
     # Combinatorial (multi-target) improvement (§5.1)
     # ------------------------------------------------------------------
+    def _plan_multi(
+        self,
+        kind: str,
+        targets: list[int],
+        goal: float,
+        costs: "CostFunction | dict[int, CostFunction] | None",
+        spaces: "StrategySpace | dict[int, StrategySpace] | None",
+    ) -> tuple[
+        tuple[ExecutionPlan, ...],
+        "CostFunction | dict[int, CostFunction]",
+        "StrategySpace | dict[int, StrategySpace] | None",
+    ]:
+        """Plan step for a combinatorial query: one plan per target.
+
+        Every target id is validated *before* any internalization or
+        solver work runs, so an invalid id fails with
+        :class:`~repro.errors.ValidationError` and leaves nothing half
+        done; each plan snapshots the same index epoch the joint greedy
+        loop will run against.
+        """
+        with stage("plan"):
+            target_list = [int(t) for t in targets]
+            if not target_list:
+                raise ValidationError("multi-target query needs at least one target")
+            for t in target_list:
+                self.dataset._check_id(t)
+            solver = get_solver("efficient")
+            costs_int, spaces_int = internalize_multi(
+                self.dataset, target_list, costs, spaces
+            )
+            costs_map = _normalize_per_target(costs_int, target_list, "cost function")
+            if isinstance(spaces_int, dict):
+                spaces_map: dict[int, StrategySpace | None] = dict(
+                    _normalize_per_target(spaces_int, target_list, "strategy space")
+                )
+            else:
+                spaces_map = {t: spaces_int for t in target_list}
+            note = (
+                f"combinatorial {kind} over {len(target_list)} targets: one joint "
+                f"greedy loop interleaves per-target moves (§5.1)"
+            )
+            plans = tuple(
+                build_plan(
+                    self.index, solver, kind, t, goal, costs_map[t], spaces_map[t],
+                    extra_notes=(note,),
+                    kernel=(self.kernel_requested, self.kernel_backend),
+                )
+                for t in target_list
+            )
+        return plans, costs_int, spaces_int
+
+    def _run_multi(
+        self,
+        plans: tuple[ExecutionPlan, ...],
+        kind: str,
+        goal: float,
+        costs_int: "CostFunction | dict[int, CostFunction]",
+        spaces_int: "StrategySpace | dict[int, StrategySpace] | None",
+        kwargs: dict[str, object],
+    ) -> MultiTargetResult:
+        """Execute step for a combinatorial query (joint greedy loop)."""
+        solve = combinatorial_min_cost if kind == "min_cost" else combinatorial_max_hit
+        targets = [plan.target for plan in plans]
+        with use_backend(plans[0].kernel_backend):
+            with stage("solve"):
+                result = solve(
+                    self.index, targets, goal, costs_int, spaces_int, **kwargs
+                )
+        return externalize_multi(self.dataset, result)
+
     def min_cost_multi(
         self,
         targets: list[int],
@@ -316,10 +524,10 @@ class ImprovementQueryEngine:
         **kwargs: object,
     ) -> MultiTargetResult:
         """Combinatorial Min-Cost IQ over several targets (Def. 5)."""
-        costs_int, spaces_int = internalize_multi(self.dataset, targets, costs, spaces)
-        with use_backend(self.kernel_backend):
-            result = combinatorial_min_cost(self.index, list(targets), tau, costs_int, spaces_int, **kwargs)
-        return externalize_multi(self.dataset, result)
+        plans, costs_int, spaces_int = self._plan_multi(
+            "min_cost", targets, tau, costs, spaces
+        )
+        return self._run_multi(plans, "min_cost", tau, costs_int, spaces_int, kwargs)
 
     def max_hit_multi(
         self,
@@ -330,10 +538,48 @@ class ImprovementQueryEngine:
         **kwargs: object,
     ) -> MultiTargetResult:
         """Combinatorial Max-Hit IQ over several targets (Def. 6)."""
-        costs_int, spaces_int = internalize_multi(self.dataset, targets, costs, spaces)
-        with use_backend(self.kernel_backend):
-            result = combinatorial_max_hit(self.index, list(targets), budget, costs_int, spaces_int, **kwargs)
-        return externalize_multi(self.dataset, result)
+        plans, costs_int, spaces_int = self._plan_multi(
+            "max_hit", targets, float(budget), costs, spaces
+        )
+        return self._run_multi(
+            plans, "max_hit", float(budget), costs_int, spaces_int, kwargs
+        )
+
+    def analyze_multi(
+        self,
+        targets: list[int],
+        tau: int | None = None,
+        budget: float | None = None,
+        costs: CostFunction | dict[int, CostFunction] | None = None,
+        spaces: StrategySpace | dict[int, StrategySpace] | None = None,
+        **kwargs: object,
+    ) -> tuple[MultiTargetResult, tuple[ExecutedPlan, ...]]:
+        """EXPLAIN ANALYZE for a combinatorial query.
+
+        Returns the (byte-identical) multi-target result plus one
+        :class:`ExecutedPlan` per target; the joint greedy loop is one
+        run, so the per-target plans share the same observed timings and
+        only the first is filed in the stats store.
+        """
+        if (tau is None) == (budget is None):
+            raise ValidationError(
+                "analyze_multi needs exactly one of tau (min_cost) or budget (max_hit)"
+            )
+        kind = "min_cost" if tau is not None else "max_hit"
+        goal: float = tau if tau is not None else float(budget)  # type: ignore[assignment]
+        recorder = StageRecorder()
+        started = now()
+        with observing(recorder):
+            plans, costs_int, spaces_int = self._plan_multi(
+                kind, targets, goal, costs, spaces
+            )
+            result = self._run_multi(plans, kind, goal, costs_int, spaces_int, kwargs)
+        total = now() - started
+        executed = tuple(
+            self._record_run(kind, plan, recorder, total, record=(i == 0))
+            for i, plan in enumerate(plans)
+        )
+        return result, executed
 
     # ------------------------------------------------------------------
     # Workload / dataset maintenance (§4.3)

@@ -19,6 +19,7 @@ from repro.core.ese import StrategyEvaluator
 from repro.core.results import IQResult, IterationRecord
 from repro.core.strategy import Strategy, StrategySpace
 from repro.errors import ValidationError
+from repro.observe import stage, tally
 from repro.optimize.hit_cost import DEFAULT_MARGIN
 
 __all__ = ["min_cost_iq"]
@@ -115,7 +116,10 @@ def _apply(
 ) -> None:
     state.applied = state.applied + batch.vectors[pick]
     state.spent += float(batch.costs[pick])
-    state.mask = evaluator.hits_mask(state.target, state.position)
+    tally("iterations")
+    tally("evaluations")
+    with stage("evaluate"):
+        state.mask = evaluator.hits_mask(state.target, state.position)
     records.append(
         IterationRecord(
             query_id=int(batch.query_ids[pick]),

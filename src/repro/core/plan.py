@@ -13,11 +13,17 @@ candidate-generation scheme, and with which fallback caveats.
 :class:`ExecutionPlan` is frozen — a plan describes one query at one
 index epoch and is never mutated; re-planning after an index mutation
 yields a plan with a newer ``epoch``.
+
+:class:`ExecutedPlan` extends the plan with what ``EXPLAIN ANALYZE``
+observed while actually running it — per-stage wall-clock and work
+counters from the :mod:`repro.observe` recorder — plus the workload
+fingerprint the stats store filed the run under.  It stays frozen for
+the same reason: it describes one *completed* run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.core.boundary import describe_cost, describe_space
 from repro.core.cost import CostFunction
@@ -26,7 +32,13 @@ from repro.core.solvers import QUERY_KINDS, Solver
 from repro.core.strategy import StrategySpace
 from repro.errors import ValidationError
 
-__all__ = ["ExecutionPlan", "PLAN_FIELDS", "build_plan"]
+__all__ = [
+    "ANALYZE_FIELDS",
+    "ExecutedPlan",
+    "ExecutionPlan",
+    "PLAN_FIELDS",
+    "build_plan",
+]
 
 #: Ordered field names every plan rendering (CLI, SQL, bench JSON)
 #: exposes; kept in lock-step with :meth:`ExecutionPlan.to_dict`.
@@ -53,6 +65,21 @@ PLAN_FIELDS = (
     "cost",
     "space",
     "notes",
+)
+
+#: Ordered observation field names an ``EXPLAIN ANALYZE`` rendering
+#: appends after :data:`PLAN_FIELDS`; kept in lock-step with
+#: :meth:`ExecutedPlan.to_dict`.
+ANALYZE_FIELDS = (
+    "fingerprint",
+    "total_seconds",
+    "plan_seconds",
+    "candidates_seconds",
+    "evaluate_seconds",
+    "solve_seconds",
+    "candidates_generated",
+    "evaluations",
+    "iterations",
 )
 
 
@@ -133,7 +160,17 @@ class ExecutionPlan:
         """``(field, rendered value)`` pairs for tabular display."""
         out: list[tuple[str, str]] = []
         for name, value in self.to_dict().items():
-            if isinstance(value, list):
+            if name == "goal":
+                # A Min-Cost tau is a hit-count and reads as one; a
+                # Max-Hit budget keeps its float-ness so ``goal=2.0``
+                # cannot be mistaken for a tau of 2.
+                if self.kind == "min_cost" and float(value).is_integer():  # type: ignore[arg-type]
+                    rendered = str(int(value))  # type: ignore[arg-type]
+                else:
+                    rendered = str(float(value))  # type: ignore[arg-type]
+            elif name.endswith("_seconds"):
+                rendered = f"{float(value):.6f}"  # type: ignore[arg-type]
+            elif isinstance(value, list):
                 rendered = "; ".join(str(item) for item in value)
             elif isinstance(value, float) and float(value).is_integer():
                 rendered = str(int(value))
@@ -144,8 +181,75 @@ class ExecutionPlan:
 
     def render(self) -> str:
         """Multi-line ``field = value`` text block (the CLI's EXPLAIN)."""
-        width = max(len(name) for name in PLAN_FIELDS)
-        return "\n".join(f"{name:<{width}}  {value}" for name, value in self.rows())
+        rows = self.rows()
+        width = max(len(name) for name, _ in rows)
+        return "\n".join(f"{name:<{width}}  {value}" for name, value in rows)
+
+
+@dataclass(frozen=True)
+class ExecutedPlan(ExecutionPlan):
+    """An :class:`ExecutionPlan` plus what actually happened when it ran.
+
+    Produced by ``engine.analyze(...)`` / ``EXPLAIN ANALYZE``: the base
+    plan fields are copied verbatim from the plan that ran (plus any
+    feedback-advisory notes), and the observation fields carry the
+    :mod:`repro.observe` recorder's per-stage wall-clock and counters.
+    Stage seconds are honest per-region wall-clock, not an exclusive
+    partition — ``evaluate`` time spent scoring a candidate batch is
+    also inside ``candidates``.
+    """
+
+    fingerprint: str = ""  #: stats-store workload key the run was filed under
+    total_seconds: float = 0.0  #: end-to-end wall-clock of the analyzed call
+    plan_seconds: float = 0.0
+    candidates_seconds: float = 0.0
+    evaluate_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    candidates_generated: int = 0
+    evaluations: int = 0  #: full hit evaluations (ESE/RTA) performed
+    iterations: int = 0  #: greedy iterations applied
+
+    @classmethod
+    def from_plan(
+        cls,
+        plan: ExecutionPlan,
+        *,
+        fingerprint: str,
+        total_seconds: float,
+        stage_seconds: dict[str, float],
+        counts: dict[str, int],
+        extra_notes: tuple[str, ...] = (),
+    ) -> "ExecutedPlan":
+        """Attach one run's observations to the plan that produced it."""
+        base = {f.name: getattr(plan, f.name) for f in fields(ExecutionPlan)}
+        base["notes"] = tuple(base["notes"]) + tuple(extra_notes)
+        return cls(
+            **base,
+            fingerprint=fingerprint,
+            total_seconds=float(total_seconds),
+            plan_seconds=float(stage_seconds.get("plan", 0.0)),
+            candidates_seconds=float(stage_seconds.get("candidates", 0.0)),
+            evaluate_seconds=float(stage_seconds.get("evaluate", 0.0)),
+            solve_seconds=float(stage_seconds.get("solve", 0.0)),
+            candidates_generated=int(counts.get("candidates", 0)),
+            evaluations=int(counts.get("evaluations", 0)),
+            iterations=int(counts.get("iterations", 0)),
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """Plan fields then observations: :data:`PLAN_FIELDS` +
+        :data:`ANALYZE_FIELDS` order."""
+        values = super().to_dict()
+        values["fingerprint"] = self.fingerprint
+        values["total_seconds"] = self.total_seconds
+        values["plan_seconds"] = self.plan_seconds
+        values["candidates_seconds"] = self.candidates_seconds
+        values["evaluate_seconds"] = self.evaluate_seconds
+        values["solve_seconds"] = self.solve_seconds
+        values["candidates_generated"] = self.candidates_generated
+        values["evaluations"] = self.evaluations
+        values["iterations"] = self.iterations
+        return values
 
 
 def build_plan(

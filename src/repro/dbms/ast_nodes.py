@@ -147,6 +147,12 @@ class Improve:
 
 @dataclass(frozen=True)
 class ExplainImprove:
-    """EXPLAIN IMPROVE ... — plan the wrapped IMPROVE without running it."""
+    """EXPLAIN [ANALYZE] IMPROVE ... — plan the wrapped IMPROVE.
+
+    Plain EXPLAIN plans without running; EXPLAIN ANALYZE runs the query
+    (results discarded, byte-identical to the plain IMPROVE) and extends
+    each plan row with the observed per-stage timings and counters.
+    """
 
     statement: Improve
+    analyze: bool = False

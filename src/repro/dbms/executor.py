@@ -116,7 +116,9 @@ class Database:
         if isinstance(stmt, ast.Improve):
             return self.improvements.improve(stmt, self._matching_row_ids)
         if isinstance(stmt, ast.ExplainImprove):
-            return self.improvements.explain(stmt.statement, self._matching_row_ids)
+            return self.improvements.explain(
+                stmt.statement, self._matching_row_ids, analyze=stmt.analyze
+            )
         raise SQLExecutionError(f"unsupported statement {type(stmt).__name__}")
 
     # ------------------------------------------------------------------

@@ -25,7 +25,7 @@ import numpy as np
 from repro.core.cost import L1Cost, L2Cost, LInfCost
 from repro.core.engine import ImprovementQueryEngine
 from repro.core.objects import Dataset
-from repro.core.plan import PLAN_FIELDS
+from repro.core.plan import ANALYZE_FIELDS, PLAN_FIELDS
 from repro.core.queries import QuerySet
 from repro.core.strategy import StrategySpace
 from repro.dbms import ast_nodes as ast
@@ -160,28 +160,73 @@ class ImprovementService:
         space = self._space(stmt.adjust, definition, dim)
         return definition, table, targets, engine, cost, space
 
-    def explain(self, stmt: ast.Improve, matching_row_ids):
-        """EXPLAIN IMPROVE: one plan row per target, nothing executed.
+    def explain(self, stmt: ast.Improve, matching_row_ids, analyze: bool = False):
+        """EXPLAIN [ANALYZE] IMPROVE: one plan row per target.
 
-        The plan fields are exactly those an executed IMPROVE with the
-        same clauses would run (``engine.explain`` builds both).
+        Plain EXPLAIN builds the plans an executed IMPROVE with the same
+        clauses would run and executes nothing; multi-target statements
+        plan through ``engine.explain_multi`` so the rows reflect the
+        one joint combinatorial loop that would actually run.  With
+        ``analyze`` the wrapped IMPROVE runs (results discarded,
+        byte-identical to the plain statement) and each row is extended
+        with the observed per-stage timings and counters
+        (:data:`~repro.core.plan.ANALYZE_FIELDS`).
         """
         from repro.dbms.executor import ResultSet  # local import to avoid a cycle
 
         _, _, targets, engine, cost, space = self._prepare(stmt, matching_row_ids)
         columns = ["rowid"] + list(PLAN_FIELDS)
-        rows = []
-        for target in targets:
-            plan = engine.explain(
-                target,
-                tau=stmt.reach,
-                budget=stmt.budget,
-                cost=cost,
-                space=space,
-                method=stmt.method,
-            )
-            rows.append([target] + [value for _, value in plan.rows()])
-        return ResultSet(columns, rows, status=f"EXPLAIN IMPROVE {len(targets)}")
+        if analyze:
+            columns += list(ANALYZE_FIELDS)
+        if len(targets) == 1:
+            target = targets[0]
+            if analyze:
+                _, executed = engine.analyze(
+                    target,
+                    tau=stmt.reach,
+                    budget=stmt.budget,
+                    cost=cost,
+                    space=space,
+                    method=stmt.method,
+                )
+                plans = (executed,)
+            else:
+                plans = (
+                    engine.explain(
+                        target,
+                        tau=stmt.reach,
+                        budget=stmt.budget,
+                        cost=cost,
+                        space=space,
+                        method=stmt.method,
+                    ),
+                )
+        else:
+            if stmt.method not in ("efficient",):
+                raise SQLExecutionError(
+                    "multi-target IMPROVE supports METHOD efficient only"
+                )
+            if analyze:
+                _, plans = engine.analyze_multi(
+                    targets,
+                    tau=stmt.reach,
+                    budget=stmt.budget,
+                    costs=cost,
+                    spaces=space,
+                )
+            else:
+                plans = engine.explain_multi(
+                    targets,
+                    tau=stmt.reach,
+                    budget=stmt.budget,
+                    costs=cost,
+                    spaces=space,
+                )
+        rows = [
+            [plan.target] + [value for _, value in plan.rows()] for plan in plans
+        ]
+        verb = "EXPLAIN ANALYZE" if analyze else "EXPLAIN"
+        return ResultSet(columns, rows, status=f"{verb} IMPROVE {len(targets)}")
 
     def improve(self, stmt: ast.Improve, matching_row_ids):
         """Execute an IMPROVE statement; returns its ResultSet."""

@@ -132,12 +132,16 @@ class _Parser:
             return self.improve()
         if self.at_keyword("EXPLAIN"):
             self.advance()
+            analyze = False
+            if self.at_keyword("ANALYZE"):
+                self.advance()
+                analyze = True
             if not self.at_keyword("IMPROVE"):
                 raise SQLSyntaxError("EXPLAIN supports only IMPROVE statements")
             statement = self.improve()
             if statement.apply:
                 raise SQLSyntaxError("EXPLAIN IMPROVE cannot take APPLY")
-            return ast.ExplainImprove(statement=statement)
+            return ast.ExplainImprove(statement=statement, analyze=analyze)
         raise SQLSyntaxError(f"unexpected token {self.peek().value!r}")
 
     def create(self):

@@ -1,0 +1,64 @@
+"""Runtime observability: stage timing, run stats, and planner feedback.
+
+This package is the *only* place in the library allowed to read the
+process's monotonic wall clock (lint rule **RPR014**, the RPR013
+registry pattern applied to timing): every other module that wants a
+timestamp — the bench harness, the serving front end, the engine's
+``EXPLAIN ANALYZE`` path — imports :mod:`repro.observe.clock` instead
+of calling :func:`time.perf_counter` directly.  Confined timing is what
+makes the "analyzed runs are byte-identical to plain runs" contract
+checkable: the instrumentation can only ever *read the clock and count*,
+never touch solver state.
+
+Layers, bottom to top:
+
+* :mod:`repro.observe.clock` — the clock itself (``now``, ``Stopwatch``,
+  ``time_call``).
+* :mod:`repro.observe.stats` — the ambient :class:`StageRecorder`:
+  solver hot paths mark stages (``plan``/``candidates``/``evaluate``/
+  ``solve``) and bump counters through module functions that are no-ops
+  unless a recorder was activated with :func:`observing`.
+* :mod:`repro.observe.store` — the persisted :class:`StatsStore`:
+  analyzed runs are recorded under a workload-shape fingerprint, as JSON
+  when a path is configured (``--stats`` / ``REPRO_STATS``).
+* :mod:`repro.observe.feedback` — the feedback planner rules:
+  ``method="auto"`` (and an ``auto``-kernel hint) choose from recorded
+  medians, and every choice carries a note citing the stat behind it.
+"""
+
+from repro.observe.clock import Stopwatch, now, time_call
+from repro.observe.feedback import Choice, choose_kernel, choose_method, knob_advisories
+from repro.observe.stats import (
+    COUNTERS,
+    STAGES,
+    StageRecorder,
+    observing,
+    stage,
+    tally,
+)
+from repro.observe.store import (
+    StatsStore,
+    configure_store,
+    default_store,
+    workload_fingerprint,
+)
+
+__all__ = [
+    "COUNTERS",
+    "Choice",
+    "STAGES",
+    "StageRecorder",
+    "StatsStore",
+    "Stopwatch",
+    "choose_kernel",
+    "choose_method",
+    "configure_store",
+    "default_store",
+    "knob_advisories",
+    "now",
+    "observing",
+    "stage",
+    "tally",
+    "time_call",
+    "workload_fingerprint",
+]

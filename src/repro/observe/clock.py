@@ -1,0 +1,48 @@
+"""The library's wall clock — the sole legal home of ``perf_counter``.
+
+Lint rule **RPR014** rejects monotonic-clock calls anywhere outside
+``repro/observe``; everything that measures time (the bench harness,
+the serving stats, the ``EXPLAIN ANALYZE`` recorder) routes through
+these three primitives.  Keeping the clock behind one seam means a test
+or a differential harness can reason about *every* timing side effect
+in the codebase by reading this file.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, TypeVar
+
+__all__ = ["Stopwatch", "now", "time_call"]
+
+_T = TypeVar("_T")
+
+
+def now() -> float:
+    """Monotonic wall-clock seconds (arbitrary epoch; differences only)."""
+    return time.perf_counter()
+
+
+class Stopwatch:
+    """Accumulating wall-clock timer (re-enterable context manager)."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = now()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        if self._started is not None:
+            self.elapsed += now() - self._started
+        self._started = None
+        return False
+
+
+def time_call(fn: Callable[..., _T], *args: Any, **kwargs: Any) -> tuple[_T, float]:
+    """``(result, seconds)`` of one call."""
+    start = now()
+    result = fn(*args, **kwargs)
+    return result, now() - start

@@ -1,0 +1,241 @@
+"""The persisted runtime-stats store feeding the feedback planner.
+
+Every ``EXPLAIN ANALYZE`` run records one entry — solver method, total
+seconds, evaluation count, resolved kernel backend, pool/shard shape —
+under a *workload fingerprint*: the query kind plus the index's mode,
+sense, dimensionality, and size buckets.  Sizes are bucketed to powers
+of two so a 24-object workload and a 30-object workload share stats (a
+planner that only recognizes byte-identical workloads never has data),
+while a 10x larger one does not.
+
+The store is JSON on disk when constructed with a path (CLI ``--stats``
+or the ``REPRO_STATS`` environment variable) and memory-only otherwise;
+either way the feedback rules in :mod:`repro.observe.feedback` read it
+through the same API.  Samples per (fingerprint, method) are capped at
+:data:`MAX_SAMPLES`, keeping the newest — the feedback medians should
+track the current machine, not the file's whole history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Protocol
+
+__all__ = [
+    "MAX_SAMPLES",
+    "STATS_SCHEMA",
+    "StatsStore",
+    "configure_store",
+    "default_store",
+    "workload_fingerprint",
+]
+
+#: Schema tag written into every persisted stats file.
+STATS_SCHEMA = "repro-stats/1"
+
+#: Newest samples kept per (fingerprint, method).
+MAX_SAMPLES = 32
+
+#: Environment variable naming the default store's JSON path.
+STATS_ENV = "REPRO_STATS"
+
+
+class _DatasetLike(Protocol):  # pragma: no cover - typing only
+    n: int
+    dim: int
+    sense: str
+
+
+class _IndexLike(Protocol):  # pragma: no cover - typing only
+    @property
+    def dataset(self) -> _DatasetLike: ...
+
+    @property
+    def mode(self) -> str: ...
+
+    @property
+    def shards(self) -> int: ...
+
+
+def _bucket(count: int) -> int:
+    """Smallest power of two >= count (0 and 1 map to themselves)."""
+    if count <= 1:
+        return max(count, 0)
+    return 1 << (count - 1).bit_length()
+
+
+def workload_fingerprint(index: _IndexLike, kind: str) -> str:
+    """The stats-store key for one query kind against one index shape.
+
+    Deliberately excludes the solver method and the kernel backend —
+    those are the *dimensions being compared* under the key — and the
+    index epoch: mutations move answers, not the relative cost of the
+    processing schemes.
+    """
+    dataset = index.dataset
+    queries = index.queries  # type: ignore[attr-defined]
+    return (
+        f"kind={kind}|mode={index.mode}|sense={dataset.sense}"
+        f"|d={dataset.dim}|n={_bucket(dataset.n)}|m={_bucket(queries.m)}"
+    )
+
+
+class StatsStore:
+    """Recorded analyzed-run samples, keyed by workload fingerprint.
+
+    Thread-safe for the serving layer (a reader thread and a dispatch
+    loop may both touch the process-default store); persistence is
+    explicit via :meth:`save` and automatic after every :meth:`record`
+    when the store has a path.
+    """
+
+    def __init__(self, path: "str | os.PathLike[str] | None" = None) -> None:
+        self.path = os.fspath(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._workloads: dict[str, dict[str, list[dict[str, Any]]]] = {}
+        if self.path is not None and os.path.exists(self.path):
+            self._load(self.path)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _load(self, path: str) -> None:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("schema") != STATS_SCHEMA:
+            # A foreign or future file must not silently poison the
+            # feedback medians; start fresh and overwrite on save.
+            return
+        workloads = payload.get("workloads", {})
+        if isinstance(workloads, dict):
+            self._workloads = {
+                str(fingerprint): {
+                    str(method): [dict(sample) for sample in samples][-MAX_SAMPLES:]
+                    for method, samples in methods.items()
+                    if isinstance(samples, list)
+                }
+                for fingerprint, methods in workloads.items()
+                if isinstance(methods, dict)
+            }
+
+    def save(self) -> None:
+        """Write the store to its path (no-op for memory-only stores)."""
+        if self.path is None:
+            return
+        # Snapshot under the lock, write after release (RPR011): file
+        # I/O must not stall a serving thread reading the medians.
+        payload = self.as_dict()
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot (what :meth:`save` persists)."""
+        with self._lock:
+            return {
+                "schema": STATS_SCHEMA,
+                "workloads": {
+                    fingerprint: {m: list(s) for m, s in methods.items()}
+                    for fingerprint, methods in self._workloads.items()
+                },
+            }
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, plan: Any) -> None:
+        """Record one analyzed run (an ``ExecutedPlan``) and persist.
+
+        Accepts any object with the executed-plan surface (duck-typed so
+        this layer never imports :mod:`repro.core`): ``fingerprint``,
+        ``solver_name``, ``total_seconds``, ``evaluations``,
+        ``kernel_backend``, ``workers``, ``shards``.
+        """
+        fingerprint = str(plan.fingerprint)
+        if not fingerprint:
+            return
+        sample = {
+            "seconds": float(plan.total_seconds),
+            "evaluations": int(plan.evaluations),
+            "kernel": str(plan.kernel_backend),
+            "workers": int(plan.workers),
+            "shards": int(plan.shards),
+        }
+        with self._lock:
+            methods = self._workloads.setdefault(fingerprint, {})
+            samples = methods.setdefault(str(plan.solver_name), [])
+            samples.append(sample)
+            del samples[:-MAX_SAMPLES]
+        self.save()
+
+    # ------------------------------------------------------------------
+    # Reading (the feedback rules' API)
+    # ------------------------------------------------------------------
+    def fingerprints(self) -> list[str]:
+        """Sorted workload fingerprints with at least one recorded run."""
+        with self._lock:
+            return sorted(self._workloads)
+
+    def samples(self, fingerprint: str) -> dict[str, list[dict[str, Any]]]:
+        """Per-method sample lists recorded under ``fingerprint``."""
+        with self._lock:
+            methods = self._workloads.get(fingerprint, {})
+            return {method: list(samples) for method, samples in methods.items()}
+
+    def method_medians(self, fingerprint: str) -> list[tuple[str, float, int]]:
+        """``(method, median_seconds, runs)`` sorted fastest first.
+
+        Ties break toward the method name, so the choice is stable
+        across runs with equal medians.
+        """
+        out = []
+        for method, samples in self.samples(fingerprint).items():
+            if samples:
+                out.append((method, _median(s["seconds"] for s in samples), len(samples)))
+        return sorted(out, key=lambda item: (item[1], item[0]))
+
+    def knob_medians(self, fingerprint: str, knob: str) -> list[tuple[str, float, int]]:
+        """``(value, median_seconds, runs)`` per recorded ``knob`` value.
+
+        ``knob`` is a sample field (``kernel``, ``workers``, ``shards``);
+        values are compared across *all* methods recorded under the
+        fingerprint, sorted fastest first.
+        """
+        groups: dict[str, list[float]] = {}
+        for samples in self.samples(fingerprint).values():
+            for sample in samples:
+                if knob in sample:
+                    groups.setdefault(str(sample[knob]), []).append(float(sample["seconds"]))
+        out = [(value, _median(seconds), len(seconds)) for value, seconds in groups.items()]
+        return sorted(out, key=lambda item: (item[1], item[0]))
+
+
+def _median(values: Any) -> float:
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        return 0.0
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+#: Process-default store, created lazily from ``REPRO_STATS``.
+_DEFAULT: StatsStore | None = None
+
+
+def default_store() -> StatsStore:
+    """The process-default stats store (memory-only without ``REPRO_STATS``)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = StatsStore(os.environ.get(STATS_ENV) or None)
+    return _DEFAULT
+
+
+def configure_store(path: "str | os.PathLike[str] | None") -> StatsStore:
+    """Rebind the process-default store (CLI ``--stats``); returns it."""
+    global _DEFAULT
+    _DEFAULT = StatsStore(path)
+    return _DEFAULT

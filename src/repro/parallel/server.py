@@ -48,12 +48,12 @@ from __future__ import annotations
 
 import json
 import threading
-import time
 from collections import deque
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import TYPE_CHECKING, Iterable, Protocol
 
 from repro.errors import ReproError, ValidationError
+from repro.observe import now
 from repro.parallel.batch import IQRequest, _validate_requests
 from repro.parallel.persistent import PersistentPool
 
@@ -89,7 +89,8 @@ class ServerStats:
     batches: int = 0  #: pool dispatches
     refreshes: int = 0  #: pool re-forks observed (epoch invalidations)
     restarts: int = 0  #: pool re-forks forced by worker crashes
-    seconds: float = 0.0  #: wall-clock time of the serve session
+    seconds: float = 0.0  #: wall-clock time of the serve session (so far)
+    dispatch_seconds: float = 0.0  #: wall-clock spent inside pool dispatches
     workers: int = 0  #: resolved pool size (0/1 = serial reference)
     kernel: str = "python"  #: resolved kernel backend the engine serves with
     mmap_resident: int = 0  #: hot arrays served zero-copy from the page cache
@@ -101,10 +102,18 @@ class ServerStats:
             return 0.0
         return self.served / self.seconds
 
+    @property
+    def avg_request_seconds(self) -> float:
+        """Mean pool-dispatch wall-clock per successful response."""
+        if self.served <= 0:
+            return 0.0
+        return self.dispatch_seconds / self.served
+
     def as_dict(self) -> "dict[str, object]":
         """JSON-ready snapshot (what the ``stats`` control op reports)."""
         payload: "dict[str, object]" = dict(asdict(self))
         payload["throughput"] = self.throughput
+        payload["avg_request_seconds"] = self.avg_request_seconds
         return payload
 
 
@@ -191,6 +200,7 @@ class IQServer:
         self._done = False
         self._serving = False
         self._stats = ServerStats()
+        self._started: "float | None" = None
         self._reader_error: "Exception | None" = None
 
     @property
@@ -261,7 +271,7 @@ class IQServer:
             self._emit({"ok": True, "op": "shutdown", "draining": len(self._queue)})
             return True
         if op == "stats":
-            snapshot = self._stats.as_dict()
+            snapshot = self._snapshot_stats().as_dict()
             snapshot["queued"] = len(self._queue)
             self._emit({"ok": True, "op": "stats", "stats": snapshot})
             return False
@@ -310,10 +320,25 @@ class IQServer:
                 batch.append(self._queue.popleft())
             return batch
 
+    def _snapshot_stats(self) -> ServerStats:
+        """A stats copy with ``seconds`` computed *now*, not at stream end.
+
+        The reader thread answers mid-stream ``stats`` ops from this
+        snapshot; mutating ``self._stats.seconds`` here instead would
+        race the dispatch loop's counters, and the stale field was
+        exactly the bug — zero elapsed time (and a zeroed throughput)
+        until the stream ended.
+        """
+        stats = replace(self._stats)
+        if self._serving and self._started is not None:
+            stats.seconds = now() - self._started
+        return stats
+
     def _serve_batch(self, batch: "list[_Pending]") -> None:
         self._stats.batches += 1
         generation = self._pool.generation
         restarts = self._pool.restarts
+        dispatched = now()
         try:
             outcomes = self._pool.run_outcomes([item.request for item in batch])
         except ReproError as exc:
@@ -325,6 +350,7 @@ class IQServer:
                 self._emit_error(item.request_id, exc)
             return
         finally:
+            self._stats.dispatch_seconds += now() - dispatched
             self._stats.restarts += self._pool.restarts - restarts
             self._stats.refreshes += self._pool.generation - generation
         for item, (ok, value) in zip(batch, outcomes):
@@ -363,7 +389,7 @@ class IQServer:
         self._done = False
         self._reader_error = None
         self._queue.clear()
-        started = time.perf_counter()
+        self._started = started = now()
         thread = threading.Thread(target=self._read_loop, args=(reader,), daemon=True)
         thread.start()
         try:
@@ -384,7 +410,7 @@ class IQServer:
                 self._done = True
                 self._cond.notify_all()
             thread.join(timeout=self.READER_JOIN_GRACE)
-            self._stats.seconds = time.perf_counter() - started
+            self._stats.seconds = now() - started
             self._serving = False
         if self._reader_error is not None:
             raise ReproError(

@@ -471,6 +471,71 @@ class TestIndexFactory:
 
 
 # ----------------------------------------------------------------------
+# RPR014: monotonic-clock reads confined to repro/observe
+# ----------------------------------------------------------------------
+class TestTimingSource:
+    def test_triggers_on_perf_counter_call(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import time\nstart = time.perf_counter()\n",
+            select=frozenset({"RPR014"}),
+        )
+        assert codes(findings) == ["RPR014"]
+        assert findings[0].line == 2
+
+    def test_triggers_on_from_time_import(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "from time import perf_counter\n",
+            select=frozenset({"RPR014"}),
+        )
+        assert codes(findings) == ["RPR014"]
+
+    def test_triggers_on_monotonic_and_ns_variants(self, tmp_path):
+        source = """\
+        import time
+        a = time.monotonic()
+        b = time.perf_counter_ns()
+        c = time.process_time()
+        """
+        findings = lint_source(tmp_path, source, select=frozenset({"RPR014"}))
+        assert len(findings) == 3
+
+    def test_observe_layer_exempt(self, tmp_path):
+        (tmp_path / "observe").mkdir()
+        path = tmp_path / "observe" / "clock.py"
+        path.write_text("from time import perf_counter\nnow = perf_counter\n")
+        findings = lint_file(path, LintConfig(select=frozenset({"RPR014"})))
+        assert findings == []
+
+    def test_wall_clock_time_time_passes(self, tmp_path):
+        # time.time() is a wall clock, not a monotonic measurement seam;
+        # RPR014 targets duration measurement only.
+        findings = lint_source(
+            tmp_path,
+            "import time\nstamp = time.time()\n",
+            select=frozenset({"RPR014"}),
+        )
+        assert findings == []
+
+    def test_observe_clock_import_passes(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "from repro.observe.clock import Stopwatch, now, time_call\n",
+            select=frozenset({"RPR014"}),
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import time\nt = time.perf_counter()  # repro: noqa[RPR014]\n",
+            select=frozenset({"RPR014"}),
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # Self-application: the library obeys its own rules
 # ----------------------------------------------------------------------
 def test_repro_source_tree_is_lint_clean():

@@ -1,0 +1,180 @@
+"""EXPLAIN ANALYZE at the engine level: parity, stats, feedback planning."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ImprovementQueryEngine
+from repro.core.objects import Dataset
+from repro.core.plan import ANALYZE_FIELDS, PLAN_FIELDS, ExecutedPlan, ExecutionPlan
+from repro.core.queries import QuerySet
+from repro.errors import ValidationError
+from repro.observe import configure_store, default_store, workload_fingerprint
+
+
+@pytest.fixture(autouse=True)
+def _fresh_store():
+    """Each test starts from a cold, memory-only process store."""
+    configure_store(None)
+    yield
+    configure_store(None)
+
+
+@pytest.fixture
+def engine(rng):
+    dataset = Dataset(rng.random((18, 3)))
+    queries = QuerySet(rng.random((30, 3)), ks=rng.integers(1, 5, 30))
+    return ImprovementQueryEngine(dataset, queries)
+
+
+def assert_same_result(plain, analyzed):
+    for attr in ("target", "hits_before", "hits_after", "total_cost", "satisfied"):
+        assert getattr(plain, attr) == getattr(analyzed, attr), attr
+    assert np.array_equal(plain.strategy.vector, analyzed.strategy.vector)
+
+
+class TestParity:
+    def test_min_cost_byte_identical(self, engine):
+        plain = engine.min_cost(0, tau=10)
+        analyzed, executed = engine.analyze(0, tau=10)
+        assert_same_result(plain, analyzed)
+        assert isinstance(executed, ExecutedPlan)
+
+    def test_max_hit_byte_identical(self, engine):
+        plain = engine.max_hit(3, budget=0.4)
+        analyzed, executed = engine.analyze(3, budget=0.4)
+        assert_same_result(plain, analyzed)
+        assert executed.kind == "max_hit"
+
+    def test_every_registered_method_parity(self, engine):
+        for method in ("efficient", "rta", "greedy"):
+            plain = engine.min_cost(2, tau=8, method=method)
+            analyzed, executed = engine.analyze(2, tau=8, method=method)
+            assert_same_result(plain, analyzed)
+            assert executed.solver_name == method
+
+    def test_multi_target_byte_identical(self, engine):
+        targets = [0, 5, 9]
+        plain = engine.min_cost_multi(targets, tau=8)
+        analyzed, plans = engine.analyze_multi(targets, tau=8)
+        for attr in ("hits_before", "hits_after", "total_cost", "satisfied"):
+            assert getattr(plain, attr) == getattr(analyzed, attr), attr
+        for target in targets:
+            assert np.array_equal(
+                plain.strategies[target].vector, analyzed.strategies[target].vector
+            )
+        assert [plan.target for plan in plans] == targets
+
+    def test_needs_exactly_one_goal(self, engine):
+        with pytest.raises(ValidationError):
+            engine.analyze(0)
+        with pytest.raises(ValidationError):
+            engine.analyze(0, tau=5, budget=0.5)
+        with pytest.raises(ValidationError):
+            engine.analyze_multi([0, 1])
+
+
+class TestExecutedPlan:
+    def test_observations_filled(self, engine):
+        _, executed = engine.analyze(0, tau=10)
+        assert executed.total_seconds > 0.0
+        assert executed.solve_seconds > 0.0
+        assert executed.plan_seconds > 0.0
+        assert executed.evaluations > 0
+        assert executed.fingerprint == workload_fingerprint(engine.index, "min_cost")
+
+    def test_extends_the_plain_plan(self, engine):
+        plan = engine.explain(0, tau=10)
+        _, executed = engine.analyze(0, tau=10)
+        for name in ("kind", "target", "goal", "sense", "epoch", "kernel_backend"):
+            assert getattr(executed, name) == getattr(plan, name), name
+
+    def test_to_dict_appends_analyze_fields_in_order(self, engine):
+        _, executed = engine.analyze(0, tau=10)
+        assert tuple(executed.to_dict()) == PLAN_FIELDS + ANALYZE_FIELDS
+
+    def test_render_includes_timings(self, engine):
+        _, executed = engine.analyze(0, tau=10)
+        text = executed.render()
+        assert "total_seconds" in text
+        assert "candidates_generated" in text
+
+    def test_multi_plans_share_one_runs_observations(self, engine):
+        _, plans = engine.analyze_multi([0, 5], tau=8)
+        assert plans[0].total_seconds == plans[1].total_seconds
+        assert plans[0].evaluations == plans[1].evaluations
+
+    def test_analyzed_runs_are_recorded(self, engine):
+        _, executed = engine.analyze(0, tau=10)
+        samples = default_store().samples(executed.fingerprint)
+        assert executed.solver_name in samples
+        assert len(samples[executed.solver_name]) == 1
+
+
+class TestFeedbackPlanning:
+    def test_cold_auto_behaves_like_static_default_and_says_so(self, engine):
+        plan = engine.explain(0, tau=10, method="auto")
+        assert plan.solver_name == "efficient"
+        assert any("no recorded runs" in note for note in plan.notes)
+
+    def test_auto_choice_cites_recorded_stat(self, engine):
+        engine.analyze(0, tau=10, method="rta")
+        plan = engine.explain(0, tau=10, method="auto")
+        assert plan.solver_name == "rta"
+        cited = [note for note in plan.notes if note.startswith("auto method=rta")]
+        assert cited and "median" in cited[0]
+        assert workload_fingerprint(engine.index, "min_cost") in cited[0]
+
+    def test_auto_executes_the_cited_method(self, engine):
+        engine.analyze(0, tau=10, method="greedy")
+        result = engine.min_cost(0, tau=10, method="auto")
+        reference = engine.min_cost(0, tau=10, method="greedy")
+        assert_same_result(reference, result)
+
+    def test_fingerprints_keep_kinds_apart(self, engine):
+        engine.analyze(0, tau=10, method="rta")  # min_cost evidence only
+        plan = engine.explain(0, budget=0.4, method="auto")
+        assert plan.solver_name == "efficient"
+        assert any("no recorded runs" in note for note in plan.notes)
+
+
+class TestMultiTargetValidation:
+    def test_invalid_id_fails_before_any_work(self, engine):
+        with pytest.raises(ValidationError, match="out of range"):
+            engine.min_cost_multi([0, 99], tau=8)
+        with pytest.raises(ValidationError, match="out of range"):
+            engine.max_hit_multi([-1, 2], budget=0.5)
+
+    def test_empty_targets_rejected(self, engine):
+        with pytest.raises(ValidationError):
+            engine.min_cost_multi([], tau=8)
+
+    def test_explain_multi_validates_identically(self, engine):
+        with pytest.raises(ValidationError, match="out of range"):
+            engine.explain_multi([0, 99], tau=8)
+
+    def test_explain_multi_plans_match_execution(self, engine):
+        targets = [0, 5]
+        plans = engine.explain_multi(targets, tau=8)
+        assert all(isinstance(plan, ExecutionPlan) for plan in plans)
+        assert [plan.target for plan in plans] == targets
+        assert {plan.kind for plan in plans} == {"min_cost"}
+        assert any("joint greedy loop" in note for plan in plans for note in plan.notes)
+
+
+class TestGoalRendering:
+    def test_min_cost_integral_tau_renders_as_int(self, engine):
+        plan = engine.explain(0, tau=8)
+        assert dict(plan.rows())["goal"] == "8"
+
+    def test_max_hit_integral_budget_keeps_float(self, engine):
+        plan = engine.explain(0, budget=2.0)
+        assert dict(plan.rows())["goal"] == "2.0"
+
+    def test_max_hit_fractional_budget(self, engine):
+        plan = engine.explain(0, budget=0.4)
+        assert dict(plan.rows())["goal"] == "0.4"
+
+    def test_to_dict_goal_untouched(self, engine):
+        plan = engine.explain(0, budget=2.0)
+        assert plan.to_dict()["goal"] == 2.0
+        assert isinstance(plan.to_dict()["goal"], float)

@@ -261,10 +261,70 @@ class TestExplainImprove:
             "EXPLAIN IMPROVE cameras TARGET WHERE rowid = 0 USING idx BUDGET 10"
         )
         assert result.column("kind") == ["max_hit"]
-        assert result.column("goal") == ["10"]
+        # A Max-Hit budget keeps its float-ness so it cannot be read as
+        # a Min-Cost tau (which *does* render as an int).
+        assert result.column("goal") == ["10.0"]
 
     def test_explain_validates_like_improve(self, db):
         with pytest.raises(SQLCatalogError):
             db.execute("EXPLAIN IMPROVE cameras TARGET WHERE rowid = 0 USING nope REACH 2")
         with pytest.raises(SQLExecutionError):
             db.execute("EXPLAIN IMPROVE cameras TARGET WHERE rowid = 99 USING idx REACH 2")
+
+    def test_explain_multi_target_one_joint_plan_per_target(self, db):
+        result = db.execute(
+            "EXPLAIN IMPROVE cameras TARGET WHERE rowid < 2 USING idx REACH 2"
+        )
+        assert result.column("rowid") == [0, 1]
+        notes = result.column("notes")
+        assert all("joint greedy loop" in note for note in notes)
+
+    def test_explain_multi_rejects_non_efficient_method(self, db):
+        with pytest.raises(SQLExecutionError, match="METHOD efficient only"):
+            db.execute(
+                "EXPLAIN IMPROVE cameras TARGET WHERE rowid < 2 USING idx REACH 2"
+                " METHOD greedy"
+            )
+
+
+class TestExplainAnalyze:
+    def test_columns_extend_plan_fields(self, db):
+        from repro.core.plan import ANALYZE_FIELDS, PLAN_FIELDS
+
+        result = db.execute(
+            "EXPLAIN ANALYZE IMPROVE cameras TARGET WHERE rowid = 0 USING idx REACH 2"
+        )
+        assert result.columns == ["rowid"] + list(PLAN_FIELDS) + list(ANALYZE_FIELDS)
+        assert result.status == "EXPLAIN ANALYZE IMPROVE 1"
+
+    def test_observations_filled(self, db):
+        result = db.execute(
+            "EXPLAIN ANALYZE IMPROVE cameras TARGET WHERE rowid = 0 USING idx REACH 2"
+        )
+        assert float(result.column("total_seconds")[0]) > 0.0
+        assert float(result.column("solve_seconds")[0]) > 0.0
+        fingerprint = result.column("fingerprint")[0]
+        assert fingerprint.startswith("kind=min_cost|")
+
+    def test_analyze_never_perturbs(self, db):
+        improve = "IMPROVE cameras TARGET WHERE rowid = 0 USING idx REACH 3"
+        before = db.execute(improve).rows
+        db.execute("EXPLAIN ANALYZE " + improve)
+        assert db.execute(improve).rows == before
+        assert db.execute("SELECT * FROM cameras").rows is not None
+
+    def test_analyze_does_not_apply(self, db):
+        before = db.execute("SELECT * FROM cameras").rows
+        db.execute(
+            "EXPLAIN ANALYZE IMPROVE cameras TARGET WHERE rowid = 0 USING idx REACH 3"
+        )
+        assert db.execute("SELECT * FROM cameras").rows == before
+
+    def test_multi_target_shares_one_runs_timings(self, db):
+        result = db.execute(
+            "EXPLAIN ANALYZE IMPROVE cameras TARGET WHERE rowid < 2 USING idx REACH 2"
+        )
+        assert result.column("rowid") == [0, 1]
+        totals = result.column("total_seconds")
+        assert totals[0] == totals[1]  # the joint loop is one run
+        assert float(totals[0]) > 0.0

@@ -153,6 +153,19 @@ class TestExplain:
         stmt = parse("EXPLAIN IMPROVE cars TARGET WHERE rowid = 0 USING idx REACH 5")
         assert isinstance(stmt, ast.ExplainImprove)
         assert stmt.statement.reach == 5
+        assert stmt.analyze is False
+
+    def test_explain_analyze_sets_flag(self):
+        stmt = parse(
+            "EXPLAIN ANALYZE IMPROVE cars TARGET WHERE rowid = 0 USING idx BUDGET 2"
+        )
+        assert isinstance(stmt, ast.ExplainImprove)
+        assert stmt.analyze is True
+        assert stmt.statement.budget == 2
+
+    def test_analyze_requires_improve(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("EXPLAIN ANALYZE SELECT * FROM cars")
 
     def test_explain_requires_improve(self):
         with pytest.raises(SQLSyntaxError):

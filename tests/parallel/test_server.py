@@ -108,6 +108,54 @@ class TestControlOps:
         assert "queued" in stats_lines[0]["stats"]
         assert stats_lines[0]["stats"]["workers"] == 0
 
+    def test_mid_stream_stats_clock_is_running(self, engine):
+        """Regression: ``seconds`` used to stay 0.0 until the stream ended.
+
+        A stats op answered mid-stream must report the elapsed wall-clock
+        at *read time* — and therefore a finite, non-zero throughput once
+        anything has been served — not the stale field the old code only
+        assigned after EOF.  The generator reader yields each stats op
+        only after the preceding response has been emitted, so the
+        ``served`` counts the snapshots must carry are deterministic.
+        """
+        import time
+
+        out = io.StringIO()
+
+        def answered(request_id):
+            return any(r.get("id") == request_id for r in responses(out))
+
+        def lines():
+            yield request_line(0)
+            while not answered(0):
+                time.sleep(0.001)
+            yield json.dumps({"op": "stats"})
+            yield request_line(1, target=1)
+            while not answered(1):
+                time.sleep(0.001)
+            yield json.dumps({"op": "stats"})
+
+        serve_stream(engine, lines(), out, workers=0)
+        stats_lines = [r["stats"] for r in responses(out) if r.get("op") == "stats"]
+        assert len(stats_lines) == 2
+        first, second = stats_lines
+        assert first["seconds"] > 0.0
+        assert second["seconds"] > first["seconds"]
+        assert first["served"] == 1 and first["throughput"] > 0.0
+        assert second["served"] == 2
+        assert second["dispatch_seconds"] > 0.0
+        assert second["avg_request_seconds"] > 0.0
+
+    def test_stats_op_before_any_request_reports_zero_throughput(self, engine):
+        # served == 0: the guarded division must yield 0.0, not a crash.
+        out = io.StringIO()
+        serve_stream(engine, [json.dumps({"op": "stats"})], out, workers=0)
+        (reply,) = [r["stats"] for r in responses(out) if r.get("op") == "stats"]
+        assert reply["served"] == 0
+        assert reply["throughput"] == 0.0
+        assert reply["avg_request_seconds"] == 0.0
+        assert reply["seconds"] > 0.0
+
     def test_shutdown_drains_queued_requests(self, engine):
         lines = [request_line(i, target=i) for i in range(3)]
         lines.append(json.dumps({"op": "shutdown"}))

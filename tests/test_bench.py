@@ -140,6 +140,7 @@ class TestRegressionHarness:
         assert figures == {
             "fig4", "fig5", "fig7", "par_index", "par_batch", "serve", "persist",
             "shard_build", "shard_update", "native", "mmap_load",
+            "analyze_overhead",
         }
         for record in payload["records"]:
             assert record["literal_seconds"] > 0
@@ -161,6 +162,8 @@ class TestRegressionHarness:
                 assert record["config"]["resolved"] in ("python", "native")
             if record["figure"] == "mmap_load":
                 assert record["config"]["mmap_bytes"] > record["config"]["npz_bytes"]
+            if record["figure"] == "analyze_overhead":
+                assert record["config"]["requests"] >= 2
         assert payload["kernel"] in ("python", "native")
         assert isinstance(payload["numba"], bool)
 

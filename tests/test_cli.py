@@ -202,7 +202,10 @@ class TestExplain:
              "--budget", "0.5"]
         )
         assert code == 0
-        assert out.count("max_hit") == 2
+        kinds = [l for l in out.splitlines() if l.startswith("kind")]
+        assert len(kinds) == 2 and all("max_hit" in l for l in kinds)
+        # Multi-target EXPLAIN plans the joint combinatorial loop now.
+        assert out.count("joint greedy loop") == 2
 
     def test_explain_shows_internalized_space(self, market_files):
         objects, queries = market_files
@@ -218,3 +221,73 @@ class TestExplain:
         with pytest.raises(SystemExit):
             run(["explain", objects, queries, "--target", "0", "--reach", "4",
                  "--method", "quantum"])
+
+
+class TestExplainAnalyze:
+    def test_analyze_prints_observed_stats(self, market_files):
+        objects, queries = market_files
+        code, out = run(
+            ["explain", objects, queries, "--target", "3", "--reach", "5",
+             "--analyze"]
+        )
+        assert code == 0
+        assert "total_seconds" in out and "fingerprint" in out
+        assert "candidates_generated" in out
+        timing = [l for l in out.splitlines() if l.startswith("total_seconds")]
+        assert float(timing[0].split()[-1]) > 0.0
+
+    def test_plain_explain_has_no_observations(self, market_files):
+        objects, queries = market_files
+        code, out = run(
+            ["explain", objects, queries, "--target", "3", "--reach", "5"]
+        )
+        assert code == 0
+        assert "total_seconds" not in out
+
+    def test_analyze_multi_target_one_plan_per_target(self, market_files):
+        objects, queries = market_files
+        code, out = run(
+            ["explain", objects, queries, "--target", "0", "--target", "1",
+             "--reach", "4", "--analyze"]
+        )
+        assert code == 0
+        assert out.count("total_seconds") == 2
+        assert out.count("joint greedy loop") == 2
+
+    def test_stats_file_feeds_method_auto(self, market_files, tmp_path):
+        from repro.observe import configure_store
+
+        objects, queries = market_files
+        stats = str(tmp_path / "stats.json")
+        try:
+            code, _ = run(
+                ["explain", objects, queries, "--target", "3", "--reach", "5",
+                 "--method", "rta", "--analyze", "--stats", stats]
+            )
+            assert code == 0
+            # A later auto-planned run must cite the recorded rta median.
+            code, out = run(
+                ["explain", objects, queries, "--target", "3", "--reach", "5",
+                 "--method", "auto", "--stats", stats]
+            )
+            assert code == 0
+            assert "auto method=rta" in out
+            assert "median" in out
+        finally:
+            configure_store(None)  # unbind the file store from this process
+
+    def test_method_auto_cold_store_falls_back(self, market_files):
+        from repro.observe import configure_store
+
+        objects, queries = market_files
+        configure_store(None)
+        try:
+            code, out = run(
+                ["explain", objects, queries, "--target", "3", "--reach", "5",
+                 "--method", "auto"]
+            )
+            assert code == 0
+            assert "efficient" in out
+            assert "no recorded runs" in out
+        finally:
+            configure_store(None)
